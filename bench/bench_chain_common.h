@@ -1,0 +1,57 @@
+// Shared driver for Figures 9-11: the FT2 version-chain experiment.
+//
+// In each iteration n (2..10 fragments; the paper's x-axis counts
+// machines), a constant-size corpus is split into an n-deep chain,
+// each fragment on its own machine, and a query satisfied at exactly
+// one designated fragment is evaluated with ParBoX, FullDistParBoX and
+// LazyParBoX.
+
+#ifndef PARBOX_BENCH_BENCH_CHAIN_COMMON_H_
+#define PARBOX_BENCH_BENCH_CHAIN_COMMON_H_
+
+#include <functional>
+
+#include "bench_common.h"
+
+namespace parbox::bench {
+
+/// `target(n)` names the chain position (0-based) whose marker the
+/// query matches at iteration with n fragments.
+inline int RunChainFigure(const char* figure, const char* caption,
+                          const std::function<int(int)>& target) {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader(figure, caption, config);
+
+  // The paper plots elapsed time and *notes* that the eager
+  // algorithms' total computation is much larger (they always touch
+  // every fragment); the last two columns make that visible.
+  std::printf("%-10s %-12s %-12s %-12s %-7s %-12s %-12s\n", "machines",
+              "ParBoX(s)", "FDParBoX(s)", "LZParBoX(s)", "lz-vis",
+              "eagerT(s)", "lazyT(s)");
+  for (int n = 1; n <= 10; ++n) {
+    Deployment d = MakeChain(n, config.total_bytes, config.seed);
+    auto q = xmark::MakeMarkerQuery("v" + std::to_string(target(n)));
+    Check(q.status());
+    auto parbox = core::RunParBoX(d.set, d.st, *q);
+    Check(parbox.status());
+    auto fdist = core::RunFullDistParBoX(d.set, d.st, *q);
+    Check(fdist.status());
+    auto lazy = core::RunLazyParBoX(d.set, d.st, *q);
+    Check(lazy.status());
+    if (!parbox->answer || !fdist->answer || !lazy->answer) {
+      std::fprintf(stderr, "query unexpectedly false at n=%d\n", n);
+      return 1;
+    }
+    std::printf("%-10d %-12.4f %-12.4f %-12.4f %-7llu %-12.4f %-12.4f\n",
+                n, parbox->makespan_seconds, fdist->makespan_seconds,
+                lazy->makespan_seconds,
+                static_cast<unsigned long long>(lazy->total_visits()),
+                parbox->total_compute_seconds,
+                lazy->total_compute_seconds);
+  }
+  return 0;
+}
+
+}  // namespace parbox::bench
+
+#endif  // PARBOX_BENCH_BENCH_CHAIN_COMMON_H_

@@ -1,0 +1,139 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation section and prints it as an aligned table. Absolute
+// numbers differ from the 2006 testbed (see DESIGN.md: the cluster is
+// simulated and the corpus is scaled down by default); the *shape* —
+// who wins, where crossovers happen — is the reproduction target.
+//
+// Scaling: the paper's corpora total 50 MB. By default the benches use
+// PARBOX_BENCH_BYTES (default 6 MB) so the whole suite runs in a few
+// minutes; set the environment variable, e.g.
+//   PARBOX_BENCH_BYTES=52428800 ./bench_fig7_parbox_vs_central
+// for paper-scale runs.
+
+#ifndef PARBOX_BENCH_BENCH_COMMON_H_
+#define PARBOX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "fragment/strategies.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xpath/normalize.h"
+
+namespace parbox::bench {
+
+struct BenchConfig {
+  uint64_t total_bytes = 6u << 20;  ///< cumulative corpus size
+  uint64_t seed = 42;
+
+  static BenchConfig FromEnv() {
+    BenchConfig config;
+    if (const char* bytes = std::getenv("PARBOX_BENCH_BYTES")) {
+      config.total_bytes = std::strtoull(bytes, nullptr, 10);
+    }
+    if (const char* seed = std::getenv("PARBOX_BENCH_SEED")) {
+      config.seed = std::strtoull(seed, nullptr, 10);
+    }
+    return config;
+  }
+};
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// A fragmented, distributed corpus plus its source tree.
+struct Deployment {
+  frag::FragmentSet set;
+  frag::SourceTree st;
+};
+
+/// Experiment 1/4 corpus (FT1): the root fragment F0 is itself an
+/// XMark site holding 1/n of the data (exactly as in the paper, where
+/// iteration 1 is a single 50 MB fragment at the coordinator), with
+/// n-1 equal site fragments as direct sub-fragments. One machine per
+/// fragment unless `one_site` (Experiment 4).
+inline Deployment MakeStar(int fragments, uint64_t total_bytes,
+                           uint64_t seed, bool one_site = false) {
+  std::vector<std::vector<int>> topology(fragments);
+  for (int i = 1; i < fragments; ++i) topology[0].push_back(i);
+  std::vector<uint64_t> sizes(
+      fragments, total_bytes / static_cast<uint64_t>(fragments));
+  xml::Document doc = xmark::GenerateTreeDocument(topology, sizes, seed);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  Check(set.status());
+  Check(frag::SplitAtAllLabeled(&*set, "site").status());
+  auto st = frag::SourceTree::Create(
+      *set, one_site ? frag::AssignAllToOneSite(*set)
+                     : frag::AssignOneSitePerFragment(*set));
+  Check(st.status());
+  return Deployment{std::move(*set), std::move(*st)};
+}
+
+/// Experiment 2 corpus: a version chain of `depth` sites (FT2).
+inline Deployment MakeChain(int depth, uint64_t total_bytes, uint64_t seed) {
+  xml::Document doc = xmark::GenerateChainDocument(
+      depth, total_bytes / static_cast<uint64_t>(depth), seed);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  Check(set.status());
+  Check(frag::SplitAtAllLabeled(&*set, "site").status());
+  auto st =
+      frag::SourceTree::Create(*set, frag::AssignOneSitePerFragment(*set));
+  Check(st.status());
+  return Deployment{std::move(*set), std::move(*st)};
+}
+
+/// Experiment 3 corpus: the bushy FT3 of Fig. 6 — eight sites,
+/// 0 -> {1,2,3}, 1 -> {4,5}, 2 -> {6}, 3 -> {7} — with the paper's
+/// uneven size mix (F1 largest, F7 smallest), scaled to `total_bytes`.
+inline Deployment MakeBushy(uint64_t total_bytes, uint64_t seed) {
+  const std::vector<std::vector<int>> topology = {{1, 2, 3}, {4, 5}, {6},
+                                                  {7},       {},     {},
+                                                  {},        {}};
+  // Weights echoing Experiment 3's mix (F0 ~ fixed, F1 dominant).
+  const double weights[] = {0.12, 0.35, 0.14, 0.12, 0.09, 0.08, 0.06, 0.04};
+  std::vector<uint64_t> sizes;
+  for (double w : weights) {
+    sizes.push_back(static_cast<uint64_t>(w * total_bytes));
+  }
+  xml::Document doc = xmark::GenerateTreeDocument(topology, sizes, seed);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  Check(set.status());
+  Check(frag::SplitAtAllLabeled(&*set, "site").status());
+  auto st =
+      frag::SourceTree::Create(*set, frag::AssignOneSitePerFragment(*set));
+  Check(st.status());
+  return Deployment{std::move(*set), std::move(*st)};
+}
+
+/// Query with the given |QList| over XMark labels (Experiments 1, 3).
+inline xpath::NormQuery QueryOfSize(int qlist_size) {
+  auto q = xmark::MakeQueryOfQListSize(qlist_size);
+  Check(q.status());
+  return std::move(*q);
+}
+
+inline void PrintHeader(const char* figure, const char* caption,
+                        const BenchConfig& config) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("corpus %.1f MB (PARBOX_BENCH_BYTES), seed %llu\n",
+              config.total_bytes / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(config.seed));
+  std::printf("==========================================================\n");
+}
+
+}  // namespace parbox::bench
+
+#endif  // PARBOX_BENCH_BENCH_COMMON_H_

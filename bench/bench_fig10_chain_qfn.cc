@@ -1,0 +1,14 @@
+// Figure 10: query q_Fn — satisfied at the deepest fragment.
+//
+// Expected shape (paper): ParBoX and FullDistParBoX stay flat (parallel
+// evaluation), while LazyParBoX's runtime grows with the chain depth —
+// it steps through every level sequentially — with increments that
+// shrink (50/(i*(i+1)) of the data between consecutive iterations).
+
+#include "bench_chain_common.h"
+
+int main() {
+  return parbox::bench::RunChainFigure(
+      "Figure 10", "chain FT2, query satisfied at F_n",
+      [](int n) { return n - 1; });
+}

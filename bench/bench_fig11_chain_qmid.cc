@@ -1,0 +1,15 @@
+// Figure 11: query q_F(n/2) — satisfied at the middle fragment.
+//
+// Expected shape (paper): LazyParBoX oscillates — when the middle
+// fragment's depth is unchanged between consecutive iterations its
+// time improves (less data per level), when the depth grows it steps
+// up — converging to roughly 2-3x ParBoX; the eager algorithms stay
+// flat and identical.
+
+#include "bench_chain_common.h"
+
+int main() {
+  return parbox::bench::RunChainFigure(
+      "Figure 11", "chain FT2, query satisfied at F_ceil(n/2)",
+      [](int n) { return n / 2; });
+}

@@ -1,0 +1,45 @@
+// Figure 12: scalability in data size over the bushy fragment tree FT3
+// (Fig. 6), cumulative corpus swept over 8 growing sizes, for
+// |QList(q)| in {2, 8, 15, 23}.
+//
+// Expected shape (paper): for each query size, evaluation time is
+// linear in the data size; larger queries grow gracefully over
+// similarly sized data.
+//
+// The paper sweeps 45..160 MB; the default here scales that span down
+// by the same factor as PARBOX_BENCH_BYTES (interpreted as the
+// *largest* corpus of the sweep).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace parbox;
+  using namespace parbox::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 12", "runtime vs data size on FT3, per query size",
+              config);
+
+  // The paper's x-axis: 45,60,75,90,110,130,145,160 MB; normalize so
+  // the last point equals the configured byte budget.
+  const double kPaperSizes[] = {45, 60, 75, 90, 110, 130, 145, 160};
+  std::printf("%-12s", "bytes");
+  for (int size : xmark::kPaperQuerySizes) {
+    std::printf(" |QList|=%-6d", size);
+  }
+  std::printf("\n");
+  for (double paper_mb : kPaperSizes) {
+    uint64_t bytes =
+        static_cast<uint64_t>(paper_mb / 160.0 * config.total_bytes);
+    Deployment d = MakeBushy(bytes, config.seed);
+    std::printf("%-12llu", static_cast<unsigned long long>(bytes));
+    for (int size : xmark::kPaperQuerySizes) {
+      xpath::NormQuery q = QueryOfSize(size);
+      auto report = core::RunParBoX(d.set, d.st, q);
+      Check(report.status());
+      std::printf(" %-14.4f", report->makespan_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape check: each column grows ~linearly in bytes.\n");
+  return 0;
+}

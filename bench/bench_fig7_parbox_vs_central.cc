@@ -1,0 +1,40 @@
+// Figure 7: ParBoX vs NaiveCentralized, constant corpus split across
+// 1..10 machines (fragment tree FT1), |QList(q)| = 8.
+//
+// Expected shape (paper): ParBoX's runtime falls as machines are added
+// (parallelism), flattening once fragments get small; NaiveCentralized
+// pays data shipping on top of its (constant) evaluation time, so it
+// sits far above ParBoX everywhere beyond one machine.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace parbox;
+  using namespace parbox::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 7", "ParBoX vs NaiveCentralized, |QList| = 8",
+              config);
+
+  xpath::NormQuery q = QueryOfSize(8);
+  std::printf("%-10s %-14s %-14s %-16s %-16s\n", "machines",
+              "ParBoX (s)", "Central (s)", "ParBoX traffic",
+              "Central traffic");
+  for (int machines = 1; machines <= 10; ++machines) {
+    Deployment d = MakeStar(machines, config.total_bytes, config.seed);
+    auto parbox = core::RunParBoX(d.set, d.st, q);
+    Check(parbox.status());
+    auto central = core::RunNaiveCentralized(d.set, d.st, q);
+    Check(central.status());
+    if (parbox->answer != central->answer) {
+      std::fprintf(stderr, "ANSWER MISMATCH at %d machines\n", machines);
+      return 1;
+    }
+    std::printf("%-10d %-14.4f %-14.4f %-16llu %-16llu\n", machines,
+                parbox->makespan_seconds, central->makespan_seconds,
+                static_cast<unsigned long long>(parbox->network_bytes),
+                static_cast<unsigned long long>(central->network_bytes));
+  }
+  std::printf("\nshape check: ParBoX should drop then flatten; Central "
+              "should stay dominated by data shipping.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8: ParBoX scalability in query size — the Fig. 7 sweep
+// repeated for |QList(q)| in {2, 8, 15, 23}.
+//
+// Expected shape (paper): evaluation time increases linearly with the
+// query size, and the parallelism benefits are consistent across all
+// four query sizes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace parbox;
+  using namespace parbox::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 8", "ParBoX runtime vs machines, per query size",
+              config);
+
+  std::printf("%-10s", "machines");
+  for (int size : xmark::kPaperQuerySizes) {
+    std::printf(" |QList|=%-6d", size);
+  }
+  std::printf("\n");
+  for (int machines = 1; machines <= 10; ++machines) {
+    Deployment d = MakeStar(machines, config.total_bytes, config.seed);
+    std::printf("%-10d", machines);
+    for (int size : xmark::kPaperQuerySizes) {
+      xpath::NormQuery q = QueryOfSize(size);
+      auto report = core::RunParBoX(d.set, d.st, q);
+      Check(report.status());
+      std::printf(" %-14.4f", report->makespan_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nshape check: each column drops with machines; at fixed "
+              "machines runtime grows ~linearly in |QList|.\n");
+  return 0;
+}

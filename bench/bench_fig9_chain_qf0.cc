@@ -1,0 +1,14 @@
+// Figure 9: query q_F0 — satisfied at the root fragment of the chain.
+//
+// Expected shape (paper): all three algorithms nearly identical,
+// because LazyParBoX stops after depth 0 while the eager algorithms'
+// extra fragments evaluate in parallel and add no elapsed time; lazy
+// touches only 1-2 fragments (huge total-computation savings).
+
+#include "bench_chain_common.h"
+
+int main() {
+  return parbox::bench::RunChainFigure(
+      "Figure 9", "chain FT2, query satisfied at F0",
+      [](int) { return 0; });
+}

@@ -1,0 +1,128 @@
+// X2 (ablation, google-benchmark): the formula library.
+//
+// DESIGN.md calls out hash-consing + compFm folding as the mechanism
+// that keeps partial answers within the O(card(F_j)) size bound. These
+// microbenchmarks quantify the cost of the smart constructors, of
+// evaluation/substitution, and of the wire codec.
+
+#include <benchmark/benchmark.h>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/serialize.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace parbox;
+using bexpr::ExprFactory;
+using bexpr::ExprId;
+using bexpr::VarId;
+using bexpr::VectorKind;
+
+VarId V(int32_t fragment, int32_t index) {
+  return VarId{fragment, VectorKind::kV, index};
+}
+
+ExprId BuildRandom(ExprFactory* f, Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.2)) {
+    return rng->Bernoulli(0.3)
+               ? f->FromBool(rng->Bernoulli(0.5))
+               : f->Var(V(static_cast<int32_t>(rng->Uniform(8)),
+                          static_cast<int32_t>(rng->Uniform(16))));
+  }
+  switch (rng->Uniform(3)) {
+    case 0:
+      return f->Not(BuildRandom(f, rng, depth - 1));
+    case 1:
+      return f->And(BuildRandom(f, rng, depth - 1),
+                    BuildRandom(f, rng, depth - 1));
+    default:
+      return f->Or(BuildRandom(f, rng, depth - 1),
+                   BuildRandom(f, rng, depth - 1));
+  }
+}
+
+void BM_SmartConstructors(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ExprFactory f;
+    Rng rng(42);
+    for (int i = 0; i < 100; ++i) {
+      benchmark::DoNotOptimize(BuildRandom(&f, &rng, depth));
+    }
+    state.counters["interned_nodes"] =
+        static_cast<double>(f.total_nodes());
+  }
+}
+BENCHMARK(BM_SmartConstructors)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_ConstantFoldingFastPath(benchmark::State& state) {
+  // The inner loop of partial evaluation: OR-ing a constant into an
+  // accumulator (the CV/DV updates) must be branch-cheap.
+  ExprFactory f;
+  ExprId var = f.Var(V(1, 1));
+  for (auto _ : state) {
+    ExprId acc = f.False();
+    for (int i = 0; i < 1000; ++i) {
+      acc = f.Or(acc, f.False());
+      acc = f.And(f.True(), acc);
+    }
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(var);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ConstantFoldingFastPath);
+
+void BM_Substitute(benchmark::State& state) {
+  ExprFactory f;
+  Rng rng(7);
+  ExprId e = BuildRandom(&f, &rng, static_cast<int>(state.range(0)));
+  bexpr::Assignment a;
+  for (int32_t frag = 0; frag < 8; ++frag) {
+    for (int32_t idx = 0; idx < 16; ++idx) {
+      a.Set(V(frag, idx), (frag + idx) % 2 == 0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.Substitute(e, a));
+  }
+}
+BENCHMARK(BM_Substitute)->Arg(6)->Arg(10);
+
+void BM_EvalPartial(benchmark::State& state) {
+  ExprFactory f;
+  Rng rng(7);
+  ExprId e = BuildRandom(&f, &rng, 10);
+  bexpr::Assignment a;  // half the variables known
+  for (int32_t frag = 0; frag < 4; ++frag) {
+    for (int32_t idx = 0; idx < 16; ++idx) {
+      a.Set(V(frag, idx), idx % 2 == 0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.EvalPartial(e, a));
+  }
+}
+BENCHMARK(BM_EvalPartial);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  ExprFactory f;
+  Rng rng(11);
+  std::vector<ExprId> roots;
+  for (int i = 0; i < 3 * 16; ++i) {  // a triplet of 16-entry vectors
+    roots.push_back(BuildRandom(&f, &rng, 5));
+  }
+  for (auto _ : state) {
+    std::string wire = bexpr::SerializeExprs(f, roots);
+    ExprFactory g;
+    auto decoded = bexpr::DeserializeExprs(&g, wire);
+    benchmark::DoNotOptimize(decoded);
+    state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// X3 (ablation, google-benchmark): substrate kernel throughput — the
+// centralized bottomUp evaluator (the O(|T|·|q|) baseline every bound
+// in the paper is expressed against), the partial-evaluation kernel,
+// the XML parser and the corpus generator.
+
+#include <benchmark/benchmark.h>
+
+#include "boolexpr/expr.h"
+#include "common/rng.h"
+#include "core/partial_eval.h"
+#include "fragment/strategies.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+
+namespace {
+
+using namespace parbox;
+
+xml::Document MakeCorpus(uint64_t bytes) {
+  return xmark::GenerateStarDocument(1, bytes, 42);
+}
+
+void BM_CentralizedEval(benchmark::State& state) {
+  xml::Document doc = MakeCorpus(1 << 20);
+  auto q = xmark::MakeQueryOfQListSize(static_cast<int>(state.range(0)));
+  size_t elements = xml::CountElements(doc.root());
+  for (auto _ : state) {
+    xpath::EvalCounters counters;
+    auto result = xpath::EvalBoolean(*doc.root(), *q, &counters);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(elements) * state.range(0));
+  state.counters["elements"] = static_cast<double>(elements);
+}
+BENCHMARK(BM_CentralizedEval)->Arg(2)->Arg(8)->Arg(15)->Arg(23);
+
+void BM_PartialEvalFragment(benchmark::State& state) {
+  // A fragment with sub-fragments: the formula-domain kernel.
+  xml::Document doc = xmark::GenerateChainDocument(4, 1 << 18, 42);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  auto created = frag::SplitAtAllLabeled(&*set, "site");
+  auto q = xmark::MakeQueryOfQListSize(8);
+  for (auto _ : state) {
+    bexpr::ExprFactory factory;
+    xpath::EvalCounters counters;
+    auto eq =
+        core::PartialEvalFragment(&factory, *q, *set, 0, &counters);
+    benchmark::DoNotOptimize(eq);
+    state.SetItemsProcessed(static_cast<int64_t>(counters.ops));
+  }
+}
+BENCHMARK(BM_PartialEvalFragment);
+
+void BM_XmlParse(benchmark::State& state) {
+  xml::Document doc = MakeCorpus(static_cast<uint64_t>(state.range(0)));
+  std::string text = xml::WriteXml(doc.root());
+  for (auto _ : state) {
+    auto parsed = xml::ParseXml(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParse)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_XmlWrite(benchmark::State& state) {
+  xml::Document doc = MakeCorpus(1 << 20);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = xml::WriteXml(doc.root());
+    benchmark::DoNotOptimize(text);
+    bytes = static_cast<int64_t>(text.size());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_XmlWrite);
+
+void BM_XmarkGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    xml::Document doc =
+        MakeCorpus(static_cast<uint64_t>(state.range(0)));
+    benchmark::DoNotOptimize(doc.root());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XmarkGenerate)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_QueryCompile(benchmark::State& state) {
+  const char* text =
+      "[//broker[//stock/code/text() = \"GOOG\" and "
+      "not(//stock/code/text() = \"YHOO\")] or //market[name]]";
+  for (auto _ : state) {
+    auto q = xpath::CompileQuery(text);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_QueryCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

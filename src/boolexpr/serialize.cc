@@ -1,0 +1,154 @@
+#include "boolexpr/serialize.h"
+
+#include <unordered_map>
+
+namespace parbox::bexpr {
+
+namespace {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view* in, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (!in->empty()) {
+    uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    if (shift >= 63 && byte > 1) return false;
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeExprs(const ExprFactory& factory,
+                           std::span<const ExprId> roots) {
+  // Topological order over the union of all root DAGs.
+  std::vector<ExprId> order;
+  std::unordered_map<ExprId, uint32_t> index;
+  {
+    std::vector<std::pair<ExprId, bool>> stack;
+    for (ExprId r : roots) stack.emplace_back(r, false);
+    while (!stack.empty()) {
+      auto [x, expanded] = stack.back();
+      stack.pop_back();
+      if (index.count(x) > 0) continue;
+      if (expanded) {
+        index[x] = static_cast<uint32_t>(order.size());
+        order.push_back(x);
+        continue;
+      }
+      stack.emplace_back(x, true);
+      for (ExprId c : factory.children(x)) {
+        if (index.count(c) == 0) stack.emplace_back(c, false);
+      }
+    }
+  }
+
+  std::string out;
+  PutVarint(&out, order.size());
+  for (ExprId e : order) {
+    ExprOp op = factory.op(e);
+    out.push_back(static_cast<char>(op));
+    switch (op) {
+      case ExprOp::kConst:
+        out.push_back(factory.const_value(e) ? 1 : 0);
+        break;
+      case ExprOp::kVar:
+        PutVarint(&out, factory.var(e).Pack());
+        break;
+      default: {
+        auto kids = factory.children(e);
+        PutVarint(&out, kids.size());
+        for (ExprId c : kids) PutVarint(&out, index.at(c));
+        break;
+      }
+    }
+  }
+  PutVarint(&out, roots.size());
+  for (ExprId r : roots) PutVarint(&out, index.at(r));
+  return out;
+}
+
+Result<std::vector<ExprId>> DeserializeExprs(ExprFactory* factory,
+                                             std::string_view data) {
+  auto malformed = [] { return Status::ParseError("malformed expr wire data"); };
+  uint64_t node_count = 0;
+  if (!GetVarint(&data, &node_count)) return malformed();
+  std::vector<ExprId> decoded;
+  decoded.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    if (data.empty()) return malformed();
+    ExprOp op = static_cast<ExprOp>(data.front());
+    data.remove_prefix(1);
+    switch (op) {
+      case ExprOp::kConst: {
+        if (data.empty()) return malformed();
+        bool value = data.front() != 0;
+        data.remove_prefix(1);
+        decoded.push_back(factory->FromBool(value));
+        break;
+      }
+      case ExprOp::kVar: {
+        uint64_t packed = 0;
+        if (!GetVarint(&data, &packed)) return malformed();
+        decoded.push_back(
+            factory->Var(VarId::Unpack(static_cast<uint32_t>(packed))));
+        break;
+      }
+      case ExprOp::kNot: {
+        uint64_t count = 0, child = 0;
+        if (!GetVarint(&data, &count) || count != 1) return malformed();
+        if (!GetVarint(&data, &child) || child >= decoded.size()) {
+          return malformed();
+        }
+        decoded.push_back(factory->Not(decoded[child]));
+        break;
+      }
+      case ExprOp::kAnd:
+      case ExprOp::kOr: {
+        uint64_t count = 0;
+        if (!GetVarint(&data, &count) || count < 2) return malformed();
+        std::vector<ExprId> kids;
+        kids.reserve(count);
+        for (uint64_t k = 0; k < count; ++k) {
+          uint64_t child = 0;
+          if (!GetVarint(&data, &child) || child >= decoded.size()) {
+            return malformed();
+          }
+          kids.push_back(decoded[child]);
+        }
+        decoded.push_back(op == ExprOp::kAnd ? factory->AndN(kids)
+                                             : factory->OrN(kids));
+        break;
+      }
+      default:
+        return malformed();
+    }
+  }
+  uint64_t root_count = 0;
+  if (!GetVarint(&data, &root_count)) return malformed();
+  std::vector<ExprId> roots;
+  roots.reserve(root_count);
+  for (uint64_t i = 0; i < root_count; ++i) {
+    uint64_t idx = 0;
+    if (!GetVarint(&data, &idx) || idx >= decoded.size()) return malformed();
+    roots.push_back(decoded[idx]);
+  }
+  if (!data.empty()) return malformed();
+  return roots;
+}
+
+}  // namespace parbox::bexpr

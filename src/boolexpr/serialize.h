@@ -1,0 +1,37 @@
+// Wire format for formula vectors.
+//
+// In ParBoX each participating site ships its per-fragment vector
+// triplets (V, CV, DV) — vectors of Boolean formulas — back to the
+// coordinator. This module provides a compact, DAG-aware binary
+// encoding so the benchmarks charge the network with the *actual*
+// number of bytes a real deployment would move, and so FullDistParBoX
+// can genuinely re-materialize formulas at another site's factory.
+//
+// Encoding: varint node count; then each distinct DAG node in
+// topological order (op byte, then packed var or varint-encoded child
+// back-references); then varint root count and the root node indices.
+
+#ifndef PARBOX_BOOLEXPR_SERIALIZE_H_
+#define PARBOX_BOOLEXPR_SERIALIZE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "common/status.h"
+
+namespace parbox::bexpr {
+
+/// Serialize a vector of formulas (shared structure encoded once).
+std::string SerializeExprs(const ExprFactory& factory,
+                           std::span<const ExprId> roots);
+
+/// Decode into `factory` (typically a different one than the encoder's).
+/// Returns the decoded roots, in order.
+Result<std::vector<ExprId>> DeserializeExprs(ExprFactory* factory,
+                                             std::string_view data);
+
+}  // namespace parbox::bexpr
+
+#endif  // PARBOX_BOOLEXPR_SERIALIZE_H_

@@ -1,0 +1,33 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace parbox {
+
+void* Arena::Allocate(size_t n, size_t align) {
+  if (n == 0) n = 1;
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + align - 1) & ~(align - 1);
+  if (ptr_ == nullptr || aligned + n > reinterpret_cast<uintptr_t>(end_)) {
+    size_t block = std::max(block_bytes_, n + align);
+    blocks_.push_back(std::make_unique<char[]>(block));
+    ptr_ = blocks_.back().get();
+    end_ = ptr_ + block;
+    bytes_reserved_ += block;
+    p = reinterpret_cast<uintptr_t>(ptr_);
+    aligned = (p + align - 1) & ~(align - 1);
+  }
+  ptr_ = reinterpret_cast<char*>(aligned + n);
+  bytes_allocated_ += n;
+  return reinterpret_cast<void*>(aligned);
+}
+
+const char* Arena::CopyString(const char* data, size_t size) {
+  char* out = static_cast<char*>(Allocate(size + 1, 1));
+  std::memcpy(out, data, size);
+  out[size] = '\0';
+  return out;
+}
+
+}  // namespace parbox

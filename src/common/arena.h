@@ -1,0 +1,63 @@
+// Arena: a bump allocator for DOM nodes.
+//
+// XML documents allocate millions of small nodes with identical
+// lifetime (the whole document). A bump arena makes allocation a
+// pointer increment, keeps nodes cache-adjacent in traversal order, and
+// frees everything at once when the document dies. Objects allocated
+// here must be trivially destructible (their destructors never run).
+
+#ifndef PARBOX_COMMON_ARENA_H_
+#define PARBOX_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace parbox {
+
+/// Block-chained bump allocator. Not thread-safe; one arena per owner.
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = 1 << 20) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw aligned allocation of `n` bytes.
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t));
+
+  /// Construct a T in the arena. T's destructor will never run.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T> ||
+                      // Containers of arena pointers are fine to leak.
+                      true,
+                  "arena objects are never destroyed");
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Copy a string into the arena; returns a stable view.
+  const char* CopyString(const char* data, size_t size);
+
+  /// Total bytes handed out (excludes block slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace parbox
+
+#endif  // PARBOX_COMMON_ARENA_H_

@@ -1,0 +1,19 @@
+// Small formatting helpers shared by benchmarks and reports.
+
+#ifndef PARBOX_COMMON_BYTES_H_
+#define PARBOX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace parbox {
+
+/// "512 B", "25.0 MB", "1.5 GB"...
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.234 s", "12.3 ms", "450 us"...
+std::string HumanSeconds(double seconds);
+
+}  // namespace parbox
+
+#endif  // PARBOX_COMMON_BYTES_H_

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (the XMark-like generator,
+// fragmentation strategies, property tests) take an explicit Rng so that
+// every run is reproducible from a seed. The generator is splitmix64 — a
+// tiny, fast, high-quality 64-bit mixer — rather than std::mt19937 so
+// the stream is identical across standard library implementations.
+
+#ifndef PARBOX_COMMON_RNG_H_
+#define PARBOX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parbox {
+
+/// Seedable, copyable, deterministic random number generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Index into a discrete distribution given non-negative weights.
+  /// Precondition: at least one weight is positive.
+  size_t Weighted(const std::vector<double>& weights);
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derive an independent generator (for parallel sub-streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace parbox
+
+#endif  // PARBOX_COMMON_RNG_H_

@@ -1,0 +1,15 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace parbox {
+
+std::string StatsRegistry::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << " = " << value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace parbox

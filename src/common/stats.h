@@ -1,0 +1,46 @@
+// Lightweight named counters, RocksDB-Statistics style.
+//
+// Modules record what they did (nodes visited, formula ops, bytes sent)
+// into a StatsRegistry owned by the current run; tests and benchmarks
+// read the counters back to verify the paper's complexity claims
+// empirically rather than trusting the analysis.
+
+#ifndef PARBOX_COMMON_STATS_H_
+#define PARBOX_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace parbox {
+
+/// A bag of monotonically increasing named counters.
+class StatsRegistry {
+ public:
+  void Add(const std::string& name, uint64_t delta) {
+    counters_[name] += delta;
+  }
+  void Increment(const std::string& name) { Add(name, 1); }
+
+  /// 0 if never touched.
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace parbox
+
+#endif  // PARBOX_COMMON_STATS_H_

@@ -1,0 +1,135 @@
+// Status / Result: exception-free error handling for the parbox library.
+//
+// Follows the RocksDB/Arrow convention: fallible operations return a
+// `Status` (or a `Result<T>` carrying a value), never throw. Call sites
+// either propagate with PARBOX_RETURN_IF_ERROR or assert success in
+// contexts where failure is a programming error.
+
+#ifndef PARBOX_COMMON_STATUS_H_
+#define PARBOX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace parbox {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< Input text (XML or XPath) failed to parse.
+  kNotFound,          ///< Referenced entity (node, fragment, site) missing.
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kUnresolved,        ///< A Boolean equation system did not fully resolve.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a StatusCode ("ok", "parse error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+class Status {
+ public:
+  /// Successful status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unresolved(std::string m) {
+    return Status(StatusCode::kUnresolved, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or a failure Status. T must be movable.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return some_t;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: allows `return Status::ParseError(..)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace parbox
+
+/// Propagate a non-OK Status to the caller.
+#define PARBOX_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::parbox::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluate `rexpr` (a Result<T>), propagate failure, else bind the value.
+#define PARBOX_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  auto PARBOX_CONCAT_(_res_, __LINE__) = (rexpr);                  \
+  if (!PARBOX_CONCAT_(_res_, __LINE__).ok())                       \
+    return PARBOX_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(PARBOX_CONCAT_(_res_, __LINE__)).value()
+
+#define PARBOX_CONCAT_IMPL_(a, b) a##b
+#define PARBOX_CONCAT_(a, b) PARBOX_CONCAT_IMPL_(a, b)
+
+#endif  // PARBOX_COMMON_STATUS_H_

@@ -1,0 +1,80 @@
+// Public entry points: the distributed Boolean XPath evaluation
+// algorithms of Secs. 3 and 4, all sharing one signature.
+//
+// Every algorithm evaluates the normalized query `q` at the root of the
+// fragmented tree `set`, distributed per the source tree `st`, inside a
+// freshly simulated cluster, and reports the answer together with the
+// measured cost profile (RunReport).
+//
+//   RunNaiveCentralized  — ship all fragments to the coordinator, then
+//                          evaluate centrally. O(|T|) traffic.
+//   RunNaiveDistributed  — sequential distributed bottom-up traversal;
+//                          a site is visited once per fragment it holds.
+//   RunParBoX            — the paper's algorithm: parallel partial
+//                          evaluation, formulas shipped, equation system
+//                          solved at the coordinator. Each site visited
+//                          exactly once; O(|q|·card(F)) traffic.
+//   RunHybridParBoX      — ParBoX, but falls back to NaiveCentralized
+//                          when card(F) >= |T|/|q| (pathological
+//                          fragmentations).
+//   RunFullDistParBoX    — composition distributed over the source
+//                          tree: resolved (variable-free) triplets flow
+//                          bottom-up; no coordinator bottleneck.
+//   RunLazyParBoX        — evaluates fragments depth-by-depth, stopping
+//                          as soon as the answer is determined; trades
+//                          elapsed time for total computation.
+
+#ifndef PARBOX_CORE_ALGORITHMS_H_
+#define PARBOX_CORE_ALGORITHMS_H_
+
+#include "common/status.h"
+#include "core/report.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "sim/cluster.h"
+#include "xpath/qlist.h"
+
+namespace parbox::core {
+
+struct EngineOptions {
+  sim::NetworkParams network;
+};
+
+Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options = {});
+
+Result<RunReport> RunNaiveDistributed(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options = {});
+
+Result<RunReport> RunParBoX(const frag::FragmentSet& set,
+                            const frag::SourceTree& st,
+                            const xpath::NormQuery& q,
+                            const EngineOptions& options = {});
+
+Result<RunReport> RunHybridParBoX(const frag::FragmentSet& set,
+                                  const frag::SourceTree& st,
+                                  const xpath::NormQuery& q,
+                                  const EngineOptions& options = {});
+
+Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
+                                    const frag::SourceTree& st,
+                                    const xpath::NormQuery& q,
+                                    const EngineOptions& options = {});
+
+Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
+                                const frag::SourceTree& st,
+                                const xpath::NormQuery& q,
+                                const EngineOptions& options = {});
+
+/// All six, in a fixed order (testing/demo convenience).
+Result<std::vector<RunReport>> RunAllAlgorithms(
+    const frag::FragmentSet& set, const frag::SourceTree& st,
+    const xpath::NormQuery& q, const EngineOptions& options = {});
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_ALGORITHMS_H_

@@ -1,0 +1,59 @@
+// Shared plumbing for the algorithm implementations (internal header).
+
+#ifndef PARBOX_CORE_ENGINE_H_
+#define PARBOX_CORE_ENGINE_H_
+
+#include <string>
+
+#include "boolexpr/expr.h"
+#include "core/algorithms.h"
+
+namespace parbox::core {
+
+/// Per-run state every algorithm needs: the simulated cluster, a
+/// formula factory, and bookkeeping for the report.
+class Engine {
+ public:
+  /// Validates inputs (well-formed query, query width within the
+  /// variable encoding, consistent site assignment).
+  static Result<Engine> Create(const frag::FragmentSet& set,
+                               const frag::SourceTree& st,
+                               const xpath::NormQuery& q,
+                               const EngineOptions& options);
+
+  Engine(Engine&&) = default;
+
+  const frag::FragmentSet& set() const { return *set_; }
+  const frag::SourceTree& st() const { return *st_; }
+  const xpath::NormQuery& q() const { return *q_; }
+  sim::Cluster& cluster() { return cluster_; }
+  bexpr::ExprFactory& factory() { return factory_; }
+
+  /// The coordinating site = the site storing the root fragment.
+  sim::SiteId coordinator() const { return coordinator_; }
+  /// Wire size of the query (the |q| factor in traffic bounds).
+  uint64_t query_bytes() const { return query_bytes_; }
+
+  void AddOps(uint64_t ops) { total_ops_ += ops; }
+
+  /// Run the event loop and assemble the report.
+  RunReport Finish(std::string algorithm, bool answer,
+                   uint64_t eq_system_entries);
+
+ private:
+  Engine(const frag::FragmentSet& set, const frag::SourceTree& st,
+         const xpath::NormQuery& q, const EngineOptions& options);
+
+  const frag::FragmentSet* set_;
+  const frag::SourceTree* st_;
+  const xpath::NormQuery* q_;
+  sim::Cluster cluster_;
+  bexpr::ExprFactory factory_;
+  sim::SiteId coordinator_;
+  uint64_t query_bytes_;
+  uint64_t total_ops_ = 0;
+};
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_ENGINE_H_

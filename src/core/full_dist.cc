@@ -1,0 +1,118 @@
+// FullDistParBoX (Sec. 4): removes the coordinator bottleneck by
+// distributing stage 3 over the participating sites. Every site holds
+// a copy of the (small) source tree. Partial evaluation still runs in
+// parallel everywhere; afterwards *resolved* triplets — no variables,
+// children already substituted — flow bottom-up along the source tree,
+// each hop unifying one fragment's equations locally (procedure
+// evalDistrST). Traffic is lower than ParBoX's because variables never
+// travel; the price is that a site is activated once per fragment it
+// stores.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "boolexpr/serialize.h"
+#include "core/engine.h"
+#include "core/partial_eval.h"
+
+namespace parbox::core {
+
+Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
+                                    const frag::SourceTree& st,
+                                    const xpath::NormQuery& q,
+                                    const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+  const size_t n = q.size();
+
+  std::vector<bexpr::FragmentEquations> equations(set.table_size());
+  std::vector<bool> eval_done(set.table_size(), false);
+  std::vector<bool> resolve_done(set.table_size(), false);
+  std::vector<size_t> children_pending(set.table_size(), 0);
+  for (frag::FragmentId f : st.live_fragments()) {
+    children_pending[f] = st.children_of(f).size();
+  }
+  bexpr::Assignment assignment;  // resolved (V, DV) values, grows upward
+  bool answer = false;
+  Status failure = Status::OK();
+
+  // Resolve fragment f once its own evaluation and all children are in.
+  std::function<void(frag::FragmentId)> try_resolve =
+      [&](frag::FragmentId f) {
+        if (resolve_done[f] || !eval_done[f] || children_pending[f] != 0) {
+          return;
+        }
+        resolve_done[f] = true;
+        const sim::SiteId s = st.site_of(f);
+        // Local unification (evalST restricted to this fragment).
+        const uint64_t unify_ops = n * (1 + st.children_of(f).size());
+        eng.AddOps(unify_ops);
+        cluster.Compute(s, unify_ops, [&, f, s]() {
+          bexpr::FragmentEquations& eq = equations[f];
+          std::vector<bexpr::ExprId> resolved_consts;
+          resolved_consts.reserve(3 * n);
+          auto resolve_vec = [&](std::vector<bexpr::ExprId>& vec,
+                                 std::optional<bexpr::VectorKind> kind) {
+            for (size_t i = 0; i < vec.size(); ++i) {
+              Result<bool> value = eng.factory().Eval(vec[i], assignment);
+              if (!value.ok()) {
+                failure = value.status();
+                return;
+              }
+              vec[i] = eng.factory().FromBool(*value);
+              resolved_consts.push_back(vec[i]);
+              if (kind.has_value()) {
+                assignment.Set({f, *kind, static_cast<int32_t>(i)}, *value);
+              }
+            }
+          };
+          resolve_vec(eq.v, bexpr::VectorKind::kV);
+          resolve_vec(eq.cv, std::nullopt);
+          resolve_vec(eq.dv, bexpr::VectorKind::kDV);
+          if (!failure.ok()) return;
+
+          if (f == st.root_fragment()) {
+            answer = assignment.Get({f, bexpr::VectorKind::kV, q.root()})
+                         .value_or(false);
+            return;
+          }
+          // Ship the variable-free triplet to the parent fragment's site.
+          const frag::FragmentId parent = st.parent_of(f);
+          const uint64_t bytes =
+              bexpr::SerializeExprs(eng.factory(), resolved_consts).size();
+          cluster.Send(s, st.site_of(parent), bytes, "triplet",
+                       [&, parent]() {
+                         --children_pending[parent];
+                         try_resolve(parent);
+                       });
+        });
+      };
+
+  // Phase A: broadcast the query; evaluate fragments locally. The
+  // paper assumes every participating site already holds a copy of the
+  // (small) source tree, so S_T is not shipped per query.
+  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (st.fragments_at(s).empty()) continue;
+    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+      for (frag::FragmentId f : st.fragments_at(s)) {
+        cluster.RecordVisit(s);  // one activation per local fragment
+        xpath::EvalCounters counters;
+        equations[f] =
+            PartialEvalFragment(&eng.factory(), q, set, f, &counters);
+        eng.AddOps(counters.ops);
+        cluster.Compute(s, counters.ops, [&, f]() {
+          eval_done[f] = true;
+          try_resolve(f);
+        });
+      }
+    });
+  }
+
+  cluster.Run();
+  PARBOX_RETURN_IF_ERROR(failure);
+  return eng.Finish("FullDistParBoX", answer, 3 * n * set.live_count());
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,32 @@
+// Hybrid ParBoX (Sec. 4): ParBoX for ordinary decompositions, but when
+// the fragmentation is pathological — so many fragments that shipping
+// O(|q|) bytes per fragment exceeds shipping the tree itself — fall
+// back to NaiveCentralized. The tipping point compares card(F) against
+// |T|/|q|.
+
+#include "core/engine.h"
+
+namespace parbox::core {
+
+Result<RunReport> RunHybridParBoX(const frag::FragmentSet& set,
+                                  const frag::SourceTree& st,
+                                  const xpath::NormQuery& q,
+                                  const EngineOptions& options) {
+  // The decision uses only catalogue-level statistics (fragment count
+  // and total size), which a deployment tracks anyway; it costs no
+  // network traffic.
+  const double card_f = static_cast<double>(set.live_count());
+  const double tipping =
+      static_cast<double>(set.TotalElements()) / static_cast<double>(q.size());
+  const bool use_parbox = card_f < tipping;
+
+  Result<RunReport> report = use_parbox
+                                 ? RunParBoX(set, st, q, options)
+                                 : RunNaiveCentralized(set, st, q, options);
+  if (!report.ok()) return report.status();
+  report->algorithm = std::string("HybridParBoX[") +
+                      (use_parbox ? "ParBoX" : "NaiveCentralized") + "]";
+  return report;
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,102 @@
+// LazyParBoX (Sec. 4): evaluate fragments in increasing depth of the
+// source tree, stopping as soon as the collected partial answers
+// determine the query — saving total computation when, e.g., the query
+// is already satisfied near the root. Per step, each site evaluates
+// only its fragments at the current depth, so parallelism is limited
+// to one level at a time; the elapsed time may be far worse than
+// ParBoX's (Figs. 9-11).
+//
+// Whether the answer is determined is a three-valued (Kleene) question:
+// unevaluated fragments contribute "unknown" to the equation system.
+
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "core/partial_eval.h"
+
+namespace parbox::core {
+
+namespace {
+constexpr uint64_t kRequestBytes = 64;
+}
+
+Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
+                                const frag::SourceTree& st,
+                                const xpath::NormQuery& q,
+                                const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+  const size_t n = q.size();
+
+  std::vector<bexpr::FragmentEquations> equations(set.table_size());
+  std::vector<const bexpr::FragmentEquations*> available(set.table_size(),
+                                                         nullptr);
+  std::unordered_set<sim::SiteId> contacted;
+  size_t pending = 0;
+  size_t evaluated = 0;
+  bool answer = false;
+  bool done = false;
+
+  std::function<void(int)> step = [&](int depth) {
+    // The first traversal step covers the coordinator's fragments AND
+    // depth 1 ("LazyParBoX initially evaluates a query only in the
+    // coordinator and in the fragments of depth 1", Sec. 4).
+    std::vector<frag::FragmentId> frontier = st.fragments_at_depth(depth);
+    if (depth == 0 && st.max_depth() >= 1) {
+      for (frag::FragmentId f : st.fragments_at_depth(1)) {
+        frontier.push_back(f);
+      }
+    }
+    pending = frontier.size();
+    for (frag::FragmentId f : frontier) {
+      const sim::SiteId s = st.site_of(f);
+      cluster.RecordVisit(s);
+      // The query itself travels only on a site's first contact.
+      uint64_t bytes = kRequestBytes;
+      if (contacted.insert(s).second) bytes += eng.query_bytes();
+      cluster.Send(coord, s, bytes, "query", [&, f, s, depth]() {
+        xpath::EvalCounters counters;
+        auto eq = std::make_shared<bexpr::FragmentEquations>(
+            PartialEvalFragment(&eng.factory(), q, set, f, &counters));
+        eng.AddOps(counters.ops);
+        const uint64_t reply = TripletWireBytes(eng.factory(), *eq);
+        cluster.Compute(s, counters.ops, [&, s, eq, reply, depth]() {
+          cluster.Send(s, coord, reply, "triplet", [&, eq, depth]() {
+            equations[eq->fragment] = std::move(*eq);
+            available[eq->fragment] = &equations[eq->fragment];
+            ++evaluated;
+            if (--pending != 0) return;
+            // All of this depth collected: try to answer.
+            const uint64_t solve_ops = n * evaluated;
+            eng.AddOps(solve_ops);
+            cluster.Compute(coord, solve_ops, [&, depth]() {
+              bexpr::Tri t = bexpr::SolvePartial(
+                  &eng.factory(), available, set.ChildrenTable(),
+                  set.root_fragment(), q.root());
+              if (t != bexpr::Tri::kUnknown) {
+                answer = t == bexpr::Tri::kTrue;
+                done = true;
+              } else if ((depth == 0 ? 1 : depth) < st.max_depth()) {
+                step(depth == 0 ? 2 : depth + 1);
+              }
+              // depth == max_depth with Unknown cannot happen: with all
+              // fragments available the system fully resolves.
+            });
+          });
+        });
+      });
+    }
+  };
+  step(0);
+
+  cluster.Run();
+  if (!done) {
+    return Status::Internal("LazyParBoX terminated without an answer");
+  }
+  return eng.Finish("LazyParBoX", answer, 3 * n * evaluated);
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,69 @@
+// NaiveCentralized (Sec. 3): collect every fragment at the coordinator
+// and run the optimal centralized algorithm over the reassembled tree.
+// Computation is optimal (O(|q|·|T|)) but O(|T|) bytes cross the
+// network on *every* query — the cost Fig. 7 shows dominating.
+
+#include "core/engine.h"
+#include "xpath/eval.h"
+
+namespace parbox::core {
+
+namespace {
+/// Size of the coordinator's "send me your fragments" request.
+constexpr uint64_t kRequestBytes = 64;
+}  // namespace
+
+Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+
+  size_t pending = 0;
+  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (!st.fragments_at(s).empty()) ++pending;
+  }
+
+  bool answer = false;
+  Status failure = Status::OK();
+
+  auto evaluate = [&]() {
+    // All data is local now: reassemble and evaluate centrally.
+    Result<xml::Document> whole = set.Reassemble();
+    if (!whole.ok()) {
+      failure = whole.status();
+      return;
+    }
+    xpath::EvalCounters counters;
+    Result<bool> result = xpath::EvalBoolean(*whole->root(), q, &counters);
+    if (!result.ok()) {
+      failure = result.status();
+      return;
+    }
+    eng.AddOps(counters.ops);
+    bool value = *result;
+    cluster.Compute(coord, counters.ops, [&, value]() { answer = value; });
+  };
+
+  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (st.fragments_at(s).empty()) continue;
+    cluster.RecordVisit(s);
+    cluster.Send(coord, s, kRequestBytes, "request", [&, s]() {
+      uint64_t data_bytes = 0;
+      for (frag::FragmentId f : st.fragments_at(s)) {
+        data_bytes += set.FragmentSerializedBytes(f);
+      }
+      cluster.Send(s, coord, data_bytes, "data", [&]() {
+        if (--pending == 0) evaluate();
+      });
+    });
+  }
+
+  cluster.Run();
+  PARBOX_RETURN_IF_ERROR(failure);
+  return eng.Finish("NaiveCentralized", answer, 0);
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,91 @@
+// NaiveDistributed (Sec. 3): the centralized single-traversal algorithm
+// customized to follow the source tree. The traversal is inherently
+// sequential — a fragment cannot finish before every sub-fragment has
+// been fully evaluated — so fragments are processed in post-order of
+// the fragment tree, control hopping from site to site. A site is
+// visited once per fragment it stores (twice for site S2 in the
+// paper's running example), and no parallelism is available.
+
+#include <functional>
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "core/partial_eval.h"
+
+namespace parbox::core {
+
+namespace {
+constexpr uint64_t kControlBytes = 64;
+
+/// Children-first ordering of live fragments.
+std::vector<frag::FragmentId> FragmentPostOrder(const frag::SourceTree& st) {
+  std::vector<frag::FragmentId> order;
+  std::vector<std::pair<frag::FragmentId, bool>> stack{
+      {st.root_fragment(), false}};
+  while (!stack.empty()) {
+    auto [f, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded) {
+      order.push_back(f);
+      continue;
+    }
+    stack.emplace_back(f, true);
+    for (frag::FragmentId c : st.children_of(f)) stack.emplace_back(c, false);
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<RunReport> RunNaiveDistributed(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+  const std::vector<frag::FragmentId> order = FragmentPostOrder(st);
+  const size_t n = q.size();
+
+  std::vector<ResolvedVectors> resolved(set.table_size());
+  std::unordered_set<sim::SiteId> contacted;
+  bool answer = false;
+
+  // Bool vectors (V and DV) carried with each control hop.
+  const uint64_t result_bytes = 8 + (2 * n + 7) / 8;
+
+  // Sequential chain: evaluate order[i], then hop to order[i+1].
+  std::function<void(size_t)> process = [&](size_t i) {
+    if (i == order.size()) {
+      // Control has returned to the coordinator with the root resolved.
+      answer = resolved[st.root_fragment()].v[q.root()];
+      return;
+    }
+    frag::FragmentId f = order[i];
+    sim::SiteId s = st.site_of(f);
+    sim::SiteId prev = i == 0 ? coord : st.site_of(order[i - 1]);
+    // The hop carries the query on a site's first contact (the bound
+    // O(|q|·card(F)) in Fig. 4 comes from these payloads).
+    uint64_t hop_bytes = kControlBytes + result_bytes;
+    if (contacted.insert(s).second) hop_bytes += eng.query_bytes();
+    cluster.Send(prev, s, hop_bytes, "control", [&, f, s, i]() {
+      cluster.RecordVisit(s);  // one visit per fragment stored here
+      xpath::EvalCounters counters;
+      ResolvedVectors vectors = BoolEvalFragment(
+          q, set, f,
+          [&](frag::FragmentId child) -> const ResolvedVectors& {
+            return resolved[child];
+          },
+          &counters);
+      eng.AddOps(counters.ops);
+      resolved[f] = std::move(vectors);
+      cluster.Compute(s, counters.ops, [&, i]() { process(i + 1); });
+    });
+  };
+  process(0);
+
+  cluster.Run();
+  return eng.Finish("NaiveDistributed", answer, 0);
+}
+
+}  // namespace parbox::core

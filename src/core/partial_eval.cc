@@ -1,0 +1,71 @@
+#include "core/partial_eval.h"
+
+#include "boolexpr/serialize.h"
+
+namespace parbox::core {
+
+bexpr::FragmentEquations PartialEvalFragment(bexpr::ExprFactory* factory,
+                                             const xpath::NormQuery& q,
+                                             const frag::FragmentSet& set,
+                                             frag::FragmentId f,
+                                             xpath::EvalCounters* counters) {
+  const size_t n = q.size();
+  xpath::ExprDomain dom{factory};
+  auto vectors = xpath::BottomUpEval(
+      dom, q, *set.fragment(f).root,
+      [&](const xml::Node& vnode, std::vector<bexpr::ExprId>* v,
+          std::vector<bexpr::ExprId>* dv) {
+        // One fresh variable per vector entry of the sub-fragment
+        // (decoupling the dependency between partial evaluations).
+        v->resize(n);
+        dv->resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          (*v)[i] = factory->Var({vnode.fragment_ref, bexpr::VectorKind::kV,
+                                  static_cast<int32_t>(i)});
+          (*dv)[i] = factory->Var({vnode.fragment_ref,
+                                   bexpr::VectorKind::kDV,
+                                   static_cast<int32_t>(i)});
+        }
+      },
+      counters);
+  bexpr::FragmentEquations eq;
+  eq.fragment = f;
+  eq.v = std::move(vectors.v);
+  eq.cv = std::move(vectors.cv);
+  eq.dv = std::move(vectors.dv);
+  return eq;
+}
+
+ResolvedVectors BoolEvalFragment(
+    const xpath::NormQuery& q, const frag::FragmentSet& set,
+    frag::FragmentId f,
+    const std::function<const ResolvedVectors&(frag::FragmentId)>&
+        child_vectors,
+    xpath::EvalCounters* counters) {
+  xpath::BoolDomain dom;
+  auto vectors = xpath::BottomUpEval(
+      dom, q, *set.fragment(f).root,
+      [&](const xml::Node& vnode, std::vector<bool>* v,
+          std::vector<bool>* dv) {
+        const ResolvedVectors& resolved = child_vectors(vnode.fragment_ref);
+        *v = resolved.v;
+        *dv = resolved.dv;
+      },
+      counters);
+  ResolvedVectors out;
+  out.v = std::move(vectors.v);
+  out.dv = std::move(vectors.dv);
+  return out;
+}
+
+uint64_t TripletWireBytes(const bexpr::ExprFactory& factory,
+                          const bexpr::FragmentEquations& eq) {
+  std::vector<bexpr::ExprId> roots;
+  roots.reserve(eq.v.size() * 3);
+  roots.insert(roots.end(), eq.v.begin(), eq.v.end());
+  roots.insert(roots.end(), eq.cv.begin(), eq.cv.end());
+  roots.insert(roots.end(), eq.dv.begin(), eq.dv.end());
+  return bexpr::SerializeExprs(factory, roots).size();
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,59 @@
+// Per-fragment evaluation kernels used by the distributed algorithms.
+//
+// PartialEvalFragment is Procedure evalQual/bottomUp of Fig. 3 run at a
+// participating site: it evaluates the whole QList over one fragment in
+// the formula domain, introducing a fresh variable for each (V, DV)
+// entry of each virtual node, and returns the triplet of vectors for
+// the fragment root — the site's "partial answer".
+//
+// BoolEvalFragment is the same traversal in the truth-value domain,
+// with sub-fragment results supplied by the caller — the building block
+// of NaiveDistributed, where children are fully evaluated before their
+// parent.
+
+#ifndef PARBOX_CORE_PARTIAL_EVAL_H_
+#define PARBOX_CORE_PARTIAL_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/solver.h"
+#include "fragment/fragment.h"
+#include "xpath/eval.h"
+#include "xpath/qlist.h"
+
+namespace parbox::core {
+
+/// Partially evaluate `q` over fragment `f`. Variables are named after
+/// the sub-fragments they stand for.
+bexpr::FragmentEquations PartialEvalFragment(bexpr::ExprFactory* factory,
+                                             const xpath::NormQuery& q,
+                                             const frag::FragmentSet& set,
+                                             frag::FragmentId f,
+                                             xpath::EvalCounters* counters);
+
+/// Truth-value vectors (V, DV) for already-evaluated fragments.
+struct ResolvedVectors {
+  std::vector<bool> v;
+  std::vector<bool> dv;
+};
+
+/// Evaluate `q` over fragment `f` in the Boolean domain;
+/// `child_vectors(k)` must return the resolved vectors of sub-fragment
+/// `k`.
+ResolvedVectors BoolEvalFragment(
+    const xpath::NormQuery& q, const frag::FragmentSet& set,
+    frag::FragmentId f,
+    const std::function<const ResolvedVectors&(frag::FragmentId)>&
+        child_vectors,
+    xpath::EvalCounters* counters);
+
+/// Wire size of a fragment's triplet (V, CV, DV serialized together) —
+/// what the site ships to the coordinator.
+uint64_t TripletWireBytes(const bexpr::ExprFactory& factory,
+                          const bexpr::FragmentEquations& eq);
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_PARTIAL_EVAL_H_

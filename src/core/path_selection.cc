@@ -1,0 +1,272 @@
+#include "core/path_selection.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "boolexpr/solver.h"
+#include "core/engine.h"
+#include "core/partial_eval.h"
+#include "xpath/eval.h"
+
+namespace parbox::core {
+
+std::vector<const xml::Node*> PathSelectionResult::AllSelected() const {
+  std::vector<const xml::Node*> out;
+  for (const auto& group : selected_by_fragment) {
+    out.insert(out.end(), group.begin(), group.end());
+  }
+  return out;
+}
+
+namespace {
+
+using frag::FragmentId;
+using xpath::NormKind;
+using xpath::NormQuery;
+using xpath::SubQueryId;
+
+/// Output of the downward pass over one fragment.
+struct DownOutput {
+  std::vector<const xml::Node*> selected;
+  /// Root context bits for each sub-fragment a match crosses into.
+  std::unordered_map<FragmentId, std::vector<char>> child_ctx;
+  uint64_t ops = 0;
+};
+
+/// Propagate match contexts through fragment `f`, starting from
+/// `root_ctx` (bit i = "a partial match arrives at the fragment root
+/// needing sub-query i"). `values` resolves the (V, DV) vectors of
+/// f's sub-fragments (from the upward pass).
+DownOutput PropagateDown(const NormQuery& q,
+                         const frag::FragmentSet& set, FragmentId f,
+                         const std::vector<char>& root_ctx,
+                         const bexpr::Assignment& values) {
+  const size_t n = q.size();
+  DownOutput out;
+
+  // Re-derive every element's V vector in the truth domain (the second
+  // visit's recomputation; sub-fragment values come from `values`).
+  std::unordered_map<const xml::Node*, std::vector<char>> v_of;
+  xpath::BoolDomain dom;
+  xpath::EvalCounters counters;
+  xpath::BottomUpEvalHooked(
+      dom, q, *set.fragment(f).root,
+      [&](const xml::Node& vnode, std::vector<bool>* v,
+          std::vector<bool>* dv) {
+        v->resize(n);
+        dv->resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          (*v)[i] = values
+                        .Get({vnode.fragment_ref, bexpr::VectorKind::kV,
+                              static_cast<int32_t>(i)})
+                        .value_or(false);
+          (*dv)[i] = values
+                         .Get({vnode.fragment_ref, bexpr::VectorKind::kDV,
+                               static_cast<int32_t>(i)})
+                         .value_or(false);
+        }
+      },
+      [&](const xml::Node& node, const std::vector<bool>& vv) {
+        std::vector<char> bits(n);
+        for (size_t i = 0; i < n; ++i) bits[i] = vv[i] ? 1 : 0;
+        v_of.emplace(&node, std::move(bits));
+      },
+      &counters);
+  out.ops = counters.ops;
+
+  // Context worklist. A (node, i) bit is processed at most once.
+  std::unordered_map<const xml::Node*, std::vector<char>> ctx;
+  std::vector<std::pair<const xml::Node*, SubQueryId>> work;
+  auto push = [&](const xml::Node* node, SubQueryId i) {
+    std::vector<char>& bits = ctx[node];
+    if (bits.empty()) bits.assign(n, 0);
+    if (bits[i]) return;
+    bits[i] = 1;
+    work.emplace_back(node, i);
+  };
+  auto push_child_ctx = [&](FragmentId child, SubQueryId i) {
+    std::vector<char>& bits = out.child_ctx[child];
+    if (bits.empty()) bits.assign(n, 0);
+    bits[i] = 1;
+  };
+
+  const xml::Node* froot = set.fragment(f).root;
+  for (size_t i = 0; i < root_ctx.size(); ++i) {
+    if (root_ctx[i]) push(froot, static_cast<SubQueryId>(i));
+  }
+
+  while (!work.empty()) {
+    auto [v, i] = work.back();
+    work.pop_back();
+    ++out.ops;
+    const NormQuery::SubQuery& sq = q.at(i);
+    const std::vector<char>& vbits = v_of.at(v);
+    switch (sq.kind) {
+      case NormKind::kMark:
+        out.selected.push_back(v);  // the ctx bit dedups
+        break;
+      case NormKind::kSeq:
+        // ǫ[q_a]/q_b: the qualifier must hold here for the match to
+        // continue along the spine.
+        if (vbits[sq.a]) push(v, sq.b);
+        break;
+      case NormKind::kChild:
+        for (const xml::Node* w = v->first_child; w != nullptr;
+             w = w->next_sibling) {
+          if (w->is_element()) {
+            if (v_of.at(w)[sq.a]) push(w, sq.a);
+          } else if (w->is_virtual()) {
+            if (values
+                    .Get({w->fragment_ref, bexpr::VectorKind::kV, sq.a})
+                    .value_or(false)) {
+              push_child_ctx(w->fragment_ref, sq.a);
+            }
+          }
+        }
+        break;
+      case NormKind::kDesc:
+        // Matches may land here or anywhere below: consume at this
+        // node if the operand holds, and flood the Desc bit downward
+        // (into sub-fragments only where the upward pass proved a
+        // match exists).
+        if (vbits[sq.a]) push(v, sq.a);
+        for (const xml::Node* w = v->first_child; w != nullptr;
+             w = w->next_sibling) {
+          if (w->is_element()) {
+            push(w, i);
+          } else if (w->is_virtual()) {
+            if (values
+                    .Get({w->fragment_ref, bexpr::VectorKind::kDV, sq.a})
+                    .value_or(false)) {
+              push_child_ctx(w->fragment_ref, i);
+            }
+          }
+        }
+        break;
+      default:
+        // Boolean leaves/connectives carry no spine continuation.
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PathSelectionResult> RunPathSelection(
+    const frag::FragmentSet& set, const frag::SourceTree& st,
+    const xpath::SelectionQuery& selection, const EngineOptions& options) {
+  const NormQuery& q = selection.query;
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+  const size_t n = q.size();
+
+  std::vector<bexpr::FragmentEquations> equations(set.table_size());
+  PathSelectionResult result;
+  result.selected_by_fragment.resize(set.table_size());
+  size_t pending_up = set.live_count();
+  bexpr::Assignment values;
+  std::unordered_set<sim::SiteId> down_visited;
+  Status failure = Status::OK();
+
+  // ---- Down pass: context arrives at fragment f ----
+  std::function<void(FragmentId, std::shared_ptr<std::vector<char>>)>
+      deliver_ctx = [&](FragmentId f,
+                        std::shared_ptr<std::vector<char>> ctx_bits) {
+        const sim::SiteId s = st.site_of(f);
+        if (down_visited.insert(s).second) {
+          cluster.RecordVisit(s);  // the site's second (and last) visit
+        }
+        DownOutput down =
+            PropagateDown(q, set, f, *ctx_bits, values);
+        eng.AddOps(down.ops);
+        result.selected_by_fragment[f] = std::move(down.selected);
+        const auto child_ctx =
+            std::make_shared<std::unordered_map<FragmentId,
+                                                std::vector<char>>>(
+                std::move(down.child_ctx));
+        cluster.Compute(s, down.ops, [&, s, f, child_ctx]() {
+          // Result ids go back to the coordinator (8 bytes per node).
+          cluster.Send(
+              s, coord,
+              8 + 8 * result.selected_by_fragment[f].size(), "result",
+              []() {});
+          // Contexts continue to the sub-fragments a match crosses.
+          for (auto& [child, bits] : *child_ctx) {
+            auto boxed =
+                std::make_shared<std::vector<char>>(std::move(bits));
+            const uint64_t bytes = 8 + (n + 7) / 8;
+            cluster.Send(s, st.site_of(child), bytes, "context",
+                         [&, child, boxed]() { deliver_ctx(child, boxed); });
+          }
+        });
+      };
+
+  // ---- Solve, then kick off the down pass at the root fragment ----
+  auto compose = [&]() {
+    const uint64_t solve_ops = n * set.live_count();
+    eng.AddOps(solve_ops);
+    cluster.Compute(coord, solve_ops, [&]() {
+      Result<bexpr::Assignment> solved =
+          bexpr::SolveBottomUp(&eng.factory(), equations,
+                               set.ChildrenTable(), set.root_fragment());
+      if (!solved.ok()) {
+        failure = solved.status();
+        return;
+      }
+      values = std::move(*solved);
+      auto root_ctx = std::make_shared<std::vector<char>>(n, 0);
+      (*root_ctx)[q.root()] = 1;
+      const uint64_t bytes = 8 + (n + 7) / 8;
+      cluster.Send(coord, st.site_of(set.root_fragment()), bytes,
+                   "context", [&, root_ctx]() {
+                     deliver_ctx(set.root_fragment(), root_ctx);
+                   });
+    });
+  };
+
+  // ---- Up pass: plain ParBoX ----
+  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (st.fragments_at(s).empty()) continue;
+    cluster.RecordVisit(s);  // first visit
+    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+      for (FragmentId f : st.fragments_at(s)) {
+        xpath::EvalCounters counters;
+        auto eq = std::make_shared<bexpr::FragmentEquations>(
+            PartialEvalFragment(&eng.factory(), q, set, f, &counters));
+        eng.AddOps(counters.ops);
+        const uint64_t bytes = TripletWireBytes(eng.factory(), *eq);
+        cluster.Compute(s, counters.ops, [&, s, eq, bytes]() {
+          cluster.Send(s, coord, bytes, "triplet", [&, eq]() {
+            equations[eq->fragment] = std::move(*eq);
+            if (--pending_up == 0) compose();
+          });
+        });
+      }
+    });
+  }
+
+  cluster.Run();
+  PARBOX_RETURN_IF_ERROR(failure);
+  for (const auto& group : result.selected_by_fragment) {
+    result.total_selected += group.size();
+  }
+  result.report = eng.Finish("PathSelectionParBoX",
+                             result.total_selected > 0,
+                             3 * n * set.live_count());
+  return result;
+}
+
+Result<PathSelectionResult> RunPathSelection(const frag::FragmentSet& set,
+                                             const frag::SourceTree& st,
+                                             std::string_view path_text,
+                                             const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(xpath::SelectionQuery selection,
+                          xpath::CompileSelection(path_text));
+  return RunPathSelection(set, st, selection, options);
+}
+
+}  // namespace parbox::core

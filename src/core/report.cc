@@ -1,0 +1,43 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace parbox::core {
+
+uint64_t RunReport::max_visits_per_site() const {
+  uint64_t best = 0;
+  for (uint64_t v : visits_per_site) best = std::max(best, v);
+  return best;
+}
+
+uint64_t RunReport::total_visits() const {
+  uint64_t total = 0;
+  for (uint64_t v : visits_per_site) total += v;
+  return total;
+}
+
+std::string RunReport::ToString() const {
+  std::ostringstream out;
+  out << algorithm << ": answer=" << (answer ? "true" : "false")
+      << " runtime=" << HumanSeconds(makespan_seconds)
+      << " total_compute=" << HumanSeconds(total_compute_seconds)
+      << " traffic=" << HumanBytes(network_bytes) << " ("
+      << network_messages << " msgs)"
+      << " max_visits=" << max_visits_per_site();
+  return out.str();
+}
+
+std::string RunReport::Detailed() const {
+  std::ostringstream out;
+  out << ToString() << "\n  ops=" << total_ops
+      << " eq_entries=" << eq_system_entries << "\n  visits:";
+  for (size_t s = 0; s < visits_per_site.size(); ++s) {
+    out << " S" << s << "=" << visits_per_site[s];
+  }
+  return out.str();
+}
+
+}  // namespace parbox::core

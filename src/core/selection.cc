@@ -1,0 +1,161 @@
+#include "core/selection.h"
+
+#include <memory>
+
+#include "boolexpr/solver.h"
+#include "core/engine.h"
+#include "core/partial_eval.h"
+#include "xpath/eval.h"
+
+namespace parbox::core {
+
+std::vector<const xml::Node*> SelectionResult::AllSelected() const {
+  std::vector<const xml::Node*> out;
+  for (const auto& group : selected_by_fragment) {
+    out.insert(out.end(), group.begin(), group.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-fragment retained state: each element's selection formula.
+struct RetainedFormulas {
+  std::vector<std::pair<const xml::Node*, bexpr::ExprId>> per_node;
+};
+
+}  // namespace
+
+Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
+                                           const frag::SourceTree& st,
+                                           const xpath::NormQuery& q,
+                                           const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  sim::Cluster& cluster = eng.cluster();
+  const sim::SiteId coord = eng.coordinator();
+  const size_t n = q.size();
+
+  std::vector<bexpr::FragmentEquations> equations(set.table_size());
+  std::vector<RetainedFormulas> retained(set.table_size());
+  SelectionResult result;
+  result.selected_by_fragment.resize(set.table_size());
+  size_t pending_up = set.live_count();
+  size_t pending_down = 0;
+  bexpr::Assignment assignment;
+  Status failure = Status::OK();
+
+  // ---- Pass 2: ship resolved variable values, collect selections ----
+  auto downward = [&]() {
+    for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+      if (st.fragments_at(s).empty()) continue;
+      ++pending_down;
+      cluster.RecordVisit(s);  // second (and last) visit of this site
+      // Resolved values for the variables this site's fragments used:
+      // 2 bits per (child fragment, entry).
+      uint64_t child_entries = 0;
+      for (frag::FragmentId f : st.fragments_at(s)) {
+        child_entries += st.children_of(f).size() * n;
+      }
+      const uint64_t bytes = 16 + (2 * child_entries + 7) / 8;
+      cluster.Send(coord, s, bytes, "values", [&, s]() {
+        uint64_t ops = 0;
+        uint64_t selected_here = 0;
+        for (frag::FragmentId f : st.fragments_at(s)) {
+          for (auto& [node, formula] : retained[f].per_node) {
+            ++ops;
+            bexpr::Tri value =
+                eng.factory().EvalPartial(formula, assignment);
+            if (value == bexpr::Tri::kUnknown) {
+              failure = Status::Internal(
+                  "selection formula unresolved after pass 2");
+              return;
+            }
+            if (value == bexpr::Tri::kTrue) {
+              result.selected_by_fragment[f].push_back(node);
+              ++selected_here;
+            }
+          }
+        }
+        eng.AddOps(ops);
+        cluster.Compute(s, ops, [&, s, selected_here]() {
+          // The selected node ids are the query result; 8 bytes each.
+          cluster.Send(s, coord, 8 + 8 * selected_here, "result",
+                       [&]() { --pending_down; });
+        });
+      });
+    }
+  };
+
+  // ---- Solve at the coordinator, then start pass 2 ----
+  auto compose = [&]() {
+    const uint64_t solve_ops = n * set.live_count();
+    eng.AddOps(solve_ops);
+    cluster.Compute(coord, solve_ops, [&]() {
+      Result<bexpr::Assignment> solved =
+          bexpr::SolveBottomUp(&eng.factory(), equations,
+                               set.ChildrenTable(), set.root_fragment());
+      if (!solved.ok()) {
+        failure = solved.status();
+        return;
+      }
+      assignment = std::move(*solved);
+      downward();
+    });
+  };
+
+  // ---- Pass 1: ParBoX partial evaluation + per-node retention ----
+  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (st.fragments_at(s).empty()) continue;
+    cluster.RecordVisit(s);  // first visit
+    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+      for (frag::FragmentId f : st.fragments_at(s)) {
+        xpath::EvalCounters counters;
+        xpath::ExprDomain dom{&eng.factory()};
+        auto vectors = xpath::BottomUpEvalHooked(
+            dom, q, *set.fragment(f).root,
+            [&](const xml::Node& vnode, std::vector<bexpr::ExprId>* v,
+                std::vector<bexpr::ExprId>* dv) {
+              v->resize(n);
+              dv->resize(n);
+              for (size_t i = 0; i < n; ++i) {
+                (*v)[i] = eng.factory().Var(
+                    {vnode.fragment_ref, bexpr::VectorKind::kV,
+                     static_cast<int32_t>(i)});
+                (*dv)[i] = eng.factory().Var(
+                    {vnode.fragment_ref, bexpr::VectorKind::kDV,
+                     static_cast<int32_t>(i)});
+              }
+            },
+            [&](const xml::Node& node,
+                const std::vector<bexpr::ExprId>& vv) {
+              retained[f].per_node.emplace_back(&node, vv[q.root()]);
+            },
+            &counters);
+        eng.AddOps(counters.ops);
+        bexpr::FragmentEquations eq;
+        eq.fragment = f;
+        eq.v = std::move(vectors.v);
+        eq.cv = std::move(vectors.cv);
+        eq.dv = std::move(vectors.dv);
+        const uint64_t bytes = TripletWireBytes(eng.factory(), eq);
+        equations[f] = std::move(eq);
+        cluster.Compute(s, counters.ops, [&, s, bytes]() {
+          cluster.Send(s, coord, bytes, "triplet", [&]() {
+            if (--pending_up == 0) compose();
+          });
+        });
+      }
+    });
+  }
+
+  cluster.Run();
+  PARBOX_RETURN_IF_ERROR(failure);
+  for (const auto& group : result.selected_by_fragment) {
+    result.total_selected += group.size();
+  }
+  result.report = eng.Finish("SelectionParBoX", result.total_selected > 0,
+                             3 * n * set.live_count());
+  return result;
+}
+
+}  // namespace parbox::core

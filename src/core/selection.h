@@ -1,0 +1,53 @@
+// Data-selection queries (the Sec. 8 extension).
+//
+// The conclusions sketch an extension of ParBoX "capable of processing
+// data selection XPath queries with the performance guarantee that
+// each site is visited at most twice". This module implements that
+// two-pass scheme for node-predicate selections — "return every
+// element where the Boolean qualifier q holds":
+//
+//   Pass 1 (upward):   identical to ParBoX, except each site also
+//       *retains locally* a per-element formula sel(v) = V_v(q) for its
+//       fragments. Only the usual O(|q|) triplets travel.
+//   Solve:             the coordinator solves the equation system,
+//       yielding truth values for every (fragment, V/DV, entry)
+//       variable.
+//   Pass 2 (downward): the coordinator ships each site the resolved
+//       values of the variables its fragments used (O(|q|·card(F_j))
+//       bits); sites substitute into the retained formulas and report
+//       their selected nodes.
+//
+// Per-site visits: 1 (query) + 1 (resolved values) = 2. Traffic beyond
+// the unavoidable result ids stays independent of |T|.
+
+#ifndef PARBOX_CORE_SELECTION_H_
+#define PARBOX_CORE_SELECTION_H_
+
+#include <vector>
+
+#include "core/algorithms.h"
+#include "xml/dom.h"
+
+namespace parbox::core {
+
+struct SelectionResult {
+  /// Selected elements, grouped by fragment id (table-indexed).
+  std::vector<std::vector<const xml::Node*>> selected_by_fragment;
+  size_t total_selected = 0;
+  RunReport report;
+
+  /// Flattened list of all selected nodes.
+  std::vector<const xml::Node*> AllSelected() const;
+};
+
+/// Evaluate the node predicate `q` (an XBL qualifier interpreted at
+/// every element) over the fragmented tree and return all elements
+/// where it holds.
+Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
+                                           const frag::SourceTree& st,
+                                           const xpath::NormQuery& q,
+                                           const EngineOptions& options = {});
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_SELECTION_H_

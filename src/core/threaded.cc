@@ -1,0 +1,117 @@
+#include "core/threaded.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/serialize.h"
+#include "boolexpr/solver.h"
+#include "core/partial_eval.h"
+#include "xpath/eval.h"
+
+namespace parbox::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// What one site ships back: per fragment, the serialized triplet.
+struct SiteResult {
+  std::vector<std::pair<frag::FragmentId, std::string>> triplets;
+  double seconds = 0.0;
+  uint64_t ops = 0;
+};
+
+}  // namespace
+
+Result<ThreadedReport> RunParBoXThreads(const frag::FragmentSet& set,
+                                        const frag::SourceTree& st,
+                                        const xpath::NormQuery& q,
+                                        const ThreadedOptions& options) {
+  if (!q.IsWellFormed()) {
+    return Status::InvalidArgument("query QList is not well-formed");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  // Stage 1: the participating sites.
+  std::vector<frag::SiteId> sites;
+  for (frag::SiteId s = 0; s < st.num_sites(); ++s) {
+    if (!st.fragments_at(s).empty()) sites.push_back(s);
+  }
+
+  // Stage 2: parallel partial evaluation, one thread per site, each
+  // with a private factory. A counting semaphore (poor man's, via
+  // atomic ticket) caps concurrency when requested.
+  std::vector<SiteResult> results(sites.size());
+  const int cap = options.max_threads > 0
+                      ? options.max_threads
+                      : static_cast<int>(sites.size());
+  std::atomic<size_t> next_site{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t slot = next_site.fetch_add(1);
+      if (slot >= sites.size()) return;
+      const frag::SiteId s = sites[slot];
+      const auto site_start = std::chrono::steady_clock::now();
+      bexpr::ExprFactory factory;  // site-private
+      SiteResult& out = results[slot];
+      for (frag::FragmentId f : st.fragments_at(s)) {
+        xpath::EvalCounters counters;
+        bexpr::FragmentEquations eq =
+            PartialEvalFragment(&factory, q, set, f, &counters);
+        out.ops += counters.ops;
+        std::vector<bexpr::ExprId> roots;
+        roots.insert(roots.end(), eq.v.begin(), eq.v.end());
+        roots.insert(roots.end(), eq.cv.begin(), eq.cv.end());
+        roots.insert(roots.end(), eq.dv.begin(), eq.dv.end());
+        out.triplets.emplace_back(f, bexpr::SerializeExprs(factory, roots));
+      }
+      out.seconds = SecondsSince(site_start);
+    }
+  };
+  std::vector<std::thread> pool;
+  const int threads =
+      std::min<int>(cap, static_cast<int>(sites.size()));
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Stage 3: deserialize into the coordinator's factory and solve.
+  bexpr::ExprFactory coordinator;
+  std::vector<bexpr::FragmentEquations> equations(set.table_size());
+  ThreadedReport report;
+  const size_t n = q.size();
+  for (SiteResult& site : results) {
+    report.sum_site_seconds += site.seconds;
+    report.total_ops += site.ops;
+    for (auto& [f, wire] : site.triplets) {
+      report.wire_bytes += wire.size();
+      PARBOX_ASSIGN_OR_RETURN(std::vector<bexpr::ExprId> roots,
+                              bexpr::DeserializeExprs(&coordinator, wire));
+      if (roots.size() != 3 * n) {
+        return Status::Internal("triplet with unexpected arity");
+      }
+      bexpr::FragmentEquations& eq = equations[f];
+      eq.fragment = f;
+      eq.v.assign(roots.begin(), roots.begin() + n);
+      eq.cv.assign(roots.begin() + n, roots.begin() + 2 * n);
+      eq.dv.assign(roots.begin() + 2 * n, roots.end());
+    }
+  }
+  PARBOX_ASSIGN_OR_RETURN(
+      bool answer,
+      bexpr::SolveForAnswer(&coordinator, equations, set.ChildrenTable(),
+                            set.root_fragment(), q.root()));
+  report.answer = answer;
+  report.sites_used = static_cast<int>(sites.size());
+  report.wall_seconds = SecondsSince(start);
+  return report;
+}
+
+}  // namespace parbox::core

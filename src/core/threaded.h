@@ -1,0 +1,53 @@
+// ParBoX on real threads.
+//
+// The simulated cluster (sim/cluster.h) gives deterministic figures;
+// this runner demonstrates the same algorithm with genuine
+// parallelism: one OS thread per participating site, a private
+// ExprFactory per site (no shared mutable state during evaluation),
+// and triplets crossing "the network" through the real wire codec —
+// the coordinator deserializes them into its own factory before
+// solving, exactly as distinct processes would.
+//
+// Use it when embedding parbox as a centralized store's query engine
+// (the PDOM scenario of Sec. 1): fragments of a large document are
+// evaluated by a thread pool instead of remote machines.
+
+#ifndef PARBOX_CORE_THREADED_H_
+#define PARBOX_CORE_THREADED_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "xpath/qlist.h"
+
+namespace parbox::core {
+
+struct ThreadedOptions {
+  /// Cap on concurrently running site threads (0 = one per site).
+  int max_threads = 0;
+};
+
+struct ThreadedReport {
+  bool answer = false;
+  /// Real elapsed wall time of the parallel phase + composition.
+  double wall_seconds = 0.0;
+  /// Sum of per-site evaluation wall times (the "total computation").
+  double sum_site_seconds = 0.0;
+  int sites_used = 0;
+  uint64_t total_ops = 0;
+  /// Bytes of serialized triplets that crossed between factories.
+  uint64_t wire_bytes = 0;
+};
+
+/// Evaluate `q` at the root of the fragmented tree using one thread
+/// per site. Semantically identical to RunParBoX.
+Result<ThreadedReport> RunParBoXThreads(const frag::FragmentSet& set,
+                                        const frag::SourceTree& st,
+                                        const xpath::NormQuery& q,
+                                        const ThreadedOptions& options = {});
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_THREADED_H_

@@ -1,0 +1,175 @@
+#include "core/view.h"
+
+#include <algorithm>
+
+#include "core/partial_eval.h"
+#include "xpath/eval.h"
+
+namespace parbox::core {
+
+Result<MaterializedView> MaterializedView::Create(
+    frag::FragmentSet* set, std::vector<frag::SiteId> site_of_fragment,
+    const xpath::NormQuery* q, const EngineOptions& options) {
+  if (set == nullptr || q == nullptr) {
+    return Status::InvalidArgument("set and query must be non-null");
+  }
+  if (!q->IsWellFormed()) {
+    return Status::InvalidArgument("query QList is not well-formed");
+  }
+  MaterializedView view(set, q, options);
+  view.site_of_ = std::move(site_of_fragment);
+  PARBOX_RETURN_IF_ERROR(view.RebuildSourceTree());
+  view.equations_.resize(set->table_size());
+  for (frag::FragmentId f : set->live_ids()) {
+    uint64_t ops = 0;
+    view.RecomputeTriplet(f, &ops);
+  }
+  PARBOX_RETURN_IF_ERROR(view.Resolve());
+  return view;
+}
+
+Status MaterializedView::RebuildSourceTree() {
+  site_of_.resize(set_->table_size(), -1);
+  PARBOX_ASSIGN_OR_RETURN(frag::SourceTree st,
+                          frag::SourceTree::Create(*set_, site_of_));
+  st_ = std::move(st);
+  return Status::OK();
+}
+
+bool MaterializedView::RecomputeTriplet(frag::FragmentId f, uint64_t* ops) {
+  xpath::EvalCounters counters;
+  bexpr::FragmentEquations eq =
+      PartialEvalFragment(&factory_, *q_, *set_, f, &counters);
+  *ops += counters.ops;
+  if (static_cast<size_t>(f) >= equations_.size()) {
+    equations_.resize(set_->table_size());
+  }
+  bexpr::FragmentEquations& cached = equations_[f];
+  // Formulas are hash-consed in one factory, so triplet equality is
+  // element-wise id equality.
+  const bool unchanged = cached.fragment == f && cached.v == eq.v &&
+                         cached.cv == eq.cv && cached.dv == eq.dv;
+  cached = std::move(eq);
+  return !unchanged;
+}
+
+Status MaterializedView::Resolve() {
+  PARBOX_ASSIGN_OR_RETURN(
+      bool answer,
+      bexpr::SolveForAnswer(&factory_, equations_, set_->ChildrenTable(),
+                            set_->root_fragment(), q_->root()));
+  answer_ = answer;
+  return Status::OK();
+}
+
+Result<xml::Node*> MaterializedView::InsNode(frag::FragmentId f,
+                                             xml::Node* parent,
+                                             std::string_view label,
+                                             std::string_view text) {
+  if (!set_->is_live(f)) return Status::NotFound("no such fragment");
+  if (parent == nullptr || !parent->is_element()) {
+    return Status::InvalidArgument("insNode target must be an element");
+  }
+  xml::Document* storage = set_->mutable_storage();
+  xml::Node* node = storage->NewElement(label);
+  if (!text.empty()) storage->AppendChild(node, storage->NewText(text));
+  storage->AppendChild(parent, node);
+  return node;
+}
+
+Status MaterializedView::DelNode(frag::FragmentId f, xml::Node* v) {
+  if (!set_->is_live(f)) return Status::NotFound("no such fragment");
+  if (v == nullptr) return Status::InvalidArgument("null node");
+  if (v == set_->fragment(f).root) {
+    return Status::InvalidArgument("cannot delete the fragment root");
+  }
+  if (xml::CountVirtuals(v) != 0) {
+    return Status::FailedPrecondition(
+        "subtree references sub-fragments; merge them first");
+  }
+  set_->mutable_storage()->Detach(v);
+  return Status::OK();
+}
+
+Result<RunReport> MaterializedView::Refresh(frag::FragmentId f) {
+  if (!set_->is_live(f)) return Status::NotFound("no such fragment");
+  const sim::SiteId view_site = st_.site_of(st_.root_fragment());
+  const sim::SiteId frag_site = st_.site_of(f);
+  sim::Cluster cluster(st_.num_sites(), options_.network);
+
+  uint64_t total_ops = 0;
+  bool changed = false;
+  Status failure = Status::OK();
+
+  // Only the site storing F_j is visited; it re-evaluates F_j alone.
+  cluster.RecordVisit(frag_site);
+  cluster.Send(view_site, frag_site, 64, "request", [&]() {
+    uint64_t ops = 0;
+    changed = RecomputeTriplet(f, &ops);
+    total_ops += ops;
+    const uint64_t bytes = TripletWireBytes(factory_, equations_[f]);
+    cluster.Compute(frag_site, ops, [&, bytes]() {
+      cluster.Send(frag_site, view_site, bytes, "triplet", [&]() {
+        if (!changed) return;  // identical triplet: answer stands
+        const uint64_t solve_ops = q_->size() * set_->live_count();
+        total_ops += solve_ops;
+        cluster.Compute(view_site, solve_ops, [&]() {
+          Status st = Resolve();
+          if (!st.ok()) failure = st;
+        });
+      });
+    });
+  });
+  cluster.Run();
+  PARBOX_RETURN_IF_ERROR(failure);
+
+  RunReport report;
+  report.algorithm = changed ? "ViewRefresh[changed]"
+                             : "ViewRefresh[unchanged]";
+  report.answer = answer_;
+  report.makespan_seconds = cluster.now();
+  report.total_compute_seconds = cluster.total_busy_seconds();
+  report.total_ops = total_ops;
+  report.network_bytes = cluster.traffic().total_bytes();
+  report.network_messages = cluster.traffic().total_messages();
+  report.visits_per_site = cluster.all_visits();
+  report.eq_system_entries = 3 * q_->size();
+  return report;
+}
+
+Result<frag::FragmentId> MaterializedView::SplitFragments(
+    frag::FragmentId f, xml::Node* at, frag::SiteId new_site) {
+  if (new_site < 0) return Status::InvalidArgument("bad site id");
+  PARBOX_ASSIGN_OR_RETURN(frag::FragmentId new_id, set_->Split(f, at));
+  site_of_.resize(set_->table_size(), -1);
+  site_of_[new_id] = new_site;
+  PARBOX_RETURN_IF_ERROR(RebuildSourceTree());
+  equations_.resize(set_->table_size());
+  // Only the split fragment's site computes: two fresh triplets, one
+  // for the shrunken F_j and one for the carved-out fragment. The
+  // answer provably does not change; re-solving is skipped.
+  uint64_t ops = 0;
+  RecomputeTriplet(f, &ops);
+  RecomputeTriplet(new_id, &ops);
+  return new_id;
+}
+
+Status MaterializedView::MergeFragments(frag::FragmentId child) {
+  if (!set_->is_live(child)) return Status::NotFound("no such fragment");
+  const frag::FragmentId parent = set_->fragment(child).parent;
+  PARBOX_RETURN_IF_ERROR(set_->Merge(child));
+  PARBOX_RETURN_IF_ERROR(RebuildSourceTree());
+  equations_[child] = bexpr::FragmentEquations{};
+  uint64_t ops = 0;
+  RecomputeTriplet(parent, &ops);
+  return Status::OK();
+}
+
+Result<bool> MaterializedView::RecomputeFromScratch() {
+  uint64_t ops = 0;
+  for (frag::FragmentId f : set_->live_ids()) RecomputeTriplet(f, &ops);
+  PARBOX_RETURN_IF_ERROR(Resolve());
+  return answer_;
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,109 @@
+// Incremental maintenance of Boolean XPath views (Sec. 5).
+//
+// A materialized view M(q, T) caches (S_T, ans) — the source tree and
+// the query's answer — augmented (as the paper's algorithm requires)
+// with the per-fragment vector triplets. On updates:
+//
+//   * insNode/delNode change only fragment F_j's contents. The view
+//     re-runs bottomUp on F_j alone, at F_j's site; if the returned
+//     triplet is unchanged the answer stands, otherwise one local
+//     evalST pass recomputes it. No other site or fragment is touched,
+//     and the traffic (one triplet) depends on neither |T| nor the
+//     update size.
+//   * splitFragments/mergeFragments change the fragmentation but never
+//     the answer; only the source tree and the triplets of the
+//     affected fragments are refreshed.
+//
+// Every maintenance operation returns a RunReport so benchmarks and
+// tests can verify the locality claims empirically.
+
+#ifndef PARBOX_CORE_VIEW_H_
+#define PARBOX_CORE_VIEW_H_
+
+#include <string_view>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/solver.h"
+#include "core/algorithms.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+
+namespace parbox::core {
+
+class MaterializedView {
+ public:
+  /// Materialize the view: evaluates `q` over `*set` (ParBoX-style) and
+  /// caches the state. `set` and `q` must outlive the view; the view
+  /// becomes the owner of all fragmentation changes to `*set`.
+  static Result<MaterializedView> Create(
+      frag::FragmentSet* set, std::vector<frag::SiteId> site_of_fragment,
+      const xpath::NormQuery* q, const EngineOptions& options = {});
+
+  MaterializedView(MaterializedView&&) = default;
+  MaterializedView& operator=(MaterializedView&&) = default;
+
+  bool answer() const { return answer_; }
+  const frag::SourceTree& source_tree() const { return st_; }
+
+  // ---- Content updates ----
+
+  /// insNode(A, v): insert a new element labelled `label` as a child of
+  /// `parent` (a node of fragment `f`). If `text` is non-empty the new
+  /// element gets a text child. Returns the inserted node. The view is
+  /// stale until Refresh(f) is called.
+  Result<xml::Node*> InsNode(frag::FragmentId f, xml::Node* parent,
+                             std::string_view label,
+                             std::string_view text = {});
+
+  /// delNode(v): delete node `v` (and its subtree) from fragment `f`.
+  /// Fails if the subtree contains virtual nodes (merge them first) or
+  /// if `v` is the fragment root.
+  Status DelNode(frag::FragmentId f, xml::Node* v);
+
+  /// Re-establish the view after a batch of content updates localized
+  /// in fragment `f`: re-evaluates only F_j, compares triplets, and
+  /// re-solves the cached system only when they differ.
+  Result<RunReport> Refresh(frag::FragmentId f);
+
+  // ---- Fragmentation updates ----
+
+  /// splitFragments(v): carve the subtree at `at` out of fragment `f`
+  /// into a new fragment stored at `new_site`. The answer is unchanged;
+  /// the source tree and the two affected triplets are refreshed.
+  Result<frag::FragmentId> SplitFragments(frag::FragmentId f, xml::Node* at,
+                                          frag::SiteId new_site);
+
+  /// mergeFragments: splice sub-fragment `child` back into its parent
+  /// and refresh the parent's triplet.
+  Status MergeFragments(frag::FragmentId child);
+
+  /// Recompute the answer from scratch (testing aid; what incremental
+  /// maintenance avoids).
+  Result<bool> RecomputeFromScratch();
+
+ private:
+  MaterializedView(frag::FragmentSet* set, const xpath::NormQuery* q,
+                   const EngineOptions& options)
+      : set_(set), q_(q), options_(options) {}
+
+  Status RebuildSourceTree();
+  /// Partially evaluate fragment `f` and overwrite its cached triplet.
+  /// Returns true if the triplet changed.
+  bool RecomputeTriplet(frag::FragmentId f, uint64_t* ops);
+  /// Solve the cached system; updates answer_.
+  Status Resolve();
+
+  frag::FragmentSet* set_;
+  const xpath::NormQuery* q_;
+  EngineOptions options_;
+  std::vector<frag::SiteId> site_of_;
+  frag::SourceTree st_;
+  bexpr::ExprFactory factory_;
+  std::vector<bexpr::FragmentEquations> equations_;
+  bool answer_ = false;
+};
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_VIEW_H_

@@ -1,0 +1,248 @@
+#include "fragment/fragment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "xml/writer.h"
+
+namespace parbox::frag {
+
+Result<FragmentSet> FragmentSet::FromDocument(xml::Document&& doc) {
+  if (doc.root() == nullptr || !doc.root()->is_element()) {
+    return Status::InvalidArgument("document must have an element root");
+  }
+  FragmentSet set;
+  set.storage_ = std::move(doc);
+  Fragment f;
+  f.id = 0;
+  f.root = set.storage_.root();
+  set.fragments_.push_back(std::move(f));
+  set.root_fragment_ = 0;
+  set.live_count_ = 1;
+  return set;
+}
+
+std::vector<FragmentId> FragmentSet::live_ids() const {
+  std::vector<FragmentId> out;
+  for (const Fragment& f : fragments_) {
+    if (f.alive) out.push_back(f.id);
+  }
+  return out;
+}
+
+std::vector<std::vector<int32_t>> FragmentSet::ChildrenTable() const {
+  std::vector<std::vector<int32_t>> table(fragments_.size());
+  for (const Fragment& f : fragments_) {
+    if (f.alive) {
+      table[f.id].assign(f.children.begin(), f.children.end());
+    }
+  }
+  return table;
+}
+
+Result<FragmentId> FragmentSet::Split(FragmentId j, xml::Node* at) {
+  if (!is_live(j)) return Status::NotFound("no such live fragment");
+  Fragment& parent = fragments_[j];
+  if (at == nullptr || !at->is_element()) {
+    return Status::InvalidArgument("split point must be an element");
+  }
+  if (at == parent.root) {
+    return Status::InvalidArgument(
+        "cannot split a fragment at its own root");
+  }
+  // `at` must belong to fragment j: walk up to j's root without
+  // crossing another fragment root.
+  for (const xml::Node* n = at->parent;; n = n->parent) {
+    if (n == nullptr) return Status::InvalidArgument("node not in fragment");
+    if (n == parent.root) break;
+  }
+
+  FragmentId new_id = static_cast<FragmentId>(fragments_.size());
+  xml::Node* placeholder = storage_.NewVirtual(new_id);
+  xml::Node* at_parent = at->parent;
+  xml::Node* at_next = at->next_sibling;
+  storage_.Detach(at);
+  storage_.InsertBefore(at_parent, placeholder, at_next);
+
+  Fragment child;
+  child.id = new_id;
+  child.root = at;
+  child.parent = j;
+
+  // Sub-fragments referenced from inside the carved subtree now hang
+  // off the new fragment.
+  std::vector<xml::Node*> stack{at};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_virtual()) {
+      FragmentId moved = n->fragment_ref;
+      child.children.push_back(moved);
+      fragments_[moved].parent = new_id;
+      auto& siblings = parent.children;
+      siblings.erase(std::find(siblings.begin(), siblings.end(), moved));
+    }
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  parent.children.push_back(new_id);
+  fragments_.push_back(std::move(child));
+  ++live_count_;
+  return new_id;
+}
+
+Status FragmentSet::Merge(FragmentId child_id) {
+  if (!is_live(child_id)) return Status::NotFound("no such live fragment");
+  Fragment& child = fragments_[child_id];
+  if (child.parent == kNoFragment) {
+    return Status::InvalidArgument("cannot merge the root fragment");
+  }
+  Fragment& parent = fragments_[child.parent];
+  xml::Node* placeholder = FindVirtualRef(*this, parent.id, child_id);
+  if (placeholder == nullptr) {
+    return Status::Internal("virtual node for sub-fragment not found");
+  }
+  xml::Node* ph_parent = placeholder->parent;
+  xml::Node* ph_next = placeholder->next_sibling;
+  storage_.Detach(placeholder);
+  storage_.InsertBefore(ph_parent, child.root, ph_next);
+
+  // The child's sub-fragments become the parent's.
+  auto& siblings = parent.children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), child_id));
+  for (FragmentId grandchild : child.children) {
+    fragments_[grandchild].parent = parent.id;
+    siblings.push_back(grandchild);
+  }
+  child.alive = false;
+  child.root = nullptr;
+  child.children.clear();
+  --live_count_;
+  return Status::OK();
+}
+
+Result<xml::Document> FragmentSet::Reassemble() const {
+  xml::Document out;
+  struct Item {
+    const xml::Node* src;
+    xml::Node* dst_parent;
+  };
+  std::vector<Item> stack{{fragment(root_fragment_).root, nullptr}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const xml::Node* src = item.src;
+    if (src->is_virtual()) {
+      if (!is_live(src->fragment_ref)) {
+        return Status::Internal("dangling virtual reference");
+      }
+      // Continue from the sub-fragment's root, attached in place.
+      stack.push_back({fragment(src->fragment_ref).root, item.dst_parent});
+      continue;
+    }
+    xml::Node* copy = src->is_text() ? out.NewText(src->text())
+                                     : out.NewElement(src->label());
+    if (item.dst_parent == nullptr) {
+      out.set_root(copy);
+    } else {
+      out.AppendChild(item.dst_parent, copy);
+    }
+    for (const xml::Node* c = src->last_child; c != nullptr;
+         c = c->prev_sibling) {
+      stack.push_back({c, copy});
+    }
+  }
+  return out;
+}
+
+size_t FragmentSet::FragmentElements(FragmentId id) const {
+  if (!is_live(id)) return 0;
+  return xml::CountElements(fragments_[id].root);
+}
+
+size_t FragmentSet::TotalElements() const {
+  size_t total = 0;
+  for (const Fragment& f : fragments_) {
+    if (f.alive) total += xml::CountElements(f.root);
+  }
+  return total;
+}
+
+uint64_t FragmentSet::FragmentSerializedBytes(FragmentId id) const {
+  if (!is_live(id)) return 0;
+  return xml::SerializedSize(fragments_[id].root);
+}
+
+Status FragmentSet::Validate() const {
+  if (!is_live(root_fragment_)) {
+    return Status::Internal("root fragment is dead");
+  }
+  size_t live_seen = 0;
+  for (const Fragment& f : fragments_) {
+    if (!f.alive) continue;
+    ++live_seen;
+    if (f.root == nullptr || !f.root->is_element()) {
+      return Status::Internal("live fragment without element root");
+    }
+    PARBOX_RETURN_IF_ERROR(xml::ValidateLinks(f.root));
+    // Virtual refs in this fragment must exactly match its child list.
+    std::unordered_set<FragmentId> refs;
+    std::vector<const xml::Node*> stack{f.root};
+    while (!stack.empty()) {
+      const xml::Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_virtual()) {
+        if (!is_live(n->fragment_ref)) {
+          return Status::Internal("virtual node references dead fragment");
+        }
+        if (!refs.insert(n->fragment_ref).second) {
+          return Status::Internal("duplicate virtual reference");
+        }
+      }
+      for (const xml::Node* c = n->first_child; c != nullptr;
+           c = c->next_sibling) {
+        stack.push_back(c);
+      }
+    }
+    if (refs.size() != f.children.size()) {
+      return Status::Internal("child list size mismatch");
+    }
+    for (FragmentId c : f.children) {
+      if (refs.count(c) == 0) {
+        return Status::Internal("child list / virtual refs mismatch");
+      }
+      if (!is_live(c) || fragments_[c].parent != f.id) {
+        return Status::Internal("child fragment parent mismatch");
+      }
+    }
+    if (f.id == root_fragment_) {
+      if (f.parent != kNoFragment) {
+        return Status::Internal("root fragment has a parent");
+      }
+    } else if (!is_live(f.parent)) {
+      return Status::Internal("fragment parent is dead");
+    }
+  }
+  if (live_seen != live_count_) {
+    return Status::Internal("live_count_ out of sync");
+  }
+  return Status::OK();
+}
+
+xml::Node* FindVirtualRef(const FragmentSet& set, FragmentId parent,
+                          FragmentId child) {
+  if (!set.is_live(parent)) return nullptr;
+  std::vector<xml::Node*> stack{set.fragment(parent).root};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_virtual() && n->fragment_ref == child) return n;
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace parbox::frag

@@ -1,0 +1,123 @@
+// Tree fragmentation (Sec. 2.1): a document decomposed into disjoint
+// fragments forming a fragment tree.
+//
+// A FragmentSet owns one backing Document whose nodes are partitioned
+// among fragments. Where a sub-fragment F_k was cut out of its parent
+// F_j, F_j holds a *virtual node* leaf whose `fragment_ref` names F_k —
+// "while traversing F_j, reaching the virtual node F_k means jump to
+// fragment F_k to continue" (paper, Sec. 2.1).
+//
+// No constraints are imposed on the fragmentation: fragments nest
+// arbitrarily, appear at any level, and have any size — splits and
+// merges (the paper's splitFragments/mergeFragments update operations)
+// are O(1) pointer surgery on the backing document.
+//
+// Fragment ids are stable across splits/merges (dead fragments leave
+// tombstones), which materialized views rely on.
+
+#ifndef PARBOX_FRAGMENT_FRAGMENT_H_
+#define PARBOX_FRAGMENT_FRAGMENT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace parbox::frag {
+
+using xml::FragmentId;
+using xml::kNoFragment;
+
+/// One fragment: a subtree of the backing document whose leaves may be
+/// virtual nodes referencing its direct sub-fragments.
+struct Fragment {
+  FragmentId id = kNoFragment;
+  xml::Node* root = nullptr;
+  FragmentId parent = kNoFragment;
+  std::vector<FragmentId> children;  ///< direct sub-fragments
+  bool alive = true;
+};
+
+/// A fragmented document.
+class FragmentSet {
+ public:
+  /// Start with the whole document as a single root fragment (F0).
+  /// Takes ownership of the document.
+  static Result<FragmentSet> FromDocument(xml::Document&& doc);
+
+  FragmentSet(FragmentSet&&) = default;
+  FragmentSet& operator=(FragmentSet&&) = default;
+
+  FragmentId root_fragment() const { return root_fragment_; }
+
+  /// Count of live fragments — the paper's card(F).
+  size_t live_count() const { return live_count_; }
+  /// Size of the fragment table including tombstones; live fragment ids
+  /// are < table_size().
+  size_t table_size() const { return fragments_.size(); }
+
+  const Fragment& fragment(FragmentId id) const { return fragments_[id]; }
+  bool is_live(FragmentId id) const {
+    return id >= 0 && static_cast<size_t>(id) < fragments_.size() &&
+           fragments_[id].alive;
+  }
+
+  /// Live fragment ids in ascending order.
+  std::vector<FragmentId> live_ids() const;
+
+  /// children_of[f] = direct sub-fragments of f (indexed by id over the
+  /// whole table; dead fragments have empty lists). This is the shape
+  /// evalST solves over.
+  std::vector<std::vector<int32_t>> ChildrenTable() const;
+
+  /// splitFragments(v): carve the subtree rooted at `at` (an element of
+  /// live fragment `j`, not j's own root) out into a new fragment,
+  /// leaving a virtual node in its place. Returns the new fragment id.
+  Result<FragmentId> Split(FragmentId j, xml::Node* at);
+
+  /// mergeFragments(v): splice sub-fragment `child` back into its
+  /// parent fragment, replacing the corresponding virtual node. The
+  /// child's own sub-fragments become sub-fragments of the parent.
+  Status Merge(FragmentId child);
+
+  /// The document this set would reassemble to: a fresh deep copy with
+  /// every virtual node replaced by its sub-fragment's subtree.
+  Result<xml::Document> Reassemble() const;
+
+  /// Element count of a fragment (excludes its sub-fragments).
+  size_t FragmentElements(FragmentId id) const;
+  /// Total elements across live fragments — |T|.
+  size_t TotalElements() const;
+
+  /// Serialized size of one fragment, virtual nodes included — what
+  /// NaiveCentralized ships for it.
+  uint64_t FragmentSerializedBytes(FragmentId id) const;
+
+  /// Structural invariants: every virtual node references a live child
+  /// fragment, parent/child tables agree, fragments are disjoint.
+  Status Validate() const;
+
+  /// Mutable access for update operations (insNode/delNode). The caller
+  /// must keep node membership within the fragment.
+  xml::Document* mutable_storage() { return &storage_; }
+  Fragment* mutable_fragment(FragmentId id) { return &fragments_[id]; }
+
+ private:
+  FragmentSet() = default;
+
+  xml::Document storage_;
+  std::vector<Fragment> fragments_;
+  FragmentId root_fragment_ = kNoFragment;
+  size_t live_count_ = 0;
+};
+
+/// Find the virtual node inside fragment `parent` that references
+/// fragment `child`; nullptr if absent.
+xml::Node* FindVirtualRef(const FragmentSet& set, FragmentId parent,
+                          FragmentId child);
+
+}  // namespace parbox::frag
+
+#endif  // PARBOX_FRAGMENT_FRAGMENT_H_

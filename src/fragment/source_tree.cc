@@ -1,0 +1,68 @@
+#include "fragment/source_tree.h"
+
+#include <algorithm>
+
+namespace parbox::frag {
+
+Result<SourceTree> SourceTree::Create(const FragmentSet& set,
+                                      std::vector<SiteId> site_of_fragment) {
+  SourceTree st;
+  size_t table = set.table_size();
+  if (site_of_fragment.size() < table) {
+    return Status::InvalidArgument(
+        "site assignment smaller than the fragment table");
+  }
+  st.root_ = set.root_fragment();
+  st.site_of_ = std::move(site_of_fragment);
+  st.parent_.assign(table, kNoFragment);
+  st.children_.assign(table, {});
+  st.depth_.assign(table, 0);
+  st.live_ = set.live_ids();
+
+  SiteId max_site = -1;
+  for (FragmentId f : st.live_) {
+    if (st.site_of_[f] < 0) {
+      return Status::InvalidArgument("live fragment without a site");
+    }
+    max_site = std::max(max_site, st.site_of_[f]);
+    const Fragment& frag = set.fragment(f);
+    st.parent_[f] = frag.parent;
+    st.children_[f].assign(frag.children.begin(), frag.children.end());
+  }
+  st.num_sites_ = max_site + 1;
+  st.fragments_at_.assign(st.num_sites_, {});
+  for (FragmentId f : st.live_) {
+    st.fragments_at_[st.site_of_[f]].push_back(f);
+  }
+
+  // Depths via BFS from the root fragment.
+  std::vector<FragmentId> frontier{st.root_};
+  int depth = 0;
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    std::vector<FragmentId> next;
+    for (FragmentId f : frontier) {
+      st.depth_[f] = depth;
+      ++visited;
+      for (FragmentId c : st.children_[f]) next.push_back(c);
+    }
+    st.max_depth_ = depth;
+    ++depth;
+    frontier = std::move(next);
+  }
+  if (visited != st.live_.size()) {
+    return Status::InvalidArgument(
+        "fragment tree is not connected from the root");
+  }
+  return st;
+}
+
+std::vector<FragmentId> SourceTree::fragments_at_depth(int d) const {
+  std::vector<FragmentId> out;
+  for (FragmentId f : live_) {
+    if (depth_[f] == d) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace parbox::frag

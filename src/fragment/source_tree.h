@@ -1,0 +1,77 @@
+// The source tree S_T (Sec. 2.1): which site stores which fragment.
+//
+// The paper's algorithms require *only* this structure — no DTD, no
+// statistics, no knowledge of fragment contents. It is a snapshot of
+// the fragment tree's shape plus the mapping function h from fragments
+// to sites; rebuild (or patch) it after splits/merges.
+
+#ifndef PARBOX_FRAGMENT_SOURCE_TREE_H_
+#define PARBOX_FRAGMENT_SOURCE_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "fragment/fragment.h"
+
+namespace parbox::frag {
+
+/// Identifies a machine in the (simulated) cluster.
+using SiteId = int32_t;
+
+class SourceTree {
+ public:
+  /// Empty source tree (no fragments); assign via Create.
+  SourceTree() = default;
+
+  /// `site_of_fragment` is indexed by fragment id (table-sized; entries
+  /// for dead fragments ignored). Every live fragment needs a site in
+  /// [0, num_sites).
+  static Result<SourceTree> Create(const FragmentSet& set,
+                                   std::vector<SiteId> site_of_fragment);
+
+  int32_t num_sites() const { return num_sites_; }
+  FragmentId root_fragment() const { return root_; }
+
+  SiteId site_of(FragmentId f) const { return site_of_[f]; }
+  const std::vector<FragmentId>& fragments_at(SiteId s) const {
+    return fragments_at_[s];
+  }
+
+  FragmentId parent_of(FragmentId f) const { return parent_[f]; }
+  const std::vector<FragmentId>& children_of(FragmentId f) const {
+    return children_[f];
+  }
+  /// Children table for the Boolean-equation solver.
+  const std::vector<std::vector<int32_t>>& children_table() const {
+    return children_;
+  }
+
+  /// Depth of a fragment in the fragment tree (root = 0).
+  int depth_of(FragmentId f) const { return depth_[f]; }
+  int max_depth() const { return max_depth_; }
+  /// Live fragments at exactly depth `d`, ascending id.
+  std::vector<FragmentId> fragments_at_depth(int d) const;
+
+  /// Live fragments, ascending id.
+  const std::vector<FragmentId>& live_fragments() const { return live_; }
+
+  /// Bytes to ship a copy of S_T to a site (FullDistParBoX's overhead):
+  /// one (parent, site) pair per fragment.
+  uint64_t SerializedSizeBytes() const { return 1 + 8 * live_.size(); }
+
+ private:
+  FragmentId root_ = kNoFragment;
+  int32_t num_sites_ = 0;
+  int max_depth_ = 0;
+  std::vector<SiteId> site_of_;
+  std::vector<std::vector<FragmentId>> fragments_at_;
+  std::vector<FragmentId> parent_;
+  std::vector<std::vector<FragmentId>> children_;
+  std::vector<int> depth_;
+  std::vector<FragmentId> live_;
+};
+
+}  // namespace parbox::frag
+
+#endif  // PARBOX_FRAGMENT_SOURCE_TREE_H_

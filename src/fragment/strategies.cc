@@ -1,0 +1,105 @@
+#include "fragment/strategies.h"
+
+#include <utility>
+
+namespace parbox::frag {
+
+namespace {
+
+/// All (fragment, node) split candidates: elements of live fragments
+/// that are not the fragment's own root and whose in-fragment subtree
+/// has at least `min_elements` elements.
+std::vector<std::pair<FragmentId, xml::Node*>> SplitCandidates(
+    const FragmentSet& set, size_t min_elements) {
+  std::vector<std::pair<FragmentId, xml::Node*>> out;
+  for (FragmentId f : set.live_ids()) {
+    std::vector<xml::Node*> stack{set.fragment(f).root};
+    while (!stack.empty()) {
+      xml::Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_element() && n != set.fragment(f).root &&
+          xml::CountElements(n) >= min_elements) {
+        out.emplace_back(f, n);
+      }
+      for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+        stack.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<FragmentId>> SplitAtAllLabeled(FragmentSet* set,
+                                                  std::string_view label) {
+  std::vector<FragmentId> created;
+  for (;;) {
+    // Re-scan after every split: splitting moves inner matches into the
+    // new fragment, so the owning fragment id must be recomputed.
+    FragmentId owner = kNoFragment;
+    xml::Node* target = nullptr;
+    for (FragmentId f : set->live_ids()) {
+      std::vector<xml::Node*> stack{set->fragment(f).root};
+      while (!stack.empty() && target == nullptr) {
+        xml::Node* n = stack.back();
+        stack.pop_back();
+        if (n->is_element() && n->label() == label &&
+            n != set->fragment(f).root) {
+          owner = f;
+          target = n;
+          break;
+        }
+        for (xml::Node* c = n->first_child; c != nullptr;
+             c = c->next_sibling) {
+          stack.push_back(c);
+        }
+      }
+      if (target != nullptr) break;
+    }
+    if (target == nullptr) return created;
+    PARBOX_ASSIGN_OR_RETURN(FragmentId id, set->Split(owner, target));
+    created.push_back(id);
+  }
+}
+
+Result<std::vector<FragmentId>> RandomSplits(FragmentSet* set, int count,
+                                             Rng* rng, size_t min_elements) {
+  std::vector<FragmentId> created;
+  for (int i = 0; i < count; ++i) {
+    auto candidates = SplitCandidates(*set, min_elements);
+    if (candidates.empty()) break;
+    auto [f, node] = candidates[rng->Uniform(candidates.size())];
+    PARBOX_ASSIGN_OR_RETURN(FragmentId id, set->Split(f, node));
+    created.push_back(id);
+  }
+  return created;
+}
+
+std::vector<SiteId> AssignOneSitePerFragment(const FragmentSet& set) {
+  std::vector<SiteId> site_of(set.table_size(), -1);
+  SiteId next = 0;
+  for (FragmentId f : set.live_ids()) site_of[f] = next++;
+  return site_of;
+}
+
+std::vector<SiteId> AssignRoundRobin(const FragmentSet& set, int num_sites) {
+  std::vector<SiteId> site_of(set.table_size(), -1);
+  site_of[set.root_fragment()] = 0;
+  SiteId next = num_sites > 1 ? 1 : 0;
+  for (FragmentId f : set.live_ids()) {
+    if (f == set.root_fragment()) continue;
+    site_of[f] = next;
+    next = (next + 1) % num_sites;
+    if (next == 0 && num_sites > 1) next = 1;
+  }
+  return site_of;
+}
+
+std::vector<SiteId> AssignAllToOneSite(const FragmentSet& set) {
+  std::vector<SiteId> site_of(set.table_size(), -1);
+  for (FragmentId f : set.live_ids()) site_of[f] = 0;
+  return site_of;
+}
+
+}  // namespace parbox::frag

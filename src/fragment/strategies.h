@@ -1,0 +1,48 @@
+// Fragmentation and site-assignment strategies.
+//
+// The experiments use three fragment-tree shapes (Fig. 6): FT1 — a
+// star, every fragment a direct sub-fragment of F0; FT2 — a chain,
+// F_{i+1} a sub-fragment of F_i (version histories); FT3 — a bushy
+// mix. These helpers carve such shapes out of generated documents, and
+// produce the site assignments the experiments need.
+
+#ifndef PARBOX_FRAGMENT_STRATEGIES_H_
+#define PARBOX_FRAGMENT_STRATEGIES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+
+namespace parbox::frag {
+
+/// Split at every element with the given label (fragment roots are not
+/// re-split). Returns the new fragment ids, outermost first. Used to
+/// carve generator-produced markers ("site", "history", ...) into
+/// fragments.
+Result<std::vector<FragmentId>> SplitAtAllLabeled(FragmentSet* set,
+                                                  std::string_view label);
+
+/// Perform `count` random splits at elements whose in-fragment subtree
+/// has at least `min_elements` elements. Returns the ids created (may
+/// be fewer than `count` if candidates run out).
+Result<std::vector<FragmentId>> RandomSplits(FragmentSet* set, int count,
+                                             Rng* rng,
+                                             size_t min_elements = 2);
+
+/// h: fragment i -> site i (re-indexed densely over live fragments).
+std::vector<SiteId> AssignOneSitePerFragment(const FragmentSet& set);
+
+/// h: live fragments round-robin over `num_sites` sites; the root
+/// fragment always lands on site 0 (the coordinator).
+std::vector<SiteId> AssignRoundRobin(const FragmentSet& set, int num_sites);
+
+/// h: everything on site 0 (Fig. 13's single-site experiment).
+std::vector<SiteId> AssignAllToOneSite(const FragmentSet& set);
+
+}  // namespace parbox::frag
+
+#endif  // PARBOX_FRAGMENT_STRATEGIES_H_

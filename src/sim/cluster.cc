@@ -1,0 +1,53 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parbox::sim {
+
+Cluster::Cluster(int num_sites, const NetworkParams& params)
+    : params_(params),
+      busy_until_(num_sites, 0.0),
+      busy_seconds_(num_sites, 0.0),
+      visits_(num_sites, 0) {
+  assert(num_sites > 0);
+}
+
+void Cluster::Compute(SiteId site, uint64_t ops, EventLoop::Task done) {
+  assert(site >= 0 && site < num_sites());
+  double duration = static_cast<double>(ops) / params_.site_ops_per_second;
+  double start = std::max(loop_.now(), busy_until_[site]);
+  double finish = start + duration;
+  busy_until_[site] = finish;
+  busy_seconds_[site] += duration;
+  loop_.At(finish, std::move(done));
+}
+
+void Cluster::Send(SiteId from, SiteId to, uint64_t bytes,
+                   const std::string& tag, EventLoop::Task deliver) {
+  assert(from >= 0 && from < num_sites());
+  assert(to >= 0 && to < num_sites());
+  if (from == to) {
+    // Local hand-off: no network involved.
+    loop_.After(0.0, std::move(deliver));
+    return;
+  }
+  traffic_.Record(from, to, bytes, tag);
+  double transfer =
+      params_.latency_seconds +
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_second;
+  loop_.After(transfer, std::move(deliver));
+}
+
+double Cluster::Run() {
+  loop_.Run();
+  return loop_.now();
+}
+
+double Cluster::total_busy_seconds() const {
+  double total = 0.0;
+  for (double s : busy_seconds_) total += s;
+  return total;
+}
+
+}  // namespace parbox::sim

@@ -1,0 +1,84 @@
+// A simulated cluster: sites with serialized compute queues connected
+// by a latency + bandwidth network, on a deterministic virtual clock.
+//
+// This substitutes for the paper's 10-machine LAN testbed (see
+// DESIGN.md). Algorithms really *do* their computation inside the
+// scheduled events; the cluster only decides *when* things happen:
+//
+//   * Compute(site, ops, done)  — site performs `ops` abstract kernel
+//     operations (element x QList-entry steps). A site runs one task at
+//     a time (FIFO), so two fragments on one machine serialize, exactly
+//     as in Experiment 4.
+//   * Send(from, to, bytes, deliver) — the message arrives after
+//     latency + bytes/bandwidth. Local (from == to) delivery is free.
+//
+// Visits: the paper counts how many times each site is "visited" —
+// contacted to do work on a fragment. Algorithms call RecordVisit when
+// they send such a request.
+
+#ifndef PARBOX_SIM_CLUSTER_H_
+#define PARBOX_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/traffic.h"
+
+namespace parbox::sim {
+
+using SiteId = int32_t;
+
+struct NetworkParams {
+  double latency_seconds = 0.0001;               ///< 0.1 ms one-way LAN
+  double bandwidth_bytes_per_second = 12.5e6;    ///< 100 Mbit/s
+  /// Abstract kernel throughput: (element x QList-entry) ops per
+  /// second. Calibrated so a ~50 MB-equivalent fragment with |QList|=8
+  /// evaluates in seconds, matching the paper's scale.
+  double site_ops_per_second = 2.0e7;
+};
+
+class Cluster {
+ public:
+  Cluster(int num_sites, const NetworkParams& params = {});
+
+  int num_sites() const { return static_cast<int>(busy_until_.size()); }
+  EventLoop& loop() { return loop_; }
+  double now() const { return loop_.now(); }
+  const NetworkParams& params() const { return params_; }
+
+  /// Enqueue `ops` abstract operations on `site`; `done` runs (at the
+  /// finish time) after all previously enqueued work on that site.
+  void Compute(SiteId site, uint64_t ops, EventLoop::Task done);
+
+  /// Ship `bytes` from `from` to `to`; `deliver` runs at arrival.
+  /// `tag` groups traffic in the report ("query", "triplet", "data").
+  void Send(SiteId from, SiteId to, uint64_t bytes, const std::string& tag,
+            EventLoop::Task deliver);
+
+  /// Count a site visit (a work-initiating contact).
+  void RecordVisit(SiteId site) { ++visits_[site]; }
+
+  /// Run the event loop to completion and return the virtual makespan.
+  double Run();
+
+  const TrafficStats& traffic() const { return traffic_; }
+  uint64_t visits(SiteId site) const { return visits_[site]; }
+  const std::vector<uint64_t>& all_visits() const { return visits_; }
+  /// Total busy seconds of a site (its share of "total computation").
+  double busy_seconds(SiteId site) const { return busy_seconds_[site]; }
+  double total_busy_seconds() const;
+
+ private:
+  EventLoop loop_;
+  NetworkParams params_;
+  TrafficStats traffic_;
+  std::vector<double> busy_until_;
+  std::vector<double> busy_seconds_;
+  std::vector<uint64_t> visits_;
+};
+
+}  // namespace parbox::sim
+
+#endif  // PARBOX_SIM_CLUSTER_H_

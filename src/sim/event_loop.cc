@@ -1,0 +1,21 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+
+namespace parbox::sim {
+
+void EventLoop::At(double when, Task task) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.emplace(std::make_pair(when, next_seq_++), std::move(task));
+}
+
+void EventLoop::Run() {
+  while (!queue_.empty()) {
+    auto node = queue_.extract(queue_.begin());
+    now_ = node.key().first;
+    ++events_run_;
+    node.mapped()();
+  }
+}
+
+}  // namespace parbox::sim

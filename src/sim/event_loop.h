@@ -1,0 +1,44 @@
+// A minimal deterministic discrete-event loop (virtual time).
+//
+// Events fire in (time, insertion order) — ties broken by a sequence
+// number, so runs are bit-for-bit reproducible regardless of host
+// scheduling. All "work" in the simulated cluster is ordinary C++
+// executed when its event fires; only *time* is virtual.
+
+#ifndef PARBOX_SIM_EVENT_LOOP_H_
+#define PARBOX_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace parbox::sim {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  /// Schedule `task` at absolute virtual time `when` (>= now()).
+  void At(double when, Task task);
+  /// Schedule `task` `delay` seconds from now.
+  void After(double delay, Task task) { At(now_ + delay, std::move(task)); }
+
+  /// Run events until none remain. Reentrant scheduling is fine.
+  void Run();
+
+  /// Current virtual time in seconds.
+  double now() const { return now_; }
+  /// Number of events executed so far.
+  uint64_t events_run() const { return events_run_; }
+
+ private:
+  std::map<std::pair<double, uint64_t>, Task> queue_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+};
+
+}  // namespace parbox::sim
+
+#endif  // PARBOX_SIM_EVENT_LOOP_H_

@@ -1,0 +1,42 @@
+#include "sim/traffic.h"
+
+#include <sstream>
+
+#include "common/bytes.h"
+
+namespace parbox::sim {
+
+void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
+                          const std::string& tag) {
+  (void)from;
+  total_bytes_ += bytes;
+  total_messages_ += 1;
+  bytes_by_tag_[tag] += bytes;
+  if (to >= 0) {
+    if (static_cast<size_t>(to) >= bytes_into_.size()) {
+      bytes_into_.resize(to + 1, 0);
+    }
+    bytes_into_[to] += bytes;
+  }
+}
+
+uint64_t TrafficStats::bytes_with_tag(const std::string& tag) const {
+  auto it = bytes_by_tag_.find(tag);
+  return it == bytes_by_tag_.end() ? 0 : it->second;
+}
+
+uint64_t TrafficStats::bytes_into(int32_t site) const {
+  if (site < 0 || static_cast<size_t>(site) >= bytes_into_.size()) return 0;
+  return bytes_into_[site];
+}
+
+std::string TrafficStats::ToString() const {
+  std::ostringstream out;
+  out << total_messages_ << " messages, " << HumanBytes(total_bytes_);
+  for (const auto& [tag, bytes] : bytes_by_tag_) {
+    out << "\n  " << tag << ": " << HumanBytes(bytes);
+  }
+  return out.str();
+}
+
+}  // namespace parbox::sim

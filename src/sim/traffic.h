@@ -1,0 +1,39 @@
+// Network traffic and site-activity accounting for simulated runs.
+
+#ifndef PARBOX_SIM_TRAFFIC_H_
+#define PARBOX_SIM_TRAFFIC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parbox::sim {
+
+/// Everything that crossed the simulated network in one run.
+class TrafficStats {
+ public:
+  void Record(int32_t from, int32_t to, uint64_t bytes,
+              const std::string& tag);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t bytes_with_tag(const std::string& tag) const;
+  const std::map<std::string, uint64_t>& bytes_by_tag() const {
+    return bytes_by_tag_;
+  }
+  /// Bytes received by a site (grown on demand).
+  uint64_t bytes_into(int32_t site) const;
+
+  std::string ToString() const;
+
+ private:
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+  std::map<std::string, uint64_t> bytes_by_tag_;
+  std::vector<uint64_t> bytes_into_;
+};
+
+}  // namespace parbox::sim
+
+#endif  // PARBOX_SIM_TRAFFIC_H_

@@ -1,0 +1,273 @@
+#include "xmark/generator.h"
+
+#include <array>
+#include <cassert>
+
+namespace parbox::xmark {
+
+namespace {
+
+constexpr std::array<const char*, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+constexpr std::array<const char*, 12> kWords = {
+    "auction", "vintage",  "rare",    "antique", "bid",     "mint",
+    "signed",  "original", "limited", "classic", "premium", "estate"};
+
+/// Tracks the approximate serialized size while building, so sizing a
+/// site does not require repeated O(n) serialization passes.
+class SiteBuilder {
+ public:
+  SiteBuilder(xml::Document* doc, Rng* rng) : doc_(doc), rng_(rng) {}
+
+  xml::Node* Element(xml::Node* parent, std::string_view label) {
+    xml::Node* n = doc_->NewElement(label);
+    if (parent != nullptr) doc_->AppendChild(parent, n);
+    bytes_ += 2 * label.size() + 5;  // <label></label>
+    return n;
+  }
+
+  xml::Node* TextElement(xml::Node* parent, std::string_view label,
+                         std::string_view text) {
+    xml::Node* n = Element(parent, label);
+    doc_->AppendChild(n, doc_->NewText(text));
+    bytes_ += text.size();
+    return n;
+  }
+
+  std::string Sentence(int words) {
+    std::string out;
+    for (int i = 0; i < words; ++i) {
+      if (!out.empty()) out.push_back(' ');
+      out += kWords[rng_->Uniform(kWords.size())];
+    }
+    return out;
+  }
+
+  std::string Money() { return "$" + std::to_string(rng_->UniformInt(1, 999)); }
+
+  uint64_t bytes() const { return bytes_; }
+  Rng* rng() { return rng_; }
+
+ private:
+  xml::Document* doc_;
+  Rng* rng_;
+  uint64_t bytes_ = 0;
+};
+
+void AddItem(SiteBuilder* b, xml::Node* region, int id) {
+  Rng* rng = b->rng();
+  xml::Node* item = b->Element(region, "item");
+  b->TextElement(item, "@id", "item" + std::to_string(id));
+  b->TextElement(item, "name", b->Sentence(2));
+  b->TextElement(item, "location", b->Sentence(1));
+  b->TextElement(item, "quantity",
+                 std::to_string(rng->UniformInt(1, 9)));
+  xml::Node* description = b->Element(item, "description");
+  int paragraphs = static_cast<int>(rng->UniformInt(1, 3));
+  for (int p = 0; p < paragraphs; ++p) {
+    b->TextElement(description, "parlist", b->Sentence(8));
+  }
+  if (rng->Bernoulli(0.4)) b->TextElement(item, "payment", "Creditcard");
+  if (rng->Bernoulli(0.3)) b->TextElement(item, "shipping", b->Sentence(3));
+}
+
+void AddPerson(SiteBuilder* b, xml::Node* people, int id) {
+  Rng* rng = b->rng();
+  xml::Node* person = b->Element(people, "person");
+  b->TextElement(person, "@id", "person" + std::to_string(id));
+  std::string name = rng->Word(4, 8) + " " + rng->Word(4, 9);
+  b->TextElement(person, "name", name);
+  b->TextElement(person, "emailaddress",
+                 rng->Word(4, 8) + "@" + rng->Word(4, 7) + ".com");
+  if (rng->Bernoulli(0.5)) {
+    b->TextElement(person, "creditcard",
+                   std::to_string(rng->UniformInt(1000, 9999)) + " " +
+                       std::to_string(rng->UniformInt(1000, 9999)));
+  }
+  if (rng->Bernoulli(0.6)) {
+    xml::Node* profile = b->Element(person, "profile");
+    int interests = static_cast<int>(rng->UniformInt(1, 4));
+    for (int i = 0; i < interests; ++i) {
+      b->TextElement(profile, "interest", b->Sentence(1));
+    }
+  }
+}
+
+void AddOpenAuction(SiteBuilder* b, xml::Node* auctions, int id,
+                    int num_items, int num_people) {
+  Rng* rng = b->rng();
+  xml::Node* auction = b->Element(auctions, "open_auction");
+  b->TextElement(auction, "@id", "open" + std::to_string(id));
+  b->TextElement(auction, "initial", b->Money());
+  int bidders = static_cast<int>(rng->UniformInt(0, 4));
+  for (int i = 0; i < bidders; ++i) {
+    xml::Node* bidder = b->Element(auction, "bidder");
+    b->TextElement(bidder, "personref",
+                   "person" + std::to_string(rng->UniformInt(
+                                  0, std::max(0, num_people - 1))));
+    b->TextElement(bidder, "increase", b->Money());
+  }
+  b->TextElement(auction, "current", b->Money());
+  b->TextElement(auction, "itemref",
+                 "item" + std::to_string(
+                              rng->UniformInt(0, std::max(0, num_items - 1))));
+}
+
+void AddClosedAuction(SiteBuilder* b, xml::Node* auctions, int id,
+                      int num_items, int num_people) {
+  Rng* rng = b->rng();
+  xml::Node* auction = b->Element(auctions, "closed_auction");
+  b->TextElement(auction, "@id", "closed" + std::to_string(id));
+  b->TextElement(auction, "price", b->Money());
+  b->TextElement(auction, "buyer",
+                 "person" + std::to_string(rng->UniformInt(
+                                0, std::max(0, num_people - 1))));
+  b->TextElement(auction, "itemref",
+                 "item" + std::to_string(
+                              rng->UniformInt(0, std::max(0, num_items - 1))));
+}
+
+}  // namespace
+
+xml::Node* GenerateSite(xml::Document* doc, const SiteOptions& options,
+                        Rng* rng) {
+  SiteBuilder b(doc, rng);
+  xml::Node* site = b.Element(nullptr, "site");
+  if (!options.marker.empty()) {
+    b.TextElement(site, "marker", options.marker);
+  }
+  xml::Node* regions = b.Element(site, "regions");
+  std::array<xml::Node*, kRegions.size()> region_nodes;
+  for (size_t r = 0; r < kRegions.size(); ++r) {
+    region_nodes[r] = b.Element(regions, kRegions[r]);
+  }
+  xml::Node* people = b.Element(site, "people");
+  xml::Node* open_auctions = b.Element(site, "open_auctions");
+  xml::Node* closed_auctions = b.Element(site, "closed_auctions");
+  xml::Node* categories = b.Element(site, "categories");
+
+  // Interleave content in XMark-like proportions until the byte target
+  // is met: ~50% items, ~25% people, ~20% auctions, ~5% categories.
+  int items = 0, persons = 0, opens = 0, closeds = 0, cats = 0;
+  while (b.bytes() < options.target_bytes) {
+    double roll = rng->UniformDouble();
+    if (roll < 0.50) {
+      AddItem(&b, region_nodes[rng->Uniform(region_nodes.size())], items++);
+    } else if (roll < 0.75) {
+      AddPerson(&b, people, persons++);
+    } else if (roll < 0.87) {
+      AddOpenAuction(&b, open_auctions, opens++, std::max(1, items),
+                     std::max(1, persons));
+    } else if (roll < 0.95) {
+      AddClosedAuction(&b, closed_auctions, closeds++, std::max(1, items),
+                       std::max(1, persons));
+    } else {
+      xml::Node* cat = b.Element(categories, "category");
+      b.TextElement(cat, "@id", "cat" + std::to_string(cats++));
+      b.TextElement(cat, "name", b.Sentence(2));
+      b.TextElement(cat, "description", b.Sentence(6));
+    }
+  }
+  return site;
+}
+
+xml::Document GenerateStarDocument(int num_sites, uint64_t bytes_per_site,
+                                   uint64_t seed) {
+  assert(num_sites >= 1);
+  xml::Document doc;
+  xml::Node* root = doc.NewElement("xmark");
+  doc.set_root(root);
+  Rng rng(seed);
+  for (int i = 0; i < num_sites; ++i) {
+    SiteOptions options;
+    options.target_bytes = bytes_per_site;
+    options.marker = "m" + std::to_string(i);
+    Rng site_rng = rng.Fork();
+    doc.AppendChild(root, GenerateSite(&doc, options, &site_rng));
+  }
+  return doc;
+}
+
+xml::Document GenerateChainDocument(int depth, uint64_t bytes_per_site,
+                                    uint64_t seed) {
+  assert(depth >= 1);
+  xml::Document doc;
+  Rng rng(seed);
+  xml::Node* top = nullptr;
+  xml::Node* attach = nullptr;  // <history> of the previous version
+  for (int i = 0; i < depth; ++i) {
+    SiteOptions options;
+    options.target_bytes = bytes_per_site;
+    options.marker = "v" + std::to_string(i);
+    Rng site_rng = rng.Fork();
+    xml::Node* site = GenerateSite(&doc, options, &site_rng);
+    if (top == nullptr) {
+      top = site;
+      doc.set_root(top);
+    } else {
+      doc.AppendChild(attach, site);
+    }
+    attach = doc.NewElement("history");
+    doc.AppendChild(site, attach);
+  }
+  return doc;
+}
+
+xml::Document GenerateTreeDocument(
+    const std::vector<std::vector<int>>& children,
+    const std::vector<uint64_t>& bytes_per_site, uint64_t seed) {
+  assert(!children.empty() && children.size() == bytes_per_site.size());
+  xml::Document doc;
+  Rng rng(seed);
+  std::vector<xml::Node*> sites(children.size(), nullptr);
+  // Generate in index order (parents have smaller indices by contract).
+  for (size_t i = 0; i < children.size(); ++i) {
+    SiteOptions options;
+    options.target_bytes = bytes_per_site[i];
+    options.marker = "m" + std::to_string(i);
+    Rng site_rng = rng.Fork();
+    sites[i] = GenerateSite(&doc, options, &site_rng);
+  }
+  doc.set_root(sites[0]);
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i].empty()) continue;
+    xml::Node* history = doc.NewElement("history");
+    doc.AppendChild(sites[i], history);
+    for (int c : children[i]) {
+      assert(c > 0 && static_cast<size_t>(c) < sites.size());
+      doc.AppendChild(history, sites[c]);
+    }
+  }
+  return doc;
+}
+
+xml::Document GenerateRandomSmallDocument(int max_elements, Rng* rng) {
+  assert(max_elements >= 1);
+  xml::Document doc;
+  constexpr std::array<const char*, 5> kLabels = {"a", "b", "c", "d", "e"};
+  xml::Node* root = doc.NewElement(kLabels[rng->Uniform(kLabels.size())]);
+  doc.set_root(root);
+  std::vector<xml::Node*> pool{root};
+  int elements = 1;
+  while (elements < max_elements) {
+    xml::Node* parent = pool[rng->Uniform(pool.size())];
+    if (rng->Bernoulli(0.25)) {
+      // Avoid adjacent text siblings: serialization would coalesce
+      // them, breaking write/parse round-trip properties.
+      if (parent->last_child == nullptr || !parent->last_child->is_text()) {
+        doc.AppendChild(parent,
+                        doc.NewText("t" + std::to_string(rng->Uniform(5))));
+      }
+    } else {
+      xml::Node* child =
+          doc.NewElement(kLabels[rng->Uniform(kLabels.size())]);
+      doc.AppendChild(parent, child);
+      pool.push_back(child);
+      ++elements;
+    }
+  }
+  return doc;
+}
+
+}  // namespace parbox::xmark

@@ -1,0 +1,64 @@
+// A deterministic XMark-like document generator.
+//
+// The paper's experiments generate "multiple XMark sites" and assign
+// (fragments of) them to machines. Offline we cannot run the original
+// xmlgen, so this module synthesizes auction-site documents with the
+// same ingredients — regions/items, people, open and closed auctions,
+// categories, free-text descriptions — sized to a byte target and
+// fully reproducible from a seed (see DESIGN.md, substitutions).
+//
+// Every generated site carries a <marker>TEXT</marker> child so the
+// chain/star experiments (Figs. 9-11) can craft queries satisfied at
+// exactly one fragment.
+
+#ifndef PARBOX_XMARK_GENERATOR_H_
+#define PARBOX_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "xml/dom.h"
+
+namespace parbox::xmark {
+
+struct SiteOptions {
+  /// Approximate serialized size of one site subtree.
+  uint64_t target_bytes = 1 << 20;
+  /// Text planted in the site's <marker> child ("" for none).
+  std::string marker;
+};
+
+/// Generate one <site> subtree into `doc` (detached; caller attaches).
+xml::Node* GenerateSite(xml::Document* doc, const SiteOptions& options,
+                        Rng* rng);
+
+/// A document with `num_sites` sibling sites under an <xmark> root —
+/// the star-shaped corpus of Experiments 1 and 4 (fragment at each
+/// <site>). Site i carries marker "m<i>".
+xml::Document GenerateStarDocument(int num_sites, uint64_t bytes_per_site,
+                                   uint64_t seed);
+
+/// A document where each site nests the next inside a <history> child —
+/// the version-history chain of Experiment 2 (FT2). Version i carries
+/// marker "v<i>", i in [0, depth).
+xml::Document GenerateChainDocument(int depth, uint64_t bytes_per_site,
+                                    uint64_t seed);
+
+/// A document shaped like an arbitrary fragment tree: `children[i]`
+/// lists the site-indices nested (via <history>) inside site i; site 0
+/// is the root. `bytes_per_site[i]` sizes each site; marker "m<i>".
+/// Used for the bushy FT3 corpus of Experiment 3.
+xml::Document GenerateTreeDocument(
+    const std::vector<std::vector<int>>& children,
+    const std::vector<uint64_t>& bytes_per_site, uint64_t seed);
+
+/// Random small tree over a tiny label alphabet, for property tests:
+/// every label is from {a,b,c,d,e} and text values from {t0..t4}, so
+/// random queries have a fair chance of matching.
+xml::Document GenerateRandomSmallDocument(int max_elements, Rng* rng);
+
+}  // namespace parbox::xmark
+
+#endif  // PARBOX_XMARK_GENERATOR_H_

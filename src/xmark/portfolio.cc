@@ -1,0 +1,95 @@
+#include "xmark/portfolio.h"
+
+namespace parbox::xmark {
+
+namespace {
+
+xml::Node* AddTextChild(xml::Document* doc, xml::Node* parent,
+                        std::string_view label, std::string_view text) {
+  xml::Node* n = doc->NewElement(label);
+  doc->AppendChild(n, doc->NewText(text));
+  doc->AppendChild(parent, n);
+  return n;
+}
+
+xml::Node* AddStock(xml::Document* doc, xml::Node* market,
+                    std::string_view code, std::string_view buy,
+                    std::string_view sell) {
+  xml::Node* stock = doc->NewElement("stock");
+  doc->AppendChild(market, stock);
+  AddTextChild(doc, stock, "code", code);
+  AddTextChild(doc, stock, "buy", buy);
+  AddTextChild(doc, stock, "sell", sell);
+  return stock;
+}
+
+}  // namespace
+
+xml::Document BuildPortfolioDocument() {
+  xml::Document doc;
+  xml::Node* portofolio = doc.NewElement("portofolio");
+  doc.set_root(portofolio);
+
+  // Broker Merill Lynch: NASDAQ market with GOOG and YHOO.
+  xml::Node* merill = doc.NewElement("broker");
+  doc.AppendChild(portofolio, merill);
+  AddTextChild(&doc, merill, "name", "Merill Lynch");
+  xml::Node* ml_nasdaq = doc.NewElement("market");
+  doc.AppendChild(merill, ml_nasdaq);
+  AddTextChild(&doc, ml_nasdaq, "name", "NASDAQ");
+  AddStock(&doc, ml_nasdaq, "GOOG", "374", "373");
+  AddStock(&doc, ml_nasdaq, "YHOO", "33", "35");
+
+  // Broker Bache: NYSE (IBM) and NASDAQ (AAPL, GOOG).
+  xml::Node* bache = doc.NewElement("broker");
+  doc.AppendChild(portofolio, bache);
+  AddTextChild(&doc, bache, "name", "Bache");
+  xml::Node* nyse = doc.NewElement("market");
+  doc.AppendChild(bache, nyse);
+  AddTextChild(&doc, nyse, "name", "NYSE");
+  AddStock(&doc, nyse, "IBM", "80", "78");
+  xml::Node* bache_nasdaq = doc.NewElement("market");
+  doc.AppendChild(bache, bache_nasdaq);
+  AddTextChild(&doc, bache_nasdaq, "name", "NASDAQ");
+  AddStock(&doc, bache_nasdaq, "AAPL", "71", "65");
+  AddStock(&doc, bache_nasdaq, "GOOG", "370", "372");
+
+  return doc;
+}
+
+Result<frag::FragmentSet> BuildPortfolioFragments() {
+  PARBOX_ASSIGN_OR_RETURN(
+      frag::FragmentSet set,
+      frag::FragmentSet::FromDocument(BuildPortfolioDocument()));
+
+  // F1: Merill Lynch's whole broker subtree (first broker).
+  xml::Node* root = set.fragment(0).root;
+  xml::Node* merill = root->first_child;  // first <broker>
+  PARBOX_ASSIGN_OR_RETURN(frag::FragmentId f1, set.Split(0, merill));
+  if (f1 != 1) return Status::Internal("unexpected fragment numbering");
+
+  // F2: the NASDAQ market inside F1.
+  xml::Node* ml_market = xml::FindFirstElement(set.fragment(1).root, "market");
+  PARBOX_ASSIGN_OR_RETURN(frag::FragmentId f2, set.Split(1, ml_market));
+  if (f2 != 2) return Status::Internal("unexpected fragment numbering");
+
+  // F3: Bache's NASDAQ market (the second market under the second
+  // broker in F0).
+  xml::Node* bache = nullptr;
+  for (xml::Node* c = set.fragment(0).root->first_child; c != nullptr;
+       c = c->next_sibling) {
+    if (c->is_element() && c->label() == "broker") bache = c;
+  }
+  xml::Node* bache_nasdaq = nullptr;
+  for (xml::Node* c = bache->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->is_element() && c->label() == "market") bache_nasdaq = c;
+  }
+  // The *last* market under Bache is the NASDAQ one.
+  PARBOX_ASSIGN_OR_RETURN(frag::FragmentId f3, set.Split(0, bache_nasdaq));
+  if (f3 != 3) return Status::Internal("unexpected fragment numbering");
+
+  PARBOX_RETURN_IF_ERROR(set.Validate());
+  return set;
+}
+
+}  // namespace parbox::xmark

@@ -1,0 +1,35 @@
+// The paper's running example: the stock-portfolio tree of Fig. 1(b)
+// and its fragmentation into F0..F3 (Fig. 2). Used by examples and by
+// the tests that replay Examples 2.1-3.3 verbatim.
+
+#ifndef PARBOX_XMARK_PORTFOLIO_H_
+#define PARBOX_XMARK_PORTFOLIO_H_
+
+#include "common/status.h"
+#include "fragment/fragment.h"
+#include "xml/dom.h"
+
+namespace parbox::xmark {
+
+/// The unfragmented portfolio tree of Fig. 1(b): a <portofolio> (sic,
+/// as in the paper) with brokers Merill Lynch and Bache trading GOOG,
+/// YHOO, AAPL and IBM across NASDAQ and NYSE.
+xml::Document BuildPortfolioDocument();
+
+/// The fragmentation of Fig. 2: F0 holds the root and Bache's NYSE
+/// data; F1 is Merill Lynch's subtree; F2 is the NASDAQ market inside
+/// F1; F3 is the NASDAQ market reached through Bache. Fragment ids are
+/// exactly 0..3.
+Result<frag::FragmentSet> BuildPortfolioFragments();
+
+/// Queries from the paper's narrative.
+inline constexpr const char* kGoogSellQuery =
+    "[//stock[code = \"GOOG\" and sell = \"376\"]]";  // Sec. 1
+inline constexpr const char* kYhooQuery =
+    "[//stock[code/text() = \"YHOO\"]]";  // Example 2.1
+inline constexpr const char* kMerillQuery =
+    "[/portofolio/broker/name = \"Merill Lynch\"]";  // Sec. 4 (lazy)
+
+}  // namespace parbox::xmark
+
+#endif  // PARBOX_XMARK_PORTFOLIO_H_

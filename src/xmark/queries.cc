@@ -1,0 +1,75 @@
+#include "xmark/queries.h"
+
+#include <array>
+
+#include "xpath/normalize.h"
+
+namespace parbox::xmark {
+
+namespace {
+
+/// Labels for descendant chains, ordered so short chains follow real
+/// paths in the generated documents (//regions/africa/item exists).
+std::string ChainLabel(size_t i) {
+  constexpr std::array<const char*, 12> kChain = {
+      "regions",  "africa",   "item",    "description",
+      "parlist",  "name",     "quantity", "location",
+      "payment",  "shipping", "profile", "interest"};
+  if (i < kChain.size()) return kChain[i];
+  return "label" + std::to_string(i);
+}
+
+/// "//l1/l2/.../lk" with `qualified` appending `[. = "vintage"]`.
+std::string ChainQueryText(int k, bool qualified) {
+  std::string text = "[";
+  for (int i = 0; i < k; ++i) {
+    text += i == 0 ? "//" : "/";
+    text += ChainLabel(static_cast<size_t>(i));
+  }
+  if (qualified) text += "[. = \"vintage\"]";
+  text += "]";
+  return text;
+}
+
+}  // namespace
+
+Result<xpath::NormQuery> MakeQueryOfQListSize(int target) {
+  if (target < 2) {
+    return Status::InvalidArgument("QList size must be at least 2");
+  }
+  // Descendant chains of k label steps normalize to 3k+1 QList
+  // entries; a trailing `[. = "v"]` qualifier makes that 3k+3, and a
+  // not(...) wrapper adds one more — together covering every residue
+  // mod 3 for targets >= 4 (2 and 3 are special-cased).
+  std::string text;
+  if (target == 2) {
+    text = "[not(label() = nosuchlabel)]";
+  } else if (target == 3) {
+    text = "[label() = " + ChainLabel(0) + " and label() = " + ChainLabel(1) +
+           "]";
+  } else if (target % 3 == 1) {
+    text = ChainQueryText((target - 1) / 3, false);
+  } else if (target % 3 == 0) {
+    text = ChainQueryText((target - 3) / 3, true);
+  } else {
+    std::string inner = ChainQueryText((target - 2) / 3, false);
+    text = "[not(" + inner.substr(1, inner.size() - 2) + ")]";
+  }
+  PARBOX_ASSIGN_OR_RETURN(xpath::NormQuery q, xpath::CompileQuery(text));
+  if (q.size() != static_cast<size_t>(target)) {
+    return Status::Internal("query construction produced |QList| = " +
+                            std::to_string(q.size()) + ", wanted " +
+                            std::to_string(target) + " for " + text);
+  }
+  return q;
+}
+
+std::string MarkerQueryText(const std::string& text) {
+  return "[//marker/text() = \"" + text + "\"]";
+}
+
+Result<xpath::NormQuery> MakeMarkerQuery(const std::string& text) {
+  return xpath::CompileQuery(MarkerQueryText(text));
+}
+
+}  // namespace parbox::xmark

@@ -1,0 +1,35 @@
+// Query workloads for the experiments.
+//
+// Experiments 1 and 3 sweep the query size |QList(q)| over {2, 8, 15,
+// 23}; Experiment 2 needs queries satisfied at exactly one fragment of
+// a chain (via the generator's <marker> texts). These helpers build
+// those queries over the XMark-like vocabulary and guarantee the
+// advertised |QList| size by construction (verified in tests).
+
+#ifndef PARBOX_XMARK_QUERIES_H_
+#define PARBOX_XMARK_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/qlist.h"
+
+namespace parbox::xmark {
+
+/// A query over XMark labels whose normalized QList has exactly
+/// `target` entries. Supported targets: every integer >= 2.
+Result<xpath::NormQuery> MakeQueryOfQListSize(int target);
+
+/// The sizes the paper sweeps.
+inline constexpr int kPaperQuerySizes[] = {2, 8, 15, 23};
+
+/// "[//marker/text() = \"<text>\"]" — satisfied exactly where the
+/// generator planted the marker.
+Result<xpath::NormQuery> MakeMarkerQuery(const std::string& text);
+/// The same as surface text (for display).
+std::string MarkerQueryText(const std::string& text);
+
+}  // namespace parbox::xmark
+
+#endif  // PARBOX_XMARK_QUERIES_H_

@@ -1,0 +1,326 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace parbox::xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  // '@' admits the parser's own attribute-as-element encoding.
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '@';
+}
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Parse() {
+    Document doc;
+    SkipProlog();
+    if (AtEnd()) return Fail("document has no root element");
+    if (Peek() != '<') return Fail("expected root element");
+    Node* root = nullptr;
+    Status st = ParseElement(&doc, &root);
+    if (!st.ok()) return st;
+    doc.set_root(root);
+    SkipMisc();
+    if (!AtEnd()) return Fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(std::string_view token) {
+    if (input_.substr(pos_, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::ParseError(what + " at " + std::to_string(line_) + ":" +
+                              std::to_string(col_));
+  }
+
+  /// XML declaration, comments, PIs, whitespace before the root.
+  void SkipProlog() {
+    for (;;) {
+      SkipSpace();
+      if (input_.substr(pos_, 2) == "<?") {
+        SkipUntil("?>");
+      } else if (input_.substr(pos_, 4) == "<!--") {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (input_.substr(pos_, 4) == "<!--") {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd() && input_.substr(pos_, terminator.size()) != terminator) {
+      Advance();
+    }
+    Consume(terminator);
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Fail("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decode one entity starting at '&'. Appends to `out`.
+  Status ParseEntity(std::string* out) {
+    Advance();  // '&'
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != ';') {
+      if (pos_ - start > 8) return Fail("unterminated entity");
+      Advance();
+    }
+    if (AtEnd()) return Fail("unterminated entity");
+    std::string_view name = input_.substr(start, pos_ - start);
+    Advance();  // ';'
+    if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (!name.empty() && name[0] == '#') {
+      long code = 0;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        code = std::strtol(std::string(name.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(name.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) return Fail("bad character reference");
+      // Encode as UTF-8.
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return Fail("unknown entity '&" + std::string(name) + ";'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseAttrValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Fail("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        PARBOX_RETURN_IF_ERROR(ParseEntity(&value));
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Fail("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  /// Parse an element whose '<' is the current byte.
+  Status ParseElement(Document* doc, Node** out) {
+    // The parser is recursive; bound nesting so adversarial inputs fail
+    // with a ParseError instead of exhausting the C++ stack.
+    static constexpr int kMaxDepth = 2000;
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Fail("element nesting exceeds the supported depth");
+    }
+    struct DepthGuard {
+      int* d;
+      ~DepthGuard() { --*d; }
+    } guard{&depth_};
+    Advance();  // '<'
+    PARBOX_ASSIGN_OR_RETURN(std::string name, ParseName());
+
+    // Attributes.
+    struct Attr {
+      std::string name;
+      std::string value;
+    };
+    std::vector<Attr> attrs;
+    for (;;) {
+      SkipSpace();
+      if (AtEnd()) return Fail("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      PARBOX_ASSIGN_OR_RETURN(std::string aname, ParseName());
+      SkipSpace();
+      if (AtEnd() || Peek() != '=') return Fail("expected '=' in attribute");
+      Advance();
+      SkipSpace();
+      PARBOX_ASSIGN_OR_RETURN(std::string avalue, ParseAttrValue());
+      attrs.push_back({std::move(aname), std::move(avalue)});
+    }
+
+    // The writer's encoding of virtual nodes.
+    if (name == "parbox:virtual") {
+      if (attrs.size() != 1 || attrs[0].name != "ref") {
+        return Fail("parbox:virtual requires exactly a ref attribute");
+      }
+      if (!Consume("/>")) return Fail("parbox:virtual must be self-closing");
+      *out = doc->NewVirtual(
+          static_cast<FragmentId>(std::atoi(attrs[0].value.c_str())));
+      return Status::OK();
+    }
+
+    Node* element = doc->NewElement(name);
+    for (const Attr& a : attrs) {
+      Node* attr_el = doc->NewElement("@" + a.name);
+      if (!a.value.empty()) {
+        doc->AppendChild(attr_el, doc->NewText(a.value));
+      }
+      doc->AppendChild(element, attr_el);
+    }
+
+    if (Consume("/>")) {
+      *out = element;
+      return Status::OK();
+    }
+    if (!Consume(">")) return Fail("expected '>'");
+
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      bool all_space = true;
+      for (char c : text) {
+        if (!IsSpace(c)) all_space = false;
+      }
+      if (!(all_space && options_.skip_whitespace_text)) {
+        doc->AppendChild(element, doc->NewText(text));
+      }
+      text.clear();
+    };
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated element <" + name + ">");
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          Advance();
+          Advance();
+          PARBOX_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != name) {
+            return Fail("mismatched close tag </" + close + "> for <" +
+                        name + ">");
+          }
+          SkipSpace();
+          if (!Consume(">")) return Fail("expected '>' in close tag");
+          *out = element;
+          return Status::OK();
+        }
+        if (input_.substr(pos_, 4) == "<!--") {
+          SkipUntil("-->");
+          continue;
+        }
+        if (input_.substr(pos_, 9) == "<![CDATA[") {
+          for (size_t i = 0; i < 9; ++i) Advance();
+          size_t start = pos_;
+          while (!AtEnd() && input_.substr(pos_, 3) != "]]>") Advance();
+          if (AtEnd()) return Fail("unterminated CDATA section");
+          text.append(input_.substr(start, pos_ - start));
+          Consume("]]>");
+          continue;
+        }
+        if (input_.substr(pos_, 2) == "<!") {
+          return Fail("DTD markup is not supported");
+        }
+        if (input_.substr(pos_, 2) == "<?") {
+          SkipUntil("?>");
+          continue;
+        }
+        flush_text();
+        Node* child = nullptr;
+        PARBOX_RETURN_IF_ERROR(ParseElement(doc, &child));
+        doc->AppendChild(element, child);
+        continue;
+      }
+      if (Peek() == '&') {
+        PARBOX_RETURN_IF_ERROR(ParseEntity(&text));
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace parbox::xml

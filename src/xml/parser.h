@@ -1,0 +1,37 @@
+// A small, strict XML parser for the subset the library needs.
+//
+// Supported: elements, text, attributes (converted to `@name` child
+// elements carrying the value as text, since the query language has no
+// attribute axis), comments, CDATA sections, XML declarations and
+// processing instructions (skipped), the five predefined entities and
+// numeric character references. `<parbox:virtual ref="K"/>` elements
+// (emitted by the writer) become virtual nodes again, so fragments
+// round-trip.
+//
+// Unsupported (rejected with a ParseError): DTDs, namespaces beyond the
+// literal `parbox:virtual` tag, and mismatched / unterminated markup.
+
+#ifndef PARBOX_XML_PARSER_H_
+#define PARBOX_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dom.h"
+
+namespace parbox::xml {
+
+struct ParseOptions {
+  /// Drop text nodes that contain only whitespace (what you want when
+  /// reading pretty-printed documents).
+  bool skip_whitespace_text = true;
+};
+
+/// Parse `input` into a Document. On failure the status message
+/// contains 1-based line:column of the offending byte.
+Result<Document> ParseXml(std::string_view input,
+                          const ParseOptions& options = {});
+
+}  // namespace parbox::xml
+
+#endif  // PARBOX_XML_PARSER_H_

@@ -1,0 +1,153 @@
+#include "xml/writer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+namespace parbox::xml {
+
+namespace {
+
+/// Sink abstraction so WriteXml and SerializedSize share one walker.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void Append(std::string_view s) = 0;
+};
+
+class StringSink : public Sink {
+ public:
+  void Append(std::string_view s) override { out_.append(s); }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class CountingSink : public Sink {
+ public:
+  void Append(std::string_view s) override { count_ += s.size(); }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+void AppendEscaped(Sink* sink, std::string_view text) {
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char* rep = nullptr;
+    switch (text[i]) {
+      case '&': rep = "&amp;"; break;
+      case '<': rep = "&lt;"; break;
+      case '>': rep = "&gt;"; break;
+      case '"': rep = "&quot;"; break;
+      case '\'': rep = "&apos;"; break;
+      default: break;
+    }
+    if (rep != nullptr) {
+      sink->Append(text.substr(start, i - start));
+      sink->Append(rep);
+      start = i + 1;
+    }
+  }
+  sink->Append(text.substr(start));
+}
+
+void WriteNode(Sink* sink, const Node* root, const WriteOptions& options) {
+  // Iterative serializer: frames carry the node and whether we are
+  // entering (emit open tag, push children) or leaving (emit close tag).
+  struct Frame {
+    const Node* node;
+    bool closing;
+    int depth;
+  };
+  std::vector<Frame> stack{{root, false, 0}};
+  char buf[48];
+  auto indent = [&](int depth) {
+    if (!options.indent || depth < 0) return;
+    sink->Append("\n");
+    for (int i = 0; i < depth; ++i) sink->Append("  ");
+  };
+  bool first = true;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node* n = f.node;
+    if (f.closing) {
+      indent(f.depth);
+      sink->Append("</");
+      sink->Append(n->label());
+      sink->Append(">");
+      continue;
+    }
+    switch (n->kind) {
+      case NodeKind::kText:
+        AppendEscaped(sink, n->text());
+        break;
+      case NodeKind::kVirtual:
+        if (!first) indent(f.depth);
+        std::snprintf(buf, sizeof(buf), "<parbox:virtual ref=\"%d\"/>",
+                      n->fragment_ref);
+        sink->Append(buf);
+        break;
+      case NodeKind::kElement: {
+        if (!first) indent(f.depth);
+        sink->Append("<");
+        sink->Append(n->label());
+        if (n->first_child == nullptr) {
+          sink->Append("/>");
+          break;
+        }
+        sink->Append(">");
+        // Indent the close tag only when there is no text content (so
+        // round-tripping text stays exact).
+        bool has_text = false;
+        for (const Node* c = n->first_child; c != nullptr;
+             c = c->next_sibling) {
+          if (c->is_text()) has_text = true;
+        }
+        stack.push_back({n, true, has_text ? -1 : f.depth});
+        if (has_text) {
+          // Suppress indentation inside mixed content.
+          for (const Node* c = n->last_child; c != nullptr;
+               c = c->prev_sibling) {
+            stack.push_back({c, false, -1});
+          }
+        } else {
+          for (const Node* c = n->last_child; c != nullptr;
+               c = c->prev_sibling) {
+            stack.push_back({c, false, f.depth + 1});
+          }
+        }
+        break;
+      }
+    }
+    first = false;
+  }
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  StringSink sink;
+  AppendEscaped(&sink, text);
+  return sink.Take();
+}
+
+std::string WriteXml(const Node* n, const WriteOptions& options) {
+  if (n == nullptr) return "";
+  StringSink sink;
+  WriteOptions adjusted = options;
+  WriteNode(&sink, n, adjusted);
+  return sink.Take();
+}
+
+uint64_t SerializedSize(const Node* n, const WriteOptions& options) {
+  if (n == nullptr) return 0;
+  CountingSink sink;
+  WriteNode(&sink, n, options);
+  return sink.count();
+}
+
+}  // namespace parbox::xml

@@ -1,0 +1,35 @@
+// XML serialization, plus serialized-size accounting.
+//
+// The size of a fragment "on the wire" — what NaiveCentralized pays to
+// ship data to the coordinator — is defined as the byte length of this
+// writer's output, so the traffic numbers in benchmarks are honest.
+
+#ifndef PARBOX_XML_WRITER_H_
+#define PARBOX_XML_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xml/dom.h"
+
+namespace parbox::xml {
+
+struct WriteOptions {
+  /// Pretty-print with 2-space indentation and newlines.
+  bool indent = false;
+};
+
+/// Serialize the subtree rooted at `n` to XML text. Virtual nodes are
+/// written as self-closing `<parbox:virtual ref="K"/>` elements, which
+/// the parser recognizes and turns back into virtual nodes.
+std::string WriteXml(const Node* n, const WriteOptions& options = {});
+
+/// Byte length of WriteXml(n) without materializing the string.
+uint64_t SerializedSize(const Node* n, const WriteOptions& options = {});
+
+/// Escape &, <, >, ", ' for use in text content.
+std::string EscapeText(std::string_view text);
+
+}  // namespace parbox::xml
+
+#endif  // PARBOX_XML_WRITER_H_

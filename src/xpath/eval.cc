@@ -1,0 +1,30 @@
+#include "xpath/eval.h"
+
+namespace parbox::xpath {
+
+Result<bool> EvalBoolean(const xml::Node& root, const NormQuery& q,
+                         EvalCounters* counters) {
+  if (!root.is_element()) {
+    return Status::InvalidArgument("evaluation root must be an element");
+  }
+  if (!q.IsWellFormed()) {
+    return Status::InvalidArgument("query QList is not well-formed");
+  }
+  bool saw_virtual = false;
+  BoolDomain dom;
+  EvalVectors<BoolDomain> vectors = BottomUpEval(
+      dom, q, root,
+      [&](const xml::Node&, std::vector<bool>* v, std::vector<bool>* dv) {
+        saw_virtual = true;
+        v->assign(q.size(), false);
+        dv->assign(q.size(), false);
+      },
+      counters);
+  if (saw_virtual) {
+    return Status::FailedPrecondition(
+        "centralized evaluation over a tree with virtual nodes");
+  }
+  return static_cast<bool>(vectors.v[q.root()]);
+}
+
+}  // namespace parbox::xpath

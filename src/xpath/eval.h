@@ -1,0 +1,225 @@
+// Procedure bottomUp (Fig. 3): a single-pass, bottom-up evaluation of
+// all QList entries at every element of a tree, in O(|T|·|q|).
+//
+// The same kernel serves two masters:
+//
+//   * BoolDomain  — plain truth values. Over an unfragmented tree this
+//     *is* the best-known centralized algorithm the paper compares
+//     against; over a fragment with already-resolved sub-fragments it
+//     is NaiveDistributed's per-fragment step.
+//   * ExprDomain  — Boolean formulas (boolexpr). Over a fragment whose
+//     virtual nodes yield fresh variables it is ParBoX's partial
+//     evaluation, returning the (V, CV, DV) triplet of Fig. 3.
+//
+// Virtual nodes are delegated to a caller-supplied resolver, which
+// decides what a sub-fragment's V/DV vectors look like (variables,
+// previously computed truth values, ...). The kernel is iterative — an
+// explicit post-order stack — so chain-shaped trees cannot overflow
+// the C++ stack; memory is O(depth · |q|).
+
+#ifndef PARBOX_XPATH_EVAL_H_
+#define PARBOX_XPATH_EVAL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "common/status.h"
+#include "xml/dom.h"
+#include "xpath/qlist.h"
+
+namespace parbox::xpath {
+
+/// Truth-value domain: the centralized / fully-resolved case.
+struct BoolDomain {
+  using Value = bool;
+  bool False() const { return false; }
+  bool FromBool(bool b) const { return b; }
+  bool And(bool a, bool b) const { return a && b; }
+  bool Or(bool a, bool b) const { return a || b; }
+  bool Not(bool a) const { return !a; }
+};
+
+/// Formula domain: partial evaluation. Wraps an ExprFactory; the
+/// factory's smart constructors implement compFm's folding.
+struct ExprDomain {
+  using Value = bexpr::ExprId;
+  bexpr::ExprFactory* factory;
+
+  Value False() const { return factory->False(); }
+  Value FromBool(bool b) const { return factory->FromBool(b); }
+  Value And(Value a, Value b) const { return factory->And(a, b); }
+  Value Or(Value a, Value b) const { return factory->Or(a, b); }
+  Value Not(Value a) const { return factory->Not(a); }
+};
+
+/// The (V, CV, DV) triplet of Fig. 3, at one node.
+template <typename Domain>
+struct EvalVectors {
+  std::vector<typename Domain::Value> v;   ///< holds *here*
+  std::vector<typename Domain::Value> cv;  ///< holds at some child
+  std::vector<typename Domain::Value> dv;  ///< holds here or below
+};
+
+/// What the kernel charges per element node: one pass over the QList.
+/// `ops` below counts element-node × QList-entry steps — the unit in
+/// which all computation-cost bounds of the paper are expressed.
+struct EvalCounters {
+  uint64_t ops = 0;
+  uint64_t elements = 0;
+};
+
+/// Evaluate all QList entries over the subtree rooted at `root` (must
+/// be an element). `resolve_virtual(node, out_v, out_dv)` fills the V
+/// and DV vectors (size |q|) for a virtual child. `node_hook(node, v)`
+/// observes each element's finished V vector (used by the selection
+/// extension to retain per-node predicates).
+template <typename Domain, typename VirtualFn, typename NodeHook>
+EvalVectors<Domain> BottomUpEvalHooked(Domain dom, const NormQuery& q,
+                                       const xml::Node& root,
+                                       VirtualFn&& resolve_virtual,
+                                       NodeHook&& node_hook,
+                                       EvalCounters* counters = nullptr) {
+  assert(root.is_element());
+  using Value = typename Domain::Value;
+  const size_t n = q.size();
+
+  struct Frame {
+    const xml::Node* node;
+    const xml::Node* next_child;
+    std::vector<Value> cv;
+    std::vector<Value> dv;
+  };
+
+  auto new_frame = [&](const xml::Node* node) {
+    Frame f;
+    f.node = node;
+    f.next_child = node->first_child;
+    f.cv.assign(n, dom.False());
+    f.dv.assign(n, dom.False());
+    return f;
+  };
+
+  EvalVectors<Domain> result;
+  std::vector<Frame> stack;
+  stack.push_back(new_frame(&root));
+
+  std::vector<Value> vv(n, dom.False());
+  std::vector<Value> virt_v(n, dom.False());
+  std::vector<Value> virt_dv(n, dom.False());
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+
+    // Phase 1: fold children (lines 1-5 of bottomUp).
+    bool descended = false;
+    while (f.next_child != nullptr) {
+      const xml::Node* c = f.next_child;
+      f.next_child = c->next_sibling;
+      if (c->is_text()) continue;  // text leaves carry no vectors
+      if (c->is_virtual()) {
+        resolve_virtual(*c, &virt_v, &virt_dv);
+        assert(virt_v.size() == n && virt_dv.size() == n);
+        for (size_t i = 0; i < n; ++i) {
+          f.cv[i] = dom.Or(f.cv[i], virt_v[i]);
+          f.dv[i] = dom.Or(f.dv[i], virt_dv[i]);
+        }
+        continue;
+      }
+      stack.push_back(new_frame(c));
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+
+    // Phase 2: all children folded; compute V at this node
+    // (lines 6-17, cases c0-c8).
+    const xml::Node& node = *f.node;
+    for (size_t i = 0; i < n; ++i) {
+      const NormQuery::SubQuery& sq = q.at(static_cast<SubQueryId>(i));
+      Value value;
+      switch (sq.kind) {
+        case NormKind::kEps:
+        case NormKind::kMark:  // as a Boolean, a mark is just ǫ
+          value = dom.FromBool(true);
+          break;
+        case NormKind::kLabelIs:
+          value = dom.FromBool(node.label() == sq.str);
+          break;
+        case NormKind::kTextIs:
+          value = dom.FromBool(xml::DirectTextEquals(node, sq.str));
+          break;
+        case NormKind::kChild:
+          value = f.cv[sq.a];
+          break;
+        case NormKind::kSeq:
+          value = dom.And(vv[sq.a], vv[sq.b]);
+          break;
+        case NormKind::kDesc:
+          // DV of the operand is already final for this node because
+          // the QList is topologically sorted (sq.a < i).
+          value = f.dv[sq.a];
+          break;
+        case NormKind::kAnd:
+          value = dom.And(vv[sq.a], vv[sq.b]);
+          break;
+        case NormKind::kOr:
+          value = dom.Or(vv[sq.a], vv[sq.b]);
+          break;
+        case NormKind::kNot:
+          value = dom.Not(vv[sq.a]);
+          break;
+        default:
+          value = dom.False();
+          break;
+      }
+      vv[i] = value;
+      f.dv[i] = dom.Or(value, f.dv[i]);  // line 17
+    }
+    if (counters != nullptr) {
+      counters->ops += n;
+      counters->elements += 1;
+    }
+    node_hook(node, vv);
+
+    // Phase 3: fold this node's (V, DV) into the parent (or finish).
+    if (stack.size() == 1) {
+      result.v = vv;
+      result.cv = std::move(f.cv);
+      result.dv = std::move(f.dv);
+      stack.pop_back();
+    } else {
+      Frame& parent = stack[stack.size() - 2];
+      for (size_t i = 0; i < n; ++i) {
+        parent.cv[i] = dom.Or(parent.cv[i], vv[i]);
+        parent.dv[i] = dom.Or(parent.dv[i], f.dv[i]);
+      }
+      stack.pop_back();
+    }
+  }
+  return result;
+}
+
+/// BottomUpEvalHooked without the per-node observer.
+template <typename Domain, typename VirtualFn>
+EvalVectors<Domain> BottomUpEval(Domain dom, const NormQuery& q,
+                                 const xml::Node& root,
+                                 VirtualFn&& resolve_virtual,
+                                 EvalCounters* counters = nullptr) {
+  return BottomUpEvalHooked(
+      dom, q, root, std::forward<VirtualFn>(resolve_virtual),
+      [](const xml::Node&, const std::vector<typename Domain::Value>&) {},
+      counters);
+}
+
+/// Centralized evaluation of a query over an *unfragmented* tree —
+/// the NaiveCentralized kernel and the correctness baseline.
+/// Fails with FailedPrecondition if the tree contains virtual nodes.
+Result<bool> EvalBoolean(const xml::Node& root, const NormQuery& q,
+                         EvalCounters* counters = nullptr);
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_EVAL_H_

@@ -1,0 +1,92 @@
+#include "xpath/normalize.h"
+
+#include "xpath/parser.h"
+
+namespace parbox::xpath {
+
+namespace {
+
+SubQueryId NormalizeQual(const QualExpr& q, NormQuery* out);
+
+/// Normalize path `p` given that `rest` must hold at the node the path
+/// reaches: returns the sub-query "some node reachable via p from here
+/// satisfies rest".
+SubQueryId NormalizePath(const PathExpr& p, SubQueryId rest,
+                         NormQuery* out) {
+  switch (p.kind) {
+    case PathKind::kSelf:
+      return rest;
+    case PathKind::kLabel:
+      // A == */ǫ[label()=A]; with a continuation: */ǫ[label()=A]/rest.
+      return out->Child(out->Seq(out->LabelIs(p.label), rest));
+    case PathKind::kWildcard:
+      return out->Child(rest);
+    case PathKind::kChildSeq:
+      return NormalizePath(*p.left, NormalizePath(*p.right, rest, out), out);
+    case PathKind::kDescSeq:
+      return NormalizePath(*p.left,
+                           out->Desc(NormalizePath(*p.right, rest, out)),
+                           out);
+    case PathKind::kQualified:
+      return NormalizePath(*p.left,
+                           out->Seq(NormalizeQual(*p.qual, out), rest), out);
+  }
+  return -1;  // unreachable
+}
+
+SubQueryId NormalizeQual(const QualExpr& q, NormQuery* out) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return NormalizePath(*q.path, out->Eps(), out);
+    case QualKind::kTextEquals:
+      // normalize(p/text()=s) = normalize(p)[text()=s].
+      return NormalizePath(*q.path, out->TextIs(q.str), out);
+    case QualKind::kLabelEquals:
+      return out->LabelIs(q.str);
+    case QualKind::kNot:
+      return out->Not(NormalizeQual(*q.a, out));
+    case QualKind::kAnd: {
+      SubQueryId a = NormalizeQual(*q.a, out);
+      SubQueryId b = NormalizeQual(*q.b, out);
+      return out->And(a, b);
+    }
+    case QualKind::kOr: {
+      SubQueryId a = NormalizeQual(*q.a, out);
+      SubQueryId b = NormalizeQual(*q.b, out);
+      return out->Or(a, b);
+    }
+  }
+  return -1;  // unreachable
+}
+
+}  // namespace
+
+NormQuery Normalize(const QualExpr& query) {
+  NormQuery out;
+  out.SetRoot(NormalizeQual(query, &out));
+  return out;
+}
+
+Result<NormQuery> CompileQuery(std::string_view query_text) {
+  PARBOX_ASSIGN_OR_RETURN(auto ast, ParseQuery(query_text));
+  return Normalize(*ast);
+}
+
+SelectionQuery NormalizeSelection(const PathExpr& path) {
+  SelectionQuery out;
+  SubQueryId mark = out.query.Mark();
+  out.mark = mark;
+  out.query.SetRoot(NormalizePath(path, mark, &out.query));
+  return out;
+}
+
+Result<SelectionQuery> CompileSelection(std::string_view path_text) {
+  PARBOX_ASSIGN_OR_RETURN(auto ast, ParseQuery(path_text));
+  if (ast->kind != QualKind::kPath) {
+    return Status::InvalidArgument(
+        "selection requires a single path, not a Boolean combination");
+  }
+  return NormalizeSelection(*ast->path);
+}
+
+}  // namespace parbox::xpath

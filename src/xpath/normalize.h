@@ -1,0 +1,53 @@
+// The linear-time normalize(q) function of Sec. 2.2: rewrites a surface
+// XBL query into the β-normal form and materializes its QList.
+//
+// The rewrite rules implemented (verbatim from the paper):
+//   normalize(A)            = */ǫ[label() = A]
+//   normalize(p1/p2)        = normalize(p1)/normalize(p2)
+//   normalize(p1//p2)       = normalize(p1)/ // /normalize(p2)
+//   normalize(p[q])         = normalize(p)/ǫ[normalize(q)]
+//   normalize(p/text()=s)   = normalize(p)[text() = s]
+//   normalize(q1 ∧ q2)      = normalize(q1) ∧ normalize(q2)   (∨, ¬ alike)
+//   normalize(ǫ[q1]/.../ǫ[qn]) = ǫ[q1 ∧ ... ∧ qn]
+//
+// Normalization is continuation-passing: a path is folded from the
+// right, each step wrapping the continuation ("the rest of the path
+// holds below here") in the matching QList constructor.
+
+#ifndef PARBOX_XPATH_NORMALIZE_H_
+#define PARBOX_XPATH_NORMALIZE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/qlist.h"
+
+namespace parbox::xpath {
+
+/// Rewrite a surface query to normal form; O(|q|).
+NormQuery Normalize(const QualExpr& query);
+
+/// Parse + normalize in one step.
+Result<NormQuery> CompileQuery(std::string_view query_text);
+
+/// A path compiled for *data selection* (Sec. 8 extension): the path's
+/// endpoint is a kMark sub-query, so the downward pass of path
+/// selection can recognize where matches land. As a Boolean query the
+/// result still means "some node is reachable via the path".
+struct SelectionQuery {
+  NormQuery query;
+  SubQueryId mark;
+};
+
+/// Normalize a selection path.
+SelectionQuery NormalizeSelection(const PathExpr& path);
+
+/// Parse the text as a path (optionally [bracketed]) and normalize it
+/// for selection. Fails if the text is a Boolean combination rather
+/// than a single path.
+Result<SelectionQuery> CompileSelection(std::string_view path_text);
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_NORMALIZE_H_

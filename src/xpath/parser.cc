@@ -1,0 +1,216 @@
+#include "xpath/parser.h"
+
+#include <vector>
+
+#include "xpath/lexer.h"
+
+namespace parbox::xpath {
+
+namespace {
+
+using QualPtr = std::unique_ptr<QualExpr>;
+using PathPtr = std::unique_ptr<PathExpr>;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QualPtr> Parse() {
+    bool bracketed = Accept(TokenKind::kLBracket);
+    PARBOX_ASSIGN_OR_RETURN(QualPtr q, ParseOr());
+    if (bracketed && !Accept(TokenKind::kRBracket)) {
+      return Fail("expected closing ']'");
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Fail("trailing tokens after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().kind != TokenKind::kName || Peek().text != kw) return false;
+    ++pos_;
+    return true;
+  }
+  Status Fail(const std::string& what) const {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<QualPtr> ParseOr() {
+    PARBOX_ASSIGN_OR_RETURN(QualPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      PARBOX_ASSIGN_OR_RETURN(QualPtr right, ParseAnd());
+      left = QualExpr::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<QualPtr> ParseAnd() {
+    PARBOX_ASSIGN_OR_RETURN(QualPtr left, ParseUnary());
+    while (AcceptKeyword("and")) {
+      PARBOX_ASSIGN_OR_RETURN(QualPtr right, ParseUnary());
+      left = QualExpr::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<QualPtr> ParseUnary() {
+    if (Accept(TokenKind::kBang)) {
+      PARBOX_ASSIGN_OR_RETURN(QualPtr inner, ParseUnary());
+      return QualExpr::Not(std::move(inner));
+    }
+    if (Peek().kind == TokenKind::kName && Peek().text == "not" &&
+        Peek(1).kind == TokenKind::kLParen) {
+      pos_ += 2;
+      PARBOX_ASSIGN_OR_RETURN(QualPtr inner, ParseOr());
+      if (!Accept(TokenKind::kRParen)) return Fail("expected ')'");
+      return QualExpr::Not(std::move(inner));
+    }
+    if (Accept(TokenKind::kLParen)) {
+      PARBOX_ASSIGN_OR_RETURN(QualPtr inner, ParseOr());
+      if (!Accept(TokenKind::kRParen)) return Fail("expected ')'");
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<QualPtr> ParseComparison() {
+    if (Accept(TokenKind::kLabelFn)) {
+      if (!Accept(TokenKind::kEquals)) {
+        return Fail("expected '=' after label()");
+      }
+      PARBOX_ASSIGN_OR_RETURN(std::string value, ParseValue());
+      return QualExpr::LabelEquals(std::move(value));
+    }
+    // A path, optionally ending in `/text() = v` or `= v`.
+    bool text_test = false;
+    PARBOX_ASSIGN_OR_RETURN(PathPtr path, ParsePath(&text_test));
+    if (text_test || Peek().kind == TokenKind::kEquals) {
+      if (!Accept(TokenKind::kEquals)) {
+        return Fail("expected '=' after text()");
+      }
+      PARBOX_ASSIGN_OR_RETURN(std::string value, ParseValue());
+      return QualExpr::TextEquals(std::move(path), std::move(value));
+    }
+    return QualExpr::Path(std::move(path));
+  }
+
+  Result<std::string> ParseValue() {
+    if (Peek().kind == TokenKind::kString || Peek().kind == TokenKind::kName) {
+      std::string v = Peek().text;
+      ++pos_;
+      return v;
+    }
+    return Fail("expected a string or name after '='");
+  }
+
+  /// `/A/...` evaluated at the tree root means "the root element is
+  /// labelled A" (document-node semantics, as in the paper's
+  /// [/portofolio/broker/...]). Rewrite the first step: its innermost
+  /// base `A` becomes `.[label() = A]`; `*` and `.` become `.`.
+  static PathPtr AbsolutizeFirstStep(PathPtr step) {
+    PathExpr* base = step.get();
+    while (base->kind == PathKind::kQualified) base = base->left.get();
+    switch (base->kind) {
+      case PathKind::kLabel: {
+        auto replacement = PathExpr::Qualified(
+            PathExpr::Self(), QualExpr::LabelEquals(base->label));
+        *base = std::move(*replacement);
+        break;
+      }
+      case PathKind::kWildcard:
+        *base = std::move(*PathExpr::Self());
+        break;
+      default:
+        break;  // '.' stays; composite steps cannot be first
+    }
+    return step;
+  }
+
+  /// Parses a path. Sets *ends_in_text_fn if the path's final step was
+  /// `text()` (the caller must then consume `= value`).
+  Result<PathPtr> ParsePath(bool* ends_in_text_fn) {
+    *ends_in_text_fn = false;
+    PathPtr path;
+    // Leading separators, with the evaluation root as context node:
+    // '//' is `self-or-descendant/...`; '/' addresses the root element
+    // itself (see AbsolutizeFirstStep).
+    if (Accept(TokenKind::kDoubleSlash)) {
+      PARBOX_ASSIGN_OR_RETURN(PathPtr step, ParseStep());
+      path = PathExpr::Desc(PathExpr::Self(), std::move(step));
+    } else if (Accept(TokenKind::kSlash)) {
+      PARBOX_ASSIGN_OR_RETURN(PathPtr step, ParseStep());
+      path = AbsolutizeFirstStep(std::move(step));
+    } else {
+      PARBOX_ASSIGN_OR_RETURN(PathPtr step, ParseStep());
+      path = std::move(step);
+    }
+    for (;;) {
+      bool desc;
+      if (Accept(TokenKind::kSlash)) {
+        desc = false;
+      } else if (Accept(TokenKind::kDoubleSlash)) {
+        desc = true;
+      } else {
+        break;
+      }
+      if (!desc && Accept(TokenKind::kTextFn)) {
+        *ends_in_text_fn = true;
+        return path;
+      }
+      PARBOX_ASSIGN_OR_RETURN(PathPtr step, ParseStep());
+      path = desc ? PathExpr::Desc(std::move(path), std::move(step))
+                  : PathExpr::Child(std::move(path), std::move(step));
+    }
+    return path;
+  }
+
+  /// One step: name | * | . , followed by zero or more [qualifier].
+  Result<PathPtr> ParseStep() {
+    PathPtr step;
+    if (Accept(TokenKind::kStar)) {
+      step = PathExpr::Wildcard();
+    } else if (Accept(TokenKind::kDot)) {
+      step = PathExpr::Self();
+    } else if (Peek().kind == TokenKind::kName) {
+      const std::string& name = Peek().text;
+      if (name == "and" || name == "or" || name == "not") {
+        return Fail("'" + name + "' is a reserved word, not a label");
+      }
+      step = PathExpr::Label(name);
+      ++pos_;
+    } else {
+      return Fail("expected a path step (label, '*' or '.')");
+    }
+    while (Accept(TokenKind::kLBracket)) {
+      PARBOX_ASSIGN_OR_RETURN(QualPtr qual, ParseOr());
+      if (!Accept(TokenKind::kRBracket)) return Fail("expected ']'");
+      step = PathExpr::Qualified(std::move(step), std::move(qual));
+    }
+    return step;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QualPtr> ParseQuery(std::string_view input) {
+  PARBOX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace parbox::xpath

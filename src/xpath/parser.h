@@ -1,0 +1,25 @@
+// Recursive-descent parser for the XBL concrete syntax.
+//
+//   ParseQuery("[//stock[code = \"goog\" and not(sell = \"376\")]]")
+//
+// `and`, `or`, `not` are reserved words and cannot be used as element
+// labels in queries. Precedence: `or` < `and` < `not`/`!`; parentheses
+// group. The outer [ ... ] is optional.
+
+#ifndef PARBOX_XPATH_PARSER_H_
+#define PARBOX_XPATH_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace parbox::xpath {
+
+/// Parse a whole XBL query.
+Result<std::unique_ptr<QualExpr>> ParseQuery(std::string_view input);
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_PARSER_H_

@@ -1,0 +1,117 @@
+#include "xpath/reference_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace parbox::xpath {
+
+namespace {
+
+using NodeSet = std::vector<const xml::Node*>;
+
+void Dedup(NodeSet* nodes) {
+  std::unordered_set<const xml::Node*> seen;
+  NodeSet out;
+  for (const xml::Node* n : *nodes) {
+    if (seen.insert(n).second) out.push_back(n);
+  }
+  *nodes = std::move(out);
+}
+
+/// Element descendants of `v`, including `v` itself, document order.
+void DescendantsOrSelf(const xml::Node& v, NodeSet* out) {
+  std::vector<const xml::Node*> stack{&v};
+  while (!stack.empty()) {
+    const xml::Node* n = stack.back();
+    stack.pop_back();
+    if (!n->is_element()) continue;
+    out->push_back(n);
+    for (const xml::Node* c = n->last_child; c != nullptr;
+         c = c->prev_sibling) {
+      stack.push_back(c);
+    }
+  }
+}
+
+NodeSet EvalPath(const PathExpr& p, const xml::Node& v);
+
+bool EvalQual(const QualExpr& q, const xml::Node& v) {
+  switch (q.kind) {
+    case QualKind::kPath:
+      return !EvalPath(*q.path, v).empty();
+    case QualKind::kTextEquals: {
+      for (const xml::Node* u : EvalPath(*q.path, v)) {
+        if (xml::DirectTextEquals(*u, q.str)) return true;
+      }
+      return false;
+    }
+    case QualKind::kLabelEquals:
+      return v.label() == q.str;
+    case QualKind::kNot:
+      return !EvalQual(*q.a, v);
+    case QualKind::kAnd:
+      return EvalQual(*q.a, v) && EvalQual(*q.b, v);
+    case QualKind::kOr:
+      return EvalQual(*q.a, v) || EvalQual(*q.b, v);
+  }
+  return false;
+}
+
+NodeSet EvalPath(const PathExpr& p, const xml::Node& v) {
+  NodeSet out;
+  switch (p.kind) {
+    case PathKind::kSelf:
+      out.push_back(&v);
+      break;
+    case PathKind::kLabel:
+      for (const xml::Node* c = v.first_child; c != nullptr;
+           c = c->next_sibling) {
+        if (c->is_element() && c->label() == p.label) out.push_back(c);
+      }
+      break;
+    case PathKind::kWildcard:
+      for (const xml::Node* c = v.first_child; c != nullptr;
+           c = c->next_sibling) {
+        if (c->is_element()) out.push_back(c);
+      }
+      break;
+    case PathKind::kChildSeq:
+      for (const xml::Node* u : EvalPath(*p.left, v)) {
+        NodeSet rest = EvalPath(*p.right, *u);
+        out.insert(out.end(), rest.begin(), rest.end());
+      }
+      break;
+    case PathKind::kDescSeq:
+      for (const xml::Node* u : EvalPath(*p.left, v)) {
+        NodeSet mid;
+        DescendantsOrSelf(*u, &mid);
+        for (const xml::Node* w : mid) {
+          NodeSet rest = EvalPath(*p.right, *w);
+          out.insert(out.end(), rest.begin(), rest.end());
+        }
+      }
+      break;
+    case PathKind::kQualified:
+      for (const xml::Node* u : EvalPath(*p.left, v)) {
+        if (EvalQual(*p.qual, *u)) out.push_back(u);
+      }
+      break;
+  }
+  Dedup(&out);
+  return out;
+}
+
+}  // namespace
+
+bool ReferenceEval(const QualExpr& q, const xml::Node& v) {
+  assert(!v.is_virtual());
+  return EvalQual(q, v);
+}
+
+std::vector<const xml::Node*> ReferencePathEval(const PathExpr& p,
+                                                const xml::Node& v) {
+  return EvalPath(p, v);
+}
+
+}  // namespace parbox::xpath

@@ -1,0 +1,29 @@
+// A deliberately naive interpreter of *surface* XBL queries.
+//
+// This is the correctness oracle for property tests: it shares no code
+// with the production path (no normalization, no QList, no vectors —
+// it materializes node sets for paths, exactly following the formal
+// semantics of Sec. 2.2). It is exponential-free but can revisit
+// nodes; use it on small trees only.
+
+#ifndef PARBOX_XPATH_REFERENCE_EVAL_H_
+#define PARBOX_XPATH_REFERENCE_EVAL_H_
+
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/ast.h"
+
+namespace parbox::xpath {
+
+/// val(q, v): does the query hold at context node `v`?
+/// Precondition: the tree contains no virtual nodes.
+bool ReferenceEval(const QualExpr& q, const xml::Node& v);
+
+/// Nodes reachable from `v` via path `p`, in document order, deduped.
+std::vector<const xml::Node*> ReferencePathEval(const PathExpr& p,
+                                                const xml::Node& v);
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_REFERENCE_EVAL_H_

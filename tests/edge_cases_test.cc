@@ -1,0 +1,176 @@
+// Edge cases that cut across modules: tombstoned fragment tables,
+// selection/Boolean consistency, run determinism, writer/virtual-node
+// round trips under pretty-printing.
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/path_selection.h"
+#include "testutil.h"
+#include "xmark/portfolio.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+#include "xpath/parser.h"
+
+namespace parbox::core {
+namespace {
+
+using frag::FragmentId;
+using frag::FragmentSet;
+using frag::SourceTree;
+
+TEST(TombstoneTest, AlgorithmsRunCorrectlyAfterMerges) {
+  // Merge fragments out of a random scenario: the fragment table then
+  // contains dead slots, which every algorithm must skip cleanly.
+  auto scenario = testutil::MakeRandomScenario(99, 120, 6);
+  ASSERT_GE(scenario.set.live_count(), 4u);
+  // Merge two non-root fragments.
+  int merged = 0;
+  for (FragmentId f : scenario.set.live_ids()) {
+    if (f != scenario.set.root_fragment() && merged < 2) {
+      ASSERT_TRUE(scenario.set.Merge(f).ok());
+      ++merged;
+    }
+  }
+  ASSERT_EQ(merged, 2);
+  ASSERT_GT(scenario.set.table_size(), scenario.set.live_count());
+  ASSERT_TRUE(scenario.set.Validate().ok());
+  // Source tree must be rebuilt after fragmentation changes.
+  auto st = SourceTree::Create(scenario.set,
+                               frag::AssignOneSitePerFragment(scenario.set));
+  ASSERT_TRUE(st.ok());
+
+  auto whole = scenario.set.Reassemble();
+  ASSERT_TRUE(whole.ok());
+  auto q = xpath::CompileQuery("[//a[b] or //c]");
+  ASSERT_TRUE(q.ok());
+  bool expected = *xpath::EvalBoolean(*whole->root(), *q);
+  auto reports = RunAllAlgorithms(scenario.set, *st, *q);
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  for (const RunReport& r : *reports) {
+    EXPECT_EQ(r.answer, expected) << r.algorithm;
+  }
+}
+
+TEST(SelectionConsistencyTest, PathSelectionAgreesWithBooleanAnswer) {
+  // The compiled selection query, run as a Boolean, must say true iff
+  // the selection is non-empty — on the portfolio and random scenarios.
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = SourceTree::Create(*set, {0, 1, 2, 2});
+  ASSERT_TRUE(st.ok());
+  for (const char* path : {"//stock", "//stock[code = \"YHOO\"]",
+                           "//nonexistent", "broker/name",
+                           "//market[name = \"NYSE\"]/stock"}) {
+    auto selection = xpath::CompileSelection(path);
+    ASSERT_TRUE(selection.ok()) << path;
+    auto selected = RunPathSelection(*set, *st, *selection);
+    ASSERT_TRUE(selected.ok()) << path;
+    auto boolean = RunParBoX(*set, *st, selection->query);
+    ASSERT_TRUE(boolean.ok());
+    EXPECT_EQ(boolean->answer, selected->total_selected > 0) << path;
+  }
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalReports) {
+  auto scenario = testutil::MakeRandomScenario(123, 150, 5);
+  auto q = xpath::CompileQuery("[//a and not(//e/text() = \"t3\")]");
+  ASSERT_TRUE(q.ok());
+  auto r1 = RunParBoX(scenario.set, scenario.st, *q);
+  auto r2 = RunParBoX(scenario.set, scenario.st, *q);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->answer, r2->answer);
+  EXPECT_DOUBLE_EQ(r1->makespan_seconds, r2->makespan_seconds);
+  EXPECT_EQ(r1->network_bytes, r2->network_bytes);
+  EXPECT_EQ(r1->network_messages, r2->network_messages);
+  EXPECT_EQ(r1->visits_per_site, r2->visits_per_site);
+  EXPECT_EQ(r1->total_ops, r2->total_ops);
+}
+
+TEST(DeterminismTest, NetworkParamsAffectOnlyTiming) {
+  auto scenario = testutil::MakeRandomScenario(124, 150, 5);
+  auto q = xpath::CompileQuery("[//b/c]");
+  ASSERT_TRUE(q.ok());
+  EngineOptions slow;
+  slow.network.latency_seconds = 0.5;
+  slow.network.bandwidth_bytes_per_second = 1e3;
+  auto fast_run = RunParBoX(scenario.set, scenario.st, *q);
+  auto slow_run = RunParBoX(scenario.set, scenario.st, *q, slow);
+  ASSERT_TRUE(fast_run.ok() && slow_run.ok());
+  EXPECT_EQ(fast_run->answer, slow_run->answer);
+  EXPECT_EQ(fast_run->network_bytes, slow_run->network_bytes);
+  EXPECT_GT(slow_run->makespan_seconds, fast_run->makespan_seconds);
+}
+
+TEST(SelectionQueryTest, MarkIsWellFormedAndBooleanEquivalent) {
+  // NormalizeSelection's query, evaluated as a Boolean, equals the
+  // plain Boolean compilation of the same path text.
+  auto doc = xml::ParseXml("<r><a><b>x</b></a><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  for (const char* path : {"//b", "a/b", "c", "//z", ".", "*"}) {
+    auto selection = xpath::CompileSelection(path);
+    ASSERT_TRUE(selection.ok()) << path;
+    EXPECT_TRUE(selection->query.IsWellFormed());
+    EXPECT_EQ(selection->query.at(selection->mark).kind,
+              xpath::NormKind::kMark);
+    auto boolean = xpath::CompileQuery(path);
+    ASSERT_TRUE(boolean.ok());
+    EXPECT_EQ(*xpath::EvalBoolean(*doc->root(), selection->query),
+              *xpath::EvalBoolean(*doc->root(), *boolean))
+        << path;
+  }
+}
+
+TEST(WriterTest, IndentedFragmentWithVirtualNodesRoundTrips) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  for (FragmentId f : set->live_ids()) {
+    std::string pretty =
+        xml::WriteXml(set->fragment(f).root, {.indent = true});
+    auto parsed = xml::ParseXml(pretty);
+    ASSERT_TRUE(parsed.ok()) << "F" << f << ": "
+                             << parsed.status().ToString();
+    EXPECT_TRUE(xml::TreeEquals(set->fragment(f).root, parsed->root()))
+        << "F" << f;
+  }
+}
+
+TEST(SingleSiteTest, EverythingLocalMeansZeroTraffic) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = SourceTree::Create(*set, frag::AssignAllToOneSite(*set));
+  ASSERT_TRUE(st.ok());
+  auto q = xpath::CompileQuery(xmark::kYhooQuery);
+  ASSERT_TRUE(q.ok());
+  auto reports = RunAllAlgorithms(*set, *st, *q);
+  ASSERT_TRUE(reports.ok());
+  for (const RunReport& r : *reports) {
+    EXPECT_TRUE(r.answer) << r.algorithm;
+    EXPECT_EQ(r.network_bytes, 0u) << r.algorithm;
+  }
+}
+
+TEST(SingleFragmentTest, DegenerateDeploymentWorksEverywhere) {
+  auto doc = xml::ParseXml("<r><a><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = FragmentSet::FromDocument(std::move(*doc));
+  FragmentSet set = std::move(*set_result);
+  auto st = SourceTree::Create(set, frag::AssignOneSitePerFragment(set));
+  ASSERT_TRUE(st.ok());
+  auto q = xpath::CompileQuery("[a/b]");
+  ASSERT_TRUE(q.ok());
+  auto reports = RunAllAlgorithms(set, *st, *q);
+  ASSERT_TRUE(reports.ok());
+  for (const RunReport& r : *reports) {
+    EXPECT_TRUE(r.answer) << r.algorithm;
+    EXPECT_LE(r.max_visits_per_site(), 1u) << r.algorithm;
+  }
+  auto selected = RunPathSelection(set, *st, "a/b");
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->total_selected, 1u);
+}
+
+}  // namespace
+}  // namespace parbox::core

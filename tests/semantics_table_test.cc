@@ -1,0 +1,149 @@
+// A systematic truth table for XBL semantics: every grammar production
+// exercised against small hand-checkable documents, evaluated through
+// the full production pipeline (parse -> normalize -> vector kernel)
+// AND through the reference interpreter, both checked against the
+// expected value.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+#include "xpath/parser.h"
+#include "xpath/reference_eval.h"
+
+namespace parbox::xpath {
+namespace {
+
+struct Case {
+  const char* name;
+  const char* doc;
+  const char* query;
+  bool expected;
+};
+
+class SemanticsTableTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SemanticsTableTest, ProductionAndReferenceMatchExpectation) {
+  const Case& c = GetParam();
+  auto doc = xml::ParseXml(c.doc);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto ast = ParseQuery(c.query);
+  ASSERT_TRUE(ast.ok()) << ast.status().ToString();
+  NormQuery q = Normalize(**ast);
+  ASSERT_TRUE(q.IsWellFormed());
+  auto fast = EvalBoolean(*doc->root(), q);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(*fast, c.expected) << c.query << " over " << c.doc;
+  EXPECT_EQ(ReferenceEval(**ast, *doc->root()), c.expected)
+      << "(reference) " << c.query;
+}
+
+constexpr Case kCases[] = {
+    // ---- ǫ / self ----
+    {"SelfTrue", "<r/>", "[.]", true},
+    {"SelfChainTrue", "<r/>", "[././.]", true},
+    // ---- label() ----
+    {"LabelMatch", "<r/>", "[label() = r]", true},
+    {"LabelMismatch", "<r/>", "[label() = q]", false},
+    {"LabelCaseSensitive", "<R/>", "[label() = r]", false},
+    // ---- child label step ----
+    {"ChildPresent", "<r><a/></r>", "[a]", true},
+    {"ChildAbsent", "<r><b/></r>", "[a]", false},
+    {"GrandchildNotChild", "<r><b><a/></b></r>", "[a]", false},
+    {"SecondChildCounts", "<r><b/><a/></r>", "[a]", true},
+    // ---- wildcard ----
+    {"StarAnyElement", "<r><q/></r>", "[*]", true},
+    {"StarIgnoresText", "<r>txt</r>", "[*]", false},
+    {"StarChain", "<r><x><y/></x></r>", "[*/*]", true},
+    {"StarChainTooDeep", "<r><x/></r>", "[*/*]", false},
+    // ---- // descendant-or-self ----
+    {"DescDeep", "<r><a><b><c/></b></a></r>", "[//c]", true},
+    {"DescSelfCounts", "<r/>", "[.//.]", true},
+    {"DescAfterStep", "<r><a><x><b/></x></a></r>", "[a//b]", true},
+    {"DescOrSelfAtStep", "<r><a/></r>", "[.//a]", true},
+    {"DescMissing", "<r><a/></r>", "[//zz]", false},
+    {"DoubleDesc", "<r><x><a><y><b/></y></a></x></r>", "[//a//b]", true},
+    {"DescSelfBetween", "<r><a><b/></a></r>", "[a//b]", true},
+    // ---- / chains ----
+    {"ChainExact", "<r><a><b><c/></b></a></r>", "[a/b/c]", true},
+    {"ChainBroken", "<r><a/><b><c/></b></r>", "[a/b/c]", false},
+    {"ChainMultiplePaths",
+     "<r><a><x/></a><a><b/></a></r>", "[a/b]", true},
+    // ---- leading / (document-node semantics) ----
+    {"AbsoluteRootLabel", "<r><a/></r>", "[/r/a]", true},
+    {"AbsoluteWrongRoot", "<r><a/></r>", "[/q/a]", false},
+    {"AbsoluteStarRoot", "<r><a/></r>", "[/*/a]", true},
+    {"AbsoluteDesc", "<r><x><a/></x></r>", "[//a]", true},
+    // ---- text() ----
+    {"TextExact", "<r><c>GOOG</c></r>", "[c/text() = \"GOOG\"]", true},
+    {"TextPrefixNoMatch", "<r><c>GOOGL</c></r>",
+     "[c/text() = \"GOOG\"]", false},
+    {"TextSugar", "<r><c>v</c></r>", "[c = \"v\"]", true},
+    {"TextOnContext", "<r>hello</r>", "[./text() = \"hello\"]", true},
+    {"TextEmptyElement", "<r><c/></r>", "[c/text() = \"\"]", true},
+    {"TextIndirectExcluded", "<r><c><d>v</d></c></r>",
+     "[c/text() = \"v\"]", false},
+    {"TextAfterDesc", "<r><x><c>v</c></x></r>",
+     "[//c/text() = \"v\"]", true},
+    {"TextEntityDecoded", "<r><c>a&amp;b</c></r>",
+     "[c = \"a&b\"]", true},
+    // ---- qualifiers ----
+    {"QualifierFilters", "<r><a><k/></a><a/></r>", "[a[k]]", true},
+    {"QualifierExcludes", "<r><a/></r>", "[a[k]]", false},
+    {"QualifierThenStep", "<r><a><k/><b/></a><a><b/></a></r>",
+     "[a[k]/b]", true},
+    {"QualifierThenStepMiss", "<r><a><k/></a><a><b/></a></r>",
+     "[a[k]/b]", false},
+    {"DoubleQualifier", "<r><a><k/><m/></a></r>", "[a[k][m]]", true},
+    {"DoubleQualifierMiss", "<r><a><k/></a><a><m/></a></r>",
+     "[a[k][m]]", false},
+    {"QualifierWithLabelFn", "<r><a/></r>", "[*[label() = a]]", true},
+    {"NestedQualifier", "<r><a><b><k/></b></a></r>", "[a[b[k]]]", true},
+    {"QualifierDescInside", "<r><a><x><k/></x></a></r>",
+     "[a[.//k]]", true},
+    // ---- boolean connectives ----
+    {"AndBothTrue", "<r><a/><b/></r>", "[a and b]", true},
+    {"AndOneFalse", "<r><a/></r>", "[a and b]", false},
+    {"OrOneTrue", "<r><b/></r>", "[a or b]", true},
+    {"OrBothFalse", "<r><c/></r>", "[a or b]", false},
+    {"NotFlips", "<r><a/></r>", "[not(b)]", true},
+    {"NotOfTrue", "<r><a/></r>", "[not(a)]", false},
+    {"BangAlias", "<r><a/></r>", "[!b]", true},
+    {"DoubleNegation", "<r><a/></r>", "[not(not(a))]", true},
+    {"DeMorganish", "<r><a/></r>", "[not(a and b)]", true},
+    {"PrecedenceAndFirst", "<r><c/></r>", "[a or b and c]", false},
+    {"PrecedenceParens", "<r><c/><a/></r>", "[(a or b) and c]", true},
+    {"NegationInsideQualifier", "<r><a><x/></a><a><k/></a></r>",
+     "[a[not(k)]]", true},
+    // ---- the paper's own examples ----
+    {"PaperIntroAB", "<T><x><A/></x><y><B/></y></T>", "[//A and //B]",
+     true},
+    {"PaperIntroABMissing", "<T><x><A/></x></T>", "[//A and //B]",
+     false},
+    {"PaperBrokerQuery",
+     "<p><broker><stock><code>goog</code></stock></broker></p>",
+     "[//broker[//stock/code/text() = \"goog\" and "
+     "not(//stock/code/text() = \"yhoo\")]]",
+     true},
+    {"PaperBrokerQueryBlocked",
+     "<p><broker><stock><code>goog</code></stock>"
+     "<stock><code>yhoo</code></stock></broker></p>",
+     "[//broker[//stock/code/text() = \"goog\" and "
+     "not(//stock/code/text() = \"yhoo\")]]",
+     false},
+    // ---- mixed content and attribute encoding ----
+    {"AttributeAsAtChild", "<r><item id=\"i1\"/></r>",
+     "[item/@id = \"i1\"]", true},
+    {"MixedContentText", "<r><p>ab<i>x</i>cd</p></r>",
+     "[p/text() = \"abcd\"]", true},
+};
+
+INSTANTIATE_TEST_SUITE_P(Grammar, SemanticsTableTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace parbox::xpath

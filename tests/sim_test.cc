@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_loop.h"
+#include "sim/traffic.h"
+
+namespace parbox::sim {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.At(2.0, [&] { order.push_back(2); });
+  loop.At(1.0, [&] { order.push_back(1); });
+  loop.At(3.0, [&] { order.push_back(3); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 3.0);
+  EXPECT_EQ(loop.events_run(), 3u);
+}
+
+TEST(EventLoopTest, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.At(1.0, [&, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, ReentrantScheduling) {
+  EventLoop loop;
+  std::vector<double> times;
+  loop.At(1.0, [&] {
+    times.push_back(loop.now());
+    loop.After(0.5, [&] { times.push_back(loop.now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(ClusterTest, ComputeChargesDuration) {
+  NetworkParams params;
+  params.site_ops_per_second = 1000.0;
+  Cluster cluster(2, params);
+  double done_at = -1;
+  cluster.Compute(0, 500, [&] { done_at = cluster.now(); });
+  cluster.Run();
+  EXPECT_DOUBLE_EQ(done_at, 0.5);
+  EXPECT_DOUBLE_EQ(cluster.busy_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.busy_seconds(1), 0.0);
+}
+
+TEST(ClusterTest, SiteSerializesItsQueue) {
+  NetworkParams params;
+  params.site_ops_per_second = 1000.0;
+  Cluster cluster(1, params);
+  std::vector<double> finish;
+  cluster.Compute(0, 1000, [&] { finish.push_back(cluster.now()); });
+  cluster.Compute(0, 1000, [&] { finish.push_back(cluster.now()); });
+  cluster.Run();
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_DOUBLE_EQ(finish[0], 1.0);
+  EXPECT_DOUBLE_EQ(finish[1], 2.0);  // FIFO, not parallel
+}
+
+TEST(ClusterTest, SitesRunInParallel) {
+  NetworkParams params;
+  params.site_ops_per_second = 1000.0;
+  Cluster cluster(2, params);
+  double makespan_contrib = 0;
+  cluster.Compute(0, 1000, [&] {});
+  cluster.Compute(1, 1000, [&] {});
+  double makespan = cluster.Run();
+  (void)makespan_contrib;
+  EXPECT_DOUBLE_EQ(makespan, 1.0);  // not 2.0
+  EXPECT_DOUBLE_EQ(cluster.total_busy_seconds(), 2.0);
+}
+
+TEST(ClusterTest, SendChargesLatencyAndBandwidth) {
+  NetworkParams params;
+  params.latency_seconds = 0.1;
+  params.bandwidth_bytes_per_second = 100.0;
+  Cluster cluster(2, params);
+  double arrival = -1;
+  cluster.Send(0, 1, 50, "data", [&] { arrival = cluster.now(); });
+  cluster.Run();
+  EXPECT_DOUBLE_EQ(arrival, 0.1 + 0.5);
+  EXPECT_EQ(cluster.traffic().total_bytes(), 50u);
+  EXPECT_EQ(cluster.traffic().total_messages(), 1u);
+  EXPECT_EQ(cluster.traffic().bytes_with_tag("data"), 50u);
+  EXPECT_EQ(cluster.traffic().bytes_into(1), 50u);
+}
+
+TEST(ClusterTest, LocalSendIsFreeAndUntracked) {
+  Cluster cluster(2);
+  bool delivered = false;
+  cluster.Send(1, 1, 1 << 20, "data", [&] { delivered = true; });
+  double makespan = cluster.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(makespan, 0.0);
+  EXPECT_EQ(cluster.traffic().total_bytes(), 0u);
+}
+
+TEST(ClusterTest, VisitAccounting) {
+  Cluster cluster(3);
+  cluster.RecordVisit(1);
+  cluster.RecordVisit(1);
+  cluster.RecordVisit(2);
+  EXPECT_EQ(cluster.visits(0), 0u);
+  EXPECT_EQ(cluster.visits(1), 2u);
+  EXPECT_EQ(cluster.visits(2), 1u);
+  EXPECT_EQ(cluster.all_visits(), (std::vector<uint64_t>{0, 2, 1}));
+}
+
+TEST(ClusterTest, PipelinedRequestReplyTiming) {
+  // request (latency only) -> compute -> reply: classic round trip.
+  NetworkParams params;
+  params.latency_seconds = 0.25;
+  params.bandwidth_bytes_per_second = 1e9;
+  params.site_ops_per_second = 100.0;
+  Cluster cluster(2, params);
+  double reply_at = -1;
+  cluster.Send(0, 1, 0, "request", [&] {
+    cluster.Compute(1, 100, [&] {
+      cluster.Send(1, 0, 0, "reply", [&] { reply_at = cluster.now(); });
+    });
+  });
+  cluster.Run();
+  EXPECT_DOUBLE_EQ(reply_at, 0.25 + 1.0 + 0.25);
+}
+
+TEST(TrafficTest, TagAggregation) {
+  TrafficStats traffic;
+  traffic.Record(0, 1, 10, "query");
+  traffic.Record(0, 2, 20, "query");
+  traffic.Record(1, 0, 5, "triplet");
+  EXPECT_EQ(traffic.total_bytes(), 35u);
+  EXPECT_EQ(traffic.total_messages(), 3u);
+  EXPECT_EQ(traffic.bytes_with_tag("query"), 30u);
+  EXPECT_EQ(traffic.bytes_with_tag("nope"), 0u);
+  std::string s = traffic.ToString();
+  EXPECT_NE(s.find("query"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parbox::sim

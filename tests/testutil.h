@@ -1,0 +1,98 @@
+// Shared helpers for the parbox test suite: random surface queries and
+// random fragmentations for property-based tests.
+
+#ifndef PARBOX_TESTS_TESTUTIL_H_
+#define PARBOX_TESTS_TESTUTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "fragment/strategies.h"
+#include "xmark/generator.h"
+#include "xpath/ast.h"
+
+namespace parbox::testutil {
+
+/// Labels / text values matching xmark::GenerateRandomSmallDocument's
+/// alphabet, so random queries have a fair chance of being satisfied.
+inline std::string RandomLabel(Rng* rng) {
+  static constexpr const char* kLabels[] = {"a", "b", "c", "d", "e"};
+  return kLabels[rng->Uniform(5)];
+}
+inline std::string RandomText(Rng* rng) {
+  return "t" + std::to_string(rng->Uniform(5));
+}
+
+inline std::unique_ptr<xpath::QualExpr> RandomQual(Rng* rng, int depth);
+
+inline std::unique_ptr<xpath::PathExpr> RandomPath(Rng* rng, int depth) {
+  using xpath::PathExpr;
+  int pick = static_cast<int>(rng->Uniform(depth <= 0 ? 3 : 6));
+  switch (pick) {
+    case 0:
+      return PathExpr::Self();
+    case 1:
+      return PathExpr::Label(RandomLabel(rng));
+    case 2:
+      return PathExpr::Wildcard();
+    case 3:
+      return PathExpr::Child(RandomPath(rng, depth - 1),
+                             RandomPath(rng, depth - 1));
+    case 4:
+      return PathExpr::Desc(RandomPath(rng, depth - 1),
+                            RandomPath(rng, depth - 1));
+    default:
+      return PathExpr::Qualified(RandomPath(rng, depth - 1),
+                                 RandomQual(rng, depth - 1));
+  }
+}
+
+inline std::unique_ptr<xpath::QualExpr> RandomQual(Rng* rng, int depth) {
+  using xpath::QualExpr;
+  int pick = static_cast<int>(rng->Uniform(depth <= 0 ? 3 : 6));
+  switch (pick) {
+    case 0:
+      return QualExpr::Path(RandomPath(rng, depth - 1));
+    case 1:
+      return QualExpr::TextEquals(RandomPath(rng, depth - 1),
+                                  RandomText(rng));
+    case 2:
+      return QualExpr::LabelEquals(RandomLabel(rng));
+    case 3:
+      return QualExpr::Not(RandomQual(rng, depth - 1));
+    case 4:
+      return QualExpr::And(RandomQual(rng, depth - 1),
+                           RandomQual(rng, depth - 1));
+    default:
+      return QualExpr::Or(RandomQual(rng, depth - 1),
+                          RandomQual(rng, depth - 1));
+  }
+}
+
+/// A random fragmented document: small random tree, `splits` random
+/// splits, one site per fragment (the most adversarial placement).
+struct RandomScenario {
+  frag::FragmentSet set;
+  frag::SourceTree st;
+};
+
+inline RandomScenario MakeRandomScenario(uint64_t seed, int max_elements,
+                                         int splits) {
+  Rng rng(seed);
+  xml::Document doc = xmark::GenerateRandomSmallDocument(max_elements, &rng);
+  auto set_result = frag::FragmentSet::FromDocument(std::move(doc));
+  frag::FragmentSet set = std::move(set_result).value();
+  auto created = frag::RandomSplits(&set, splits, &rng);
+  (void)created;
+  auto st = frag::SourceTree::Create(set,
+                                     frag::AssignOneSitePerFragment(set));
+  return RandomScenario{std::move(set), std::move(st).value()};
+}
+
+}  // namespace parbox::testutil
+
+#endif  // PARBOX_TESTS_TESTUTIL_H_

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "core/threaded.h"
+#include "testutil.h"
+#include "xmark/generator.h"
+#include "xmark/portfolio.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+
+namespace parbox::core {
+namespace {
+
+TEST(ThreadedTest, AgreesWithSimulatedParBoXOnPortfolio) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set, {0, 1, 2, 2});
+  ASSERT_TRUE(st.ok());
+  for (const char* text : {xmark::kGoogSellQuery, xmark::kYhooQuery,
+                           xmark::kMerillQuery}) {
+    auto q = xpath::CompileQuery(text);
+    ASSERT_TRUE(q.ok());
+    auto simulated = RunParBoX(*set, *st, *q);
+    auto threaded = RunParBoXThreads(*set, *st, *q);
+    ASSERT_TRUE(simulated.ok() && threaded.ok());
+    EXPECT_EQ(threaded->answer, simulated->answer) << text;
+    EXPECT_EQ(threaded->sites_used, 3);
+  }
+}
+
+TEST(ThreadedTest, ThreadCapRespectedAndCorrect) {
+  auto scenario = testutil::MakeRandomScenario(77, 200, 9);
+  auto q = xpath::CompileQuery("[//a[b] or //c/text() = \"t2\"]");
+  ASSERT_TRUE(q.ok());
+  auto reference = RunParBoX(scenario.set, scenario.st, *q);
+  ASSERT_TRUE(reference.ok());
+  for (int cap : {1, 2, 8, 0 /* = one per site */}) {
+    ThreadedOptions options;
+    options.max_threads = cap;
+    auto threaded =
+        RunParBoXThreads(scenario.set, scenario.st, *q, options);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    EXPECT_EQ(threaded->answer, reference->answer) << "cap " << cap;
+  }
+}
+
+TEST(ThreadedTest, WireBytesMatchSimulatedTripletTraffic) {
+  // The threaded runner serializes the same triplets the simulator
+  // ships; the coordinator's own fragments also cross the codec here,
+  // so wire bytes >= the simulated (remote-only) triplet bytes.
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set, {0, 1, 2, 2});
+  ASSERT_TRUE(st.ok());
+  auto q = xpath::CompileQuery(xmark::kYhooQuery);
+  ASSERT_TRUE(q.ok());
+  auto threaded = RunParBoXThreads(*set, *st, *q);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_GT(threaded->wire_bytes, 0u);
+  auto simulated = RunParBoX(*set, *st, *q);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_GE(threaded->wire_bytes, simulated->network_bytes -
+                                      /* query broadcasts */ 3 *
+                                          q->SerializedSizeBytes());
+}
+
+// Property: threads and simulation agree on random scenarios.
+class ThreadedAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreadedAgreementTest, MatchesSimulated) {
+  Rng rng(GetParam() * 131 + 5);
+  auto scenario = testutil::MakeRandomScenario(GetParam() + 300, 100, 5);
+  for (int i = 0; i < 5; ++i) {
+    auto ast = testutil::RandomQual(&rng, 3);
+    xpath::NormQuery q = xpath::Normalize(*ast);
+    auto simulated = RunParBoX(scenario.set, scenario.st, q);
+    auto threaded = RunParBoXThreads(scenario.set, scenario.st, q);
+    ASSERT_TRUE(simulated.ok() && threaded.ok());
+    EXPECT_EQ(threaded->answer, simulated->answer)
+        << "seed " << GetParam() << " query " << xpath::ToString(*ast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedAgreementTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+TEST(ThreadedTest, RejectsMalformedQuery) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set, {0, 1, 2, 2});
+  ASSERT_TRUE(st.ok());
+  xpath::NormQuery empty;
+  EXPECT_FALSE(RunParBoXThreads(*set, *st, empty).ok());
+}
+
+}  // namespace
+}  // namespace parbox::core

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "core/view.h"
+#include "testutil.h"
+#include "xmark/generator.h"
+#include "xmark/portfolio.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+
+namespace parbox::core {
+namespace {
+
+using frag::FragmentId;
+using frag::FragmentSet;
+
+struct ViewFixture {
+  FragmentSet set;
+  xpath::NormQuery query;
+};
+
+ViewFixture MakePortfolioFixture(std::string_view query_text) {
+  auto set = xmark::BuildPortfolioFragments();
+  EXPECT_TRUE(set.ok());
+  auto q = xpath::CompileQuery(query_text);
+  EXPECT_TRUE(q.ok());
+  return ViewFixture{std::move(*set), std::move(*q)};
+}
+
+TEST(ViewTest, MaterializesInitialAnswer) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->answer());
+}
+
+TEST(ViewTest, InsNodeFlipsAnswer) {
+  // Query for a stock that does not exist yet; insert it; refresh.
+  ViewFixture fx = MakePortfolioFixture("[//stock[code = \"MSFT\"]]");
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  ASSERT_TRUE(view_result.ok());
+  MaterializedView view = std::move(*view_result);
+  EXPECT_FALSE(view.answer());
+
+  // insNode a <stock><code>MSFT</code></stock> under F3's market.
+  xml::Node* market = fx.set.fragment(3).root;
+  auto stock = view.InsNode(3, market, "stock");
+  ASSERT_TRUE(stock.ok());
+  auto code = view.InsNode(3, *stock, "code", "MSFT");
+  ASSERT_TRUE(code.ok());
+
+  auto report = view.Refresh(3);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(view.answer());
+  EXPECT_EQ(report->algorithm, "ViewRefresh[changed]");
+  EXPECT_EQ(*view.RecomputeFromScratch(), view.answer());
+}
+
+TEST(ViewTest, DelNodeFlipsAnswerBack) {
+  ViewFixture fx = MakePortfolioFixture("[//stock[code = \"IBM\"]]");
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  EXPECT_TRUE(view.answer());
+
+  // IBM lives in F0 (the NYSE market).
+  xml::Node* ibm_code = nullptr;
+  std::vector<xml::Node*> stack{fx.set.fragment(0).root};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_element() && n->label() == "stock") {
+      if (xml::FindFirstElement(n, "code") != nullptr &&
+          xml::DirectTextEquals(*xml::FindFirstElement(n, "code"), "IBM")) {
+        ibm_code = n;
+      }
+    }
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  ASSERT_NE(ibm_code, nullptr);
+  ASSERT_TRUE(view.DelNode(0, ibm_code).ok());
+  auto report = view.Refresh(0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(view.answer());
+}
+
+TEST(ViewTest, RefreshOnlyVisitsTheUpdatedFragmentsSite) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  auto stock = view.InsNode(3, fx.set.fragment(3).root, "stock");
+  ASSERT_TRUE(stock.ok());
+  auto report = view.Refresh(3);
+  ASSERT_TRUE(report.ok());
+  // Fragment 3 lives at site 2; sites 0 (the view site) and 1 are not
+  // visited for fragment work.
+  EXPECT_EQ(report->visits_per_site, (std::vector<uint64_t>{0, 0, 1}));
+}
+
+TEST(ViewTest, IrrelevantUpdateKeepsTripletAndSkipsResolve) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  // Inserting an unrelated element does not change any sub-query value
+  // at F3's root.
+  auto node = view.InsNode(3, fx.set.fragment(3).root, "unrelated");
+  ASSERT_TRUE(node.ok());
+  auto report = view.Refresh(3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->algorithm, "ViewRefresh[unchanged]");
+  EXPECT_TRUE(view.answer());
+}
+
+TEST(ViewTest, RefreshTrafficIndependentOfUpdateSize) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  // Small update.
+  auto n1 = view.InsNode(3, fx.set.fragment(3).root, "x");
+  ASSERT_TRUE(n1.ok());
+  auto small = view.Refresh(3);
+  ASSERT_TRUE(small.ok());
+  // Large update: 200 inserted nodes.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(view.InsNode(3, fx.set.fragment(3).root, "y").ok());
+  }
+  auto large = view.Refresh(3);
+  ASSERT_TRUE(large.ok());
+  // Traffic (one triplet either way) does not scale with the update.
+  EXPECT_LT(large->network_bytes, 2 * small->network_bytes + 64);
+}
+
+TEST(ViewTest, DelNodeGuards) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  // Cannot delete a fragment root.
+  EXPECT_FALSE(view.DelNode(1, fx.set.fragment(1).root).ok());
+  // Cannot delete a subtree containing a virtual node (F1 holds F2's
+  // placeholder as a direct child of its broker root).
+  xml::Node* placeholder = frag::FindVirtualRef(fx.set, 1, 2);
+  ASSERT_NE(placeholder, nullptr);
+  EXPECT_FALSE(view.DelNode(1, placeholder).ok());
+  // Unknown fragments are rejected too.
+  EXPECT_FALSE(view.DelNode(99, placeholder).ok());
+}
+
+TEST(ViewTest, SplitFragmentsKeepsAnswer) {
+  // Example 5.1: insert a new stock into F0, then split at the market.
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  bool before = view.answer();
+
+  xml::Node* nyse = xml::FindFirstElement(fx.set.fragment(0).root, "market");
+  ASSERT_NE(nyse, nullptr);
+  auto f4 = view.SplitFragments(0, nyse, /*new_site=*/3);
+  ASSERT_TRUE(f4.ok()) << f4.status().ToString();
+  EXPECT_EQ(view.answer(), before);
+  EXPECT_EQ(view.source_tree().site_of(*f4), 3);
+  EXPECT_TRUE(fx.set.Validate().ok());
+  EXPECT_EQ(*view.RecomputeFromScratch(), before);
+}
+
+TEST(ViewTest, MergeFragmentsKeepsAnswer) {
+  ViewFixture fx = MakePortfolioFixture(xmark::kYhooQuery);
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  bool before = view.answer();
+  ASSERT_TRUE(view.MergeFragments(2).ok());
+  EXPECT_EQ(view.answer(), before);
+  EXPECT_EQ(fx.set.live_count(), 3u);
+  EXPECT_EQ(*view.RecomputeFromScratch(), before);
+}
+
+TEST(ViewTest, SplitThenContentUpdateThenMerge) {
+  ViewFixture fx = MakePortfolioFixture("[//stock[code = \"HPQ\"]]");
+  auto view_result =
+      MaterializedView::Create(&fx.set, {0, 1, 2, 2}, &fx.query);
+  MaterializedView view = std::move(*view_result);
+  EXPECT_FALSE(view.answer());
+
+  xml::Node* nyse = xml::FindFirstElement(fx.set.fragment(0).root, "market");
+  auto f4 = view.SplitFragments(0, nyse, 3);
+  ASSERT_TRUE(f4.ok());
+  auto stock = view.InsNode(*f4, fx.set.fragment(*f4).root, "stock");
+  ASSERT_TRUE(stock.ok());
+  ASSERT_TRUE(view.InsNode(*f4, *stock, "code", "HPQ").ok());
+  ASSERT_TRUE(view.Refresh(*f4).ok());
+  EXPECT_TRUE(view.answer());
+
+  ASSERT_TRUE(view.MergeFragments(*f4).ok());
+  EXPECT_TRUE(view.answer());
+  EXPECT_EQ(*view.RecomputeFromScratch(), true);
+}
+
+// Property: a random sequence of updates + refreshes keeps the view
+// consistent with from-scratch evaluation.
+class ViewPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewPropertyTest, IncrementalEqualsRecompute) {
+  Rng rng(GetParam());
+  auto scenario = testutil::MakeRandomScenario(GetParam() + 500, 80, 4);
+  auto ast = testutil::RandomQual(&rng, 3);
+  xpath::NormQuery q = xpath::Normalize(*ast);
+
+  std::vector<frag::SiteId> sites(scenario.set.table_size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    sites[i] = scenario.st.site_of(static_cast<FragmentId>(i));
+  }
+  auto view_result = MaterializedView::Create(&scenario.set, sites, &q);
+  ASSERT_TRUE(view_result.ok()) << view_result.status().ToString();
+  MaterializedView view = std::move(*view_result);
+
+  for (int step = 0; step < 12; ++step) {
+    auto live = scenario.set.live_ids();
+    FragmentId f = live[rng.Uniform(live.size())];
+    xml::Node* root = scenario.set.fragment(f).root;
+    // Insert under a random element of the fragment.
+    std::vector<xml::Node*> elements;
+    std::vector<xml::Node*> stack{root};
+    while (!stack.empty()) {
+      xml::Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_element()) elements.push_back(n);
+      for (xml::Node* c = n->first_child; c != nullptr;
+           c = c->next_sibling) {
+        stack.push_back(c);
+      }
+    }
+    xml::Node* target = elements[rng.Uniform(elements.size())];
+    if (rng.Bernoulli(0.7)) {
+      auto inserted = view.InsNode(f, target, testutil::RandomLabel(&rng),
+                                   testutil::RandomText(&rng));
+      ASSERT_TRUE(inserted.ok());
+    } else if (target != root && xml::CountVirtuals(target) == 0) {
+      ASSERT_TRUE(view.DelNode(f, target).ok());
+    }
+    ASSERT_TRUE(view.Refresh(f).ok());
+
+    // Oracle: full reassembly + centralized evaluation.
+    auto whole = scenario.set.Reassemble();
+    ASSERT_TRUE(whole.ok());
+    auto expected = xpath::EvalBoolean(*whole->root(), q);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(view.answer(), *expected)
+        << "seed " << GetParam() << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace parbox::core

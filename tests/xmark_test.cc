@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xmark/generator.h"
+#include "xmark/portfolio.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace parbox::xmark {
+namespace {
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  xml::Document a = GenerateStarDocument(3, 5000, 42);
+  xml::Document b = GenerateStarDocument(3, 5000, 42);
+  EXPECT_TRUE(xml::TreeEquals(a.root(), b.root()));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  xml::Document a = GenerateStarDocument(2, 5000, 1);
+  xml::Document b = GenerateStarDocument(2, 5000, 2);
+  EXPECT_FALSE(xml::TreeEquals(a.root(), b.root()));
+}
+
+TEST(GeneratorTest, SizeTargetsRoughlyMet) {
+  for (uint64_t target : {10000ull, 50000ull, 200000ull}) {
+    Rng rng(7);
+    xml::Document doc;
+    SiteOptions options;
+    options.target_bytes = target;
+    doc.set_root(GenerateSite(&doc, options, &rng));
+    uint64_t actual = xml::SerializedSize(doc.root());
+    EXPECT_GT(actual, target / 2) << target;
+    EXPECT_LT(actual, target * 2) << target;
+  }
+}
+
+TEST(GeneratorTest, SizeScalesWithTarget) {
+  Rng rng1(5), rng2(5);
+  xml::Document small, large;
+  SiteOptions so;
+  so.target_bytes = 5000;
+  small.set_root(GenerateSite(&small, so, &rng1));
+  so.target_bytes = 80000;
+  large.set_root(GenerateSite(&large, so, &rng2));
+  EXPECT_GT(xml::CountElements(large.root()),
+            4 * xml::CountElements(small.root()));
+}
+
+TEST(GeneratorTest, StarShape) {
+  xml::Document doc = GenerateStarDocument(5, 2000, 9);
+  EXPECT_EQ(doc.root()->label(), "xmark");
+  int sites = 0;
+  for (xml::Node* c = doc.root()->first_child; c != nullptr;
+       c = c->next_sibling) {
+    EXPECT_EQ(c->label(), "site");
+    ++sites;
+  }
+  EXPECT_EQ(sites, 5);
+}
+
+TEST(GeneratorTest, MarkersAreFindable) {
+  xml::Document doc = GenerateStarDocument(3, 2000, 11);
+  int found = 0;
+  std::vector<xml::Node*> stack{doc.root()};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_element() && n->label() == "marker") {
+      std::string text = xml::DirectText(*n);
+      EXPECT_EQ(text[0], 'm');
+      ++found;
+    }
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  EXPECT_EQ(found, 3);
+}
+
+TEST(GeneratorTest, ChainNestsViaHistory) {
+  xml::Document doc = GenerateChainDocument(4, 1500, 13);
+  // Walk down: site -> history -> site -> ... 4 sites deep.
+  xml::Node* site = doc.root();
+  for (int depth = 0; depth < 4; ++depth) {
+    ASSERT_NE(site, nullptr) << "depth " << depth;
+    EXPECT_EQ(site->label(), "site");
+    xml::Node* marker = xml::FindFirstElement(site, "marker");
+    ASSERT_NE(marker, nullptr);
+    EXPECT_TRUE(xml::DirectTextEquals(*marker,
+                                      "v" + std::to_string(depth)));
+    // Find the history child, then the nested site.
+    xml::Node* history = nullptr;
+    for (xml::Node* c = site->first_child; c != nullptr;
+         c = c->next_sibling) {
+      if (c->is_element() && c->label() == "history") history = c;
+    }
+    site = history != nullptr && history->first_child != nullptr
+               ? history->first_child
+               : nullptr;
+  }
+}
+
+TEST(GeneratorTest, TreeDocumentFollowsTopology) {
+  // FT3-like: 0 -> {1, 2}, 1 -> {3}.
+  std::vector<std::vector<int>> children = {{1, 2}, {3}, {}, {}};
+  std::vector<uint64_t> sizes = {2000, 4000, 2000, 1000};
+  xml::Document doc = GenerateTreeDocument(children, sizes, 21);
+  EXPECT_EQ(doc.root()->label(), "site");
+  // Root's history holds sites 1 and 2.
+  xml::Node* history = xml::FindFirstElement(doc.root(), "history");
+  ASSERT_NE(history, nullptr);
+  int nested = 0;
+  for (xml::Node* c = history->first_child; c != nullptr;
+       c = c->next_sibling) {
+    if (c->label() == "site") ++nested;
+  }
+  EXPECT_EQ(nested, 2);
+}
+
+TEST(GeneratorTest, RandomSmallDocumentRespectsBudget) {
+  Rng rng(31);
+  for (int budget : {1, 5, 50, 200}) {
+    xml::Document doc = GenerateRandomSmallDocument(budget, &rng);
+    EXPECT_LE(xml::CountElements(doc.root()),
+              static_cast<size_t>(budget));
+    EXPECT_GE(xml::CountElements(doc.root()), 1u);
+    EXPECT_TRUE(xml::ValidateLinks(doc.root()).ok());
+  }
+}
+
+TEST(PortfolioDocTest, MatchesFig1b) {
+  xml::Document doc = BuildPortfolioDocument();
+  EXPECT_EQ(doc.root()->label(), "portofolio");
+  // Two brokers, three markets, five stocks.
+  size_t brokers = 0, markets = 0, stocks = 0;
+  std::vector<xml::Node*> stack{doc.root()};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->label() == "broker") ++brokers;
+    if (n->label() == "market") ++markets;
+    if (n->label() == "stock") ++stocks;
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  EXPECT_EQ(brokers, 2u);
+  EXPECT_EQ(markets, 3u);
+  EXPECT_EQ(stocks, 5u);
+}
+
+}  // namespace
+}  // namespace parbox::xmark

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "xml/dom.h"
+
+namespace parbox::xml {
+namespace {
+
+Document SmallDoc() {
+  // <r><a>hi</a><b/><a><c/></a></r>
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  Node* a1 = doc.NewElement("a");
+  doc.AppendChild(a1, doc.NewText("hi"));
+  doc.AppendChild(r, a1);
+  doc.AppendChild(r, doc.NewElement("b"));
+  Node* a2 = doc.NewElement("a");
+  doc.AppendChild(a2, doc.NewElement("c"));
+  doc.AppendChild(r, a2);
+  return doc;
+}
+
+TEST(DomTest, NodeKindsAndAccessors) {
+  Document doc;
+  Node* e = doc.NewElement("item");
+  Node* t = doc.NewText("42");
+  Node* v = doc.NewVirtual(7);
+  EXPECT_TRUE(e->is_element());
+  EXPECT_EQ(e->label(), "item");
+  EXPECT_EQ(e->text(), "");
+  EXPECT_TRUE(t->is_text());
+  EXPECT_EQ(t->text(), "42");
+  EXPECT_EQ(t->label(), "");
+  EXPECT_TRUE(v->is_virtual());
+  EXPECT_EQ(v->fragment_ref, 7);
+}
+
+TEST(DomTest, AppendChildLinksSiblings) {
+  Document doc = SmallDoc();
+  Node* r = doc.root();
+  ASSERT_NE(r->first_child, nullptr);
+  EXPECT_EQ(r->first_child->label(), "a");
+  EXPECT_EQ(r->first_child->next_sibling->label(), "b");
+  EXPECT_EQ(r->last_child->label(), "a");
+  EXPECT_EQ(r->last_child->prev_sibling->label(), "b");
+  EXPECT_EQ(ValidateLinks(r).ToString(), "ok");
+}
+
+TEST(DomTest, InsertBeforePositions) {
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  Node* b = doc.NewElement("b");
+  doc.AppendChild(r, b);
+  Node* a = doc.NewElement("a");
+  doc.InsertBefore(r, a, b);
+  Node* c = doc.NewElement("c");
+  doc.InsertBefore(r, c, nullptr);  // acts as append
+  EXPECT_EQ(r->first_child, a);
+  EXPECT_EQ(a->next_sibling, b);
+  EXPECT_EQ(b->next_sibling, c);
+  EXPECT_EQ(ValidateLinks(r).ToString(), "ok");
+}
+
+TEST(DomTest, DetachMiddleChild) {
+  Document doc = SmallDoc();
+  Node* r = doc.root();
+  Node* b = r->first_child->next_sibling;
+  doc.Detach(b);
+  EXPECT_EQ(b->parent, nullptr);
+  EXPECT_EQ(r->first_child->next_sibling->label(), "a");
+  EXPECT_EQ(CountNodes(r), 5u);  // r, a(hi text), a, c
+  EXPECT_EQ(ValidateLinks(r).ToString(), "ok");
+}
+
+TEST(DomTest, DetachFirstAndLast) {
+  Document doc = SmallDoc();
+  Node* r = doc.root();
+  doc.Detach(r->first_child);
+  doc.Detach(r->last_child);
+  ASSERT_NE(r->first_child, nullptr);
+  EXPECT_EQ(r->first_child, r->last_child);
+  EXPECT_EQ(r->first_child->label(), "b");
+  EXPECT_EQ(ValidateLinks(r).ToString(), "ok");
+}
+
+TEST(DomTest, DetachRootClearsDocumentRoot) {
+  Document doc = SmallDoc();
+  doc.Detach(doc.root());
+  EXPECT_EQ(doc.root(), nullptr);
+}
+
+TEST(DomTest, Counts) {
+  Document doc = SmallDoc();
+  EXPECT_EQ(CountNodes(doc.root()), 6u);
+  EXPECT_EQ(CountElements(doc.root()), 5u);
+  EXPECT_EQ(CountVirtuals(doc.root()), 0u);
+  EXPECT_EQ(TreeDepth(doc.root()), 3u);
+  EXPECT_EQ(CountNodes(nullptr), 0u);
+  EXPECT_EQ(TreeDepth(nullptr), 0u);
+}
+
+TEST(DomTest, CountVirtualsFindsPlaceholders) {
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  doc.AppendChild(r, doc.NewVirtual(1));
+  Node* mid = doc.NewElement("m");
+  doc.AppendChild(r, mid);
+  doc.AppendChild(mid, doc.NewVirtual(2));
+  EXPECT_EQ(CountVirtuals(r), 2u);
+}
+
+TEST(DomTest, DeepCopyEqualsOriginal) {
+  Document doc = SmallDoc();
+  Document other;
+  Node* copy = other.DeepCopy(doc.root());
+  other.set_root(copy);
+  EXPECT_TRUE(TreeEquals(doc.root(), copy));
+  EXPECT_EQ(ValidateLinks(copy).ToString(), "ok");
+  // Copies are independent nodes.
+  EXPECT_NE(doc.root(), copy);
+}
+
+TEST(DomTest, TreeEqualsDetectsDifferences) {
+  Document a = SmallDoc();
+  Document b = SmallDoc();
+  EXPECT_TRUE(TreeEquals(a.root(), b.root()));
+  // Change a label.
+  Document c = SmallDoc();
+  Node* extra = c.NewElement("z");
+  c.AppendChild(c.root(), extra);
+  EXPECT_FALSE(TreeEquals(a.root(), c.root()));
+  // Null handling.
+  EXPECT_TRUE(TreeEquals(nullptr, nullptr));
+  EXPECT_FALSE(TreeEquals(a.root(), nullptr));
+}
+
+TEST(DomTest, DirectTextEqualsSingleChild) {
+  Document doc;
+  Node* e = doc.NewElement("code");
+  doc.AppendChild(e, doc.NewText("GOOG"));
+  EXPECT_TRUE(DirectTextEquals(*e, "GOOG"));
+  EXPECT_FALSE(DirectTextEquals(*e, "GOO"));
+  EXPECT_FALSE(DirectTextEquals(*e, "GOOGL"));
+  EXPECT_EQ(DirectText(*e), "GOOG");
+}
+
+TEST(DomTest, DirectTextConcatenatesAcrossElements) {
+  Document doc;
+  Node* e = doc.NewElement("p");
+  doc.AppendChild(e, doc.NewText("ab"));
+  Node* inner = doc.NewElement("i");
+  doc.AppendChild(inner, doc.NewText("IGNORED"));
+  doc.AppendChild(e, inner);
+  doc.AppendChild(e, doc.NewText("cd"));
+  EXPECT_TRUE(DirectTextEquals(*e, "abcd"));
+  EXPECT_FALSE(DirectTextEquals(*e, "abIGNOREDcd"));
+  EXPECT_EQ(DirectText(*e), "abcd");
+}
+
+TEST(DomTest, DirectTextOnEmptyElement) {
+  Document doc;
+  Node* e = doc.NewElement("empty");
+  EXPECT_TRUE(DirectTextEquals(*e, ""));
+  EXPECT_FALSE(DirectTextEquals(*e, "x"));
+}
+
+TEST(DomTest, DirectTextOnTextNode) {
+  Document doc;
+  Node* t = doc.NewText("v");
+  EXPECT_TRUE(DirectTextEquals(*t, "v"));
+  EXPECT_FALSE(DirectTextEquals(*t, ""));
+}
+
+TEST(DomTest, FindFirstElementDocumentOrder) {
+  Document doc = SmallDoc();
+  Node* a = FindFirstElement(doc.root(), "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, doc.root()->first_child);
+  EXPECT_EQ(FindFirstElement(doc.root(), "nope"), nullptr);
+  // Matches the root itself.
+  EXPECT_EQ(FindFirstElement(doc.root(), "r"), doc.root());
+}
+
+TEST(DomTest, ValidateLinksCatchesCorruption) {
+  Document doc = SmallDoc();
+  Node* r = doc.root();
+  r->first_child->parent = nullptr;  // corrupt
+  EXPECT_FALSE(ValidateLinks(r).ok());
+}
+
+TEST(DomTest, ArenaBytesGrowWithContent) {
+  Document doc;
+  doc.set_root(doc.NewElement("r"));
+  size_t before = doc.arena_bytes();
+  for (int i = 0; i < 100; ++i) {
+    doc.AppendChild(doc.root(), doc.NewElement("child"));
+  }
+  EXPECT_GT(doc.arena_bytes(), before);
+}
+
+TEST(DomTest, MoveDocumentKeepsNodesValid) {
+  Document doc = SmallDoc();
+  Node* r = doc.root();
+  Document moved = std::move(doc);
+  EXPECT_EQ(moved.root(), r);
+  EXPECT_EQ(CountElements(moved.root()), 5u);
+}
+
+}  // namespace
+}  // namespace parbox::xml

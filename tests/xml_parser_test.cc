@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "xmark/generator.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace parbox::xml {
+namespace {
+
+Result<Document> Parse(std::string_view s) { return ParseXml(s); }
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->root()->label(), "a");
+  EXPECT_EQ(doc->root()->first_child, nullptr);
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = Parse("<r><a>hi</a><b><c>x</c></b></r>");
+  ASSERT_TRUE(doc.ok());
+  Node* r = doc->root();
+  EXPECT_EQ(CountElements(r), 4u);
+  EXPECT_TRUE(DirectTextEquals(*r->first_child, "hi"));
+}
+
+TEST(XmlParserTest, XmlDeclarationAndComments) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?>\n<!-- hello -->\n<r><!-- inner -->x</r>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(DirectTextEquals(*doc->root(), "x"));
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  auto doc = Parse("<r>a &amp; b &lt;c&gt; &quot;d&quot; &apos;e&apos;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(DirectTextEquals(*doc->root(), "a & b <c> \"d\" 'e'"));
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  auto doc = Parse("<r>&#65;&#x42;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(DirectTextEquals(*doc->root(), "AB"));
+}
+
+TEST(XmlParserTest, MultibyteCharacterReference) {
+  auto doc = Parse("<r>&#233;</r>");  // é => 2-byte UTF-8
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(DirectTextEquals(*doc->root(), "\xC3\xA9"));
+}
+
+TEST(XmlParserTest, CdataPreservedVerbatim) {
+  auto doc = Parse("<r><![CDATA[a <b> & c]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(DirectTextEquals(*doc->root(), "a <b> & c"));
+}
+
+TEST(XmlParserTest, AttributesBecomeAtChildren) {
+  auto doc = Parse("<item id=\"i7\" lang='en'>x</item>");
+  ASSERT_TRUE(doc.ok());
+  Node* item = doc->root();
+  Node* id = item->first_child;
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->label(), "@id");
+  EXPECT_TRUE(DirectTextEquals(*id, "i7"));
+  EXPECT_EQ(id->next_sibling->label(), "@lang");
+}
+
+TEST(XmlParserTest, VirtualNodeRoundTrip) {
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  doc.AppendChild(r, doc.NewVirtual(5));
+  std::string text = WriteXml(r);
+  EXPECT_NE(text.find("parbox:virtual"), std::string::npos);
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->root()->first_child->is_virtual());
+  EXPECT_EQ(parsed->root()->first_child->fragment_ref, 5);
+}
+
+TEST(XmlParserTest, WhitespaceTextSkippedByDefault) {
+  auto doc = Parse("<r>\n  <a/>\n  <b/>\n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CountNodes(doc->root()), 3u);  // no whitespace text nodes
+}
+
+TEST(XmlParserTest, WhitespaceTextKeptOnRequest) {
+  ParseOptions options;
+  options.skip_whitespace_text = false;
+  auto doc = ParseXml("<r> <a/> </r>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(CountNodes(doc->root()), 4u);
+}
+
+struct BadInput {
+  const char* name;
+  const char* text;
+};
+
+class XmlParserErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(XmlParserErrorTest, Rejected) {
+  auto doc = Parse(GetParam().text);
+  EXPECT_FALSE(doc.ok()) << "input accepted: " << GetParam().text;
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserErrorTest,
+    ::testing::Values(
+        BadInput{"Empty", ""},
+        BadInput{"NoRoot", "   \n  "},
+        BadInput{"UnclosedTag", "<a>"},
+        BadInput{"MismatchedClose", "<a></b>"},
+        BadInput{"TrailingContent", "<a/><b/>"},
+        BadInput{"BareText", "hello"},
+        BadInput{"UnterminatedString", "<a b=\"c/>"},
+        BadInput{"MissingEquals", "<a b \"c\"/>"},
+        BadInput{"UnknownEntity", "<a>&bogus;</a>"},
+        BadInput{"UnterminatedEntity", "<a>&amp</a>"},
+        BadInput{"UnterminatedCdata", "<a><![CDATA[x</a>"},
+        BadInput{"DtdRejected", "<!DOCTYPE a><a/>"},
+        BadInput{"BadCharRef", "<a>&#xFFFFFFFF;</a>"},
+        BadInput{"GarbageChar", "<a>]]</a>#"}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(XmlParserTest, ErrorMessagesCarryPosition) {
+  auto doc = Parse("<a>\n<b></c>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("2:"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(XmlParserTest, DepthLimitEnforced) {
+  std::string open, close;
+  for (int i = 0; i < 3000; ++i) {
+    open += "<a>";
+    close += "</a>";
+  }
+  auto doc = Parse(open + close);
+  EXPECT_FALSE(doc.ok());
+}
+
+// ---------- Writer ----------
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlWriterTest, SelfClosingForEmptyElements) {
+  Document doc;
+  doc.set_root(doc.NewElement("empty"));
+  EXPECT_EQ(WriteXml(doc.root()), "<empty/>");
+}
+
+TEST(XmlWriterTest, SerializedSizeMatchesOutput) {
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  Node* a = doc.NewElement("a");
+  doc.AppendChild(a, doc.NewText("x & y"));
+  doc.AppendChild(r, a);
+  doc.AppendChild(r, doc.NewVirtual(3));
+  EXPECT_EQ(SerializedSize(r), WriteXml(r).size());
+}
+
+TEST(XmlWriterTest, IndentedOutputStillParses) {
+  Document doc;
+  Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  Node* a = doc.NewElement("a");
+  doc.AppendChild(r, a);
+  doc.AppendChild(a, doc.NewElement("b"));
+  doc.AppendChild(r, doc.NewElement("c"));
+  WriteOptions options;
+  options.indent = true;
+  std::string text = WriteXml(r, options);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreeEquals(doc.root(), parsed->root()));
+}
+
+// ---------- Round-trip properties ----------
+
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, WriteParseWriteIsStable) {
+  Rng rng(GetParam());
+  Document doc = xmark::GenerateRandomSmallDocument(120, &rng);
+  std::string once = WriteXml(doc.root());
+  auto parsed = Parse(once);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreeEquals(doc.root(), parsed->root()))
+      << "seed " << GetParam();
+  EXPECT_EQ(WriteXml(parsed->root()), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(RoundTripTest, GeneratedXmarkSiteParses) {
+  Rng rng(99);
+  Document doc;
+  xmark::SiteOptions options;
+  options.target_bytes = 20000;
+  options.marker = "m0";
+  doc.set_root(xmark::GenerateSite(&doc, options, &rng));
+  std::string text = WriteXml(doc.root());
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(TreeEquals(doc.root(), parsed->root()));
+}
+
+}  // namespace
+}  // namespace parbox::xml

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testutil.h"
+#include "xmark/generator.h"
+#include "xmark/portfolio.h"
+#include "xml/parser.h"
+#include "xpath/ast.h"
+#include "xpath/eval.h"
+#include "xpath/normalize.h"
+#include "xpath/parser.h"
+#include "xpath/reference_eval.h"
+
+namespace parbox::xpath {
+namespace {
+
+bool EvalOn(std::string_view xml_text, std::string_view query_text) {
+  auto doc = xml::ParseXml(xml_text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  auto q = CompileQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto result = EvalBoolean(*doc->root(), *q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(EvalTest, EpsIsAlwaysTrue) {
+  EXPECT_TRUE(EvalOn("<r/>", "[.]"));
+}
+
+TEST(EvalTest, LabelTestAtContext) {
+  EXPECT_TRUE(EvalOn("<r/>", "[label() = r]"));
+  EXPECT_FALSE(EvalOn("<r/>", "[label() = x]"));
+}
+
+TEST(EvalTest, ChildStep) {
+  EXPECT_TRUE(EvalOn("<r><a/></r>", "[a]"));
+  EXPECT_FALSE(EvalOn("<r><b/></r>", "[a]"));
+  EXPECT_FALSE(EvalOn("<r><b><a/></b></r>", "[a]"));  // child, not desc
+}
+
+TEST(EvalTest, WildcardStep) {
+  EXPECT_TRUE(EvalOn("<r><z/></r>", "[*]"));
+  EXPECT_FALSE(EvalOn("<r>text only</r>", "[*]"));
+}
+
+TEST(EvalTest, DescendantAxisIncludesDeepNodes) {
+  EXPECT_TRUE(EvalOn("<r><b><c><a/></c></b></r>", "[//a]"));
+  EXPECT_FALSE(EvalOn("<r><b><c/></b></r>", "[//a]"));
+}
+
+TEST(EvalTest, DescendantOrSelfSemantics) {
+  // // is descendant-or-self: r//a finds a directly below r, and
+  // .//. is satisfied by the context itself.
+  EXPECT_TRUE(EvalOn("<r><a/></r>", "[.//a]"));
+  EXPECT_TRUE(EvalOn("<r/>", "[.//.]"));
+}
+
+TEST(EvalTest, PathChains) {
+  EXPECT_TRUE(EvalOn("<r><a><b/></a></r>", "[a/b]"));
+  EXPECT_FALSE(EvalOn("<r><a/><b/></r>", "[a/b]"));
+  EXPECT_TRUE(EvalOn("<r><x><a><y><b/></y></a></x></r>", "[//a//b]"));
+}
+
+TEST(EvalTest, TextEquality) {
+  EXPECT_TRUE(EvalOn("<r><code>GOOG</code></r>",
+                     "[code/text() = \"GOOG\"]"));
+  EXPECT_FALSE(EvalOn("<r><code>YHOO</code></r>",
+                      "[code/text() = \"GOOG\"]"));
+  // Sugar form.
+  EXPECT_TRUE(EvalOn("<r><code>GOOG</code></r>", "[code = \"GOOG\"]"));
+}
+
+TEST(EvalTest, TextIsDirectContentOnly) {
+  // The text of <a> is only its direct text children.
+  EXPECT_FALSE(EvalOn("<r><a><b>X</b></a></r>", "[a/text() = \"X\"]"));
+  EXPECT_TRUE(EvalOn("<r><a><b>X</b></a></r>", "[a/b/text() = \"X\"]"));
+}
+
+TEST(EvalTest, BooleanConnectives) {
+  const char* doc = "<r><a/><b/></r>";
+  EXPECT_TRUE(EvalOn(doc, "[a and b]"));
+  EXPECT_FALSE(EvalOn(doc, "[a and c]"));
+  EXPECT_TRUE(EvalOn(doc, "[a or c]"));
+  EXPECT_FALSE(EvalOn(doc, "[c or d]"));
+  EXPECT_TRUE(EvalOn(doc, "[not(c)]"));
+  EXPECT_FALSE(EvalOn(doc, "[not(a)]"));
+  EXPECT_TRUE(EvalOn(doc, "[not(not(a))]"));
+}
+
+TEST(EvalTest, QualifiersFilterPathNodes) {
+  const char* doc =
+      "<r><stock><code>GOOG</code><sell>376</sell></stock>"
+      "<stock><code>YHOO</code><sell>35</sell></stock></r>";
+  EXPECT_TRUE(EvalOn(doc, "[//stock[code = \"GOOG\" and sell = \"376\"]]"));
+  EXPECT_FALSE(EvalOn(doc, "[//stock[code = \"YHOO\" and sell = \"376\"]]"));
+  EXPECT_TRUE(EvalOn(doc, "[//stock[not(code = \"GOOG\")]]"));
+}
+
+TEST(EvalTest, IntroductionQueryOverPortfolio) {
+  // Sec. 1: does GOOG reach a selling price of 376? In Fig. 1(b) the
+  // sells are 373 and 372, so the answer is false; 373 exists.
+  xml::Document doc = xmark::BuildPortfolioDocument();
+  auto q1 = CompileQuery("[//stock[code = \"GOOG\" and sell = \"376\"]]");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(*EvalBoolean(*doc.root(), *q1));
+  auto q2 = CompileQuery("[//stock[code = \"GOOG\" and sell = \"373\"]]");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(*EvalBoolean(*doc.root(), *q2));
+}
+
+TEST(EvalTest, Example21QueryIsTrueOnPortfolio) {
+  xml::Document doc = xmark::BuildPortfolioDocument();
+  auto q = CompileQuery(xmark::kYhooQuery);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(*EvalBoolean(*doc.root(), *q));
+}
+
+TEST(EvalTest, MerillQueryOverPortfolio) {
+  xml::Document doc = xmark::BuildPortfolioDocument();
+  auto q = CompileQuery(xmark::kMerillQuery);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(*EvalBoolean(*doc.root(), *q));
+}
+
+TEST(EvalTest, CountersTrackWork) {
+  auto doc = xml::ParseXml("<r><a/><b/><c/></r>");
+  auto q = CompileQuery("[//a]");
+  ASSERT_TRUE(doc.ok() && q.ok());
+  EvalCounters counters;
+  ASSERT_TRUE(EvalBoolean(*doc->root(), *q, &counters).ok());
+  EXPECT_EQ(counters.elements, 4u);
+  EXPECT_EQ(counters.ops, 4u * q->size());
+}
+
+TEST(EvalTest, RejectsVirtualNodes) {
+  xml::Document doc;
+  xml::Node* r = doc.NewElement("r");
+  doc.set_root(r);
+  doc.AppendChild(r, doc.NewVirtual(1));
+  auto q = CompileQuery("[//a]");
+  ASSERT_TRUE(q.ok());
+  auto result = EvalBoolean(*r, *q);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EvalTest, RejectsNonElementRoot) {
+  xml::Document doc;
+  xml::Node* t = doc.NewText("x");
+  auto q = CompileQuery("[.]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(EvalBoolean(*t, *q).ok());
+}
+
+TEST(EvalTest, DeepChainDoesNotOverflowStack) {
+  // 50k nested elements would overflow a recursive evaluator.
+  xml::Document doc;
+  xml::Node* cur = doc.NewElement("n");
+  doc.set_root(cur);
+  for (int i = 0; i < 50000; ++i) {
+    xml::Node* next = doc.NewElement("n");
+    doc.AppendChild(cur, next);
+    cur = next;
+  }
+  doc.AppendChild(cur, doc.NewElement("leaf"));
+  auto q = CompileQuery("[//leaf]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(*EvalBoolean(*doc.root(), *q));
+}
+
+// ---------- Reference evaluator ----------
+
+TEST(ReferenceEvalTest, PathSetsAreInDocumentOrderAndDeduped) {
+  auto doc = xml::ParseXml("<r><a><b/></a><a><b/><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  auto q = ParseQuery("//b");
+  ASSERT_TRUE(q.ok());
+  auto nodes = ReferencePathEval(*(*q)->path, *doc->root());
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(ReferenceEvalTest, AgreesOnPaperQueries) {
+  xml::Document doc = xmark::BuildPortfolioDocument();
+  for (const char* text :
+       {xmark::kGoogSellQuery, xmark::kYhooQuery, xmark::kMerillQuery}) {
+    auto ast = ParseQuery(text);
+    ASSERT_TRUE(ast.ok());
+    NormQuery q = Normalize(**ast);
+    EXPECT_EQ(ReferenceEval(**ast, *doc.root()),
+              *EvalBoolean(*doc.root(), q))
+        << text;
+  }
+}
+
+// The central correctness property: the production evaluator
+// (normalize + vector bottomUp) agrees with the naive reference
+// interpreter on random documents x random queries.
+class EvalAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvalAgreementTest, ProductionMatchesReference) {
+  Rng rng(GetParam());
+  xml::Document doc = xmark::GenerateRandomSmallDocument(
+      20 + static_cast<int>(rng.Uniform(120)), &rng);
+  for (int i = 0; i < 25; ++i) {
+    auto ast = testutil::RandomQual(&rng, 3);
+    NormQuery q = Normalize(*ast);
+    ASSERT_TRUE(q.IsWellFormed()) << ToString(*ast);
+    auto fast = EvalBoolean(*doc.root(), q);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    bool slow = ReferenceEval(*ast, *doc.root());
+    EXPECT_EQ(*fast, slow) << "seed " << GetParam() << " query "
+                           << ToString(*ast) << "\nQList:\n" << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalAgreementTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace parbox::xpath

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "xmark/queries.h"
+#include "xpath/normalize.h"
+#include "xpath/parser.h"
+#include "xpath/qlist.h"
+
+namespace parbox::xpath {
+namespace {
+
+NormQuery Compile(std::string_view text) {
+  auto q = CompileQuery(text);
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.status().ToString();
+  return std::move(*q);
+}
+
+TEST(NormalizeTest, EpsAlone) {
+  NormQuery q = Compile("[.]");
+  EXPECT_TRUE(q.IsWellFormed());
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kEps);
+}
+
+TEST(NormalizeTest, LabelStepBecomesChildOfLabelTest) {
+  // normalize(A) = */eps[label()=A]; with the eps-merge, the QList is
+  // [eps, label()=A, */q1].
+  NormQuery q = Compile("[a]");
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.at(0).kind, NormKind::kEps);
+  EXPECT_EQ(q.at(1).kind, NormKind::kLabelIs);
+  EXPECT_EQ(q.at(1).str, "a");
+  EXPECT_EQ(q.at(2).kind, NormKind::kChild);
+  EXPECT_EQ(q.root(), 2);
+}
+
+TEST(NormalizeTest, WildcardIsBareChild) {
+  NormQuery q = Compile("[*]");
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kChild);
+  EXPECT_EQ(q.at(q.at(q.root()).a).kind, NormKind::kEps);
+}
+
+TEST(NormalizeTest, DescendantAxis) {
+  NormQuery q = Compile("[//a]");
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kDesc);
+}
+
+TEST(NormalizeTest, TextComparisonRule) {
+  // normalize(p/text()=s) = normalize(p)[text()=s].
+  NormQuery q = Compile("[code/text() = \"GOOG\"]");
+  // QList: [text()=GOOG, label()=code, seq, child].
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.at(0).kind, NormKind::kTextIs);
+  EXPECT_EQ(q.at(0).str, "GOOG");
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kChild);
+  const auto& seq = q.at(q.at(q.root()).a);
+  EXPECT_EQ(seq.kind, NormKind::kSeq);
+  EXPECT_EQ(q.at(seq.a).kind, NormKind::kLabelIs);
+  EXPECT_EQ(q.at(seq.b).kind, NormKind::kTextIs);
+}
+
+TEST(NormalizeTest, BooleanConnectives) {
+  NormQuery q = Compile("[label() = a and not(label() = b or label() = c)]");
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kAnd);
+  EXPECT_TRUE(q.IsWellFormed());
+}
+
+TEST(NormalizeTest, HashConsingDeduplicatesSubqueries) {
+  // //a appears twice; its sub-queries must share QList entries.
+  NormQuery once = Compile("[//a]");
+  NormQuery twice = Compile("[//a or //a]");
+  EXPECT_EQ(twice.size(), once.size() + 1);  // just the extra Or
+  EXPECT_EQ(twice.at(twice.root()).kind, NormKind::kOr);
+  EXPECT_EQ(twice.at(twice.root()).a, twice.at(twice.root()).b);
+}
+
+TEST(NormalizeTest, EpsMergeCombinesConsecutiveQualifiers) {
+  // a[q1][q2] == eps[q1 ∧ q2] applied under the label step.
+  NormQuery q = Compile("[a[label() = x][label() = y]]");
+  // The Seq directly under Child must have an And on its left.
+  SubQueryId child = q.root();
+  ASSERT_EQ(q.at(child).kind, NormKind::kChild);
+  const auto& seq = q.at(q.at(child).a);
+  ASSERT_EQ(seq.kind, NormKind::kSeq);
+  EXPECT_EQ(q.at(seq.a).kind, NormKind::kAnd);
+}
+
+TEST(NormalizeTest, TopologicalOrderAlwaysHolds) {
+  for (const char* text :
+       {"[//a/b/c]", "[a[b][c] and not(//d)]", "[.//x/text() = \"t\"]",
+        "[label() = q or (a and b/c)]"}) {
+    NormQuery q = Compile(text);
+    EXPECT_TRUE(q.IsWellFormed()) << text;
+  }
+}
+
+TEST(NormalizeTest, Example21FromThePaper) {
+  // q = //stock[code/text() = "yhoo"]: the paper's QList has entries
+  // for label()=code, text()=yhoo, their conjunction, the child step,
+  // label()=stock, the descendant closure, etc. With the eps-merges
+  // our QList is a compressed but equivalent version.
+  NormQuery q = Compile("[//stock[code/text() = \"yhoo\"]]");
+  EXPECT_TRUE(q.IsWellFormed());
+  EXPECT_EQ(q.at(q.root()).kind, NormKind::kDesc);
+  // Expected entries: eps, text()=yhoo, label()=code, seq(code,text),
+  // child, label()=stock, and(stock, child), ... root desc.
+  bool has_stock = false, has_code = false, has_text = false;
+  for (size_t i = 0; i < q.size(); ++i) {
+    const auto& sq = q.at(static_cast<SubQueryId>(i));
+    if (sq.kind == NormKind::kLabelIs && sq.str == "stock") has_stock = true;
+    if (sq.kind == NormKind::kLabelIs && sq.str == "code") has_code = true;
+    if (sq.kind == NormKind::kTextIs && sq.str == "yhoo") has_text = true;
+  }
+  EXPECT_TRUE(has_stock && has_code && has_text);
+}
+
+TEST(NormalizeTest, SizeIsLinearInQuery) {
+  // |QList| must not blow up: build a 40-step chain.
+  std::string text = "[//a0";
+  for (int i = 1; i < 40; ++i) text += "/a" + std::to_string(i);
+  text += "]";
+  NormQuery q = Compile(text);
+  EXPECT_LE(q.size(), 3u * 40u + 1u);
+}
+
+TEST(NormalizeTest, SerializedSizeTracksQListSize) {
+  NormQuery small = Compile("[//a]");
+  NormQuery large = Compile("[//a/b/c/d/e/f]");
+  EXPECT_GT(large.SerializedSizeBytes(), small.SerializedSizeBytes());
+}
+
+TEST(NormalizeTest, ToStringListsEveryEntry) {
+  NormQuery q = Compile("[//a]");
+  std::string s = q.ToString();
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_NE(s.find("q" + std::to_string(i) + " = "), std::string::npos);
+  }
+  EXPECT_NE(s.find("<- answer"), std::string::npos);
+}
+
+// ---------- Workload query sizes (Experiments 1 and 3) ----------
+
+class QuerySizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuerySizeTest, ExactQListSize) {
+  auto q = xmark::MakeQueryOfQListSize(GetParam());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->size(), static_cast<size_t>(GetParam()));
+  EXPECT_TRUE(q->IsWellFormed());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, QuerySizeTest,
+                         ::testing::Range(2, 40));
+
+TEST(QuerySizeTest, PaperSizesCovered) {
+  for (int size : xmark::kPaperQuerySizes) {
+    auto q = xmark::MakeQueryOfQListSize(size);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->size(), static_cast<size_t>(size));
+  }
+}
+
+TEST(QuerySizeTest, TooSmallRejected) {
+  EXPECT_FALSE(xmark::MakeQueryOfQListSize(1).ok());
+  EXPECT_FALSE(xmark::MakeQueryOfQListSize(0).ok());
+}
+
+TEST(MarkerQueryTest, ShapeAndSize) {
+  auto q = xmark::MakeMarkerQuery("v3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->at(q->root()).kind, NormKind::kDesc);
+  EXPECT_EQ(xmark::MarkerQueryText("v3"), "[//marker/text() = \"v3\"]");
+}
+
+}  // namespace
+}  // namespace parbox::xpath

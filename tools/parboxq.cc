@@ -1,0 +1,253 @@
+// parboxq — command-line distributed Boolean XPath evaluation.
+//
+//   parboxq --query='[//stock[code = "GOOG"]]' portfolio.xml
+//   parboxq --query='[//a]' --split-label=site --algorithm=all doc.xml
+//   cat doc.xml | parboxq --query='[//a]' --splits=8 --sites=4 -
+//
+// Loads an XML document, fragments it (either at every element with a
+// given label, or with N random splits), distributes the fragments
+// over simulated sites, and evaluates the query with the chosen
+// algorithm(s), printing answers and cost profiles.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "core/algorithms.h"
+#include "core/path_selection.h"
+#include "core/selection.h"
+#include "core/threaded.h"
+#include "fragment/strategies.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/normalize.h"
+
+namespace {
+
+using namespace parbox;
+
+struct CliOptions {
+  std::string query;
+  std::string input_path;
+  std::string split_label;
+  int random_splits = 0;
+  int sites = 0;  // 0 = one site per fragment
+  std::string algorithm = "parbox";
+  uint64_t seed = 42;
+  bool select = false;
+  bool select_path = false;
+  bool show_fragments = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --query=QUERY [options] FILE|-\n"
+      "\n"
+      "options:\n"
+      "  --query=Q           Boolean XPath (XBL) query, e.g. '[//a[b]]'\n"
+      "  --split-label=L     fragment at every element labelled L\n"
+      "  --splits=N          N random splits (default: 0, one fragment)\n"
+      "  --sites=N           round-robin fragments over N sites\n"
+      "                      (default: one site per fragment)\n"
+      "  --algorithm=A       parbox|central|distributed|hybrid|fulldist|\n"
+      "                      lazy|threads|all   (default: parbox)\n"
+      "  --select            treat the query as a node predicate and\n"
+      "                      list matching elements\n"
+      "  --select-path       treat the query as a path and list the\n"
+      "                      nodes it selects (Sec. 8 extension)\n"
+      "  --show-fragments    dump each fragment before evaluating\n"
+      "  --seed=N            RNG seed for --splits (default: 42)\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "parboxq: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--query", &value)) {
+      options.query = value;
+    } else if (ParseFlag(argv[i], "--split-label", &value)) {
+      options.split_label = value;
+    } else if (ParseFlag(argv[i], "--splits", &value)) {
+      options.random_splits = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--sites", &value)) {
+      options.sites = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--algorithm", &value)) {
+      options.algorithm = value;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--select") == 0) {
+      options.select = true;
+    } else if (std::strcmp(argv[i], "--select-path") == 0) {
+      options.select_path = true;
+    } else if (std::strcmp(argv[i], "--show-fragments") == 0) {
+      options.show_fragments = true;
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage(argv[0]);
+    } else {
+      options.input_path = argv[i];
+    }
+  }
+  if (options.query.empty() || options.input_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  // ---- Load ----
+  std::string xml_text;
+  if (options.input_path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    xml_text = buffer.str();
+  } else {
+    std::ifstream file(options.input_path);
+    if (!file) {
+      std::fprintf(stderr, "parboxq: cannot open %s\n",
+                   options.input_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    xml_text = buffer.str();
+  }
+  auto doc = xml::ParseXml(xml_text);
+  if (!doc.ok()) return Fail(doc.status());
+
+  // ---- Fragment ----
+  auto set = frag::FragmentSet::FromDocument(std::move(*doc));
+  if (!set.ok()) return Fail(set.status());
+  if (!options.split_label.empty()) {
+    auto created = frag::SplitAtAllLabeled(&*set, options.split_label);
+    if (!created.ok()) return Fail(created.status());
+  }
+  if (options.random_splits > 0) {
+    Rng rng(options.seed);
+    auto created = frag::RandomSplits(&*set, options.random_splits, &rng);
+    if (!created.ok()) return Fail(created.status());
+  }
+  if (options.show_fragments) {
+    for (auto f : set->live_ids()) {
+      std::printf("--- fragment F%d (%zu elements) ---\n%s\n", f,
+                  set->FragmentElements(f),
+                  xml::WriteXml(set->fragment(f).root, {.indent = true})
+                      .c_str());
+    }
+  }
+
+  // ---- Distribute ----
+  auto st = frag::SourceTree::Create(
+      *set, options.sites > 0
+                ? frag::AssignRoundRobin(*set, options.sites)
+                : frag::AssignOneSitePerFragment(*set));
+  if (!st.ok()) return Fail(st.status());
+  std::printf("%zu elements, %zu fragments, %d sites\n",
+              set->TotalElements(), set->live_count(), st->num_sites());
+
+  // ---- Compile ----
+  auto query = xpath::CompileQuery(options.query);
+  if (!query.ok()) return Fail(query.status());
+  std::printf("query: %s  (|QList| = %zu)\n", options.query.c_str(),
+              query->size());
+
+  // ---- Evaluate ----
+  if (options.select_path) {
+    auto selection = xpath::CompileSelection(options.query);
+    if (!selection.ok()) return Fail(selection.status());
+    auto result = core::RunPathSelection(*set, *st, *selection);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("%zu nodes selected\n", result->total_selected);
+    int shown = 0;
+    for (const xml::Node* n : result->AllSelected()) {
+      if (++shown > 20) {
+        std::printf("  ... (%zu more)\n", result->total_selected - 20);
+        break;
+      }
+      std::printf("  <%s>%s\n", std::string(n->label()).c_str(),
+                  xml::DirectText(*n).substr(0, 40).c_str());
+    }
+    std::printf("%s\n", result->report.ToString().c_str());
+    return 0;
+  }
+  if (options.select) {
+    auto result = core::RunSelectionParBoX(*set, *st, *query);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("%zu elements match\n", result->total_selected);
+    int shown = 0;
+    for (const xml::Node* n : result->AllSelected()) {
+      if (++shown > 20) {
+        std::printf("  ... (%zu more)\n", result->total_selected - 20);
+        break;
+      }
+      std::printf("  <%s>%s\n", std::string(n->label()).c_str(),
+                  xml::DirectText(*n).substr(0, 40).c_str());
+    }
+    std::printf("%s\n", result->report.ToString().c_str());
+    return 0;
+  }
+
+  using Runner = Result<core::RunReport> (*)(
+      const frag::FragmentSet&, const frag::SourceTree&,
+      const xpath::NormQuery&, const core::EngineOptions&);
+  const std::map<std::string, Runner> runners = {
+      {"parbox", core::RunParBoX},
+      {"central", core::RunNaiveCentralized},
+      {"distributed", core::RunNaiveDistributed},
+      {"hybrid", core::RunHybridParBoX},
+      {"fulldist", core::RunFullDistParBoX},
+      {"lazy", core::RunLazyParBoX},
+  };
+
+  if (options.algorithm == "threads") {
+    auto report = core::RunParBoXThreads(*set, *st, *query);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("answer: %s\n", report->answer ? "true" : "false");
+    std::printf("ParBoX(threads): wall=%.4fs site-sum=%.4fs threads=%d "
+                "wire=%llu B\n",
+                report->wall_seconds, report->sum_site_seconds,
+                report->sites_used,
+                static_cast<unsigned long long>(report->wire_bytes));
+    return 0;
+  }
+  if (options.algorithm == "all") {
+    auto reports = core::RunAllAlgorithms(*set, *st, *query);
+    if (!reports.ok()) return Fail(reports.status());
+    std::printf("answer: %s\n",
+                reports->front().answer ? "true" : "false");
+    for (const core::RunReport& r : *reports) {
+      std::printf("  %s\n", r.ToString().c_str());
+    }
+    return 0;
+  }
+  auto it = runners.find(options.algorithm);
+  if (it == runners.end()) {
+    std::fprintf(stderr, "unknown algorithm: %s\n",
+                 options.algorithm.c_str());
+    return Usage(argv[0]);
+  }
+  auto report = it->second(*set, *st, *query, {});
+  if (!report.ok()) return Fail(report.status());
+  std::printf("answer: %s\n%s\n", report->answer ? "true" : "false",
+              report->Detailed().c_str());
+  return 0;
+}
