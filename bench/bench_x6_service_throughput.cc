@@ -1,0 +1,117 @@
+// Experiment X6: QueryService throughput vs a sequential ParBoX loop.
+//
+// A zipf-skewed workload of 256 queries (16 distinct) over the FT1
+// star corpus, served three ways:
+//
+//   sequential — one RunParBoX per query, one at a time (the seed's
+//                only serving story): total time = sum of makespans.
+//   batch-only — QueryService with the result cache disabled: per-site
+//                batch rounds amortize visits, message latency and
+//                duplicate evaluations across 64 in-flight queries.
+//   batch+cache— the full service: repeated fingerprints answer at the
+//                coordinator with zero site visits.
+//
+// Every service answer is checked bit-identical to the standalone
+// RunParBoX answer for the same query (the process exits 1 on any
+// mismatch). The acceptance target is batched throughput >= 2x
+// sequential at 64 concurrent in-flight queries; in practice the
+// amortization lands far beyond that.
+
+#include "bench_common.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+
+int main() {
+  using namespace parbox;
+  using namespace parbox::bench;
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Experiment X6",
+              "QueryService throughput, 64 in-flight queries", config);
+
+  Deployment d = MakeStar(8, config.total_bytes, config.seed);
+  std::printf("%zu elements, %zu fragments, %d sites\n",
+              d.set.TotalElements(), d.set.live_count(), d.st.num_sites());
+
+  auto workload = service::Workload::Make(service::WorkloadSpec{
+      .distinct_queries = 16, .min_qlist_size = 2, .zipf_s = 1.0});
+  Check(workload.status());
+
+  service::ClosedLoopOptions loop;
+  loop.num_queries = 256;
+  loop.concurrency = 64;
+  loop.seed = config.seed;
+
+  // ---- Standalone answers + per-query sequential cost ----
+  std::vector<bool> expected;
+  std::vector<double> makespans;
+  for (size_t i = 0; i < workload->size(); ++i) {
+    auto q = workload->Materialize(i);
+    Check(q.status());
+    auto report = core::RunParBoX(d.set, d.st, *q);
+    Check(report.status());
+    expected.push_back(report->answer);
+    makespans.push_back(report->makespan_seconds);
+  }
+
+  auto run_service = [&](bool enable_cache,
+                         std::vector<size_t>* indices)
+      -> service::ServiceReport {
+    service::ServiceOptions options;
+    options.enable_cache = enable_cache;
+    service::QueryService svc(&d.set, &d.st, options);
+    auto report = service::RunClosedLoop(&svc, *workload, loop, indices);
+    Check(report.status());
+    // Bit-identical answers per submission, or the bench fails.
+    for (const auto& outcome : svc.outcomes()) {
+      size_t index = (*indices)[outcome.query_id];
+      if (outcome.answer != expected[index]) {
+        std::fprintf(stderr,
+                     "ANSWER MISMATCH: submission %llu (portfolio %zu)\n",
+                     static_cast<unsigned long long>(outcome.query_id),
+                     index);
+        std::exit(1);
+      }
+    }
+    return *report;
+  };
+
+  std::vector<size_t> indices;
+  service::ServiceReport full = run_service(/*enable_cache=*/true,
+                                            &indices);
+  std::vector<size_t> indices_nocache;
+  service::ServiceReport batch_only =
+      run_service(/*enable_cache=*/false, &indices_nocache);
+
+  double sequential_seconds = 0.0;
+  for (size_t index : indices) sequential_seconds += makespans[index];
+  const double n = static_cast<double>(loop.num_queries);
+  const double seq_qps = n / sequential_seconds;
+
+  std::printf("\n%-14s %-12s %-12s %-10s %-10s %-10s\n", "mode",
+              "time (s)", "qps", "p95 (ms)", "visits", "net KB");
+  std::printf("%-14s %-12.4f %-12.1f %-10s %-10s %-10s\n", "sequential",
+              sequential_seconds, seq_qps, "-", "-", "-");
+  auto row = [&](const char* name, const service::ServiceReport& r) {
+    std::printf("%-14s %-12.4f %-12.1f %-10.3f %-10llu %-10.1f\n", name,
+                r.makespan_seconds, r.throughput_qps,
+                r.latency.Percentile(95) * 1e3,
+                static_cast<unsigned long long>(r.total_visits),
+                r.network_bytes / 1024.0);
+  };
+  row("batch-only", batch_only);
+  row("batch+cache", full);
+  std::printf("\n%s\n", full.ToString().c_str());
+
+  const double speedup_batch = batch_only.throughput_qps / seq_qps;
+  const double speedup_full = full.throughput_qps / seq_qps;
+  std::printf("\nspeedup vs sequential: batch-only %.1fx, batch+cache "
+              "%.1fx (target >= 2x)\n",
+              speedup_batch, speedup_full);
+  if (speedup_batch < 2.0 || speedup_full < 2.0) {
+    std::fprintf(stderr, "FAILED: batched service below 2x sequential\n");
+    return 1;
+  }
+  std::printf("answers: all %zu bit-identical to standalone RunParBoX\n",
+              static_cast<size_t>(n));
+  return 0;
+}

@@ -1,8 +1,61 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace parbox {
+
+double Distribution::sum() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+double Distribution::min() const {
+  return values_.empty()
+             ? 0.0
+             : *std::min_element(values_.begin(), values_.end());
+}
+
+double Distribution::max() const {
+  return values_.empty()
+             ? 0.0
+             : *std::max_element(values_.begin(), values_.end());
+}
+
+void Distribution::EnsureSorted() const {
+  if (sorted_) return;
+  std::sort(values_.begin(), values_.end());
+  sorted_ = true;
+}
+
+double Distribution::Percentile(double pct) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  pct = std::clamp(pct, 0.0, 100.0);
+  // Nearest rank: the smallest value with at least pct% of the sample
+  // at or below it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(values_.size())));
+  if (rank == 0) rank = 1;
+  return values_[rank - 1];
+}
+
+std::string Distribution::Summary(const std::string& unit,
+                                  double scale) const {
+  std::ostringstream out;
+  out << "n=" << count();
+  auto put = [&](const char* name, double v) {
+    out << " " << name << "=" << v * scale << unit;
+  };
+  put("mean", mean());
+  put("p50", Percentile(50));
+  put("p95", Percentile(95));
+  put("p99", Percentile(99));
+  put("max", max());
+  return out.str();
+}
 
 std::string StatsRegistry::ToString() const {
   std::ostringstream out;

@@ -11,8 +11,42 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace parbox {
+
+/// A sample of real-valued observations (latencies, sizes) answering
+/// mean and percentile questions — the service-level complement to the
+/// counter registry below. Percentiles use the nearest-rank method on
+/// a lazily sorted copy, so Add stays O(1).
+class Distribution {
+ public:
+  void Add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+  double sum() const;
+  double mean() const { return values_.empty() ? 0.0 : sum() / count(); }
+  double min() const;
+  double max() const;
+
+  /// Nearest-rank percentile, `pct` in [0, 100]. 0 on an empty sample.
+  double Percentile(double pct) const;
+
+  /// "n=.. mean=.. p50=.. p95=.. p99=.. max=.." with `unit` appended
+  /// to each value (e.g. "ms") and values multiplied by `scale`
+  /// (e.g. 1e3 to print seconds as milliseconds).
+  std::string Summary(const std::string& unit = "",
+                      double scale = 1.0) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
 
 /// A bag of monotonically increasing named counters.
 class StatsRegistry {

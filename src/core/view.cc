@@ -74,6 +74,7 @@ Result<xml::Node*> MaterializedView::InsNode(frag::FragmentId f,
   xml::Node* node = storage->NewElement(label);
   if (!text.empty()) storage->AppendChild(node, storage->NewText(text));
   storage->AppendChild(parent, node);
+  NotifyContentUpdate(f);
   return node;
 }
 
@@ -88,6 +89,7 @@ Status MaterializedView::DelNode(frag::FragmentId f, xml::Node* v) {
         "subtree references sub-fragments; merge them first");
   }
   set_->mutable_storage()->Detach(v);
+  NotifyContentUpdate(f);
   return Status::OK();
 }
 
@@ -151,6 +153,8 @@ Result<frag::FragmentId> MaterializedView::SplitFragments(
   uint64_t ops = 0;
   RecomputeTriplet(f, &ops);
   RecomputeTriplet(new_id, &ops);
+  NotifyFragmentationUpdate(f);
+  NotifyFragmentationUpdate(new_id);
   return new_id;
 }
 
@@ -162,6 +166,8 @@ Status MaterializedView::MergeFragments(frag::FragmentId child) {
   equations_[child] = bexpr::FragmentEquations{};
   uint64_t ops = 0;
   RecomputeTriplet(parent, &ops);
+  NotifyFragmentationUpdate(child);
+  NotifyFragmentationUpdate(parent);
   return Status::OK();
 }
 

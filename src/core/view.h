@@ -20,6 +20,7 @@
 #ifndef PARBOX_CORE_VIEW_H_
 #define PARBOX_CORE_VIEW_H_
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -30,6 +31,18 @@
 #include "fragment/source_tree.h"
 
 namespace parbox::core {
+
+/// Observer for view update operations. A QueryService's result cache
+/// registers one so document changes can invalidate exactly the cached
+/// answers they affect (service/query_service.h).
+struct UpdateListener {
+  /// insNode/delNode landed in fragment `f`: its content changed, so
+  /// any answer derived from f's old triplet is suspect.
+  std::function<void(frag::FragmentId)> on_content_update;
+  /// splitFragments/mergeFragments touched fragment `f`: its triplet
+  /// is re-cut but, per Sec. 5, no query answer changes.
+  std::function<void(frag::FragmentId)> on_fragmentation_update;
+};
 
 class MaterializedView {
  public:
@@ -45,6 +58,15 @@ class MaterializedView {
 
   bool answer() const { return answer_; }
   const frag::SourceTree& source_tree() const { return st_; }
+  /// The fragment set this view maintains (identity check for
+  /// observers that must share it).
+  const frag::FragmentSet* fragment_set() const { return set_; }
+
+  /// Register the (single) update observer. Callbacks fire after the
+  /// corresponding update has been applied to the fragment set.
+  void SetUpdateListener(UpdateListener listener) {
+    listener_ = std::move(listener);
+  }
 
   // ---- Content updates ----
 
@@ -94,9 +116,19 @@ class MaterializedView {
   /// Solve the cached system; updates answer_.
   Status Resolve();
 
+  void NotifyContentUpdate(frag::FragmentId f) {
+    if (listener_.on_content_update) listener_.on_content_update(f);
+  }
+  void NotifyFragmentationUpdate(frag::FragmentId f) {
+    if (listener_.on_fragmentation_update) {
+      listener_.on_fragmentation_update(f);
+    }
+  }
+
   frag::FragmentSet* set_;
   const xpath::NormQuery* q_;
   EngineOptions options_;
+  UpdateListener listener_;
   std::vector<frag::SiteId> site_of_;
   frag::SourceTree st_;
   bexpr::ExprFactory factory_;

@@ -1,0 +1,439 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "boolexpr/serialize.h"
+#include "common/bytes.h"
+#include "core/partial_eval.h"
+#include "xpath/eval.h"
+
+namespace parbox::service {
+
+namespace {
+
+/// Digest of a byte string; never returns 0 so cache entries can use
+/// 0 for "no dependency recorded".
+uint64_t HashBytes(const std::string& bytes) {
+  const uint64_t h = xpath::Fnv1a64(bytes);
+  return h == 0 ? 1 : h;
+}
+
+/// Structure-deterministic signature of one fragment's triplet: two
+/// factories (or one factory at two times) holding structurally equal
+/// formulas serialize identically, so signatures are comparable across
+/// updates.
+uint64_t EquationsSignature(const bexpr::ExprFactory& factory,
+                            const bexpr::FragmentEquations& eq) {
+  std::vector<bexpr::ExprId> roots;
+  roots.reserve(eq.v.size() + eq.cv.size() + eq.dv.size());
+  roots.insert(roots.end(), eq.v.begin(), eq.v.end());
+  roots.insert(roots.end(), eq.cv.begin(), eq.cv.end());
+  roots.insert(roots.end(), eq.dv.begin(), eq.dv.end());
+  return HashBytes(bexpr::SerializeExprs(factory, roots));
+}
+
+}  // namespace
+
+QueryService::QueryService(const frag::FragmentSet* set,
+                           const frag::SourceTree* st,
+                           const ServiceOptions& options)
+    : set_(set),
+      st_(st),
+      options_(options),
+      cluster_(st->num_sites(), options.network) {}
+
+Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
+                                      double arrival_seconds,
+                                      CompletionFn done) {
+  if (!q.IsWellFormed()) {
+    return Status::InvalidArgument("query QList is not well-formed");
+  }
+  if (q.size() > static_cast<size_t>(bexpr::VarId::kMaxQueryIndex) + 1) {
+    return Status::InvalidArgument(
+        "query has more sub-queries than the variable encoding supports");
+  }
+  if (st_->num_sites() > cluster_.num_sites()) {
+    // A fragmentation update (via an attached view) placed a fragment
+    // on a site this service's cluster was never built with.
+    return Status::FailedPrecondition(
+        "source tree names more sites than the service's cluster; "
+        "build a new QueryService for the grown deployment");
+  }
+  const uint64_t id = next_query_id_++;
+  const double arrival = std::max(arrival_seconds, cluster_.now());
+  Submission sub;
+  sub.query = std::move(q);
+  sub.submitted_seconds = arrival;
+  sub.done = std::move(done);
+  submissions_.emplace(id, std::move(sub));
+  cluster_.loop().At(arrival, [this, id] { Admit(id); });
+  return id;
+}
+
+void QueryService::Admit(uint64_t id) {
+  Submission& sub = submissions_.at(id);
+  sub.fp = xpath::FingerprintQuery(sub.query);
+  const uint64_t lookup_ops = 16 + sub.query.size();
+
+  if (options_.enable_cache) {
+    auto it = cache_.find(sub.fp);
+    if (it != cache_.end()) {
+      it->second.last_used = ++cache_tick_;
+      ++cache_hits_;
+      const bool answer = it->second.answer;
+      // A hit costs one coordinator-local lookup: no site is visited
+      // and nothing crosses the network.
+      cluster_.Compute(coordinator(), lookup_ops, [this, id, answer] {
+        Complete(id, answer, /*cache_hit=*/true, /*shared=*/false);
+      });
+      sub.query = xpath::NormQuery();
+      return;
+    }
+  }
+
+  // Same fingerprint already being evaluated? Ride that round.
+  if (auto it = in_flight_.find(sub.fp); it != in_flight_.end()) {
+    for (Unique& u : it->second->uniques) {
+      if (u.fp == sub.fp) {
+        u.waiters.push_back(id);
+        ++shared_evaluations_;
+        sub.query = xpath::NormQuery();
+        return;
+      }
+    }
+  }
+  // Same fingerprint already pending in the next batch? Join it.
+  if (auto it = pending_index_.find(sub.fp); it != pending_index_.end()) {
+    pending_[it->second].waiters.push_back(id);
+    ++shared_evaluations_;
+    sub.query = xpath::NormQuery();
+    return;
+  }
+
+  Unique u;
+  u.fp = sub.fp;
+  u.query = std::move(sub.query);
+  u.query_bytes = u.query.SerializedSizeBytes();
+  u.waiters.push_back(id);
+  pending_index_.emplace(u.fp, pending_.size());
+  pending_.push_back(std::move(u));
+
+  if (!options_.enable_batching ||
+      pending_.size() >= options_.max_batch_queries ||
+      options_.batch_window_seconds <= 0.0) {
+    FlushBatch();
+  } else {
+    ArmBatchTimer();
+  }
+}
+
+void QueryService::ArmBatchTimer() {
+  if (batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  // The epoch invalidates this timer if a size-triggered flush beats
+  // it: otherwise the stale deadline would truncate the next batch's
+  // window.
+  const uint64_t epoch = batch_epoch_;
+  cluster_.loop().After(options_.batch_window_seconds, [this, epoch] {
+    if (epoch != batch_epoch_) return;  // a flush superseded this timer
+    batch_timer_armed_ = false;
+    if (!pending_.empty()) FlushBatch();
+  });
+}
+
+void QueryService::FlushBatch() {
+  ++batch_epoch_;
+  batch_timer_armed_ = false;
+  auto round = std::make_shared<Round>();
+  round->uniques = std::move(pending_);
+  pending_.clear();
+  pending_index_.clear();
+  round->epoch = update_epoch_;
+
+  // An attached view's SplitFragments may have grown the deployment
+  // past this service's cluster; Submit guards new arrivals, but
+  // already-admitted work must fail cleanly too.
+  if (st_->num_sites() > cluster_.num_sites()) {
+    if (first_error_.ok()) {
+      first_error_ = Status::FailedPrecondition(
+          "source tree outgrew the service's cluster mid-run");
+    }
+    for (Unique& u : round->uniques) {
+      for (uint64_t id : u.waiters) Complete(id, false, false, false);
+    }
+    return;
+  }
+
+  round->children = set_->ChildrenTable();
+  for (sim::SiteId s = 0; s < st_->num_sites(); ++s) {
+    if (!st_->fragments_at(s).empty()) {
+      round->site_fragments.emplace_back(s, st_->fragments_at(s));
+    }
+  }
+  for (Unique& u : round->uniques) {
+    u.equations.resize(set_->table_size());
+    in_flight_.emplace(u.fp, round);
+  }
+  ++rounds_;
+  unique_evaluations_ += round->uniques.size();
+  BeginRound(std::move(round));
+}
+
+void QueryService::BeginRound(std::shared_ptr<Round> round) {
+  const sim::SiteId coord = coordinator();
+  uint64_t batch_query_bytes = 0;
+  for (const Unique& u : round->uniques) batch_query_bytes += u.query_bytes;
+
+  round->pending_sites = static_cast<int>(round->site_fragments.size());
+
+  for (size_t si = 0; si < round->site_fragments.size(); ++si) {
+    const sim::SiteId s = round->site_fragments[si].first;
+    // One visit per site per round, no matter how many queries ride it.
+    cluster_.RecordVisit(s);
+    cluster_.Send(coord, s, batch_query_bytes, "query", [this, round, coord,
+                                                        s, si] {
+      struct SiteEval {
+        size_t remaining = 0;
+        uint64_t reply_bytes = 0;
+      };
+      const std::vector<frag::FragmentId>& fragments =
+          round->site_fragments[si].second;
+      auto site = std::make_shared<SiteEval>();
+      site->remaining = fragments.size() * round->uniques.size();
+      for (frag::FragmentId f : fragments) {
+        for (Unique& u : round->uniques) {
+          // Real partial evaluation, charged to the site's serialized
+          // compute queue — exactly RunParBoX's per-fragment step. A
+          // fragment merged away since the flush snapshot yields an
+          // empty triplet; the solver then reports Unresolved and the
+          // round fails cleanly rather than reading freed nodes.
+          xpath::EvalCounters counters;
+          if (set_->is_live(f)) {
+            u.equations[f] = core::PartialEvalFragment(
+                &factory_, u.query, *set_, f, &counters);
+          }
+          total_ops_ += counters.ops;
+          site->reply_bytes +=
+              core::TripletWireBytes(factory_, u.equations[f]);
+          cluster_.Compute(s, counters.ops, [this, round, coord, s, site] {
+            if (--site->remaining > 0) return;
+            // All fragments x queries done: one reply for the round.
+            cluster_.Send(s, coord, site->reply_bytes, "triplet",
+                          [this, round] {
+                            if (--round->pending_sites == 0) {
+                              Compose(round);
+                            }
+                          });
+          });
+        }
+      }
+    });
+  }
+}
+
+void QueryService::Compose(std::shared_ptr<Round> round) {
+  uint64_t solve_ops = 0;
+  for (const Unique& u : round->uniques) {
+    solve_ops += u.query.size() * set_->live_count();
+  }
+  total_ops_ += solve_ops;
+  cluster_.Compute(coordinator(), solve_ops, [this, round] {
+    for (Unique& u : round->uniques) {
+      Result<bool> result = bexpr::SolveForAnswer(
+          &factory_, u.equations, round->children, set_->root_fragment(),
+          u.query.root());
+      bool answer = false;
+      if (result.ok()) {
+        answer = *result;
+      } else if (first_error_.ok()) {
+        first_error_ = result.status();
+      }
+      in_flight_.erase(u.fp);
+      std::vector<uint64_t> waiters = std::move(u.waiters);
+      // Results computed concurrently with a document update must not
+      // persist: the triplets (and possibly the answer) predate it.
+      const bool cacheable = result.ok() && round->epoch == update_epoch_;
+      if (cacheable) InsertCacheEntry(std::move(u), answer);
+      // waiters[0] is the submission whose query was evaluated; the
+      // rest joined it.
+      for (size_t w = 0; w < waiters.size(); ++w) {
+        Complete(waiters[w], answer, /*cache_hit=*/false,
+                 /*shared=*/w > 0);
+      }
+    }
+  });
+}
+
+void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
+                            bool shared) {
+  auto it = submissions_.find(id);
+  if (it == submissions_.end()) return;
+  Submission sub = std::move(it->second);
+  submissions_.erase(it);
+
+  QueryOutcome outcome;
+  outcome.query_id = id;
+  outcome.fingerprint = sub.fp;
+  outcome.answer = answer;
+  outcome.cache_hit = cache_hit;
+  outcome.shared_evaluation = shared && !cache_hit;
+  outcome.submitted_seconds = sub.submitted_seconds;
+  outcome.completed_seconds = cluster_.now();
+  latency_.Add(outcome.latency_seconds());
+  outcomes_.push_back(outcome);
+  if (sub.done) sub.done(outcomes_.back());
+}
+
+double QueryService::Run() { return cluster_.Run(); }
+
+// ---- Result cache ------------------------------------------------------
+
+uint64_t QueryService::TripletSignature(const xpath::NormQuery& q,
+                                        frag::FragmentId f) {
+  xpath::EvalCounters counters;
+  bexpr::FragmentEquations eq =
+      core::PartialEvalFragment(&factory_, q, *set_, f, &counters);
+  return EquationsSignature(factory_, eq);
+}
+
+void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
+  if (!options_.enable_cache || options_.cache_capacity == 0) return;
+  CacheEntry entry;
+  entry.answer = answer;
+  entry.last_used = ++cache_tick_;
+  entry.frag_sig.assign(set_->table_size(), 0);
+  for (frag::FragmentId f : set_->live_ids()) {
+    entry.frag_sig[f] = EquationsSignature(factory_, unique.equations[f]);
+  }
+  entry.query = std::move(unique.query);
+  cache_.insert_or_assign(unique.fp, std::move(entry));
+  EvictIfOverCapacity();
+}
+
+void QueryService::EvictIfOverCapacity() {
+  // O(capacity) scan per eviction — at the few-thousand-entry default
+  // this is cheaper to reason about than an intrusive LRU list; swap
+  // in one if capacities grow by orders of magnitude.
+  while (cache_.size() > options_.cache_capacity) {
+    auto lru = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    cache_.erase(lru);
+  }
+}
+
+void QueryService::InvalidateAll() {
+  ++update_epoch_;
+  cache_invalidations_ += cache_.size();
+  cache_.clear();
+}
+
+void QueryService::OnContentUpdate(frag::FragmentId f) {
+  ++update_epoch_;
+  if (cache_.empty()) return;
+  if (!set_->is_live(f)) return;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    CacheEntry& entry = it->second;
+    bool affected;
+    if (static_cast<size_t>(f) >= entry.frag_sig.size() ||
+        entry.frag_sig[f] == 0) {
+      // Unknown dependency (fragment appeared after caching without a
+      // fragmentation notification): be conservative.
+      affected = true;
+    } else {
+      // Sec. 5's maintenance test: re-run bottomUp on F_j alone and
+      // compare triplets. Unchanged triplet => the answer stands.
+      affected = TripletSignature(entry.query, f) != entry.frag_sig[f];
+    }
+    if (affected) {
+      ++cache_invalidations_;
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
+  ++update_epoch_;
+  if (f < 0) return;
+  for (auto& [fp, entry] : cache_) {
+    (void)fp;
+    if (entry.frag_sig.size() < set_->table_size()) {
+      entry.frag_sig.resize(set_->table_size(), 0);
+    }
+    // Split/merge never changes an answer (Sec. 5), so the entry
+    // stays. Its dependency signature for the re-cut fragment is now
+    // stale; reset it to "unknown" rather than eagerly re-evaluating
+    // every cached query — a later content update to this fragment
+    // then evicts conservatively.
+    entry.frag_sig[f] = 0;
+  }
+}
+
+Status QueryService::AttachView(core::MaterializedView* view) {
+  if (view->fragment_set() != set_) {
+    return Status::InvalidArgument(
+        "view maintains a different FragmentSet than this service");
+  }
+  core::UpdateListener listener;
+  listener.on_content_update = [this](frag::FragmentId f) {
+    OnContentUpdate(f);
+  };
+  listener.on_fragmentation_update = [this](frag::FragmentId f) {
+    OnFragmentationUpdate(f);
+  };
+  view->SetUpdateListener(std::move(listener));
+  // Follow the view's source tree: it is rebuilt in place across
+  // fragmentation updates, so the reference stays current.
+  st_ = &view->source_tree();
+  return Status::OK();
+}
+
+// ---- Reporting ---------------------------------------------------------
+
+ServiceReport QueryService::BuildReport() const {
+  ServiceReport report;
+  report.completed = outcomes_.size();
+  report.makespan_seconds = cluster_.now();
+  report.throughput_qps =
+      report.makespan_seconds > 0.0
+          ? static_cast<double>(report.completed) / report.makespan_seconds
+          : 0.0;
+  report.latency = latency_;
+  report.cache_hits = cache_hits_;
+  report.shared_evaluations = shared_evaluations_;
+  report.unique_evaluations = unique_evaluations_;
+  report.rounds = rounds_;
+  report.cache_invalidations = cache_invalidations_;
+  report.network_bytes = cluster_.traffic().total_bytes();
+  report.network_messages = cluster_.traffic().total_messages();
+  for (uint64_t v : cluster_.all_visits()) report.total_visits += v;
+  report.total_ops = total_ops_;
+  report.interned_formula_nodes = factory_.total_nodes();
+  for (const auto& [tag, bytes] : cluster_.traffic().bytes_by_tag()) {
+    report.stats.Add("net." + tag + ".bytes", bytes);
+  }
+  report.stats.Add("sim.events", cluster_.loop().events_run());
+  return report;
+}
+
+std::string ServiceReport::ToString() const {
+  std::ostringstream out;
+  out << "QueryService: " << completed << " queries in "
+      << makespan_seconds << "s  (" << throughput_qps << " q/s)\n";
+  out << "  latency ms: " << latency.Summary("", 1e3) << "\n";
+  out << "  cache hits " << cache_hits << ", shared evals "
+      << shared_evaluations << ", unique evals " << unique_evaluations
+      << ", rounds " << rounds << ", invalidations "
+      << cache_invalidations << "\n";
+  out << "  network " << HumanBytes(network_bytes) << " in "
+      << network_messages << " msgs, site visits " << total_visits
+      << ", ops " << total_ops << ", interned formula nodes "
+      << interned_formula_nodes;
+  return out.str();
+}
+
+}  // namespace parbox::service

@@ -1,0 +1,268 @@
+// QueryService: a long-lived serving layer over one simulated cluster.
+//
+// Where the Run* entry points of core/algorithms.h build a fresh
+// cluster per query, a QueryService owns one sim::Cluster for its
+// lifetime and serves a *stream* of queries — the paper's cost model
+// (each site visited once, O(|q|·card(F)) traffic per query) amortized
+// across concurrent traffic:
+//
+//   * Admission. Submit() schedules a query's arrival on the virtual
+//     clock; a WorkloadDriver (service/workload.h) feeds open- or
+//     closed-loop arrival processes.
+//   * Per-site batching. Queries admitted within a batching window are
+//     evaluated in one *round*: each site is visited once per round —
+//     a single "query" message carries the QLists of every distinct
+//     query in the batch, the site partially evaluates all of them
+//     over each of its fragments, and a single "triplet" reply ships
+//     all partial answers back. Per-visit latency and per-message
+//     overhead are shared by the whole batch, and identical queries
+//     (by fingerprint) are evaluated once no matter how many
+//     submissions asked. All formula work shares the service's one
+//     hash-consing ExprFactory, so structurally overlapping queries in
+//     a batch reuse each other's interned subformulas and triplets.
+//   * Result cache. Answers are cached under the query's canonical
+//     fingerprint (xpath/fingerprint.h). A hit completes at the
+//     coordinator with zero site visits and zero network traffic. Each
+//     entry records a per-fragment signature of the triplets it was
+//     derived from; MaterializedView update operations (AttachView)
+//     invalidate exactly the entries whose triplet for the updated
+//     fragment actually changed — the view-maintenance test of Sec. 5
+//     applied to the cache.
+//   * Reporting. Per-query outcomes aggregate into a ServiceReport:
+//     throughput, p50/p95/p99 latency (common/stats Distribution),
+//     cache and batching counters, and the usual traffic breakdown.
+//
+// Answers are computed by the same partial-evaluation kernel and
+// equation solver as RunParBoX, so they are bit-identical to a
+// standalone run (verified in tests/service_test.cc and
+// bench_x6_service_throughput).
+
+#ifndef PARBOX_SERVICE_QUERY_SERVICE_H_
+#define PARBOX_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/solver.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/view.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "sim/cluster.h"
+#include "xpath/fingerprint.h"
+#include "xpath/qlist.h"
+
+namespace parbox::service {
+
+struct ServiceOptions {
+  sim::NetworkParams network;
+
+  /// Merge concurrently admitted queries into per-site batch rounds.
+  /// Off: every admission is its own round (ablation baseline).
+  bool enable_batching = true;
+  /// Serve repeated queries from the fingerprint-keyed result cache.
+  bool enable_cache = true;
+
+  /// How long admission holds a batch open for stragglers before the
+  /// round starts. Default: two one-way LAN latencies.
+  double batch_window_seconds = 2e-4;
+  /// Start the round early once this many distinct queries pend.
+  size_t max_batch_queries = 64;
+  /// Cache entries kept; least-recently-used evicted beyond this.
+  size_t cache_capacity = 4096;
+};
+
+/// What one submission experienced, start to finish.
+struct QueryOutcome {
+  uint64_t query_id = 0;
+  xpath::QueryFingerprint fingerprint;
+  bool answer = false;
+  /// Served from the result cache (no site visited).
+  bool cache_hit = false;
+  /// Shared another submission's evaluation of the same fingerprint.
+  bool shared_evaluation = false;
+  double submitted_seconds = 0.0;
+  double completed_seconds = 0.0;
+  double latency_seconds() const {
+    return completed_seconds - submitted_seconds;
+  }
+};
+
+/// Aggregated service-level metrics over every completed query.
+struct ServiceReport {
+  size_t completed = 0;
+  double makespan_seconds = 0.0;
+  double throughput_qps = 0.0;
+  /// Per-query latency in seconds.
+  Distribution latency;
+
+  uint64_t cache_hits = 0;
+  uint64_t shared_evaluations = 0;  ///< submissions that rode a dup
+  uint64_t unique_evaluations = 0;  ///< distinct (fingerprint) evals run
+  uint64_t rounds = 0;              ///< batch rounds executed
+  uint64_t cache_invalidations = 0;
+
+  uint64_t network_bytes = 0;
+  uint64_t network_messages = 0;
+  uint64_t total_visits = 0;
+  uint64_t total_ops = 0;
+  uint64_t interned_formula_nodes = 0;
+
+  /// Traffic by tag ("net.query.bytes", ...), RunReport-style.
+  StatsRegistry stats;
+
+  std::string ToString() const;
+};
+
+class QueryService {
+ public:
+  using CompletionFn = std::function<void(const QueryOutcome&)>;
+
+  /// The service evaluates against `*set` distributed per `*st`; both
+  /// must outlive it. The simulated cluster spans st->num_sites()
+  /// machines and the service runs at the root fragment's site.
+  QueryService(const frag::FragmentSet* set, const frag::SourceTree* st,
+               const ServiceOptions& options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueue `q` to arrive at virtual time `arrival_seconds` (clamped
+  /// to now()). `done`, if given, runs at completion — closed-loop
+  /// drivers use it to submit the next query. Returns the query id.
+  Result<uint64_t> Submit(xpath::NormQuery q, double arrival_seconds,
+                          CompletionFn done = nullptr);
+
+  /// Drain the event loop (serve everything submitted, including
+  /// queries submitted by completion callbacks). Returns virtual now().
+  double Run();
+
+  double now() const { return cluster_.now(); }
+  sim::Cluster& cluster() { return cluster_; }
+  /// First internal failure, if any (malformed equation system).
+  const Status& status() const { return first_error_; }
+
+  /// Completed queries, in completion order.
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+  ServiceReport BuildReport() const;
+
+  // ---- Result-cache maintenance ----
+
+  size_t cache_size() const { return cache_.size(); }
+  void InvalidateAll();
+  /// Fragment `f`'s content changed: drop exactly the entries whose
+  /// triplet for `f` changed (triplet-comparison test of Sec. 5).
+  void OnContentUpdate(frag::FragmentId f);
+  /// Fragment `f` was re-cut by split/merge: answers are unaffected
+  /// (Sec. 5), so entries are kept and their signatures refreshed.
+  void OnFragmentationUpdate(frag::FragmentId f);
+  /// Register this service's cache with `view`'s update operations and
+  /// follow the view's source tree from now on. The view must maintain
+  /// the same FragmentSet this service evaluates against.
+  Status AttachView(core::MaterializedView* view);
+
+ private:
+  /// One distinct query being (or about to be) evaluated in a round.
+  struct Unique {
+    xpath::QueryFingerprint fp;
+    xpath::NormQuery query;
+    uint64_t query_bytes = 0;
+    std::vector<uint64_t> waiters;  ///< submission ids to complete
+    /// Triplets by fragment id, filled in by the sites.
+    std::vector<bexpr::FragmentEquations> equations;
+  };
+
+  struct Round {
+    std::vector<Unique> uniques;
+    int pending_sites = 0;
+    std::vector<std::vector<int32_t>> children;  ///< solver snapshot
+    /// Site -> fragments, snapshotted at flush so in-flight rounds
+    /// stay in bounds if an attached view re-cuts fragments mid-run.
+    std::vector<std::pair<sim::SiteId, std::vector<frag::FragmentId>>>
+        site_fragments;
+    /// update_epoch_ at flush; a mismatch at compose time means an
+    /// update raced the round and its results must not enter the cache.
+    uint64_t epoch = 0;
+  };
+
+  struct Submission {
+    xpath::NormQuery query;  ///< until admitted; then moved or dropped
+    xpath::QueryFingerprint fp;
+    double submitted_seconds = 0.0;
+    CompletionFn done;
+  };
+
+  struct CacheEntry {
+    xpath::NormQuery query;  ///< retained for invalidation checks
+    bool answer = false;
+    uint64_t last_used = 0;
+    /// Triplet signature by fragment id; 0 = no dependency recorded.
+    std::vector<uint64_t> frag_sig;
+  };
+
+  sim::SiteId coordinator() const {
+    return st_->site_of(st_->root_fragment());
+  }
+
+  void Admit(uint64_t id);
+  void ArmBatchTimer();
+  void FlushBatch();
+  void BeginRound(std::shared_ptr<Round> round);
+  void Compose(std::shared_ptr<Round> round);
+  void Complete(uint64_t id, bool answer, bool cache_hit, bool shared);
+
+  /// Signature of fragment `f`'s current triplet under `q`, computed
+  /// with this service's factory. Never 0.
+  uint64_t TripletSignature(const xpath::NormQuery& q, frag::FragmentId f);
+  void InsertCacheEntry(Unique&& unique, bool answer);
+  void EvictIfOverCapacity();
+
+  const frag::FragmentSet* set_;
+  const frag::SourceTree* st_;
+  ServiceOptions options_;
+  sim::Cluster cluster_;
+  /// One factory for the service lifetime: formulas and triplets are
+  /// interned once and reused across every batch and query.
+  bexpr::ExprFactory factory_;
+
+  uint64_t next_query_id_ = 0;
+  std::unordered_map<uint64_t, Submission> submissions_;
+
+  std::vector<Unique> pending_;  ///< next round, being assembled
+  std::unordered_map<xpath::QueryFingerprint, size_t,
+                     xpath::QueryFingerprintHash>
+      pending_index_;
+  bool batch_timer_armed_ = false;
+  uint64_t batch_epoch_ = 0;  ///< bumped per flush; stales old timers
+
+  /// fp -> round holding it, for joining in-flight evaluations.
+  std::unordered_map<xpath::QueryFingerprint, std::shared_ptr<Round>,
+                     xpath::QueryFingerprintHash>
+      in_flight_;
+
+  std::unordered_map<xpath::QueryFingerprint, CacheEntry,
+                     xpath::QueryFingerprintHash>
+      cache_;
+  uint64_t cache_tick_ = 0;
+
+  std::vector<QueryOutcome> outcomes_;
+  Distribution latency_;
+  uint64_t update_epoch_ = 0;  ///< bumped per document update
+  Status first_error_ = Status::OK();
+  uint64_t cache_hits_ = 0;
+  uint64_t shared_evaluations_ = 0;
+  uint64_t unique_evaluations_ = 0;
+  uint64_t rounds_ = 0;
+  uint64_t cache_invalidations_ = 0;
+  uint64_t total_ops_ = 0;
+};
+
+}  // namespace parbox::service
+
+#endif  // PARBOX_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,131 @@
+#include "service/workload.h"
+
+#include <cmath>
+#include <memory>
+
+#include "xmark/queries.h"
+
+namespace parbox::service {
+
+Result<Workload> Workload::Make(const WorkloadSpec& spec) {
+  if (spec.distinct_queries < 1) {
+    return Status::InvalidArgument("workload needs at least one query");
+  }
+  if (spec.min_qlist_size < 2) {
+    return Status::InvalidArgument("smallest supported |QList| is 2");
+  }
+  Workload w;
+  w.spec_ = spec;
+  for (int i = 0; i < spec.distinct_queries; ++i) {
+    // Fail fast if any portfolio entry cannot be built.
+    PARBOX_ASSIGN_OR_RETURN(
+        xpath::NormQuery q,
+        xmark::MakeQueryOfQListSize(spec.min_qlist_size + i));
+    (void)q;
+    w.weights_.push_back(std::pow(1.0 / (i + 1), spec.zipf_s));
+  }
+  return w;
+}
+
+Result<xpath::NormQuery> Workload::Materialize(size_t index) const {
+  if (index >= size()) return Status::InvalidArgument("no such entry");
+  return xmark::MakeQueryOfQListSize(spec_.min_qlist_size +
+                                     static_cast<int>(index));
+}
+
+std::vector<size_t> Workload::DrawIndices(size_t n, Rng* rng) const {
+  std::vector<size_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(rng->Weighted(weights_));
+  return out;
+}
+
+Result<ServiceReport> RunOpenLoop(QueryService* service,
+                                  const Workload& workload,
+                                  const OpenLoopOptions& options) {
+  Rng rng(options.seed);
+  const std::vector<size_t> indices =
+      workload.DrawIndices(options.num_queries, &rng);
+  double arrival = service->now();
+  for (size_t index : indices) {
+    if (options.arrival_rate_qps > 0.0) {
+      // Poisson process: exponential interarrival times.
+      arrival += -std::log(1.0 - rng.UniformDouble()) /
+                 options.arrival_rate_qps;
+    }
+    PARBOX_ASSIGN_OR_RETURN(xpath::NormQuery q,
+                            workload.Materialize(index));
+    PARBOX_ASSIGN_OR_RETURN(uint64_t id,
+                            service->Submit(std::move(q), arrival));
+    (void)id;
+  }
+  service->Run();
+  PARBOX_RETURN_IF_ERROR(service->status());
+  return service->BuildReport();
+}
+
+Result<ServiceReport> RunClosedLoopWith(QueryService* service,
+                                        const QueryFactory& make_query,
+                                        size_t num_queries, int concurrency,
+                                        double think_seconds) {
+  if (concurrency < 1) {
+    return Status::InvalidArgument("need at least one client");
+  }
+  struct DriverState {
+    size_t total;
+    size_t next = 0;
+    Status error = Status::OK();
+  };
+  auto state = std::make_shared<DriverState>();
+  state->total = num_queries;
+
+  // Submits the next sequence entry; a no-op once exhausted. Owned by
+  // shared_ptr so completion callbacks can re-enter it.
+  auto submit_next = std::make_shared<std::function<void(double)>>();
+  *submit_next = [service, &make_query, think_seconds, state,
+                  submit_next](double arrival) {
+    if (!state->error.ok() || state->next >= state->total) return;
+    Result<xpath::NormQuery> q = make_query(state->next++);
+    if (!q.ok()) {
+      state->error = q.status();
+      return;
+    }
+    Result<uint64_t> id = service->Submit(
+        std::move(*q), arrival,
+        [service, think_seconds, state, submit_next](const QueryOutcome&) {
+          (*submit_next)(service->now() + think_seconds);
+        });
+    if (!id.ok()) state->error = id.status();
+  };
+
+  const size_t initial =
+      std::min(static_cast<size_t>(concurrency), num_queries);
+  for (size_t i = 0; i < initial; ++i) (*submit_next)(service->now());
+
+  service->Run();
+  // Break the submit_next <-> lambda reference cycle.
+  *submit_next = nullptr;
+  PARBOX_RETURN_IF_ERROR(state->error);
+  PARBOX_RETURN_IF_ERROR(service->status());
+  return service->BuildReport();
+}
+
+Result<ServiceReport> RunClosedLoop(QueryService* service,
+                                    const Workload& workload,
+                                    const ClosedLoopOptions& options,
+                                    std::vector<size_t>* indices_out) {
+  Rng rng(options.seed);
+  const std::vector<size_t> indices =
+      workload.DrawIndices(options.num_queries, &rng);
+  PARBOX_ASSIGN_OR_RETURN(
+      ServiceReport report,
+      RunClosedLoopWith(
+          service,
+          [&](size_t i) { return workload.Materialize(indices[i]); },
+          options.num_queries, options.concurrency,
+          options.think_seconds));
+  if (indices_out != nullptr) *indices_out = indices;
+  return report;
+}
+
+}  // namespace parbox::service

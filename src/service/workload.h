@@ -1,0 +1,105 @@
+// Workload generation and arrival-process drivers for a QueryService.
+//
+// A Workload is a portfolio of distinct queries (over the XMark-like
+// vocabulary, sized by |QList|) plus a zipf-skewed popularity: heavy
+// traffic from many users is not many *different* questions but a few
+// popular ones asked again and again — exactly what the service's
+// fingerprint cache and batch dedup exploit.
+//
+// Two classic arrival processes drive a service (common/rng keeps both
+// reproducible from a seed):
+//
+//   * open loop   — Poisson arrivals at a fixed rate (or everything
+//                   at t=0 for a burst), regardless of completions;
+//   * closed loop — a fixed number of concurrent clients, each
+//                   submitting its next query (after optional think
+//                   time) only when the previous one completes.
+
+#ifndef PARBOX_SERVICE_WORKLOAD_H_
+#define PARBOX_SERVICE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "service/query_service.h"
+#include "xpath/qlist.h"
+
+namespace parbox::service {
+
+struct WorkloadSpec {
+  /// Portfolio entries; entry i is the deterministic XMark query with
+  /// |QList| = min_qlist_size + i.
+  int distinct_queries = 16;
+  int min_qlist_size = 2;
+  /// Popularity skew: entry i drawn with weight 1/(i+1)^zipf_s.
+  /// 0 = uniform.
+  double zipf_s = 1.0;
+};
+
+/// A fixed portfolio of distinct queries with a popularity law.
+class Workload {
+ public:
+  static Result<Workload> Make(const WorkloadSpec& spec);
+
+  size_t size() const { return weights_.size(); }
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// A fresh copy of portfolio entry `index` (NormQuery is move-only,
+  /// so every submission materializes its own).
+  Result<xpath::NormQuery> Materialize(size_t index) const;
+
+  /// Draw `n` portfolio indices by popularity.
+  std::vector<size_t> DrawIndices(size_t n, Rng* rng) const;
+
+ private:
+  WorkloadSpec spec_;
+  std::vector<double> weights_;
+};
+
+struct OpenLoopOptions {
+  size_t num_queries = 256;
+  /// Mean arrival rate; 0 = all queries arrive at t = now (burst).
+  double arrival_rate_qps = 0.0;
+  uint64_t seed = 42;
+};
+
+struct ClosedLoopOptions {
+  size_t num_queries = 256;
+  /// Concurrent clients (in-flight queries).
+  int concurrency = 64;
+  double think_seconds = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Submit `indices` (or a freshly drawn sequence) open-loop, run the
+/// service to completion and return its report.
+Result<ServiceReport> RunOpenLoop(QueryService* service,
+                                  const Workload& workload,
+                                  const OpenLoopOptions& options);
+
+/// Drive the service with a fixed population of clients: the i-th
+/// completion triggers the next submission. Runs to completion.
+/// `indices_out`, if non-null, receives the portfolio index of each
+/// submission in submission (= query id) order.
+Result<ServiceReport> RunClosedLoop(QueryService* service,
+                                    const Workload& workload,
+                                    const ClosedLoopOptions& options,
+                                    std::vector<size_t>* indices_out =
+                                        nullptr);
+
+/// Produces the query for submission number `i` (0-based).
+using QueryFactory =
+    std::function<Result<xpath::NormQuery>(size_t submission)>;
+
+/// Closed-loop drive with a caller-supplied query source instead of a
+/// Workload portfolio (e.g. parboxq --serve re-asks one query text).
+Result<ServiceReport> RunClosedLoopWith(QueryService* service,
+                                        const QueryFactory& make_query,
+                                        size_t num_queries, int concurrency,
+                                        double think_seconds);
+
+}  // namespace parbox::service
+
+#endif  // PARBOX_SERVICE_WORKLOAD_H_

@@ -24,7 +24,7 @@ void Cluster::Compute(SiteId site, uint64_t ops, EventLoop::Task done) {
 }
 
 void Cluster::Send(SiteId from, SiteId to, uint64_t bytes,
-                   const std::string& tag, EventLoop::Task deliver) {
+                   std::string_view tag, EventLoop::Task deliver) {
   assert(from >= 0 && from < num_sites());
   assert(to >= 0 && to < num_sites());
   if (from == to) {

@@ -20,7 +20,7 @@
 #define PARBOX_SIM_CLUSTER_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -45,6 +45,7 @@ class Cluster {
 
   int num_sites() const { return static_cast<int>(busy_until_.size()); }
   EventLoop& loop() { return loop_; }
+  const EventLoop& loop() const { return loop_; }
   double now() const { return loop_.now(); }
   const NetworkParams& params() const { return params_; }
 
@@ -53,8 +54,10 @@ class Cluster {
   void Compute(SiteId site, uint64_t ops, EventLoop::Task done);
 
   /// Ship `bytes` from `from` to `to`; `deliver` runs at arrival.
-  /// `tag` groups traffic in the report ("query", "triplet", "data").
-  void Send(SiteId from, SiteId to, uint64_t bytes, const std::string& tag,
+  /// `tag` groups traffic in the report ("query", "triplet", "data");
+  /// it is interned on first use, so passing a literal costs no
+  /// allocation per message.
+  void Send(SiteId from, SiteId to, uint64_t bytes, std::string_view tag,
             EventLoop::Task deliver);
 
   /// Count a site visit (a work-initiating contact).

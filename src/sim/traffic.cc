@@ -1,17 +1,28 @@
 #include "sim/traffic.h"
 
+#include <cassert>
 #include <sstream>
 
 #include "common/bytes.h"
 
 namespace parbox::sim {
 
+TrafficStats::TagId TrafficStats::InternTag(std::string_view tag) {
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    if (tag_names_[i] == tag) return static_cast<TagId>(i);
+  }
+  tag_names_.emplace_back(tag);
+  bytes_by_tag_id_.push_back(0);
+  return static_cast<TagId>(tag_names_.size() - 1);
+}
+
 void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
-                          const std::string& tag) {
+                          TagId tag) {
   (void)from;
+  assert(tag >= 0 && static_cast<size_t>(tag) < tag_names_.size());
   total_bytes_ += bytes;
   total_messages_ += 1;
-  bytes_by_tag_[tag] += bytes;
+  bytes_by_tag_id_[tag] += bytes;
   if (to >= 0) {
     if (static_cast<size_t>(to) >= bytes_into_.size()) {
       bytes_into_.resize(to + 1, 0);
@@ -20,9 +31,19 @@ void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
   }
 }
 
-uint64_t TrafficStats::bytes_with_tag(const std::string& tag) const {
-  auto it = bytes_by_tag_.find(tag);
-  return it == bytes_by_tag_.end() ? 0 : it->second;
+uint64_t TrafficStats::bytes_with_tag(std::string_view tag) const {
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    if (tag_names_[i] == tag) return bytes_by_tag_id_[i];
+  }
+  return 0;
+}
+
+std::map<std::string, uint64_t> TrafficStats::bytes_by_tag() const {
+  std::map<std::string, uint64_t> out;
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    out[tag_names_[i]] = bytes_by_tag_id_[i];
+  }
+  return out;
 }
 
 uint64_t TrafficStats::bytes_into(int32_t site) const {
@@ -33,7 +54,7 @@ uint64_t TrafficStats::bytes_into(int32_t site) const {
 std::string TrafficStats::ToString() const {
   std::ostringstream out;
   out << total_messages_ << " messages, " << HumanBytes(total_bytes_);
-  for (const auto& [tag, bytes] : bytes_by_tag_) {
+  for (const auto& [tag, bytes] : bytes_by_tag()) {
     out << "\n  " << tag << ": " << HumanBytes(bytes);
   }
   return out.str();

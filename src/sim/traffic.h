@@ -1,4 +1,13 @@
 // Network traffic and site-activity accounting for simulated runs.
+//
+// Record() sits on the per-message hot path of the simulator, so tags
+// are interned in a small-vector registry instead of a string-keyed
+// map: Record(TagId) is two array increments, and the string_view
+// convenience path costs one allocation-free linear scan over the
+// handful of distinct tags a run carries (what Cluster::Send uses).
+// The string-keyed views (bytes_by_tag, bytes_with_tag) are
+// materialized on demand, keeping the report format byte-identical to
+// the pre-interning output.
 
 #ifndef PARBOX_SIM_TRAFFIC_H_
 #define PARBOX_SIM_TRAFFIC_H_
@@ -6,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace parbox::sim {
@@ -13,15 +23,29 @@ namespace parbox::sim {
 /// Everything that crossed the simulated network in one run.
 class TrafficStats {
  public:
+  /// Index into this object's tag registry.
+  using TagId = int32_t;
+
+  /// Intern `tag`, returning its stable id. O(#distinct tags) scan —
+  /// cheaper than a map lookup for the handful of tags a run uses, and
+  /// allocation-free for already-known tags.
+  TagId InternTag(std::string_view tag);
+
+  /// Hot path: two array increments plus the receive accounting.
+  void Record(int32_t from, int32_t to, uint64_t bytes, TagId tag);
+
+  /// Convenience for callers holding a tag string (interns first).
   void Record(int32_t from, int32_t to, uint64_t bytes,
-              const std::string& tag);
+              std::string_view tag) {
+    Record(from, to, bytes, InternTag(tag));
+  }
 
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
-  uint64_t bytes_with_tag(const std::string& tag) const;
-  const std::map<std::string, uint64_t>& bytes_by_tag() const {
-    return bytes_by_tag_;
-  }
+  uint64_t bytes_with_tag(std::string_view tag) const;
+  /// Tag -> bytes, sorted by tag name (built on demand; the format the
+  /// reports have always printed).
+  std::map<std::string, uint64_t> bytes_by_tag() const;
   /// Bytes received by a site (grown on demand).
   uint64_t bytes_into(int32_t site) const;
 
@@ -30,7 +54,8 @@ class TrafficStats {
  private:
   uint64_t total_bytes_ = 0;
   uint64_t total_messages_ = 0;
-  std::map<std::string, uint64_t> bytes_by_tag_;
+  std::vector<std::string> tag_names_;     // registry, index = TagId
+  std::vector<uint64_t> bytes_by_tag_id_;  // parallel to tag_names_
   std::vector<uint64_t> bytes_into_;
 };
 

@@ -1,0 +1,66 @@
+#include "xpath/fingerprint.h"
+
+#include <cstdio>
+
+namespace parbox::xpath {
+
+namespace {
+
+void PutI32(std::string* out, int32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((static_cast<uint32_t>(v) >> shift) &
+                                     0xFF));
+  }
+}
+
+/// splitmix64 finalizer — decorrelates the two FNV lanes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t basis) {
+  uint64_t h = basis;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+  }
+  return h;
+}
+
+std::string CanonicalQueryBytes(const NormQuery& q) {
+  std::string out;
+  out.reserve(16 * q.size());
+  for (size_t i = 0; i < q.size(); ++i) {
+    const NormQuery::SubQuery& n = q.at(static_cast<SubQueryId>(i));
+    out.push_back(static_cast<char>(n.kind));
+    PutI32(&out, n.a);
+    PutI32(&out, n.b);
+    PutI32(&out, static_cast<int32_t>(n.str.size()));
+    out += n.str;
+  }
+  PutI32(&out, q.root());
+  return out;
+}
+
+QueryFingerprint FingerprintQuery(const NormQuery& q) {
+  const std::string bytes = CanonicalQueryBytes(q);
+  QueryFingerprint fp;
+  fp.lo = Fnv1a64(bytes);
+  fp.hi = Fnv1a64(bytes, Mix(kFnv1a64Basis ^ bytes.size()));
+  return fp;
+}
+
+std::string QueryFingerprint::ToString() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+}  // namespace parbox::xpath

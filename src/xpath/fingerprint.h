@@ -1,0 +1,66 @@
+// Canonical serialization and fingerprinting of normalized queries.
+//
+// Two surface queries that normalize to the same β-normal form produce
+// byte-identical QLists (construction is hash-consed and deterministic,
+// see qlist.h), so a digest of the canonical QList encoding identifies
+// a query up to normal-form equality — the key a result cache wants.
+// The fingerprint is canonical for the *normal form*, not for Boolean
+// equivalence: `[a and b]` and `[b and a]` normalize differently and
+// fingerprint differently.
+//
+// The digest is a 128-bit FNV-1a variant — not cryptographic, but wide
+// enough that collisions across any realistic workload are negligible.
+
+#ifndef PARBOX_XPATH_FINGERPRINT_H_
+#define PARBOX_XPATH_FINGERPRINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "xpath/qlist.h"
+
+namespace parbox::xpath {
+
+/// 64-bit FNV-1a — the digest primitive behind query fingerprints and
+/// the service cache's triplet signatures.
+inline constexpr uint64_t kFnv1a64Basis = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(std::string_view bytes, uint64_t basis = kFnv1a64Basis);
+
+/// A 128-bit query digest. Value-comparable and hashable.
+struct QueryFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const QueryFingerprint& a,
+                         const QueryFingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const QueryFingerprint& a,
+                         const QueryFingerprint& b) {
+    return !(a == b);
+  }
+
+  /// 32 hex digits, hi then lo.
+  std::string ToString() const;
+};
+
+/// Hasher for unordered containers keyed by fingerprint.
+struct QueryFingerprintHash {
+  size_t operator()(const QueryFingerprint& fp) const {
+    return static_cast<size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The canonical byte encoding of a query: per QList entry its kind,
+/// child ids and payload, then the root id. Deterministic; equal
+/// normal forms yield equal bytes.
+std::string CanonicalQueryBytes(const NormQuery& q);
+
+/// Digest of CanonicalQueryBytes(q).
+QueryFingerprint FingerprintQuery(const NormQuery& q);
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_FINGERPRINT_H_

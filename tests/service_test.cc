@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/view.h"
+#include "fragment/strategies.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "testutil.h"
+#include "xmark/portfolio.h"
+#include "xpath/fingerprint.h"
+#include "xpath/normalize.h"
+
+namespace parbox {
+namespace {
+
+using service::ClosedLoopOptions;
+using service::QueryService;
+using service::ServiceOptions;
+using service::ServiceReport;
+using service::Workload;
+using service::WorkloadSpec;
+
+xpath::NormQuery Compile(const char* text) {
+  auto q = xpath::CompileQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(*q);
+}
+
+// ---- Fingerprints ------------------------------------------------------
+
+TEST(FingerprintTest, SameTextSameFingerprint) {
+  xpath::NormQuery a = Compile("[//stock[code = \"GOOG\"]]");
+  xpath::NormQuery b = Compile("[//stock[code = \"GOOG\"]]");
+  EXPECT_EQ(xpath::CanonicalQueryBytes(a), xpath::CanonicalQueryBytes(b));
+  EXPECT_EQ(xpath::FingerprintQuery(a), xpath::FingerprintQuery(b));
+}
+
+TEST(FingerprintTest, DistinctQueriesDiffer) {
+  const char* texts[] = {"[//a]", "[//b]", "[//a[b]]", "[/a/b]",
+                         "[//a and //b]"};
+  std::vector<xpath::QueryFingerprint> fps;
+  for (const char* text : texts) {
+    fps.push_back(xpath::FingerprintQuery(Compile(text)));
+  }
+  for (size_t i = 0; i < fps.size(); ++i) {
+    for (size_t j = i + 1; j < fps.size(); ++j) {
+      EXPECT_NE(fps[i], fps[j]) << texts[i] << " vs " << texts[j];
+    }
+  }
+}
+
+TEST(FingerprintTest, ToStringIsHex) {
+  xpath::QueryFingerprint fp = xpath::FingerprintQuery(Compile("[//a]"));
+  EXPECT_EQ(fp.ToString().size(), 32u);
+}
+
+// ---- Distribution ------------------------------------------------------
+
+TEST(DistributionTest, Percentiles) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(i);
+  EXPECT_DOUBLE_EQ(d.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(d.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+  EXPECT_EQ(d.count(), 100u);
+}
+
+// ---- Service vs standalone ParBoX -------------------------------------
+
+// Batched concurrent serving must answer exactly what a standalone
+// RunParBoX answers, on adversarial random fragmentations.
+TEST(QueryServiceTest, BatchedAnswersMatchSequentialParBoX) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    testutil::RandomScenario scenario =
+        testutil::MakeRandomScenario(seed, 80, 5);
+    Rng rng(seed * 977);
+
+    std::vector<std::unique_ptr<xpath::QualExpr>> asts;
+    for (int i = 0; i < 6; ++i) {
+      asts.push_back(testutil::RandomQual(&rng, 3));
+    }
+
+    std::vector<bool> expected;
+    for (const auto& ast : asts) {
+      xpath::NormQuery q = xpath::Normalize(*ast);
+      auto report = core::RunParBoX(scenario.set, scenario.st, q);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      expected.push_back(report->answer);
+    }
+
+    QueryService svc(&scenario.set, &scenario.st);
+    for (const auto& ast : asts) {
+      // Every submission twice: dedup must not change answers.
+      ASSERT_TRUE(svc.Submit(xpath::Normalize(*ast), 0.0).ok());
+      ASSERT_TRUE(svc.Submit(xpath::Normalize(*ast), 0.0).ok());
+    }
+    svc.Run();
+    ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+    ASSERT_EQ(svc.outcomes().size(), asts.size() * 2);
+    for (const auto& outcome : svc.outcomes()) {
+      EXPECT_EQ(outcome.answer, expected[outcome.query_id / 2])
+          << "seed " << seed << " query " << outcome.query_id;
+    }
+  }
+}
+
+// ---- Batching ----------------------------------------------------------
+
+TEST(QueryServiceTest, BatchSharesVisitsAndDedupsIdenticalQueries) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set,
+                                     frag::AssignOneSitePerFragment(*set));
+  ASSERT_TRUE(st.ok());
+
+  QueryService svc(&*set, &*st);
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kGoogSellQuery), 0.0).ok());
+  svc.Run();
+
+  ServiceReport report = svc.BuildReport();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.rounds, 1u);               // one batch round
+  EXPECT_EQ(report.unique_evaluations, 2u);   // YHOO evaluated once
+  EXPECT_EQ(report.shared_evaluations, 1u);
+  // One visit per site for the whole batch, ParBoX's per-query bound.
+  for (uint64_t visits : svc.cluster().all_visits()) {
+    EXPECT_LE(visits, 1u);
+  }
+}
+
+// ---- Result cache ------------------------------------------------------
+
+TEST(QueryServiceTest, CacheHitAnswersWithoutSiteVisits) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set,
+                                     frag::AssignOneSitePerFragment(*set));
+  ASSERT_TRUE(st.ok());
+
+  QueryService svc(&*set, &*st);
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 1u);
+  const bool first_answer = svc.outcomes()[0].answer;
+  const uint64_t bytes_before = svc.cluster().traffic().total_bytes();
+  std::vector<uint64_t> visits_before = svc.cluster().all_visits();
+
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), svc.now()).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 2u);
+  const service::QueryOutcome& hit = svc.outcomes()[1];
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.answer, first_answer);
+  // No site visited, nothing on the network.
+  EXPECT_EQ(svc.cluster().all_visits(), visits_before);
+  EXPECT_EQ(svc.cluster().traffic().total_bytes(), bytes_before);
+  EXPECT_EQ(svc.BuildReport().cache_hits, 1u);
+}
+
+// A content update must invalidate exactly the cache entries whose
+// triplet for the updated fragment changed — and leave the rest.
+TEST(QueryServiceTest, ViewUpdateInvalidatesExactlyAffectedEntries) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  std::vector<frag::SiteId> sites = frag::AssignOneSitePerFragment(*set);
+  xpath::NormQuery view_query = Compile(xmark::kYhooQuery);
+  auto view = core::MaterializedView::Create(&*set, sites, &view_query);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  QueryService svc(&*set, &view->source_tree());
+  ASSERT_TRUE(svc.AttachView(&*view).ok());
+
+  // Cache two answers: one the update will affect, one it cannot.
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), 0.0).ok());
+  ASSERT_TRUE(svc.Submit(Compile("[//broker]"), 0.0).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 2u);
+  EXPECT_FALSE(svc.outcomes()[0].answer);  // no <zzz> anywhere
+  EXPECT_TRUE(svc.outcomes()[1].answer);
+  ASSERT_EQ(svc.cache_size(), 2u);
+
+  // Insert <zzz> deep inside fragment F1 (not at the fragment root, so
+  // the root triplet of unrelated queries is untouched).
+  frag::FragmentId f1 = 1;
+  xml::Node* parent = nullptr;
+  for (xml::Node* c = set->fragment(f1).root->first_child; c != nullptr;
+       c = c->next_sibling) {
+    if (c->is_element()) {
+      parent = c;
+      break;
+    }
+  }
+  ASSERT_NE(parent, nullptr);
+  auto inserted = view->InsNode(f1, parent, "zzz");
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  // Exactly the [//zzz] entry is gone.
+  EXPECT_EQ(svc.cache_size(), 1u);
+  EXPECT_EQ(svc.BuildReport().cache_invalidations, 1u);
+
+  // Re-asking [//zzz] is a miss and sees the new document.
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), svc.now()).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 3u);
+  EXPECT_FALSE(svc.outcomes()[2].cache_hit);
+  EXPECT_TRUE(svc.outcomes()[2].answer);
+
+  // [//broker] still answers from cache.
+  ASSERT_TRUE(svc.Submit(Compile("[//broker]"), svc.now()).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 4u);
+  EXPECT_TRUE(svc.outcomes()[3].cache_hit);
+  EXPECT_TRUE(svc.outcomes()[3].answer);
+}
+
+// ---- Workload drivers --------------------------------------------------
+
+TEST(WorkloadTest, ClosedLoopServesEverythingAndMatchesParBoX) {
+  testutil::RandomScenario scenario = testutil::MakeRandomScenario(11, 150, 6);
+  auto workload = Workload::Make(WorkloadSpec{.distinct_queries = 4});
+  ASSERT_TRUE(workload.ok());
+
+  // Standalone answers and sequential cost per portfolio entry.
+  std::vector<bool> expected;
+  std::vector<double> makespans;
+  for (size_t i = 0; i < workload->size(); ++i) {
+    auto q = workload->Materialize(i);
+    ASSERT_TRUE(q.ok());
+    auto report = core::RunParBoX(scenario.set, scenario.st, *q);
+    ASSERT_TRUE(report.ok());
+    expected.push_back(report->answer);
+    makespans.push_back(report->makespan_seconds);
+  }
+
+  QueryService svc(&scenario.set, &scenario.st);
+  ClosedLoopOptions options;
+  options.num_queries = 24;
+  options.concurrency = 8;
+  options.seed = 7;
+  std::vector<size_t> indices;
+  auto report = RunClosedLoop(&svc, *workload, options, &indices);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->completed, 24u);
+  ASSERT_EQ(indices.size(), 24u);
+
+  // Outcomes arrive in completion order; query ids are submission
+  // order, which is the order indices were drawn in.
+  std::vector<bool> answer_by_id(indices.size());
+  for (const auto& outcome : svc.outcomes()) {
+    answer_by_id[outcome.query_id] = outcome.answer;
+  }
+  double sequential_seconds = 0.0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(answer_by_id[i], expected[indices[i]]) << "submission " << i;
+    sequential_seconds += makespans[indices[i]];
+  }
+  // Serving concurrently must beat one-at-a-time ParBoX runs.
+  EXPECT_LT(report->makespan_seconds, sequential_seconds);
+  EXPECT_GT(report->cache_hits + report->shared_evaluations, 0u);
+}
+
+TEST(WorkloadTest, OpenLoopPoissonArrivalsComplete) {
+  testutil::RandomScenario scenario = testutil::MakeRandomScenario(3, 100, 4);
+  auto workload = Workload::Make(WorkloadSpec{.distinct_queries = 3});
+  ASSERT_TRUE(workload.ok());
+
+  QueryService svc(&scenario.set, &scenario.st);
+  service::OpenLoopOptions options;
+  options.num_queries = 16;
+  options.arrival_rate_qps = 2000.0;
+  auto report = RunOpenLoop(&svc, *workload, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->completed, 16u);
+  EXPECT_EQ(report->latency.count(), 16u);
+  EXPECT_GT(report->throughput_qps, 0.0);
+  EXPECT_GE(report->latency.Percentile(99),
+            report->latency.Percentile(50));
+}
+
+}  // namespace
+}  // namespace parbox

@@ -9,6 +9,7 @@
 // over simulated sites, and evaluates the query with the chosen
 // algorithm(s), printing answers and cost profiles.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +24,8 @@
 #include "core/selection.h"
 #include "core/threaded.h"
 #include "fragment/strategies.h"
+#include "service/query_service.h"
+#include "service/workload.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 #include "xpath/normalize.h"
@@ -42,6 +45,10 @@ struct CliOptions {
   bool select = false;
   bool select_path = false;
   bool show_fragments = false;
+  bool serve = false;
+  int serve_queries = 64;
+  int serve_clients = 8;
+  double serve_think_ms = 0.0;
 };
 
 int Usage(const char* argv0) {
@@ -62,7 +69,13 @@ int Usage(const char* argv0) {
       "  --select-path       treat the query as a path and list the\n"
       "                      nodes it selects (Sec. 8 extension)\n"
       "  --show-fragments    dump each fragment before evaluating\n"
-      "  --seed=N            RNG seed for --splits (default: 42)\n",
+      "  --seed=N            RNG seed for --splits (default: 42)\n"
+      "  --serve             run a QueryService: serve the query as a\n"
+      "                      closed-loop stream (batched, cached) and\n"
+      "                      print service-level metrics\n"
+      "  --serve-queries=N   total queries to serve (default: 64)\n"
+      "  --serve-clients=N   concurrent clients (default: 8)\n"
+      "  --serve-think-ms=T  per-client think time (default: 0)\n",
       argv0);
   return 2;
 }
@@ -97,6 +110,14 @@ int main(int argc, char** argv) {
       options.algorithm = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--serve-queries", &value)) {
+      options.serve_queries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--serve-clients", &value)) {
+      options.serve_clients = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--serve-think-ms", &value)) {
+      options.serve_think_ms = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      options.serve = true;
     } else if (std::strcmp(argv[i], "--select") == 0) {
       options.select = true;
     } else if (std::strcmp(argv[i], "--select-path") == 0) {
@@ -169,6 +190,23 @@ int main(int argc, char** argv) {
   if (!query.ok()) return Fail(query.status());
   std::printf("query: %s  (|QList| = %zu)\n", options.query.c_str(),
               query->size());
+
+  // ---- Serve ----
+  if (options.serve) {
+    service::QueryService svc(&*set, &*st);
+    auto report = service::RunClosedLoopWith(
+        &svc, [&](size_t) { return xpath::CompileQuery(options.query); },
+        static_cast<size_t>(std::max(options.serve_queries, 0)),
+        options.serve_clients, options.serve_think_ms / 1e3);
+    if (!report.ok()) return Fail(report.status());
+    if (svc.outcomes().empty()) {
+      return Fail(Status::InvalidArgument("nothing served"));
+    }
+    std::printf("answer: %s\n",
+                svc.outcomes().front().answer ? "true" : "false");
+    std::printf("%s\n", report->ToString().c_str());
+    return 0;
+  }
 
   // ---- Evaluate ----
   if (options.select_path) {
