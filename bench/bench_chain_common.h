@@ -32,22 +32,21 @@ inline int RunChainFigure(const char* figure, const char* caption,
     Deployment d = MakeChain(n, config.total_bytes, config.seed);
     auto q = xmark::MakeMarkerQuery("v" + std::to_string(target(n)));
     Check(q.status());
-    auto parbox = core::RunParBoX(d.set, d.st, *q);
-    Check(parbox.status());
-    auto fdist = core::RunFullDistParBoX(d.set, d.st, *q);
-    Check(fdist.status());
-    auto lazy = core::RunLazyParBoX(d.set, d.st, *q);
-    Check(lazy.status());
-    if (!parbox->answer || !fdist->answer || !lazy->answer) {
+    core::Session session = OpenSession(d);
+    core::PreparedQuery prepared = PrepareQuery(&session, std::move(*q));
+    core::RunReport parbox = Exec(&session, prepared, "parbox");
+    core::RunReport fdist = Exec(&session, prepared, "fulldist");
+    core::RunReport lazy = Exec(&session, prepared, "lazy");
+    if (!parbox.answer || !fdist.answer || !lazy.answer) {
       std::fprintf(stderr, "query unexpectedly false at n=%d\n", n);
       return 1;
     }
     std::printf("%-10d %-12.4f %-12.4f %-12.4f %-7llu %-12.4f %-12.4f\n",
-                n, parbox->makespan_seconds, fdist->makespan_seconds,
-                lazy->makespan_seconds,
-                static_cast<unsigned long long>(lazy->total_visits()),
-                parbox->total_compute_seconds,
-                lazy->total_compute_seconds);
+                n, parbox.makespan_seconds, fdist.makespan_seconds,
+                lazy.makespan_seconds,
+                static_cast<unsigned long long>(lazy.total_visits()),
+                parbox.total_compute_seconds,
+                lazy.total_compute_seconds);
   }
   return 0;
 }

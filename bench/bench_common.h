@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/algorithms.h"
+#include "core/session.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
@@ -122,6 +122,41 @@ inline xpath::NormQuery QueryOfSize(int qlist_size) {
   auto q = xmark::MakeQueryOfQListSize(qlist_size);
   Check(q.status());
   return std::move(*q);
+}
+
+// ---- Session plumbing: the benches evaluate through the
+// compile-once/execute-many API (core/session.h). ----
+
+/// Open a session over a deployment (borrows; `d` must outlive it).
+inline core::Session OpenSession(const Deployment& d) {
+  auto session = core::Session::Create(&d.set, &d.st);
+  Check(session.status());
+  return std::move(*session);
+}
+
+/// Prepare a bench-owned query (`*q` must outlive the handle).
+inline core::PreparedQuery PrepareQuery(core::Session* session,
+                                        const xpath::NormQuery* q) {
+  auto prepared = session->Prepare(q);
+  Check(prepared.status());
+  return std::move(*prepared);
+}
+
+/// Prepare, taking ownership of the compiled query.
+inline core::PreparedQuery PrepareQuery(core::Session* session,
+                                        xpath::NormQuery q) {
+  auto prepared = session->Prepare(std::move(q));
+  Check(prepared.status());
+  return std::move(*prepared);
+}
+
+/// Execute with the named registered evaluator, asserting success.
+inline core::RunReport Exec(core::Session* session,
+                            const core::PreparedQuery& q,
+                            const char* evaluator = "parbox") {
+  auto report = session->Execute(q, {.evaluator = evaluator});
+  Check(report.status());
+  return std::move(*report);
 }
 
 inline void PrintHeader(const char* figure, const char* caption,

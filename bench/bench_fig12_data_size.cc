@@ -31,12 +31,13 @@ int main() {
     uint64_t bytes =
         static_cast<uint64_t>(paper_mb / 160.0 * config.total_bytes);
     Deployment d = MakeBushy(bytes, config.seed);
+    core::Session session = OpenSession(d);
     std::printf("%-12llu", static_cast<unsigned long long>(bytes));
     for (int size : xmark::kPaperQuerySizes) {
-      xpath::NormQuery q = QueryOfSize(size);
-      auto report = core::RunParBoX(d.set, d.st, q);
-      Check(report.status());
-      std::printf(" %-14.4f", report->makespan_seconds);
+      core::PreparedQuery prepared =
+          PrepareQuery(&session, QueryOfSize(size));
+      core::RunReport report = Exec(&session, prepared);
+      std::printf(" %-14.4f", report.makespan_seconds);
     }
     std::printf("\n");
   }

@@ -21,12 +21,13 @@ int main() {
     Deployment d =
         MakeStar(fragments, config.total_bytes, config.seed,
                  /*one_site=*/true);
-    auto report = core::RunParBoX(d.set, d.st, q);
-    Check(report.status());
+    core::Session session = OpenSession(d);
+    core::PreparedQuery prepared = PrepareQuery(&session, &q);
+    core::RunReport report = Exec(&session, prepared);
     std::printf("%-12d %-14.4f %-10llu %-12llu\n", fragments,
-                report->makespan_seconds,
-                static_cast<unsigned long long>(report->total_visits()),
-                static_cast<unsigned long long>(report->network_bytes));
+                report.makespan_seconds,
+                static_cast<unsigned long long>(report.total_visits()),
+                static_cast<unsigned long long>(report.network_bytes));
   }
   std::printf("\nshape check: runtime ~constant across fragment counts "
               "(one visit, zero network traffic — all local).\n");

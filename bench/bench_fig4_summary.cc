@@ -10,6 +10,7 @@
 // total computation at the cost of elapsed time.
 
 #include "bench_common.h"
+#include "core/evaluator.h"
 
 int main() {
   using namespace parbox;
@@ -25,12 +26,15 @@ int main() {
   std::printf("corpus: %zu elements, card(F) = %zu, |QList| = %zu\n\n",
               d.set.TotalElements(), d.set.live_count(), q->size());
 
-  auto reports = core::RunAllAlgorithms(d.set, d.st, *q);
-  Check(reports.status());
+  // One session, one prepared query, every registered evaluator.
+  core::Session session = OpenSession(d);
+  core::PreparedQuery prepared = PrepareQuery(&session, std::move(*q));
   std::printf("%-34s %-7s %-11s %-11s %-12s %-8s\n", "algorithm",
               "answer", "P=elapsed", "T=total(s)", "traffic(B)",
               "max-visits");
-  for (const core::RunReport& r : *reports) {
+  for (const std::string& name :
+       core::EvaluatorRegistry::Instance().Names()) {
+    core::RunReport r = Exec(&session, prepared, name.c_str());
     std::printf("%-34s %-7s %-11.4f %-11.4f %-12llu %-8llu\n",
                 r.algorithm.c_str(), r.answer ? "true" : "false",
                 r.makespan_seconds, r.total_compute_seconds,

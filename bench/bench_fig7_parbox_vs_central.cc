@@ -21,18 +21,18 @@ int main() {
               "Central traffic");
   for (int machines = 1; machines <= 10; ++machines) {
     Deployment d = MakeStar(machines, config.total_bytes, config.seed);
-    auto parbox = core::RunParBoX(d.set, d.st, q);
-    Check(parbox.status());
-    auto central = core::RunNaiveCentralized(d.set, d.st, q);
-    Check(central.status());
-    if (parbox->answer != central->answer) {
+    core::Session session = OpenSession(d);
+    core::PreparedQuery prepared = PrepareQuery(&session, &q);
+    core::RunReport parbox = Exec(&session, prepared, "parbox");
+    core::RunReport central = Exec(&session, prepared, "central");
+    if (parbox.answer != central.answer) {
       std::fprintf(stderr, "ANSWER MISMATCH at %d machines\n", machines);
       return 1;
     }
     std::printf("%-10d %-14.4f %-14.4f %-16llu %-16llu\n", machines,
-                parbox->makespan_seconds, central->makespan_seconds,
-                static_cast<unsigned long long>(parbox->network_bytes),
-                static_cast<unsigned long long>(central->network_bytes));
+                parbox.makespan_seconds, central.makespan_seconds,
+                static_cast<unsigned long long>(parbox.network_bytes),
+                static_cast<unsigned long long>(central.network_bytes));
   }
   std::printf("\nshape check: ParBoX should drop then flatten; Central "
               "should stay dominated by data shipping.\n");

@@ -21,12 +21,13 @@ int main() {
   std::printf("\n");
   for (int machines = 1; machines <= 10; ++machines) {
     Deployment d = MakeStar(machines, config.total_bytes, config.seed);
+    core::Session session = OpenSession(d);
     std::printf("%-10d", machines);
     for (int size : xmark::kPaperQuerySizes) {
-      xpath::NormQuery q = QueryOfSize(size);
-      auto report = core::RunParBoX(d.set, d.st, q);
-      Check(report.status());
-      std::printf(" %-14.4f", report->makespan_seconds);
+      core::PreparedQuery prepared =
+          PrepareQuery(&session, QueryOfSize(size));
+      core::RunReport report = Exec(&session, prepared);
+      std::printf(" %-14.4f", report.makespan_seconds);
     }
     std::printf("\n");
   }

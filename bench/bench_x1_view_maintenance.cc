@@ -31,14 +31,15 @@ int main() {
   Check(view_result.status());
   core::MaterializedView view = std::move(*view_result);
 
-  // Full re-evaluation baseline.
-  auto full = core::RunParBoX(d.set, d.st, *q);
-  Check(full.status());
+  // Full re-evaluation baseline, through a prepared session.
+  core::Session session = OpenSession(d);
+  core::PreparedQuery prepared = PrepareQuery(&session, &*q);
+  core::RunReport full = Exec(&session, prepared);
   std::printf("full ParBoX re-evaluation: elapsed %.4f s, total compute "
               "%.4f s, %llu B, %llu visits\n\n",
-              full->makespan_seconds, full->total_compute_seconds,
-              static_cast<unsigned long long>(full->network_bytes),
-              static_cast<unsigned long long>(full->total_visits()));
+              full.makespan_seconds, full.total_compute_seconds,
+              static_cast<unsigned long long>(full.network_bytes),
+              static_cast<unsigned long long>(full.total_visits()));
 
   const frag::FragmentId target = d.set.live_ids().back();
   std::printf("%-14s %-14s %-16s %-12s %-10s %-20s\n", "batch-size",
@@ -57,7 +58,7 @@ int main() {
                 report->total_compute_seconds,
                 static_cast<unsigned long long>(report->network_bytes),
                 static_cast<unsigned long long>(report->total_visits()),
-                full->total_compute_seconds /
+                full.total_compute_seconds /
                     report->total_compute_seconds);
   }
   std::printf("\nshape check: refresh traffic and visits are constant "

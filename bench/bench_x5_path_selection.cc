@@ -29,11 +29,13 @@ int main() {
     auto result = core::RunPathSelection(d.set, d.st, *selection);
     Check(result.status());
     // Boolean baseline over the same compiled query.
-    auto boolean = core::RunParBoX(d.set, d.st, selection->query);
-    Check(boolean.status());
+    core::Session session = OpenSession(d);
+    core::PreparedQuery prepared =
+        PrepareQuery(&session, &selection->query);
+    core::RunReport boolean = Exec(&session, prepared);
     std::printf("%-10d %-12.4f %-12.4f %-10zu %-14llu %-12llu\n",
                 machines, result->report.makespan_seconds,
-                boolean->makespan_seconds, result->total_selected,
+                boolean.makespan_seconds, result->total_selected,
                 static_cast<unsigned long long>(
                     result->report.network_bytes),
                 static_cast<unsigned long long>(

@@ -42,15 +42,16 @@ int main() {
   loop.seed = config.seed;
 
   // ---- Standalone answers + per-query sequential cost ----
+  core::Session session = OpenSession(d);
   std::vector<bool> expected;
   std::vector<double> makespans;
   for (size_t i = 0; i < workload->size(); ++i) {
     auto q = workload->Materialize(i);
     Check(q.status());
-    auto report = core::RunParBoX(d.set, d.st, *q);
-    Check(report.status());
-    expected.push_back(report->answer);
-    makespans.push_back(report->makespan_seconds);
+    core::PreparedQuery prepared = PrepareQuery(&session, std::move(*q));
+    core::RunReport report = Exec(&session, prepared);
+    expected.push_back(report.answer);
+    makespans.push_back(report.makespan_seconds);
   }
 
   auto run_service = [&](bool enable_cache,

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "core/algorithms.h"
+#include "core/session.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
 #include "xmark/generator.h"
@@ -63,15 +63,25 @@ int main() {
       {"heidi", "[//closed_auction[price = \"$1000000\"]]"},
   };
 
+  // The broker's long-lived session: subscriptions are prepared once
+  // at registration time; every edition just re-executes the handles.
+  auto session = core::Session::Create(&*set, &*st);
+  Check(session.status());
+  std::vector<core::PreparedQuery> prepared;
+  for (const Subscription& sub : subscriptions) {
+    auto query = session->Prepare(sub.predicate);
+    Check(query.status());
+    prepared.push_back(std::move(*query));
+  }
+
   std::printf("%-8s %-52s %-6s %-12s %s\n", "subs", "predicate", "match",
               "runtime", "traffic");
   uint64_t total_bytes = 0;
   double total_runtime = 0;
   int notified = 0;
-  for (const Subscription& sub : subscriptions) {
-    auto query = xpath::CompileQuery(sub.predicate);
-    Check(query.status());
-    auto report = core::RunParBoX(*set, *st, *query);
+  for (size_t i = 0; i < subscriptions.size(); ++i) {
+    const Subscription& sub = subscriptions[i];
+    auto report = session->Execute(prepared[i]);
     Check(report.status());
     std::printf("%-8s %-52s %-6s %-12.4f %llu B\n", sub.subscriber.c_str(),
                 sub.predicate.c_str(), report->answer ? "yes" : "no",

@@ -56,7 +56,9 @@ int main() {
   std::printf("portfolio: %zu fragments on %d sites\n\n",
               set->live_count(), st->num_sites());
 
-  // 2. A long-lived service instead of one-shot RunParBoX calls.
+  // 2. A long-lived service instead of one-shot Run* calls. Under the
+  //    hood it is a core::Session: one cluster, one hash-consing
+  //    formula factory, one per-site partition plan, for its lifetime.
   service::QueryService svc(&*set, &*st);
 
   // 3. Three users ask at once; two ask the same thing. The batch

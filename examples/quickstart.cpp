@@ -5,12 +5,12 @@
 //
 // Walks through the full public API surface in ~5 minutes of reading:
 // xml::ParseXml -> frag::FragmentSet -> frag::SourceTree ->
-// xpath::CompileQuery -> core::RunParBoX.
+// core::Session::Prepare -> Session::Execute.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/algorithms.h"
+#include "core/session.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
@@ -72,18 +72,24 @@ int main() {
   Check(st.status());
   std::printf("distributed over %d sites\n", st->num_sites());
 
-  // 4. Compile Boolean XPath queries (the XBL fragment of Sec. 2.2).
+  // 4. Open a session: it owns the simulated cluster and the formula
+  //    factory for as long as you keep querying this deployment.
+  auto session = core::Session::Create(&*set, &*st);
+  Check(session.status());
+
+  // 5. Prepare once (parse -> normalize -> validate -> fingerprint),
+  //    then execute with ParBoX: one visit per site, formulas on the
+  //    wire, equation system solved at the coordinator. A prepared
+  //    query can be executed any number of times — and with any
+  //    registered evaluator, e.g. {.evaluator = "lazy"}.
   for (const char* text : {
            "[//book[year = \"1984\"]]",
            "[//book[title = \"Dune\" and year = \"1984\"]]",
            "[//shelf[book/year = \"1992\"] and //book[year = \"1965\"]]",
        }) {
-    auto query = xpath::CompileQuery(text);
+    auto query = session->Prepare(text);
     Check(query.status());
-
-    // 5. Evaluate with ParBoX: one visit per site, formulas on the
-    //    wire, equation system solved at the coordinator.
-    auto report = core::RunParBoX(*set, *st, *query);
+    auto report = session->Execute(*query);
     Check(report.status());
     std::printf("\n%s\n  -> %s\n  %s\n", text,
                 report->answer ? "true" : "false",

@@ -11,8 +11,8 @@
 #include <cstdlib>
 
 #include "boolexpr/expr.h"
-#include "core/algorithms.h"
 #include "core/partial_eval.h"
+#include "core/session.h"
 #include "core/view.h"
 #include "fragment/source_tree.h"
 #include "xmark/portfolio.h"
@@ -45,46 +45,50 @@ int main() {
                     .c_str());
   }
 
-  // Fig. 2(b): h(F0)=S0, h(F1)=S1, h(F2)=h(F3)=S2.
+  // Fig. 2(b): h(F0)=S0, h(F1)=S1, h(F2)=h(F3)=S2. One session serves
+  // every query below against this deployment.
   auto st = frag::SourceTree::Create(*set, {0, 1, 2, 2});
   Check(st.status());
+  auto session = core::Session::Create(&*set, &*st);
+  Check(session.status());
 
   // --- Example 2.1: normalize //stock[code/text() = "YHOO"] ---
-  auto yhoo = xpath::CompileQuery(xmark::kYhooQuery);
+  auto yhoo = session->Prepare(xmark::kYhooQuery);
   Check(yhoo.status());
   std::printf("== QList(q) for %s (Example 2.1) ==\n%s\n",
-              xmark::kYhooQuery, yhoo->ToString().c_str());
+              xmark::kYhooQuery, yhoo->query().ToString().c_str());
 
   // --- Example 3.2: the partial answers each site computes ---
   std::printf("== Partial evaluation per fragment (Example 3.2) ==\n");
-  bexpr::ExprFactory factory;
+  const xpath::NormQuery& yhoo_q = yhoo->query();
+  bexpr::ExprFactory& factory = session->factory();
   for (auto f : set->live_ids()) {
-    auto eq = core::PartialEvalFragment(&factory, *yhoo, *set, f, nullptr);
+    auto eq = core::PartialEvalFragment(&factory, yhoo_q, *set, f, nullptr);
     std::printf("V_F%d[answer] = %s\n", f,
-                factory.ToString(eq.v[yhoo->root()]).c_str());
+                factory.ToString(eq.v[yhoo_q.root()]).c_str());
     std::printf("DV_F%d[answer] = %s\n", f,
-                factory.ToString(eq.dv[yhoo->root()]).c_str());
+                factory.ToString(eq.dv[yhoo_q.root()]).c_str());
   }
 
   // --- Example 3.3: ParBoX solves the equation system ---
-  auto report = core::RunParBoX(*set, *st, *yhoo);
+  auto report = session->Execute(*yhoo);
   Check(report.status());
   std::printf("\n== ParBoX (Example 3.3) ==\n%s\n",
               report->Detailed().c_str());
 
   // --- Sec. 1's query: does GOOG reach a sell price of 376? ---
-  auto goog = xpath::CompileQuery(xmark::kGoogSellQuery);
+  auto goog = session->Prepare(xmark::kGoogSellQuery);
   Check(goog.status());
-  auto goog_report = core::RunParBoX(*set, *st, *goog);
+  auto goog_report = session->Execute(*goog);
   Check(goog_report.status());
   std::printf("\n%s\n  -> %s (the best sell in the tree is 373)\n",
               xmark::kGoogSellQuery,
               goog_report->answer ? "true" : "false");
 
   // --- Sec. 4: the lazy algorithm stops at depth 0 for this one ---
-  auto merill = xpath::CompileQuery(xmark::kMerillQuery);
+  auto merill = session->Prepare(xmark::kMerillQuery);
   Check(merill.status());
-  auto lazy = core::RunLazyParBoX(*set, *st, *merill);
+  auto lazy = session->Execute(*merill, {.evaluator = "lazy"});
   Check(lazy.status());
   std::printf("\n%s via LazyParBoX:\n  %s\n  (total visits: %llu — the "
               "NASDAQ site was never bothered)\n",

@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/algorithms.h"
 #include "core/selection.h"
+#include "core/session.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
 #include "xmark/generator.h"
@@ -49,16 +49,20 @@ int main() {
       set->live_count(), st->max_depth(), set->TotalElements());
 
   // Queries satisfied at the newest (v0, the root), a middle, and the
-  // oldest version — the workloads of Figs. 9-11.
+  // oldest version — the workloads of Figs. 9-11. One session, one
+  // Prepare per version, three evaluators per prepared query.
+  auto session = core::Session::Create(&*set, &*st);
+  Check(session.status());
   for (int version : {0, kVersions / 2, kVersions - 1}) {
     auto query = xmark::MakeMarkerQuery("v" + std::to_string(version));
     Check(query.status());
+    auto prepared = session->Prepare(std::move(*query));
+    Check(prepared.status());
     std::printf("== query satisfied at version %d: %s ==\n", version,
                 xmark::MarkerQueryText("v" + std::to_string(version))
                     .c_str());
-    for (auto run : {core::RunParBoX, core::RunFullDistParBoX,
-                     core::RunLazyParBoX}) {
-      auto report = run(*set, *st, *query, {});
+    for (const char* evaluator : {"parbox", "fulldist", "lazy"}) {
+      auto report = session->Execute(*prepared, {.evaluator = evaluator});
       Check(report.status());
       std::printf("  %s\n", report->ToString().c_str());
     }

@@ -78,11 +78,22 @@ ExprId ExprFactory::Not(ExprId a) {
 }
 
 ExprId ExprFactory::And(ExprId a, ExprId b) {
+  // Allocation-free fast paths for the folds MakeNary would apply
+  // anyway: the evaluation kernel calls And/Or per (element x QList
+  // entry) and the operands are constants most of the time.
+  if (a == kFalseExpr || b == kFalseExpr) return kFalseExpr;
+  if (a == kTrueExpr) return b;
+  if (b == kTrueExpr) return a;
+  if (a == b) return a;
   ExprId kids[2] = {a, b};
   return MakeNary(ExprOp::kAnd, kids);
 }
 
 ExprId ExprFactory::Or(ExprId a, ExprId b) {
+  if (a == kTrueExpr || b == kTrueExpr) return kTrueExpr;
+  if (a == kFalseExpr) return b;
+  if (b == kFalseExpr) return a;
+  if (a == b) return a;
   ExprId kids[2] = {a, b};
   return MakeNary(ExprOp::kOr, kids);
 }
@@ -121,10 +132,11 @@ ExprId ExprFactory::MakeNary(ExprOp nary_op, std::span<const ExprId> input) {
   flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
   if (flat.size() == 1) return flat[0];
 
-  // Complement cancellation: x op !x == absorbing.
-  std::unordered_set<ExprId> present(flat.begin(), flat.end());
+  // Complement cancellation: x op !x == absorbing. `flat` is sorted,
+  // so membership is a binary search — no per-call hash set.
   for (ExprId c : flat) {
-    if (op(c) == ExprOp::kNot && present.count(children(c)[0]) > 0) {
+    if (op(c) == ExprOp::kNot &&
+        std::binary_search(flat.begin(), flat.end(), children(c)[0])) {
       return absorbing;
     }
   }
@@ -196,6 +208,21 @@ Result<bool> ExprFactory::Eval(ExprId e, const Assignment& assignment) const {
 }
 
 Tri ExprFactory::EvalPartial(ExprId e, const Assignment& assignment) const {
+  // Allocation-free fast paths: after folding, most solver queries hit
+  // a constant or a bare variable — no memo machinery needed.
+  switch (op(e)) {
+    case ExprOp::kConst:
+      return e == kTrueExpr ? Tri::kTrue : Tri::kFalse;
+    case ExprOp::kVar: {
+      std::optional<bool> v = assignment.Get(var(e));
+      return !v.has_value() ? Tri::kUnknown
+             : *v           ? Tri::kTrue
+                            : Tri::kFalse;
+    }
+    default:
+      break;
+  }
+
   // Iterative post-order with memoization (formulas are DAGs).
   std::unordered_map<ExprId, Tri> memo;
   std::vector<std::pair<ExprId, bool>> stack{{e, false}};

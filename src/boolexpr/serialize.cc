@@ -14,6 +14,41 @@ void PutVarint(std::string* out, uint64_t v) {
   out->push_back(static_cast<char>(v));
 }
 
+size_t VarintSize(uint64_t v) {
+  size_t size = 1;
+  while (v >= 0x80) {
+    ++size;
+    v >>= 7;
+  }
+  return size;
+}
+
+/// Topological order over the union of the root DAGs; `index` maps each
+/// node to its position. Shared by the encoder and the size counter so
+/// the two can never disagree.
+std::vector<ExprId> TopoOrder(const ExprFactory& factory,
+                              std::span<const ExprId> roots,
+                              std::unordered_map<ExprId, uint32_t>* index) {
+  std::vector<ExprId> order;
+  std::vector<std::pair<ExprId, bool>> stack;
+  for (ExprId r : roots) stack.emplace_back(r, false);
+  while (!stack.empty()) {
+    auto [x, expanded] = stack.back();
+    stack.pop_back();
+    if (index->count(x) > 0) continue;
+    if (expanded) {
+      (*index)[x] = static_cast<uint32_t>(order.size());
+      order.push_back(x);
+      continue;
+    }
+    stack.emplace_back(x, true);
+    for (ExprId c : factory.children(x)) {
+      if (index->count(c) == 0) stack.emplace_back(c, false);
+    }
+  }
+  return order;
+}
+
 bool GetVarint(std::string_view* in, uint64_t* out) {
   uint64_t v = 0;
   int shift = 0;
@@ -35,27 +70,8 @@ bool GetVarint(std::string_view* in, uint64_t* out) {
 
 std::string SerializeExprs(const ExprFactory& factory,
                            std::span<const ExprId> roots) {
-  // Topological order over the union of all root DAGs.
-  std::vector<ExprId> order;
   std::unordered_map<ExprId, uint32_t> index;
-  {
-    std::vector<std::pair<ExprId, bool>> stack;
-    for (ExprId r : roots) stack.emplace_back(r, false);
-    while (!stack.empty()) {
-      auto [x, expanded] = stack.back();
-      stack.pop_back();
-      if (index.count(x) > 0) continue;
-      if (expanded) {
-        index[x] = static_cast<uint32_t>(order.size());
-        order.push_back(x);
-        continue;
-      }
-      stack.emplace_back(x, true);
-      for (ExprId c : factory.children(x)) {
-        if (index.count(c) == 0) stack.emplace_back(c, false);
-      }
-    }
-  }
+  const std::vector<ExprId> order = TopoOrder(factory, roots, &index);
 
   std::string out;
   PutVarint(&out, order.size());
@@ -80,6 +96,34 @@ std::string SerializeExprs(const ExprFactory& factory,
   PutVarint(&out, roots.size());
   for (ExprId r : roots) PutVarint(&out, index.at(r));
   return out;
+}
+
+uint64_t SerializedExprsSize(const ExprFactory& factory,
+                             std::span<const ExprId> roots) {
+  std::unordered_map<ExprId, uint32_t> index;
+  const std::vector<ExprId> order = TopoOrder(factory, roots, &index);
+
+  uint64_t size = VarintSize(order.size());
+  for (ExprId e : order) {
+    size += 1;  // op byte
+    switch (factory.op(e)) {
+      case ExprOp::kConst:
+        size += 1;
+        break;
+      case ExprOp::kVar:
+        size += VarintSize(factory.var(e).Pack());
+        break;
+      default: {
+        auto kids = factory.children(e);
+        size += VarintSize(kids.size());
+        for (ExprId c : kids) size += VarintSize(index.at(c));
+        break;
+      }
+    }
+  }
+  size += VarintSize(roots.size());
+  for (ExprId r : roots) size += VarintSize(index.at(r));
+  return size;
 }
 
 Result<std::vector<ExprId>> DeserializeExprs(ExprFactory* factory,

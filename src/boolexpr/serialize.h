@@ -27,6 +27,12 @@ namespace parbox::bexpr {
 std::string SerializeExprs(const ExprFactory& factory,
                            std::span<const ExprId> roots);
 
+/// Exactly SerializeExprs(factory, roots).size(), computed without
+/// materializing the byte string — the per-triplet wire-cost question
+/// every evaluation round asks sits on the hot path.
+uint64_t SerializedExprsSize(const ExprFactory& factory,
+                             std::span<const ExprId> roots);
+
 /// Decode into `factory` (typically a different one than the encoder's).
 /// Returns the decoded roots, in order.
 Result<std::vector<ExprId>> DeserializeExprs(ExprFactory* factory,

@@ -1,0 +1,90 @@
+// The legacy Run* surface, shrunk to thin wrappers over the Session /
+// PreparedQuery / EvaluatorRegistry API: create a throwaway session,
+// prepare, execute. Kept for one-shot callers and compatibility; hot
+// paths should hold a Session (see core/session.h).
+
+#include "core/algorithms.h"
+
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/session.h"
+
+namespace parbox::core {
+
+namespace {
+
+Result<RunReport> RunOnce(std::string_view evaluator,
+                          const frag::FragmentSet& set,
+                          const frag::SourceTree& st,
+                          const xpath::NormQuery& q,
+                          const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(
+      Session session,
+      Session::Create(&set, &st, SessionOptions{options.network}));
+  PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
+  return session.Execute(prepared, {.evaluator = std::string(evaluator)});
+}
+
+}  // namespace
+
+Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options) {
+  return RunOnce("central", set, st, q, options);
+}
+
+Result<RunReport> RunNaiveDistributed(const frag::FragmentSet& set,
+                                      const frag::SourceTree& st,
+                                      const xpath::NormQuery& q,
+                                      const EngineOptions& options) {
+  return RunOnce("distributed", set, st, q, options);
+}
+
+Result<RunReport> RunParBoX(const frag::FragmentSet& set,
+                            const frag::SourceTree& st,
+                            const xpath::NormQuery& q,
+                            const EngineOptions& options) {
+  return RunOnce("parbox", set, st, q, options);
+}
+
+Result<RunReport> RunHybridParBoX(const frag::FragmentSet& set,
+                                  const frag::SourceTree& st,
+                                  const xpath::NormQuery& q,
+                                  const EngineOptions& options) {
+  return RunOnce("hybrid", set, st, q, options);
+}
+
+Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
+                                    const frag::SourceTree& st,
+                                    const xpath::NormQuery& q,
+                                    const EngineOptions& options) {
+  return RunOnce("fulldist", set, st, q, options);
+}
+
+Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
+                                const frag::SourceTree& st,
+                                const xpath::NormQuery& q,
+                                const EngineOptions& options) {
+  return RunOnce("lazy", set, st, q, options);
+}
+
+Result<std::vector<RunReport>> RunAllAlgorithms(
+    const frag::FragmentSet& set, const frag::SourceTree& st,
+    const xpath::NormQuery& q, const EngineOptions& options) {
+  PARBOX_ASSIGN_OR_RETURN(
+      Session session,
+      Session::Create(&set, &st, SessionOptions{options.network}));
+  PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
+  std::vector<RunReport> reports;
+  for (const std::string& name : EvaluatorRegistry::Instance().Names()) {
+    PARBOX_ASSIGN_OR_RETURN(RunReport report,
+                            session.Execute(prepared, {.evaluator = name}));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace parbox::core

@@ -1,5 +1,13 @@
-// Public entry points: the distributed Boolean XPath evaluation
-// algorithms of Secs. 3 and 4, all sharing one signature.
+// Legacy one-shot entry points: the distributed Boolean XPath
+// evaluation algorithms of Secs. 3 and 4, all sharing one signature.
+//
+// These are thin compatibility wrappers: each call builds a throwaway
+// core::Session, prepares the query, and executes the matching
+// registered Evaluator (core/evaluator.h). Code evaluating the same
+// query — or the same deployment — more than once should hold a
+// Session and a PreparedQuery instead (core/session.h): prepared
+// re-execution skips parse/validate/partition/cluster setup and
+// reuses interned formulas across runs.
 //
 // Every algorithm evaluates the normalized query `q` at the root of the
 // fragmented tree `set`, distributed per the source tree `st`, inside a
@@ -70,7 +78,8 @@ Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
                                 const xpath::NormQuery& q,
                                 const EngineOptions& options = {});
 
-/// All six, in a fixed order (testing/demo convenience).
+/// Every registered evaluator, in EvaluatorRegistry::Names() order
+/// (testing/demo convenience). One Session, one Prepare, N Executes.
 Result<std::vector<RunReport>> RunAllAlgorithms(
     const frag::FragmentSet& set, const frag::SourceTree& st,
     const xpath::NormQuery& q, const EngineOptions& options = {});

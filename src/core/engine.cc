@@ -2,71 +2,33 @@
 
 namespace parbox::core {
 
-Engine::Engine(const frag::FragmentSet& set, const frag::SourceTree& st,
-               const xpath::NormQuery& q, const EngineOptions& options)
-    : set_(&set),
-      st_(&st),
+Engine::Engine(Session* session, const xpath::NormQuery& q,
+               uint64_t query_bytes, std::shared_ptr<const SitePlan> plan)
+    : session_(session),
       q_(&q),
-      cluster_(st.num_sites(), options.network),
-      coordinator_(st.site_of(st.root_fragment())),
-      query_bytes_(q.SerializedSizeBytes()) {}
-
-Result<Engine> Engine::Create(const frag::FragmentSet& set,
-                              const frag::SourceTree& st,
-                              const xpath::NormQuery& q,
-                              const EngineOptions& options) {
-  if (!q.IsWellFormed()) {
-    return Status::InvalidArgument("query QList is not well-formed");
-  }
-  if (q.size() > static_cast<size_t>(bexpr::VarId::kMaxQueryIndex) + 1) {
-    return Status::InvalidArgument(
-        "query has more sub-queries than the variable encoding supports");
-  }
-  if (st.root_fragment() != set.root_fragment()) {
-    return Status::InvalidArgument(
-        "source tree does not match the fragment set");
-  }
-  if (st.num_sites() < 1) {
-    return Status::InvalidArgument("no sites in the source tree");
-  }
-  return Engine(set, st, q, options);
-}
-
-Result<std::vector<RunReport>> RunAllAlgorithms(const frag::FragmentSet& set,
-                                                const frag::SourceTree& st,
-                                                const xpath::NormQuery& q,
-                                                const EngineOptions& options) {
-  std::vector<RunReport> reports;
-  using Fn = Result<RunReport> (*)(const frag::FragmentSet&,
-                                   const frag::SourceTree&,
-                                   const xpath::NormQuery&,
-                                   const EngineOptions&);
-  constexpr Fn kAll[] = {RunNaiveCentralized, RunNaiveDistributed, RunParBoX,
-                         RunHybridParBoX, RunFullDistParBoX, RunLazyParBoX};
-  for (Fn fn : kAll) {
-    PARBOX_ASSIGN_OR_RETURN(RunReport report, fn(set, st, q, options));
-    reports.push_back(std::move(report));
-  }
-  return reports;
-}
+      plan_(std::move(plan)),
+      coordinator_(session->coordinator()),
+      query_bytes_(query_bytes) {}
 
 RunReport Engine::Finish(std::string algorithm, bool answer,
                          uint64_t eq_system_entries) {
+  sim::Cluster& cluster = session_->cluster();
   RunReport report;
   report.algorithm = std::move(algorithm);
   report.answer = answer;
-  report.makespan_seconds = cluster_.now();
-  report.total_compute_seconds = cluster_.total_busy_seconds();
+  report.makespan_seconds = cluster.now();
+  report.total_compute_seconds = cluster.total_busy_seconds();
   report.total_ops = total_ops_;
-  report.network_bytes = cluster_.traffic().total_bytes();
-  report.network_messages = cluster_.traffic().total_messages();
-  report.visits_per_site = cluster_.all_visits();
+  report.network_bytes = cluster.traffic().total_bytes();
+  report.network_messages = cluster.traffic().total_messages();
+  report.visits_per_site = cluster.all_visits();
   report.eq_system_entries = eq_system_entries;
-  for (const auto& [tag, bytes] : cluster_.traffic().bytes_by_tag()) {
+  for (const auto& [tag, bytes] : cluster.traffic().bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
   }
-  report.stats.Add("sim.events", cluster_.loop().events_run());
-  report.stats.Add("formula.interned_nodes", factory_.total_nodes());
+  report.stats.Add("sim.events", cluster.loop().events_run());
+  report.stats.Add("formula.interned_nodes",
+                   session_->factory().total_nodes());
   return report;
 }
 

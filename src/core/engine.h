@@ -1,33 +1,35 @@
-// Shared plumbing for the algorithm implementations (internal header).
+// Shared plumbing for the evaluator implementations (internal header).
 
 #ifndef PARBOX_CORE_ENGINE_H_
 #define PARBOX_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "boolexpr/expr.h"
-#include "core/algorithms.h"
+#include "core/report.h"
+#include "core/session.h"
 
 namespace parbox::core {
 
-/// Per-run state every algorithm needs: the simulated cluster, a
-/// formula factory, and bookkeeping for the report.
+/// Per-run state every evaluator needs, assembled by Session::Execute:
+/// views of the session's long-lived pieces (deployment, cluster,
+/// factory, partition plan) plus bookkeeping for the report. The query
+/// is already validated and the cluster is rewound to virtual time 0
+/// by the time an Evaluator sees the engine.
 class Engine {
  public:
-  /// Validates inputs (well-formed query, query width within the
-  /// variable encoding, consistent site assignment).
-  static Result<Engine> Create(const frag::FragmentSet& set,
-                               const frag::SourceTree& st,
-                               const xpath::NormQuery& q,
-                               const EngineOptions& options);
+  Engine(Session* session, const xpath::NormQuery& q, uint64_t query_bytes,
+         std::shared_ptr<const SitePlan> plan);
 
-  Engine(Engine&&) = default;
-
-  const frag::FragmentSet& set() const { return *set_; }
-  const frag::SourceTree& st() const { return *st_; }
+  const frag::FragmentSet& set() const { return session_->set(); }
+  const frag::SourceTree& st() const { return session_->st(); }
   const xpath::NormQuery& q() const { return *q_; }
-  sim::Cluster& cluster() { return cluster_; }
-  bexpr::ExprFactory& factory() { return factory_; }
+  sim::Cluster& cluster() { return session_->cluster(); }
+  bexpr::ExprFactory& factory() { return session_->factory(); }
+  /// Pre-partitioned per-site work and the solver's children table,
+  /// prepared once per deployment instead of per run.
+  const SitePlan& plan() const { return *plan_; }
 
   /// The coordinating site = the site storing the root fragment.
   sim::SiteId coordinator() const { return coordinator_; }
@@ -36,19 +38,14 @@ class Engine {
 
   void AddOps(uint64_t ops) { total_ops_ += ops; }
 
-  /// Run the event loop and assemble the report.
+  /// Assemble the report from the cluster's measurements.
   RunReport Finish(std::string algorithm, bool answer,
                    uint64_t eq_system_entries);
 
  private:
-  Engine(const frag::FragmentSet& set, const frag::SourceTree& st,
-         const xpath::NormQuery& q, const EngineOptions& options);
-
-  const frag::FragmentSet* set_;
-  const frag::SourceTree* st_;
+  Session* session_;
   const xpath::NormQuery* q_;
-  sim::Cluster cluster_;
-  bexpr::ExprFactory factory_;
+  std::shared_ptr<const SitePlan> plan_;
   sim::SiteId coordinator_;
   uint64_t query_bytes_;
   uint64_t total_ops_ = 0;

@@ -1,0 +1,61 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+namespace parbox::core {
+
+EvaluatorRegistry& EvaluatorRegistry::Instance() {
+  static EvaluatorRegistry* registry = new EvaluatorRegistry();
+  return *registry;
+}
+
+void EvaluatorRegistry::Register(int order, Factory factory) {
+  Entry entry{std::string(factory()->name()), order, factory};
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        return std::tie(a.order, a.name) < std::tie(b.order, b.name);
+      });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::vector<std::string> EvaluatorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+std::unique_ptr<Evaluator> EvaluatorRegistry::Create(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.factory();
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<Evaluator>> EvaluatorRegistry::CreateOrError(
+    std::string_view name) const {
+  std::unique_ptr<Evaluator> evaluator = Create(name);
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument("unknown evaluator \"" +
+                                   std::string(name) +
+                                   "\"; registered: " + NamesJoined());
+  }
+  return evaluator;
+}
+
+std::string EvaluatorRegistry::NamesJoined(char sep) const {
+  std::string joined;
+  for (const Entry& e : entries_) {
+    if (!joined.empty()) joined.push_back(sep);
+    joined += e.name;
+  }
+  return joined;
+}
+
+EvaluatorRegistry::Registrar::Registrar(int order, Factory factory) {
+  EvaluatorRegistry::Instance().Register(order, factory);
+}
+
+}  // namespace parbox::core

@@ -14,15 +14,31 @@
 
 #include "boolexpr/serialize.h"
 #include "core/engine.h"
+#include "core/evaluator.h"
 #include "core/partial_eval.h"
 
 namespace parbox::core {
 
-Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
-                                    const frag::SourceTree& st,
-                                    const xpath::NormQuery& q,
-                                    const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+namespace {
+
+class FullDistParBoXEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "fulldist"; }
+  std::string_view display_name() const override {
+    return "FullDistParBoX";
+  }
+  std::string_view description() const override {
+    return "composition distributed bottom-up over the source tree";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
+
+PARBOX_REGISTER_EVALUATOR(4, FullDistParBoXEvaluator);
+
+Result<RunReport> FullDistParBoXEvaluator::Run(Engine& eng) const {
+  const frag::FragmentSet& set = eng.set();
+  const frag::SourceTree& st = eng.st();
+  const xpath::NormQuery& q = eng.q();
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();
@@ -93,10 +109,9 @@ Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
   // Phase A: broadcast the query; evaluate fragments locally. The
   // paper assumes every participating site already holds a copy of the
   // (small) source tree, so S_T is not shipped per query.
-  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
-    if (st.fragments_at(s).empty()) continue;
+  for (const auto& [s, fragments] : eng.plan().site_fragments) {
     cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
-      for (frag::FragmentId f : st.fragments_at(s)) {
+      for (frag::FragmentId f : fragments) {
         cluster.RecordVisit(s);  // one activation per local fragment
         xpath::EvalCounters counters;
         equations[f] =
@@ -112,7 +127,10 @@ Result<RunReport> RunFullDistParBoX(const frag::FragmentSet& set,
 
   cluster.Run();
   PARBOX_RETURN_IF_ERROR(failure);
-  return eng.Finish("FullDistParBoX", answer, 3 * n * set.live_count());
+  return eng.Finish(std::string(display_name()), answer,
+                    3 * n * set.live_count());
 }
+
+}  // namespace
 
 }  // namespace parbox::core

@@ -4,29 +4,47 @@
 // back to NaiveCentralized. The tipping point compares card(F) against
 // |T|/|q|.
 
+#include <memory>
+
 #include "core/engine.h"
+#include "core/evaluator.h"
 
 namespace parbox::core {
 
-Result<RunReport> RunHybridParBoX(const frag::FragmentSet& set,
-                                  const frag::SourceTree& st,
-                                  const xpath::NormQuery& q,
-                                  const EngineOptions& options) {
+namespace {
+
+class HybridParBoXEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "hybrid"; }
+  std::string_view display_name() const override { return "HybridParBoX"; }
+  std::string_view description() const override {
+    return "ParBoX, falling back to central for pathological "
+           "fragmentations";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
+
+PARBOX_REGISTER_EVALUATOR(3, HybridParBoXEvaluator);
+
+Result<RunReport> HybridParBoXEvaluator::Run(Engine& eng) const {
   // The decision uses only catalogue-level statistics (fragment count
   // and total size), which a deployment tracks anyway; it costs no
   // network traffic.
-  const double card_f = static_cast<double>(set.live_count());
-  const double tipping =
-      static_cast<double>(set.TotalElements()) / static_cast<double>(q.size());
+  const double card_f = static_cast<double>(eng.set().live_count());
+  const double tipping = static_cast<double>(eng.set().TotalElements()) /
+                         static_cast<double>(eng.q().size());
   const bool use_parbox = card_f < tipping;
 
-  Result<RunReport> report = use_parbox
-                                 ? RunParBoX(set, st, q, options)
-                                 : RunNaiveCentralized(set, st, q, options);
+  std::unique_ptr<Evaluator> delegate =
+      EvaluatorRegistry::Instance().Create(use_parbox ? "parbox"
+                                                      : "central");
+  Result<RunReport> report = delegate->Run(eng);
   if (!report.ok()) return report.status();
-  report->algorithm = std::string("HybridParBoX[") +
+  report->algorithm = std::string(display_name()) + "[" +
                       (use_parbox ? "ParBoX" : "NaiveCentralized") + "]";
   return report;
 }
+
+}  // namespace
 
 }  // namespace parbox::core

@@ -14,19 +14,31 @@
 #include <unordered_set>
 
 #include "core/engine.h"
+#include "core/evaluator.h"
 #include "core/partial_eval.h"
 
 namespace parbox::core {
 
 namespace {
 constexpr uint64_t kRequestBytes = 64;
-}
 
-Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
-                                const frag::SourceTree& st,
-                                const xpath::NormQuery& q,
-                                const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+class LazyParBoXEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "lazy"; }
+  std::string_view display_name() const override { return "LazyParBoX"; }
+  std::string_view description() const override {
+    return "depth-by-depth evaluation, stops once the answer is "
+           "determined";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
+
+PARBOX_REGISTER_EVALUATOR(5, LazyParBoXEvaluator);
+
+Result<RunReport> LazyParBoXEvaluator::Run(Engine& eng) const {
+  const frag::FragmentSet& set = eng.set();
+  const frag::SourceTree& st = eng.st();
+  const xpath::NormQuery& q = eng.q();
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();
@@ -74,7 +86,7 @@ Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
             eng.AddOps(solve_ops);
             cluster.Compute(coord, solve_ops, [&, depth]() {
               bexpr::Tri t = bexpr::SolvePartial(
-                  &eng.factory(), available, set.ChildrenTable(),
+                  &eng.factory(), available, eng.plan().children,
                   set.root_fragment(), q.root());
               if (t != bexpr::Tri::kUnknown) {
                 answer = t == bexpr::Tri::kTrue;
@@ -96,7 +108,10 @@ Result<RunReport> RunLazyParBoX(const frag::FragmentSet& set,
   if (!done) {
     return Status::Internal("LazyParBoX terminated without an answer");
   }
-  return eng.Finish("LazyParBoX", answer, 3 * n * evaluated);
+  return eng.Finish(std::string(display_name()), answer,
+                    3 * n * evaluated);
 }
+
+}  // namespace
 
 }  // namespace parbox::core

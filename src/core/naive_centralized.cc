@@ -4,6 +4,7 @@
 // network on *every* query — the cost Fig. 7 shows dominating.
 
 #include "core/engine.h"
+#include "core/evaluator.h"
 #include "xpath/eval.h"
 
 namespace parbox::core {
@@ -11,20 +12,28 @@ namespace parbox::core {
 namespace {
 /// Size of the coordinator's "send me your fragments" request.
 constexpr uint64_t kRequestBytes = 64;
-}  // namespace
 
-Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
-                                      const frag::SourceTree& st,
-                                      const xpath::NormQuery& q,
-                                      const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+class NaiveCentralizedEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "central"; }
+  std::string_view display_name() const override {
+    return "NaiveCentralized";
+  }
+  std::string_view description() const override {
+    return "ship all fragments to the coordinator, evaluate centrally";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
+
+PARBOX_REGISTER_EVALUATOR(0, NaiveCentralizedEvaluator);
+
+Result<RunReport> NaiveCentralizedEvaluator::Run(Engine& eng) const {
+  const frag::FragmentSet& set = eng.set();
+  const xpath::NormQuery& q = eng.q();
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
 
-  size_t pending = 0;
-  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
-    if (!st.fragments_at(s).empty()) ++pending;
-  }
+  size_t pending = eng.plan().site_fragments.size();
 
   bool answer = false;
   Status failure = Status::OK();
@@ -47,12 +56,11 @@ Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
     cluster.Compute(coord, counters.ops, [&, value]() { answer = value; });
   };
 
-  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
-    if (st.fragments_at(s).empty()) continue;
+  for (const auto& [s, fragments] : eng.plan().site_fragments) {
     cluster.RecordVisit(s);
     cluster.Send(coord, s, kRequestBytes, "request", [&, s]() {
       uint64_t data_bytes = 0;
-      for (frag::FragmentId f : st.fragments_at(s)) {
+      for (frag::FragmentId f : fragments) {
         data_bytes += set.FragmentSerializedBytes(f);
       }
       cluster.Send(s, coord, data_bytes, "data", [&]() {
@@ -63,7 +71,9 @@ Result<RunReport> RunNaiveCentralized(const frag::FragmentSet& set,
 
   cluster.Run();
   PARBOX_RETURN_IF_ERROR(failure);
-  return eng.Finish("NaiveCentralized", answer, 0);
+  return eng.Finish(std::string(display_name()), answer, 0);
 }
+
+}  // namespace
 
 }  // namespace parbox::core

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "core/engine.h"
+#include "core/evaluator.h"
 #include "core/partial_eval.h"
 
 namespace parbox::core {
@@ -35,13 +36,24 @@ std::vector<frag::FragmentId> FragmentPostOrder(const frag::SourceTree& st) {
   return order;
 }
 
-}  // namespace
+class NaiveDistributedEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "distributed"; }
+  std::string_view display_name() const override {
+    return "NaiveDistributed";
+  }
+  std::string_view description() const override {
+    return "sequential bottom-up traversal, one visit per fragment";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
 
-Result<RunReport> RunNaiveDistributed(const frag::FragmentSet& set,
-                                      const frag::SourceTree& st,
-                                      const xpath::NormQuery& q,
-                                      const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+PARBOX_REGISTER_EVALUATOR(1, NaiveDistributedEvaluator);
+
+Result<RunReport> NaiveDistributedEvaluator::Run(Engine& eng) const {
+  const frag::FragmentSet& set = eng.set();
+  const frag::SourceTree& st = eng.st();
+  const xpath::NormQuery& q = eng.q();
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
   const std::vector<frag::FragmentId> order = FragmentPostOrder(st);
@@ -85,7 +97,9 @@ Result<RunReport> RunNaiveDistributed(const frag::FragmentSet& set,
   process(0);
 
   cluster.Run();
-  return eng.Finish("NaiveDistributed", answer, 0);
+  return eng.Finish(std::string(display_name()), answer, 0);
 }
+
+}  // namespace
 
 }  // namespace parbox::core

@@ -1,7 +1,8 @@
 // Algorithm ParBoX (Fig. 3): the paper's main contribution.
 //
-// Stage 1: the coordinator identifies, from the source tree, every
-//          site holding at least one fragment and ships it the query.
+// Stage 1: the coordinator identifies, from the prepared site plan,
+//          every site holding at least one fragment and ships it the
+//          query.
 // Stage 2: all sites partially evaluate the query over each of their
 //          fragments in parallel (sites run concurrently; fragments on
 //          one site serialize) and ship back the (V, CV, DV) triplets.
@@ -15,15 +16,28 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "core/evaluator.h"
 #include "core/partial_eval.h"
 
 namespace parbox::core {
 
-Result<RunReport> RunParBoX(const frag::FragmentSet& set,
-                            const frag::SourceTree& st,
-                            const xpath::NormQuery& q,
-                            const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+namespace {
+
+class ParBoXEvaluator final : public Evaluator {
+ public:
+  std::string_view name() const override { return "parbox"; }
+  std::string_view display_name() const override { return "ParBoX"; }
+  std::string_view description() const override {
+    return "parallel partial evaluation, one visit per site (Fig. 3)";
+  }
+  Result<RunReport> Run(Engine& eng) const override;
+};
+
+PARBOX_REGISTER_EVALUATOR(2, ParBoXEvaluator);
+
+Result<RunReport> ParBoXEvaluator::Run(Engine& eng) const {
+  const frag::FragmentSet& set = eng.set();
+  const xpath::NormQuery& q = eng.q();
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
 
@@ -32,14 +46,15 @@ Result<RunReport> RunParBoX(const frag::FragmentSet& set,
   bool answer = false;
   Status failure = Status::OK();
 
-  // Stage 3, run once every triplet has arrived.
+  // Stage 3, run once every triplet has arrived. The solver walks the
+  // plan's pre-built children table instead of rebuilding it per run.
   auto compose = [&]() {
     const uint64_t solve_ops = q.size() * set.live_count();
     eng.AddOps(solve_ops);
     cluster.Compute(coord, solve_ops, [&]() {
       Result<bool> result =
           bexpr::SolveForAnswer(&eng.factory(), equations,
-                                set.ChildrenTable(), set.root_fragment(),
+                                eng.plan().children, set.root_fragment(),
                                 q.root());
       if (result.ok()) {
         answer = *result;
@@ -49,12 +64,11 @@ Result<RunReport> RunParBoX(const frag::FragmentSet& set,
     });
   };
 
-  // Stages 1 and 2.
-  for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
-    if (st.fragments_at(s).empty()) continue;
+  // Stages 1 and 2, over the pre-partitioned per-site plan.
+  for (const auto& [s, fragments] : eng.plan().site_fragments) {
     cluster.RecordVisit(s);  // the only visit this site will get
     cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
-      for (frag::FragmentId f : st.fragments_at(s)) {
+      for (frag::FragmentId f : fragments) {
         // The real partial evaluation happens here; its measured cost
         // is charged to the site's serialized compute queue.
         xpath::EvalCounters counters;
@@ -74,7 +88,10 @@ Result<RunReport> RunParBoX(const frag::FragmentSet& set,
 
   cluster.Run();
   PARBOX_RETURN_IF_ERROR(failure);
-  return eng.Finish("ParBoX", answer, 3 * q.size() * set.live_count());
+  return eng.Finish(std::string(display_name()), answer,
+                    3 * q.size() * set.live_count());
 }
+
+}  // namespace
 
 }  // namespace parbox::core

@@ -65,7 +65,7 @@ uint64_t TripletWireBytes(const bexpr::ExprFactory& factory,
   roots.insert(roots.end(), eq.v.begin(), eq.v.end());
   roots.insert(roots.end(), eq.cv.begin(), eq.cv.end());
   roots.insert(roots.end(), eq.dv.begin(), eq.dv.end());
-  return bexpr::SerializeExprs(factory, roots).size();
+  return bexpr::SerializedExprsSize(factory, roots);
 }
 
 }  // namespace parbox::core

@@ -159,7 +159,11 @@ Result<PathSelectionResult> RunPathSelection(
     const frag::FragmentSet& set, const frag::SourceTree& st,
     const xpath::SelectionQuery& selection, const EngineOptions& options) {
   const NormQuery& q = selection.query;
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  PARBOX_ASSIGN_OR_RETURN(
+      Session session,
+      Session::Create(&set, &st, SessionOptions{options.network}));
+  PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
+  Engine eng(&session, q, prepared.query_bytes(), session.plan());
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();

@@ -1,0 +1,18 @@
+#include "core/prepared.h"
+
+#include <sstream>
+
+namespace parbox::core {
+
+std::string PreparedQueryToString(const PreparedQuery& q) {
+  if (!q.valid()) return "PreparedQuery{empty}";
+  std::ostringstream out;
+  out << "PreparedQuery{fp=" << q.fingerprint().ToString()
+      << ", |QList|=" << q.query().size() << ", wire=" << q.query_bytes()
+      << " B";
+  if (!q.text().empty()) out << ", text=\"" << q.text() << "\"";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace parbox::core

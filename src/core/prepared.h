@@ -1,0 +1,67 @@
+// PreparedQuery: a query compiled once by Session::Prepare and
+// executable many times via Session::Execute.
+//
+// Prepare does everything that is per-query rather than per-execution —
+// parse, normalize, QList construction, validation against the
+// session's deployment, canonical fingerprinting, wire-size
+// measurement — so repeated executions pay none of it. A PreparedQuery
+// is bound to the Session that prepared it (Execute rejects handles
+// from other sessions) and stays valid for the session's lifetime, across
+// any number of interleaved executions of other queries.
+//
+// Handles are cheap to copy: the compiled QList is shared, not cloned.
+
+#ifndef PARBOX_CORE_PREPARED_H_
+#define PARBOX_CORE_PREPARED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "xpath/fingerprint.h"
+#include "xpath/qlist.h"
+
+namespace parbox::core {
+
+class Session;
+
+class PreparedQuery {
+ public:
+  /// Empty handle; valid() is false until assigned from a Prepare call.
+  PreparedQuery() = default;
+
+  bool valid() const { return query_ != nullptr; }
+
+  /// The compiled, validated normal form. Precondition: valid().
+  const xpath::NormQuery& query() const { return *query_; }
+
+  /// Canonical digest of the normal form (cache / dedup key).
+  const xpath::QueryFingerprint& fingerprint() const { return fp_; }
+
+  /// Bytes to ship the query to a site (the |q| in traffic bounds).
+  uint64_t query_bytes() const { return query_bytes_; }
+
+  /// The surface text this was prepared from; empty when prepared from
+  /// an already-compiled NormQuery.
+  const std::string& text() const { return text_; }
+
+ private:
+  friend class Session;
+
+  const xpath::NormQuery* query_ = nullptr;
+  /// Set when the handle owns its compiled form (Prepare from text or
+  /// from a NormQuery rvalue); null when borrowing a caller-owned query.
+  std::shared_ptr<const xpath::NormQuery> owned_;
+  xpath::QueryFingerprint fp_;
+  uint64_t query_bytes_ = 0;
+  std::string text_;
+  /// Identity of the preparing Session (stable across Session moves).
+  std::shared_ptr<const int> ticket_;
+};
+
+/// One-line summary (fingerprint, QList size, wire bytes, text).
+std::string PreparedQueryToString(const PreparedQuery& q);
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_PREPARED_H_

@@ -30,7 +30,11 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
                                            const frag::SourceTree& st,
                                            const xpath::NormQuery& q,
                                            const EngineOptions& options) {
-  PARBOX_ASSIGN_OR_RETURN(Engine eng, Engine::Create(set, st, q, options));
+  PARBOX_ASSIGN_OR_RETURN(
+      Session session,
+      Session::Create(&set, &st, SessionOptions{options.network}));
+  PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
+  Engine eng(&session, q, prepared.query_bytes(), session.plan());
   sim::Cluster& cluster = eng.cluster();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();

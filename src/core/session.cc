@@ -1,0 +1,180 @@
+#include "core/session.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "xpath/fingerprint.h"
+#include "xpath/normalize.h"
+
+namespace parbox::core {
+
+namespace {
+
+/// Pull the byte offset out of a parser/lexer message ("... at offset
+/// 12"). Returns std::string::npos when the message carries none.
+size_t ExtractOffset(const std::string& message) {
+  constexpr std::string_view kMarker = " at offset ";
+  const size_t pos = message.rfind(kMarker);
+  if (pos == std::string::npos) return std::string::npos;
+  const size_t digits = pos + kMarker.size();
+  if (digits >= message.size() ||
+      !std::isdigit(static_cast<unsigned char>(message[digits]))) {
+    return std::string::npos;
+  }
+  return static_cast<size_t>(std::strtoull(message.c_str() + digits,
+                                           nullptr, 10));
+}
+
+/// Attach the offending query to a parse/normalize/validation failure,
+/// pointing at the failing byte when the message names an offset.
+/// Engine-level errors used to surface with no query context at all.
+Status AttachQueryContext(const Status& status, std::string_view text) {
+  if (status.ok() || text.empty()) return status;
+  std::string message = status.message();
+  message += " | query: \"";
+  message += text;
+  message += "\"";
+  const size_t offset = ExtractOffset(status.message());
+  if (offset != std::string::npos && offset <= text.size()) {
+    constexpr size_t kWindow = 16;
+    std::string_view rest = text.substr(offset);
+    message += " | byte " + std::to_string(offset) + " is at: \"";
+    message += rest.substr(0, kWindow);
+    if (rest.size() > kWindow) message += "...";
+    message += "\"";
+  }
+  return Status(status.code(), std::move(message));
+}
+
+Status ValidateDeployment(const frag::FragmentSet& set,
+                          const frag::SourceTree& st) {
+  if (st.root_fragment() != set.root_fragment()) {
+    return Status::InvalidArgument(
+        "source tree does not match the fragment set");
+  }
+  if (st.num_sites() < 1) {
+    return Status::InvalidArgument("no sites in the source tree");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Session::Session(const frag::FragmentSet* set, const frag::SourceTree* st,
+                 const SessionOptions& options)
+    : set_(set),
+      st_(st),
+      cluster_(st->num_sites(), options.network),
+      ticket_(std::make_shared<int>(0)) {}
+
+Result<Session> Session::Create(const frag::FragmentSet* set,
+                                const frag::SourceTree* st,
+                                const SessionOptions& options) {
+  PARBOX_RETURN_IF_ERROR(ValidateDeployment(*set, *st));
+  return Session(set, st, options);
+}
+
+Result<Session> Session::Create(frag::FragmentSet set, frag::SourceTree st,
+                                const SessionOptions& options) {
+  PARBOX_RETURN_IF_ERROR(ValidateDeployment(set, st));
+  auto owned_set = std::make_unique<const frag::FragmentSet>(std::move(set));
+  auto owned_st = std::make_unique<const frag::SourceTree>(std::move(st));
+  Session session(owned_set.get(), owned_st.get(), options);
+  session.owned_set_ = std::move(owned_set);
+  session.owned_st_ = std::move(owned_st);
+  return session;
+}
+
+Status Session::ValidateQuery(const xpath::NormQuery& q,
+                              std::string_view text) const {
+  if (!q.IsWellFormed()) {
+    return AttachQueryContext(
+        Status::InvalidArgument("query QList is not well-formed"), text);
+  }
+  if (q.size() > static_cast<size_t>(bexpr::VarId::kMaxQueryIndex) + 1) {
+    return AttachQueryContext(
+        Status::InvalidArgument(
+            "query has more sub-queries than the variable encoding "
+            "supports"),
+        text);
+  }
+  return Status::OK();
+}
+
+Result<PreparedQuery> Session::Finalize(PreparedQuery q,
+                                        std::string_view text) {
+  PARBOX_RETURN_IF_ERROR(ValidateQuery(*q.query_, text));
+  q.fp_ = xpath::FingerprintQuery(*q.query_);
+  q.query_bytes_ = q.query_->SerializedSizeBytes();
+  q.text_ = std::string(text);
+  q.ticket_ = ticket_;
+  return q;
+}
+
+Result<PreparedQuery> Session::Prepare(std::string_view query_text) {
+  Result<xpath::NormQuery> compiled = xpath::CompileQuery(query_text);
+  if (!compiled.ok()) {
+    return AttachQueryContext(compiled.status(), query_text);
+  }
+  PreparedQuery q;
+  q.owned_ =
+      std::make_shared<const xpath::NormQuery>(std::move(*compiled));
+  q.query_ = q.owned_.get();
+  return Finalize(std::move(q), query_text);
+}
+
+Result<PreparedQuery> Session::Prepare(xpath::NormQuery query) {
+  PreparedQuery q;
+  q.owned_ = std::make_shared<const xpath::NormQuery>(std::move(query));
+  q.query_ = q.owned_.get();
+  return Finalize(std::move(q), {});
+}
+
+Result<PreparedQuery> Session::Prepare(const xpath::NormQuery* query) {
+  PreparedQuery q;
+  q.query_ = query;
+  return Finalize(std::move(q), {});
+}
+
+Result<RunReport> Session::Execute(const PreparedQuery& query,
+                                   const ExecOptions& options) {
+  if (!query.valid()) {
+    return Status::InvalidArgument("PreparedQuery is empty");
+  }
+  if (query.ticket_ != ticket_) {
+    return Status::InvalidArgument(
+        "PreparedQuery was prepared by a different Session");
+  }
+  PARBOX_ASSIGN_OR_RETURN(
+      std::unique_ptr<Evaluator> evaluator,
+      EvaluatorRegistry::Instance().CreateOrError(options.evaluator));
+  std::shared_ptr<const SitePlan> p = plan();
+  cluster_.Reset();
+  Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
+  return evaluator->Run(eng);
+}
+
+std::shared_ptr<const SitePlan> Session::plan() {
+  if (plan_ == nullptr) {
+    auto p = std::make_shared<SitePlan>();
+    p->children = set_->ChildrenTable();
+    for (sim::SiteId s = 0; s < st_->num_sites(); ++s) {
+      if (!st_->fragments_at(s).empty()) {
+        p->site_fragments.emplace_back(s, st_->fragments_at(s));
+      }
+    }
+    plan_ = std::move(p);
+  }
+  return plan_;
+}
+
+void Session::InvalidatePlan() { plan_ = nullptr; }
+
+void Session::RebindSourceTree(const frag::SourceTree* st) {
+  st_ = st;
+  InvalidatePlan();
+}
+
+}  // namespace parbox::core

@@ -1,0 +1,155 @@
+// Session: the compile-once / execute-many entry point to the
+// distributed evaluation engines.
+//
+// Where the legacy Run* free functions of core/algorithms.h rebuild a
+// simulated cluster, re-validate inputs, and leave callers to re-parse
+// the query on every call, a Session owns the long-lived pieces for
+// its lifetime:
+//
+//   * the deployment — FragmentSet + SourceTree (owned, or borrowed
+//     from a caller that outlives the session),
+//   * one sim::Cluster, rewound (not reallocated) per execution, so
+//     every report is bit-identical to a fresh standalone run,
+//   * one hash-consing bexpr::ExprFactory, so formulas interned by one
+//     execution are reused by every later one,
+//   * the per-site partition plan (which sites hold which fragments,
+//     plus the solver's children table), computed lazily and shared by
+//     executions and by QueryService batch rounds.
+//
+// The pattern (prepared statements of production query engines):
+//
+//   auto session = core::Session::Create(std::move(set), std::move(st));
+//   auto q = session->Prepare("[//stock[code = \"GOOG\"]]");
+//   for (...) auto report = session->Execute(*q);            // hot path
+//   auto lazy = session->Execute(*q, {.evaluator = "lazy"}); // any engine
+//
+// Execute dispatches through the EvaluatorRegistry (core/evaluator.h);
+// the hot path skips parse, normalize, validation, fingerprinting,
+// cluster construction, and partition planning.
+
+#ifndef PARBOX_CORE_SESSION_H_
+#define PARBOX_CORE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "common/status.h"
+#include "core/prepared.h"
+#include "core/report.h"
+#include "fragment/fragment.h"
+#include "fragment/source_tree.h"
+#include "sim/cluster.h"
+#include "xpath/qlist.h"
+
+namespace parbox::core {
+
+struct SessionOptions {
+  sim::NetworkParams network;
+};
+
+struct ExecOptions {
+  /// EvaluatorRegistry name; Execute fails with the registered names
+  /// listed if unknown.
+  std::string evaluator = "parbox";
+};
+
+/// The per-site partition of the deployment: which sites participate
+/// (hold at least one fragment) and with which fragments, plus the
+/// fragment-children table the equation solver walks. Snapshotted by
+/// shared_ptr so in-flight work survives a mid-run re-fragmentation.
+struct SitePlan {
+  std::vector<std::pair<sim::SiteId, std::vector<frag::FragmentId>>>
+      site_fragments;
+  std::vector<std::vector<int32_t>> children;
+};
+
+class Session {
+ public:
+  /// Validating factories. The owning overload takes the deployment;
+  /// the borrowing one requires `*set` / `*st` to outlive the session.
+  static Result<Session> Create(frag::FragmentSet set, frag::SourceTree st,
+                                const SessionOptions& options = {});
+  static Result<Session> Create(const frag::FragmentSet* set,
+                                const frag::SourceTree* st,
+                                const SessionOptions& options = {});
+
+  /// Borrowing constructor without deployment validation — for embedders
+  /// (QueryService) that already hold a checked deployment. Prefer the
+  /// Create() factories.
+  Session(const frag::FragmentSet* set, const frag::SourceTree* st,
+          const SessionOptions& options = {});
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = delete;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- Prepare: compile once ----
+
+  /// Parse + normalize + validate + fingerprint `query_text`. Parse and
+  /// validation failures carry the offending query text and byte offset.
+  Result<PreparedQuery> Prepare(std::string_view query_text);
+  /// Prepare an already-normalized query (takes ownership).
+  Result<PreparedQuery> Prepare(xpath::NormQuery query);
+  /// Prepare a caller-owned query; `*query` must outlive the handle.
+  Result<PreparedQuery> Prepare(const xpath::NormQuery* query);
+
+  // ---- Execute: many times ----
+
+  /// Evaluate `query` with the named evaluator on a rewound cluster.
+  /// The report is bit-identical to a fresh standalone run of the same
+  /// algorithm (the one session-lifetime stat, formula.interned_nodes,
+  /// reflects the shared factory). Rejects handles from other sessions.
+  Result<RunReport> Execute(const PreparedQuery& query,
+                            const ExecOptions& options = {});
+
+  // ---- Long-lived state ----
+
+  const frag::FragmentSet& set() const { return *set_; }
+  const frag::SourceTree& st() const { return *st_; }
+  sim::Cluster& cluster() { return cluster_; }
+  const sim::Cluster& cluster() const { return cluster_; }
+  bexpr::ExprFactory& factory() { return factory_; }
+  const bexpr::ExprFactory& factory() const { return factory_; }
+  /// The site storing the root fragment.
+  sim::SiteId coordinator() const {
+    return st_->site_of(st_->root_fragment());
+  }
+
+  /// Current partition plan (computed on first use, then reused).
+  std::shared_ptr<const SitePlan> plan();
+  /// The deployment was re-fragmented or re-placed: recompute the plan
+  /// on next use. Holders of the old shared_ptr keep their snapshot.
+  void InvalidatePlan();
+  /// Follow a source tree rebuilt elsewhere (view maintenance). The
+  /// new tree must describe the same FragmentSet. Invalidates the plan.
+  void RebindSourceTree(const frag::SourceTree* st);
+
+ private:
+  /// Query-level validation shared by every Prepare overload;
+  /// `text` (if non-empty) is attached to failure messages.
+  Status ValidateQuery(const xpath::NormQuery& q,
+                       std::string_view text) const;
+  Result<PreparedQuery> Finalize(PreparedQuery q, std::string_view text);
+
+  /// Owned-deployment storage (null for borrowing sessions). Stable
+  /// addresses across Session moves, so set_/st_ never dangle.
+  std::unique_ptr<const frag::FragmentSet> owned_set_;
+  std::unique_ptr<const frag::SourceTree> owned_st_;
+  const frag::FragmentSet* set_;
+  const frag::SourceTree* st_;
+  sim::Cluster cluster_;
+  bexpr::ExprFactory factory_;
+  std::shared_ptr<const SitePlan> plan_;
+  /// Handed to every PreparedQuery; survives Session moves, so Execute
+  /// can tell its own handles from another session's.
+  std::shared_ptr<const int> ticket_;
+};
+
+}  // namespace parbox::core
+
+#endif  // PARBOX_CORE_SESSION_H_

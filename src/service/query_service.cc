@@ -39,21 +39,16 @@ QueryService::QueryService(const frag::FragmentSet* set,
                            const frag::SourceTree* st,
                            const ServiceOptions& options)
     : set_(set),
-      st_(st),
       options_(options),
-      cluster_(st->num_sites(), options.network) {}
+      session_(set, st, core::SessionOptions{options.network}) {}
 
 Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
                                       double arrival_seconds,
                                       CompletionFn done) {
-  if (!q.IsWellFormed()) {
-    return Status::InvalidArgument("query QList is not well-formed");
-  }
-  if (q.size() > static_cast<size_t>(bexpr::VarId::kMaxQueryIndex) + 1) {
-    return Status::InvalidArgument(
-        "query has more sub-queries than the variable encoding supports");
-  }
-  if (st_->num_sites() > cluster_.num_sites()) {
+  // Prepare = validate + fingerprint + wire-size once, at admission.
+  PARBOX_ASSIGN_OR_RETURN(core::PreparedQuery prepared,
+                          session_.Prepare(std::move(q)));
+  if (session_.st().num_sites() > session_.cluster().num_sites()) {
     // A fragmentation update (via an attached view) placed a fragment
     // on a site this service's cluster was never built with.
     return Status::FailedPrecondition(
@@ -61,20 +56,20 @@ Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
         "build a new QueryService for the grown deployment");
   }
   const uint64_t id = next_query_id_++;
-  const double arrival = std::max(arrival_seconds, cluster_.now());
+  const double arrival = std::max(arrival_seconds, now());
   Submission sub;
-  sub.query = std::move(q);
+  sub.fp = prepared.fingerprint();
+  sub.prepared = std::move(prepared);
   sub.submitted_seconds = arrival;
   sub.done = std::move(done);
   submissions_.emplace(id, std::move(sub));
-  cluster_.loop().At(arrival, [this, id] { Admit(id); });
+  session_.cluster().loop().At(arrival, [this, id] { Admit(id); });
   return id;
 }
 
 void QueryService::Admit(uint64_t id) {
   Submission& sub = submissions_.at(id);
-  sub.fp = xpath::FingerprintQuery(sub.query);
-  const uint64_t lookup_ops = 16 + sub.query.size();
+  const uint64_t lookup_ops = 16 + sub.prepared.query().size();
 
   if (options_.enable_cache) {
     auto it = cache_.find(sub.fp);
@@ -84,10 +79,12 @@ void QueryService::Admit(uint64_t id) {
       const bool answer = it->second.answer;
       // A hit costs one coordinator-local lookup: no site is visited
       // and nothing crosses the network.
-      cluster_.Compute(coordinator(), lookup_ops, [this, id, answer] {
-        Complete(id, answer, /*cache_hit=*/true, /*shared=*/false);
-      });
-      sub.query = xpath::NormQuery();
+      session_.cluster().Compute(coordinator(), lookup_ops,
+                                 [this, id, answer] {
+                                   Complete(id, answer, /*cache_hit=*/true,
+                                            /*shared=*/false);
+                                 });
+      sub.prepared = core::PreparedQuery();
       return;
     }
   }
@@ -95,10 +92,10 @@ void QueryService::Admit(uint64_t id) {
   // Same fingerprint already being evaluated? Ride that round.
   if (auto it = in_flight_.find(sub.fp); it != in_flight_.end()) {
     for (Unique& u : it->second->uniques) {
-      if (u.fp == sub.fp) {
+      if (u.prepared.fingerprint() == sub.fp) {
         u.waiters.push_back(id);
         ++shared_evaluations_;
-        sub.query = xpath::NormQuery();
+        sub.prepared = core::PreparedQuery();
         return;
       }
     }
@@ -107,16 +104,14 @@ void QueryService::Admit(uint64_t id) {
   if (auto it = pending_index_.find(sub.fp); it != pending_index_.end()) {
     pending_[it->second].waiters.push_back(id);
     ++shared_evaluations_;
-    sub.query = xpath::NormQuery();
+    sub.prepared = core::PreparedQuery();
     return;
   }
 
   Unique u;
-  u.fp = sub.fp;
-  u.query = std::move(sub.query);
-  u.query_bytes = u.query.SerializedSizeBytes();
+  u.prepared = std::move(sub.prepared);
   u.waiters.push_back(id);
-  pending_index_.emplace(u.fp, pending_.size());
+  pending_index_.emplace(sub.fp, pending_.size());
   pending_.push_back(std::move(u));
 
   if (!options_.enable_batching ||
@@ -135,7 +130,8 @@ void QueryService::ArmBatchTimer() {
   // it: otherwise the stale deadline would truncate the next batch's
   // window.
   const uint64_t epoch = batch_epoch_;
-  cluster_.loop().After(options_.batch_window_seconds, [this, epoch] {
+  session_.cluster().loop().After(options_.batch_window_seconds,
+                                  [this, epoch] {
     if (epoch != batch_epoch_) return;  // a flush superseded this timer
     batch_timer_armed_ = false;
     if (!pending_.empty()) FlushBatch();
@@ -154,7 +150,7 @@ void QueryService::FlushBatch() {
   // An attached view's SplitFragments may have grown the deployment
   // past this service's cluster; Submit guards new arrivals, but
   // already-admitted work must fail cleanly too.
-  if (st_->num_sites() > cluster_.num_sites()) {
+  if (session_.st().num_sites() > session_.cluster().num_sites()) {
     if (first_error_.ok()) {
       first_error_ = Status::FailedPrecondition(
           "source tree outgrew the service's cluster mid-run");
@@ -165,15 +161,14 @@ void QueryService::FlushBatch() {
     return;
   }
 
-  round->children = set_->ChildrenTable();
-  for (sim::SiteId s = 0; s < st_->num_sites(); ++s) {
-    if (!st_->fragments_at(s).empty()) {
-      round->site_fragments.emplace_back(s, st_->fragments_at(s));
-    }
-  }
+  // The pre-partitioned per-site plan is computed by the session once
+  // per deployment and shared by every round until an update
+  // invalidates it; the shared_ptr keeps this round's snapshot alive
+  // even if a view re-cuts fragments mid-flight.
+  round->plan = session_.plan();
   for (Unique& u : round->uniques) {
     u.equations.resize(set_->table_size());
-    in_flight_.emplace(u.fp, round);
+    in_flight_.emplace(u.prepared.fingerprint(), round);
   }
   ++rounds_;
   unique_evaluations_ += round->uniques.size();
@@ -181,50 +176,56 @@ void QueryService::FlushBatch() {
 }
 
 void QueryService::BeginRound(std::shared_ptr<Round> round) {
+  sim::Cluster& cluster = session_.cluster();
   const sim::SiteId coord = coordinator();
   uint64_t batch_query_bytes = 0;
-  for (const Unique& u : round->uniques) batch_query_bytes += u.query_bytes;
+  for (const Unique& u : round->uniques) {
+    batch_query_bytes += u.prepared.query_bytes();
+  }
 
-  round->pending_sites = static_cast<int>(round->site_fragments.size());
+  round->pending_sites = static_cast<int>(round->plan->site_fragments.size());
 
-  for (size_t si = 0; si < round->site_fragments.size(); ++si) {
-    const sim::SiteId s = round->site_fragments[si].first;
+  for (size_t si = 0; si < round->plan->site_fragments.size(); ++si) {
+    const sim::SiteId s = round->plan->site_fragments[si].first;
     // One visit per site per round, no matter how many queries ride it.
-    cluster_.RecordVisit(s);
-    cluster_.Send(coord, s, batch_query_bytes, "query", [this, round, coord,
+    cluster.RecordVisit(s);
+    cluster.Send(coord, s, batch_query_bytes, "query", [this, round, coord,
                                                         s, si] {
+      sim::Cluster& cluster = session_.cluster();
       struct SiteEval {
         size_t remaining = 0;
         uint64_t reply_bytes = 0;
       };
       const std::vector<frag::FragmentId>& fragments =
-          round->site_fragments[si].second;
+          round->plan->site_fragments[si].second;
       auto site = std::make_shared<SiteEval>();
       site->remaining = fragments.size() * round->uniques.size();
       for (frag::FragmentId f : fragments) {
         for (Unique& u : round->uniques) {
           // Real partial evaluation, charged to the site's serialized
-          // compute queue — exactly RunParBoX's per-fragment step. A
-          // fragment merged away since the flush snapshot yields an
-          // empty triplet; the solver then reports Unresolved and the
-          // round fails cleanly rather than reading freed nodes.
+          // compute queue — exactly the parbox evaluator's
+          // per-fragment step. A fragment merged away since the flush
+          // snapshot yields an empty triplet; the solver then reports
+          // Unresolved and the round fails cleanly rather than reading
+          // freed nodes.
           xpath::EvalCounters counters;
           if (set_->is_live(f)) {
             u.equations[f] = core::PartialEvalFragment(
-                &factory_, u.query, *set_, f, &counters);
+                &session_.factory(), u.prepared.query(), *set_, f,
+                &counters);
           }
           total_ops_ += counters.ops;
           site->reply_bytes +=
-              core::TripletWireBytes(factory_, u.equations[f]);
-          cluster_.Compute(s, counters.ops, [this, round, coord, s, site] {
+              core::TripletWireBytes(session_.factory(), u.equations[f]);
+          cluster.Compute(s, counters.ops, [this, round, coord, s, site] {
             if (--site->remaining > 0) return;
             // All fragments x queries done: one reply for the round.
-            cluster_.Send(s, coord, site->reply_bytes, "triplet",
-                          [this, round] {
-                            if (--round->pending_sites == 0) {
-                              Compose(round);
-                            }
-                          });
+            session_.cluster().Send(s, coord, site->reply_bytes, "triplet",
+                                    [this, round] {
+                                      if (--round->pending_sites == 0) {
+                                        Compose(round);
+                                      }
+                                    });
           });
         }
       }
@@ -235,21 +236,21 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
 void QueryService::Compose(std::shared_ptr<Round> round) {
   uint64_t solve_ops = 0;
   for (const Unique& u : round->uniques) {
-    solve_ops += u.query.size() * set_->live_count();
+    solve_ops += u.prepared.query().size() * set_->live_count();
   }
   total_ops_ += solve_ops;
-  cluster_.Compute(coordinator(), solve_ops, [this, round] {
+  session_.cluster().Compute(coordinator(), solve_ops, [this, round] {
     for (Unique& u : round->uniques) {
       Result<bool> result = bexpr::SolveForAnswer(
-          &factory_, u.equations, round->children, set_->root_fragment(),
-          u.query.root());
+          &session_.factory(), u.equations, round->plan->children,
+          set_->root_fragment(), u.prepared.query().root());
       bool answer = false;
       if (result.ok()) {
         answer = *result;
       } else if (first_error_.ok()) {
         first_error_ = result.status();
       }
-      in_flight_.erase(u.fp);
+      in_flight_.erase(u.prepared.fingerprint());
       std::vector<uint64_t> waiters = std::move(u.waiters);
       // Results computed concurrently with a document update must not
       // persist: the triplets (and possibly the answer) predate it.
@@ -279,35 +280,37 @@ void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
   outcome.cache_hit = cache_hit;
   outcome.shared_evaluation = shared && !cache_hit;
   outcome.submitted_seconds = sub.submitted_seconds;
-  outcome.completed_seconds = cluster_.now();
+  outcome.completed_seconds = now();
   latency_.Add(outcome.latency_seconds());
   outcomes_.push_back(outcome);
   if (sub.done) sub.done(outcomes_.back());
 }
 
-double QueryService::Run() { return cluster_.Run(); }
+double QueryService::Run() { return session_.cluster().Run(); }
 
 // ---- Result cache ------------------------------------------------------
 
 uint64_t QueryService::TripletSignature(const xpath::NormQuery& q,
                                         frag::FragmentId f) {
   xpath::EvalCounters counters;
-  bexpr::FragmentEquations eq =
-      core::PartialEvalFragment(&factory_, q, *set_, f, &counters);
-  return EquationsSignature(factory_, eq);
+  bexpr::FragmentEquations eq = core::PartialEvalFragment(
+      &session_.factory(), q, *set_, f, &counters);
+  return EquationsSignature(session_.factory(), eq);
 }
 
 void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
   if (!options_.enable_cache || options_.cache_capacity == 0) return;
+  const xpath::QueryFingerprint fp = unique.prepared.fingerprint();
   CacheEntry entry;
   entry.answer = answer;
   entry.last_used = ++cache_tick_;
   entry.frag_sig.assign(set_->table_size(), 0);
   for (frag::FragmentId f : set_->live_ids()) {
-    entry.frag_sig[f] = EquationsSignature(factory_, unique.equations[f]);
+    entry.frag_sig[f] =
+        EquationsSignature(session_.factory(), unique.equations[f]);
   }
-  entry.query = std::move(unique.query);
-  cache_.insert_or_assign(unique.fp, std::move(entry));
+  entry.query = std::move(unique.prepared);
+  cache_.insert_or_assign(fp, std::move(entry));
   EvictIfOverCapacity();
 }
 
@@ -345,7 +348,8 @@ void QueryService::OnContentUpdate(frag::FragmentId f) {
     } else {
       // Sec. 5's maintenance test: re-run bottomUp on F_j alone and
       // compare triplets. Unchanged triplet => the answer stands.
-      affected = TripletSignature(entry.query, f) != entry.frag_sig[f];
+      affected = TripletSignature(entry.query.query(), f) !=
+                 entry.frag_sig[f];
     }
     if (affected) {
       ++cache_invalidations_;
@@ -358,6 +362,9 @@ void QueryService::OnContentUpdate(frag::FragmentId f) {
 
 void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
   ++update_epoch_;
+  // The site partition changed shape: recompute the plan on next
+  // flush. Rounds in flight keep their snapshot.
+  session_.InvalidatePlan();
   if (f < 0) return;
   for (auto& [fp, entry] : cache_) {
     (void)fp;
@@ -387,17 +394,19 @@ Status QueryService::AttachView(core::MaterializedView* view) {
   };
   view->SetUpdateListener(std::move(listener));
   // Follow the view's source tree: it is rebuilt in place across
-  // fragmentation updates, so the reference stays current.
-  st_ = &view->source_tree();
+  // fragmentation updates, so the reference stays current. The
+  // session's partition plan is invalidated by the rebind.
+  session_.RebindSourceTree(&view->source_tree());
   return Status::OK();
 }
 
 // ---- Reporting ---------------------------------------------------------
 
 ServiceReport QueryService::BuildReport() const {
+  const sim::Cluster& cluster = session_.cluster();
   ServiceReport report;
   report.completed = outcomes_.size();
-  report.makespan_seconds = cluster_.now();
+  report.makespan_seconds = cluster.now();
   report.throughput_qps =
       report.makespan_seconds > 0.0
           ? static_cast<double>(report.completed) / report.makespan_seconds
@@ -408,15 +417,15 @@ ServiceReport QueryService::BuildReport() const {
   report.unique_evaluations = unique_evaluations_;
   report.rounds = rounds_;
   report.cache_invalidations = cache_invalidations_;
-  report.network_bytes = cluster_.traffic().total_bytes();
-  report.network_messages = cluster_.traffic().total_messages();
-  for (uint64_t v : cluster_.all_visits()) report.total_visits += v;
+  report.network_bytes = cluster.traffic().total_bytes();
+  report.network_messages = cluster.traffic().total_messages();
+  for (uint64_t v : cluster.all_visits()) report.total_visits += v;
   report.total_ops = total_ops_;
-  report.interned_formula_nodes = factory_.total_nodes();
-  for (const auto& [tag, bytes] : cluster_.traffic().bytes_by_tag()) {
+  report.interned_formula_nodes = session_.factory().total_nodes();
+  for (const auto& [tag, bytes] : cluster.traffic().bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
   }
-  report.stats.Add("sim.events", cluster_.loop().events_run());
+  report.stats.Add("sim.events", cluster.loop().events_run());
   return report;
 }
 

@@ -32,9 +32,15 @@
 //     throughput, p50/p95/p99 latency (common/stats Distribution),
 //     cache and batching counters, and the usual traffic breakdown.
 //
+// The service is built on a core::Session (core/session.h): the
+// session owns the cluster, the shared hash-consing ExprFactory, and
+// the per-site partition plan; Submit runs Session::Prepare (validate
+// + fingerprint once), batch rounds snapshot Session::plan(), and the
+// admitted work is carried as core::PreparedQuery handles.
+//
 // Answers are computed by the same partial-evaluation kernel and
-// equation solver as RunParBoX, so they are bit-identical to a
-// standalone run (verified in tests/service_test.cc and
+// equation solver as the "parbox" evaluator, so they are bit-identical
+// to a standalone run (verified in tests/service_test.cc and
 // bench_x6_service_throughput).
 
 #ifndef PARBOX_SERVICE_QUERY_SERVICE_H_
@@ -47,10 +53,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "boolexpr/expr.h"
 #include "boolexpr/solver.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "core/prepared.h"
+#include "core/session.h"
 #include "core/view.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
@@ -143,8 +150,8 @@ class QueryService {
   /// queries submitted by completion callbacks). Returns virtual now().
   double Run();
 
-  double now() const { return cluster_.now(); }
-  sim::Cluster& cluster() { return cluster_; }
+  double now() const { return session_.cluster().now(); }
+  sim::Cluster& cluster() { return session_.cluster(); }
   /// First internal failure, if any (malformed equation system).
   const Status& status() const { return first_error_; }
 
@@ -170,9 +177,7 @@ class QueryService {
  private:
   /// One distinct query being (or about to be) evaluated in a round.
   struct Unique {
-    xpath::QueryFingerprint fp;
-    xpath::NormQuery query;
-    uint64_t query_bytes = 0;
+    core::PreparedQuery prepared;
     std::vector<uint64_t> waiters;  ///< submission ids to complete
     /// Triplets by fragment id, filled in by the sites.
     std::vector<bexpr::FragmentEquations> equations;
@@ -181,34 +186,31 @@ class QueryService {
   struct Round {
     std::vector<Unique> uniques;
     int pending_sites = 0;
-    std::vector<std::vector<int32_t>> children;  ///< solver snapshot
-    /// Site -> fragments, snapshotted at flush so in-flight rounds
-    /// stay in bounds if an attached view re-cuts fragments mid-run.
-    std::vector<std::pair<sim::SiteId, std::vector<frag::FragmentId>>>
-        site_fragments;
+    /// Session::plan() snapshot taken at flush (site -> fragments plus
+    /// the solver's children table), so in-flight rounds stay in
+    /// bounds if an attached view re-cuts fragments mid-run.
+    std::shared_ptr<const core::SitePlan> plan;
     /// update_epoch_ at flush; a mismatch at compose time means an
     /// update raced the round and its results must not enter the cache.
     uint64_t epoch = 0;
   };
 
   struct Submission {
-    xpath::NormQuery query;  ///< until admitted; then moved or dropped
-    xpath::QueryFingerprint fp;
+    core::PreparedQuery prepared;  ///< until admitted; then moved or dropped
+    xpath::QueryFingerprint fp;    ///< outlives `prepared` for Complete()
     double submitted_seconds = 0.0;
     CompletionFn done;
   };
 
   struct CacheEntry {
-    xpath::NormQuery query;  ///< retained for invalidation checks
+    core::PreparedQuery query;  ///< retained for invalidation checks
     bool answer = false;
     uint64_t last_used = 0;
     /// Triplet signature by fragment id; 0 = no dependency recorded.
     std::vector<uint64_t> frag_sig;
   };
 
-  sim::SiteId coordinator() const {
-    return st_->site_of(st_->root_fragment());
-  }
+  sim::SiteId coordinator() const { return session_.coordinator(); }
 
   void Admit(uint64_t id);
   void ArmBatchTimer();
@@ -224,12 +226,12 @@ class QueryService {
   void EvictIfOverCapacity();
 
   const frag::FragmentSet* set_;
-  const frag::SourceTree* st_;
   ServiceOptions options_;
-  sim::Cluster cluster_;
-  /// One factory for the service lifetime: formulas and triplets are
-  /// interned once and reused across every batch and query.
-  bexpr::ExprFactory factory_;
+  /// Owns the cluster, the service-lifetime hash-consing ExprFactory
+  /// (formulas and triplets interned once, reused across every batch
+  /// and query), and the per-site partition plan. Also tracks the
+  /// current source tree (rebound when a view re-cuts fragments).
+  core::Session session_;
 
   uint64_t next_query_id_ = 0;
   std::unordered_map<uint64_t, Submission> submissions_;

@@ -44,6 +44,14 @@ double Cluster::Run() {
   return loop_.now();
 }
 
+void Cluster::Reset() {
+  loop_.Reset();
+  traffic_.Reset();
+  std::fill(busy_until_.begin(), busy_until_.end(), 0.0);
+  std::fill(busy_seconds_.begin(), busy_seconds_.end(), 0.0);
+  std::fill(visits_.begin(), visits_.end(), 0);
+}
+
 double Cluster::total_busy_seconds() const {
   double total = 0.0;
   for (double s : busy_seconds_) total += s;

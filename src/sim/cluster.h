@@ -66,6 +66,12 @@ class Cluster {
   /// Run the event loop to completion and return the virtual makespan.
   double Run();
 
+  /// Rewind to a just-constructed state (clock 0, no traffic, no
+  /// visits, all sites idle) without reallocating. A long-lived owner
+  /// (core::Session) resets between evaluations so every run's report
+  /// is bit-identical to one on a fresh cluster.
+  void Reset();
+
   const TrafficStats& traffic() const { return traffic_; }
   uint64_t visits(SiteId site) const { return visits_[site]; }
   const std::vector<uint64_t>& all_visits() const { return visits_; }

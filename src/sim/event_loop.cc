@@ -9,6 +9,13 @@ void EventLoop::At(double when, Task task) {
   queue_.emplace(std::make_pair(when, next_seq_++), std::move(task));
 }
 
+void EventLoop::Reset() {
+  queue_.clear();
+  now_ = 0.0;
+  next_seq_ = 0;
+  events_run_ = 0;
+}
+
 void EventLoop::Run() {
   while (!queue_.empty()) {
     auto node = queue_.extract(queue_.begin());

@@ -27,6 +27,10 @@ class EventLoop {
   /// Run events until none remain. Reentrant scheduling is fine.
   void Run();
 
+  /// Drop pending events and rewind the clock to 0 — a subsequent run
+  /// is bit-identical to one on a freshly constructed loop.
+  void Reset();
+
   /// Current virtual time in seconds.
   double now() const { return now_; }
   /// Number of events executed so far.

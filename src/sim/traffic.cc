@@ -7,6 +7,14 @@
 
 namespace parbox::sim {
 
+void TrafficStats::Reset() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  tag_names_.clear();
+  bytes_by_tag_id_.clear();
+  bytes_into_.clear();
+}
+
 TrafficStats::TagId TrafficStats::InternTag(std::string_view tag) {
   for (size_t i = 0; i < tag_names_.size(); ++i) {
     if (tag_names_[i] == tag) return static_cast<TagId>(i);

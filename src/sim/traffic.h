@@ -40,6 +40,10 @@ class TrafficStats {
     Record(from, to, bytes, InternTag(tag));
   }
 
+  /// Forget everything, including interned tags — the next run's
+  /// accounting is bit-identical to a freshly constructed object.
+  void Reset();
+
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   uint64_t bytes_with_tag(std::string_view tag) const;

@@ -20,8 +20,10 @@
 #ifndef PARBOX_XPATH_EVAL_H_
 #define PARBOX_XPATH_EVAL_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -35,6 +37,9 @@ namespace parbox::xpath {
 /// Truth-value domain: the centralized / fully-resolved case.
 struct BoolDomain {
   using Value = bool;
+  /// Pairwise Or-folding of child contributions is a single bitwise op
+  /// here — no reason to batch.
+  static constexpr bool kBatchFold = false;
   bool False() const { return false; }
   bool FromBool(bool b) const { return b; }
   bool And(bool a, bool b) const { return a && b; }
@@ -46,6 +51,13 @@ struct BoolDomain {
 /// factory's smart constructors implement compFm's folding.
 struct ExprDomain {
   using Value = bexpr::ExprId;
+  /// Folding k child contributions pairwise would intern a chain of k
+  /// intermediate n-ary nodes (each hashing all its children — O(k²)
+  /// work and O(k) dead nodes per QList entry at fragment roots with
+  /// many sub-fragments). Batch mode gathers the operands and interns
+  /// only the final node, which is structurally identical to what the
+  /// pairwise chain flattens to.
+  static constexpr bool kBatchFold = true;
   bexpr::ExprFactory* factory;
 
   Value False() const { return factory->False(); }
@@ -53,6 +65,9 @@ struct ExprDomain {
   Value And(Value a, Value b) const { return factory->And(a, b); }
   Value Or(Value a, Value b) const { return factory->Or(a, b); }
   Value Not(Value a) const { return factory->Not(a); }
+  Value OrN(std::span<const Value> operands) const {
+    return factory->OrN(operands);
+  }
 };
 
 /// The (V, CV, DV) triplet of Fig. 3, at one node.
@@ -91,27 +106,77 @@ EvalVectors<Domain> BottomUpEvalHooked(Domain dom, const NormQuery& q,
     const xml::Node* next_child;
     std::vector<Value> cv;
     std::vector<Value> dv;
+    /// Batch-fold mode only (see ExprDomain::kBatchFold): non-constant
+    /// child contributions per QList entry, folded with one OrN at
+    /// Phase 2 instead of interning a chain of intermediates. Constant
+    /// contributions short-circuit straight into cv/dv.
+    std::vector<std::pair<uint32_t, Value>> cv_ops;
+    std::vector<std::pair<uint32_t, Value>> dv_ops;
   };
 
-  auto new_frame = [&](const xml::Node* node) {
-    Frame f;
+  // The stack only ever grows; popped frames keep their vector
+  // capacity and are reused by the next push at that depth, so the
+  // per-element allocations disappear after the first descent.
+  std::vector<Frame> stack;
+  size_t depth = 0;
+  auto push_frame = [&](const xml::Node* node) {
+    if (depth == stack.size()) stack.emplace_back();
+    Frame& f = stack[depth++];
     f.node = node;
     f.next_child = node->first_child;
     f.cv.assign(n, dom.False());
     f.dv.assign(n, dom.False());
-    return f;
+    f.cv_ops.clear();
+    f.dv_ops.clear();
+  };
+
+  const Value kTrueValue = dom.FromBool(true);
+  // Fold one child's contribution to entry `i` into base[i] (absorbing
+  // on true, neutral on false) or defer it to the operand list.
+  auto accumulate = [&](std::vector<Value>& base,
+                        std::vector<std::pair<uint32_t, Value>>& ops,
+                        size_t i, Value value) {
+    if (value == dom.False() || base[i] == kTrueValue) return;
+    if (value == kTrueValue) {
+      base[i] = kTrueValue;
+      return;
+    }
+    ops.emplace_back(static_cast<uint32_t>(i), value);
+  };
+  // Phase-2 helper: gather deferred operands per entry, one OrN each.
+  std::vector<Value> fold_scratch;
+  auto fold_ops = [&](std::vector<std::pair<uint32_t, Value>>& ops,
+                      std::vector<Value>& base) {
+    std::sort(ops.begin(), ops.end());
+    for (size_t a = 0; a < ops.size();) {
+      size_t b = a;
+      while (b < ops.size() && ops[b].first == ops[a].first) ++b;
+      const size_t i = ops[a].first;
+      if (base[i] != kTrueValue) {
+        if (b - a == 1) {
+          base[i] = ops[a].second;
+        } else if constexpr (Domain::kBatchFold) {  // only caller
+          fold_scratch.clear();
+          for (size_t k = a; k < b; ++k) {
+            fold_scratch.push_back(ops[k].second);
+          }
+          base[i] = dom.OrN(fold_scratch);
+        }
+      }
+      a = b;
+    }
+    ops.clear();
   };
 
   EvalVectors<Domain> result;
-  std::vector<Frame> stack;
-  stack.push_back(new_frame(&root));
+  push_frame(&root);
 
   std::vector<Value> vv(n, dom.False());
   std::vector<Value> virt_v(n, dom.False());
   std::vector<Value> virt_dv(n, dom.False());
 
-  while (!stack.empty()) {
-    Frame& f = stack.back();
+  while (depth > 0) {
+    Frame& f = stack[depth - 1];
 
     // Phase 1: fold children (lines 1-5 of bottomUp).
     bool descended = false;
@@ -123,16 +188,25 @@ EvalVectors<Domain> BottomUpEvalHooked(Domain dom, const NormQuery& q,
         resolve_virtual(*c, &virt_v, &virt_dv);
         assert(virt_v.size() == n && virt_dv.size() == n);
         for (size_t i = 0; i < n; ++i) {
-          f.cv[i] = dom.Or(f.cv[i], virt_v[i]);
-          f.dv[i] = dom.Or(f.dv[i], virt_dv[i]);
+          if constexpr (Domain::kBatchFold) {
+            accumulate(f.cv, f.cv_ops, i, virt_v[i]);
+            accumulate(f.dv, f.dv_ops, i, virt_dv[i]);
+          } else {
+            f.cv[i] = dom.Or(f.cv[i], virt_v[i]);
+            f.dv[i] = dom.Or(f.dv[i], virt_dv[i]);
+          }
         }
         continue;
       }
-      stack.push_back(new_frame(c));
+      push_frame(c);  // may grow `stack`; `f` is not used past here
       descended = true;
       break;
     }
     if (descended) continue;
+    if constexpr (Domain::kBatchFold) {
+      fold_ops(f.cv_ops, f.cv);
+      fold_ops(f.dv_ops, f.dv);
+    }
 
     // Phase 2: all children folded; compute V at this node
     // (lines 6-17, cases c0-c8).
@@ -185,18 +259,23 @@ EvalVectors<Domain> BottomUpEvalHooked(Domain dom, const NormQuery& q,
     node_hook(node, vv);
 
     // Phase 3: fold this node's (V, DV) into the parent (or finish).
-    if (stack.size() == 1) {
+    if (depth == 1) {
       result.v = vv;
-      result.cv = std::move(f.cv);
-      result.dv = std::move(f.dv);
-      stack.pop_back();
+      result.cv = f.cv;
+      result.dv = f.dv;
+      --depth;
     } else {
-      Frame& parent = stack[stack.size() - 2];
+      Frame& parent = stack[depth - 2];
       for (size_t i = 0; i < n; ++i) {
-        parent.cv[i] = dom.Or(parent.cv[i], vv[i]);
-        parent.dv[i] = dom.Or(parent.dv[i], f.dv[i]);
+        if constexpr (Domain::kBatchFold) {
+          accumulate(parent.cv, parent.cv_ops, i, vv[i]);
+          accumulate(parent.dv, parent.dv_ops, i, f.dv[i]);
+        } else {
+          parent.cv[i] = dom.Or(parent.cv[i], vv[i]);
+          parent.dv[i] = dom.Or(parent.dv[i], f.dv[i]);
+        }
       }
-      stack.pop_back();
+      --depth;
     }
   }
   return result;

@@ -1,27 +1,30 @@
 // parboxq — command-line distributed Boolean XPath evaluation.
 //
 //   parboxq --query='[//stock[code = "GOOG"]]' portfolio.xml
-//   parboxq --query='[//a]' --split-label=site --algorithm=all doc.xml
+//   parboxq --query='[//a]' --split-label=site --algo=all doc.xml
 //   cat doc.xml | parboxq --query='[//a]' --splits=8 --sites=4 -
 //
 // Loads an XML document, fragments it (either at every element with a
 // given label, or with N random splits), distributes the fragments
-// over simulated sites, and evaluates the query with the chosen
-// algorithm(s), printing answers and cost profiles.
+// over simulated sites, opens a core::Session, prepares the query
+// once, and executes it with the chosen evaluator(s), printing answers
+// and cost profiles. Evaluator names come straight from the
+// EvaluatorRegistry — a newly registered algorithm shows up here with
+// no tool changes.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
 
 #include "common/rng.h"
-#include "core/algorithms.h"
+#include "core/evaluator.h"
 #include "core/path_selection.h"
 #include "core/selection.h"
+#include "core/session.h"
 #include "core/threaded.h"
 #include "fragment/strategies.h"
 #include "service/query_service.h"
@@ -52,6 +55,8 @@ struct CliOptions {
 };
 
 int Usage(const char* argv0) {
+  const std::string algos =
+      core::EvaluatorRegistry::Instance().NamesJoined('|');
   std::fprintf(
       stderr,
       "usage: %s --query=QUERY [options] FILE|-\n"
@@ -62,8 +67,9 @@ int Usage(const char* argv0) {
       "  --splits=N          N random splits (default: 0, one fragment)\n"
       "  --sites=N           round-robin fragments over N sites\n"
       "                      (default: one site per fragment)\n"
-      "  --algorithm=A       parbox|central|distributed|hybrid|fulldist|\n"
-      "                      lazy|threads|all   (default: parbox)\n"
+      "  --algo=A            registered evaluator, or threads|all\n"
+      "                      (registered: %s; default: parbox;\n"
+      "                      --algorithm= is accepted as an alias)\n"
       "  --select            treat the query as a node predicate and\n"
       "                      list matching elements\n"
       "  --select-path       treat the query as a path and list the\n"
@@ -76,7 +82,14 @@ int Usage(const char* argv0) {
       "  --serve-queries=N   total queries to serve (default: 64)\n"
       "  --serve-clients=N   concurrent clients (default: 8)\n"
       "  --serve-think-ms=T  per-client think time (default: 0)\n",
-      argv0);
+      argv0, algos.c_str());
+  std::fprintf(stderr, "\nregistered evaluators:\n");
+  for (const std::string& name :
+       core::EvaluatorRegistry::Instance().Names()) {
+    auto evaluator = core::EvaluatorRegistry::Instance().Create(name);
+    std::fprintf(stderr, "  %-12s %s\n", name.c_str(),
+                 std::string(evaluator->description()).c_str());
+  }
   return 2;
 }
 
@@ -106,7 +119,8 @@ int main(int argc, char** argv) {
       options.random_splits = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--sites", &value)) {
       options.sites = std::atoi(value.c_str());
-    } else if (ParseFlag(argv[i], "--algorithm", &value)) {
+    } else if (ParseFlag(argv[i], "--algo", &value) ||
+               ParseFlag(argv[i], "--algorithm", &value)) {
       options.algorithm = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -185,11 +199,13 @@ int main(int argc, char** argv) {
   std::printf("%zu elements, %zu fragments, %d sites\n",
               set->TotalElements(), set->live_count(), st->num_sites());
 
-  // ---- Compile ----
-  auto query = xpath::CompileQuery(options.query);
-  if (!query.ok()) return Fail(query.status());
+  // ---- Open a session, prepare the query once ----
+  auto session = core::Session::Create(&*set, &*st);
+  if (!session.ok()) return Fail(session.status());
+  auto prepared = session->Prepare(options.query);
+  if (!prepared.ok()) return Fail(prepared.status());
   std::printf("query: %s  (|QList| = %zu)\n", options.query.c_str(),
-              query->size());
+              prepared->query().size());
 
   // ---- Serve ----
   if (options.serve) {
@@ -228,7 +244,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (options.select) {
-    auto result = core::RunSelectionParBoX(*set, *st, *query);
+    auto result = core::RunSelectionParBoX(*set, *st, prepared->query());
     if (!result.ok()) return Fail(result.status());
     std::printf("%zu elements match\n", result->total_selected);
     int shown = 0;
@@ -244,20 +260,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  using Runner = Result<core::RunReport> (*)(
-      const frag::FragmentSet&, const frag::SourceTree&,
-      const xpath::NormQuery&, const core::EngineOptions&);
-  const std::map<std::string, Runner> runners = {
-      {"parbox", core::RunParBoX},
-      {"central", core::RunNaiveCentralized},
-      {"distributed", core::RunNaiveDistributed},
-      {"hybrid", core::RunHybridParBoX},
-      {"fulldist", core::RunFullDistParBoX},
-      {"lazy", core::RunLazyParBoX},
-  };
-
   if (options.algorithm == "threads") {
-    auto report = core::RunParBoXThreads(*set, *st, *query);
+    auto report = core::RunParBoXThreads(*set, *st, prepared->query());
     if (!report.ok()) return Fail(report.status());
     std::printf("answer: %s\n", report->answer ? "true" : "false");
     std::printf("ParBoX(threads): wall=%.4fs site-sum=%.4fs threads=%d "
@@ -268,22 +272,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (options.algorithm == "all") {
-    auto reports = core::RunAllAlgorithms(*set, *st, *query);
-    if (!reports.ok()) return Fail(reports.status());
-    std::printf("answer: %s\n",
-                reports->front().answer ? "true" : "false");
-    for (const core::RunReport& r : *reports) {
-      std::printf("  %s\n", r.ToString().c_str());
+    bool first = true;
+    for (const std::string& name :
+         core::EvaluatorRegistry::Instance().Names()) {
+      auto report = session->Execute(*prepared, {.evaluator = name});
+      if (!report.ok()) return Fail(report.status());
+      if (first) {
+        std::printf("answer: %s\n", report->answer ? "true" : "false");
+        first = false;
+      }
+      std::printf("  %s\n", report->ToString().c_str());
     }
     return 0;
   }
-  auto it = runners.find(options.algorithm);
-  if (it == runners.end()) {
-    std::fprintf(stderr, "unknown algorithm: %s\n",
-                 options.algorithm.c_str());
-    return Usage(argv[0]);
-  }
-  auto report = it->second(*set, *st, *query, {});
+  // Unknown names fail with the registered list in the message.
+  auto report = session->Execute(*prepared, {.evaluator = options.algorithm});
   if (!report.ok()) return Fail(report.status());
   std::printf("answer: %s\n%s\n", report->answer ? "true" : "false",
               report->Detailed().c_str());
