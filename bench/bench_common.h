@@ -134,6 +134,14 @@ inline core::Session OpenSession(const Deployment& d) {
   return std::move(*session);
 }
 
+/// Open a writable session (accepts Session::Apply deltas; `*d` must
+/// outlive it).
+inline core::Session OpenMutableSession(Deployment* d) {
+  auto session = core::Session::Create(&d->set, &d->st);
+  Check(session.status());
+  return std::move(*session);
+}
+
 /// Prepare a bench-owned query (`*q` must outlive the handle).
 inline core::PreparedQuery PrepareQuery(core::Session* session,
                                         const xpath::NormQuery* q) {

@@ -1,10 +1,12 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
 #include "core/engine.h"
 #include "core/evaluator.h"
+#include "core/partial_eval.h"
 #include "xpath/fingerprint.h"
 #include "xpath/normalize.h"
 
@@ -69,7 +71,20 @@ Session::Session(const frag::FragmentSet* set, const frag::SourceTree* st,
       cluster_(st->num_sites(), options.network),
       ticket_(std::make_shared<int>(0)) {}
 
+Session::Session(frag::FragmentSet* set, const frag::SourceTree* st,
+                 const SessionOptions& options)
+    : Session(static_cast<const frag::FragmentSet*>(set), st, options) {
+  mutable_set_ = set;
+}
+
 Result<Session> Session::Create(const frag::FragmentSet* set,
+                                const frag::SourceTree* st,
+                                const SessionOptions& options) {
+  PARBOX_RETURN_IF_ERROR(ValidateDeployment(*set, *st));
+  return Session(set, st, options);
+}
+
+Result<Session> Session::Create(frag::FragmentSet* set,
                                 const frag::SourceTree* st,
                                 const SessionOptions& options) {
   PARBOX_RETURN_IF_ERROR(ValidateDeployment(*set, *st));
@@ -79,7 +94,7 @@ Result<Session> Session::Create(const frag::FragmentSet* set,
 Result<Session> Session::Create(frag::FragmentSet set, frag::SourceTree st,
                                 const SessionOptions& options) {
   PARBOX_RETURN_IF_ERROR(ValidateDeployment(set, st));
-  auto owned_set = std::make_unique<const frag::FragmentSet>(std::move(set));
+  auto owned_set = std::make_unique<frag::FragmentSet>(std::move(set));
   auto owned_st = std::make_unique<const frag::SourceTree>(std::move(st));
   Session session(owned_set.get(), owned_st.get(), options);
   session.owned_set_ = std::move(owned_set);
@@ -138,8 +153,7 @@ Result<PreparedQuery> Session::Prepare(const xpath::NormQuery* query) {
   return Finalize(std::move(q), {});
 }
 
-Result<RunReport> Session::Execute(const PreparedQuery& query,
-                                   const ExecOptions& options) {
+Status Session::CheckHandle(const PreparedQuery& query) const {
   if (!query.valid()) {
     return Status::InvalidArgument("PreparedQuery is empty");
   }
@@ -147,6 +161,12 @@ Result<RunReport> Session::Execute(const PreparedQuery& query,
     return Status::InvalidArgument(
         "PreparedQuery was prepared by a different Session");
   }
+  return Status::OK();
+}
+
+Result<RunReport> Session::Execute(const PreparedQuery& query,
+                                   const ExecOptions& options) {
+  PARBOX_RETURN_IF_ERROR(CheckHandle(query));
   PARBOX_ASSIGN_OR_RETURN(
       std::unique_ptr<Evaluator> evaluator,
       EvaluatorRegistry::Instance().CreateOrError(options.evaluator));
@@ -154,6 +174,243 @@ Result<RunReport> Session::Execute(const PreparedQuery& query,
   cluster_.Reset();
   Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
   return evaluator->Run(eng);
+}
+
+// ---- Updates -----------------------------------------------------------
+
+Result<frag::AppliedDelta> Session::Apply(const frag::Delta& delta) {
+  if (!writable()) {
+    return Status::FailedPrecondition(
+        "session borrows a const deployment; Apply needs an owning or "
+        "mutable-borrowing session");
+  }
+  PARBOX_ASSIGN_OR_RETURN(frag::AppliedDelta applied,
+                          frag::ApplyDelta(mutable_set_, delta));
+  dirty_log_.push_back({applied.fragment, applied.wire_bytes});
+  // Compact the prefix every consumer has passed, so a long-lived
+  // writer (e.g. a QueryService applying deltas forever without ever
+  // running incrementally) keeps the log bounded by its unconsumed
+  // suffix. Positions are absolute, so nobody needs renumbering.
+  // Only states that will actually read the log pin records: a state
+  // due for a full pass (never seeded, or staled by a fragmentation
+  // change) never reads it. An in-flight ExecuteIncremental pins its
+  // snapshot so a mid-run Apply cannot compact records it has not
+  // committed past yet.
+  const size_t log_end = log_base_ + dirty_log_.size();
+  size_t min_pos = std::min(log_end, exec_log_floor_);
+  for (auto& [fp, state] : inc_states_) {
+    (void)fp;
+    if (NeedsFullPass(state)) continue;
+    // A state that has fallen far behind (unconsumed suffix several
+    // times the fragment table) would re-evaluate most fragments
+    // anyway; demote it to a full re-seed instead of letting it pin
+    // the log forever — e.g. a query executed once and never again.
+    if (log_end - state.log_pos > 4 * set_->table_size()) {
+      state.valid = false;
+      continue;
+    }
+    min_pos = std::min(min_pos, state.log_pos);
+  }
+  if (min_pos > log_base_) {
+    dirty_log_.erase(
+        dirty_log_.begin(),
+        dirty_log_.begin() + static_cast<long>(min_pos - log_base_));
+    log_base_ = min_pos;
+  }
+  return applied;
+}
+
+bool Session::NeedsFullPass(const IncrementalState& state) const {
+  return !state.valid || state.refrag_epoch != refrag_epoch_ ||
+         state.equations.size() != set_->table_size();
+}
+
+std::vector<Session::DirtyRecord> Session::CollectDirty(
+    const IncrementalState& state) const {
+  std::vector<DirtyRecord> dirty;
+  const size_t start =
+      state.log_pos > log_base_ ? state.log_pos - log_base_ : 0;
+  for (size_t i = start; i < dirty_log_.size(); ++i) {
+    const DirtyRecord& rec = dirty_log_[i];
+    if (!set_->is_live(rec.fragment)) continue;
+    auto it = std::find_if(dirty.begin(), dirty.end(),
+                           [&](const DirtyRecord& d) {
+                             return d.fragment == rec.fragment;
+                           });
+    if (it == dirty.end()) {
+      dirty.push_back(rec);
+    } else {
+      it->wire_bytes += rec.wire_bytes;
+    }
+  }
+  return dirty;
+}
+
+std::vector<frag::FragmentId> Session::DirtyFragments(
+    const PreparedQuery& query) const {
+  auto it = inc_states_.find(query.fingerprint());
+  if (it == inc_states_.end() || NeedsFullPass(it->second)) {
+    return set_->live_ids();  // no reusable state: a full pass is due
+  }
+  std::vector<frag::FragmentId> out;
+  for (const DirtyRecord& rec : CollectDirty(it->second)) {
+    out.push_back(rec.fragment);
+  }
+  return out;
+}
+
+void Session::InvalidateIncrementalState() { inc_states_.clear(); }
+
+Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
+  PARBOX_RETURN_IF_ERROR(CheckHandle(query));
+  std::shared_ptr<const SitePlan> p = plan();
+  cluster_.Reset();
+  Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
+  const xpath::NormQuery& q = *query.query_;
+  const sim::SiteId coord = eng.coordinator();
+  IncrementalState& state = inc_states_[query.fp_];
+
+  // Reusable state requires the same fragmentation it was computed
+  // under: a split/merge (refrag epoch bump, or a resized fragment
+  // table) invalidates every cached triplet's variable structure.
+  const bool full = NeedsFullPass(state);
+  // Deltas applied *during* the run (by event-loop callbacks) land
+  // after this absolute snapshot and stay dirty for the next run; the
+  // floor keeps a mid-run Apply's compaction from crossing it before
+  // the state commits below.
+  const size_t log_snapshot = log_base_ + dirty_log_.size();
+  exec_log_floor_ = log_snapshot;
+
+  bool answer = false;
+  bool solved = false;
+  Status failure = Status::OK();
+  const char* mode = "full";
+  // Outstanding triplet deliveries; decremented by event-loop lambdas
+  // inside cluster_.Run(), so it must outlive both branches below.
+  size_t pending = 0;
+
+  // Stage 3 (shared by the full and delta paths): one bottom-up solve
+  // of the retained equation system at the coordinator.
+  auto solve = [&]() {
+    const uint64_t solve_ops = q.size() * set_->live_count();
+    eng.AddOps(solve_ops);
+    cluster_.Compute(coord, solve_ops, [&]() {
+      Result<bool> result = bexpr::SolveForAnswer(
+          &factory_, state.equations, eng.plan().children,
+          set_->root_fragment(), q.root());
+      if (result.ok()) {
+        answer = *result;
+        solved = true;
+      } else {
+        failure = result.status();
+      }
+    });
+  };
+
+  // Stage 2, per fragment (shared by both branches): partially
+  // evaluate `f` at site `s`, charge the compute, ship the triplet to
+  // the coordinator, retain it, and solve once the last one lands.
+  auto eval_fragment = [&](sim::SiteId s, frag::FragmentId f) {
+    xpath::EvalCounters counters;
+    auto eq = std::make_shared<bexpr::FragmentEquations>(
+        PartialEvalFragment(&factory_, q, *set_, f, &counters));
+    eng.AddOps(counters.ops);
+    const uint64_t bytes = TripletWireBytes(factory_, *eq);
+    cluster_.Compute(s, counters.ops, [&, s, eq, bytes]() {
+      cluster_.Send(s, coord, bytes, "triplet", [&, eq]() {
+        state.equations[eq->fragment] = std::move(*eq);
+        if (--pending == 0) solve();
+      });
+    });
+  };
+
+  if (full) {
+    // Seed pass: the ParBoX flow, with the triplets retained for later
+    // delta runs.
+    state.equations.assign(set_->table_size(), bexpr::FragmentEquations{});
+    pending = set_->live_count();
+    for (const auto& [s, fragments] : eng.plan().site_fragments) {
+      cluster_.RecordVisit(s);
+      cluster_.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+        for (frag::FragmentId f : fragments) eval_fragment(s, f);
+      });
+    }
+  } else {
+    std::vector<DirtyRecord> dirty = CollectDirty(state);
+    if (dirty.empty()) {
+      // Nothing changed since the last run: the retained answer
+      // stands; one coordinator-local lookup, zero site visits.
+      mode = "clean";
+      const uint64_t lookup_ops = 16 + q.size();
+      eng.AddOps(lookup_ops);
+      const bool cached = state.answer;
+      cluster_.Compute(coord, lookup_ops, [&answer, &solved, cached]() {
+        answer = cached;
+        solved = true;
+      });
+    } else {
+      // Delta pass: ship each dirty site one "update" message carrying
+      // the deltas it has not seen; it re-evaluates only its dirty
+      // fragments and ships the fresh triplets back. Clean fragments'
+      // retained formulas are reused verbatim (hash-consing keeps
+      // their ExprIds bit-stable across runs).
+      mode = "delta";
+      struct SiteWork {
+        sim::SiteId site;
+        std::vector<frag::FragmentId> fragments;
+        uint64_t update_bytes = 0;
+      };
+      auto work = std::make_shared<std::vector<SiteWork>>();
+      for (const DirtyRecord& rec : dirty) {
+        const sim::SiteId s = st_->site_of(rec.fragment);
+        auto it = std::find_if(work->begin(), work->end(),
+                               [&](const SiteWork& w) {
+                                 return w.site == s;
+                               });
+        if (it == work->end()) {
+          work->push_back({s, {rec.fragment}, rec.wire_bytes});
+        } else {
+          it->fragments.push_back(rec.fragment);
+          it->update_bytes += rec.wire_bytes;
+        }
+        ++pending;
+      }
+      for (size_t wi = 0; wi < work->size(); ++wi) {
+        const SiteWork& w = (*work)[wi];
+        const sim::SiteId s = w.site;
+        cluster_.RecordVisit(s);
+        // 16 bytes name the query (its fingerprint) the site should
+        // re-evaluate the dirty fragments under.
+        cluster_.Send(coord, s, w.update_bytes + 16, "update",
+                      [&, work, wi, s]() {
+          for (frag::FragmentId f : (*work)[wi].fragments) {
+            eval_fragment(s, f);
+          }
+        });
+      }
+    }
+  }
+
+  cluster_.Run();
+  exec_log_floor_ = SIZE_MAX;
+  state.log_pos = log_snapshot;
+  state.refrag_epoch = refrag_epoch_;
+  if (failure.ok() && solved) {
+    state.valid = true;
+    state.answer = answer;
+  } else {
+    state.valid = false;  // a broken run must not seed reuse
+  }
+  PARBOX_RETURN_IF_ERROR(failure);
+  if (!solved) {
+    return Status::Internal("incremental run finished without an answer");
+  }
+  const uint64_t entries =
+      std::string_view(mode) == "clean"
+          ? 0
+          : 3 * static_cast<uint64_t>(q.size()) * set_->live_count();
+  return eng.Finish(std::string("IncrementalParBoX[") + mode + "]", answer,
+                    entries);
 }
 
 std::shared_ptr<const SitePlan> Session::plan() {
@@ -170,7 +427,13 @@ std::shared_ptr<const SitePlan> Session::plan() {
   return plan_;
 }
 
-void Session::InvalidatePlan() { plan_ = nullptr; }
+void Session::InvalidatePlan() {
+  plan_ = nullptr;
+  // A plan invalidation means the fragmentation (or placement)
+  // changed shape; retained triplet systems no longer line up with
+  // the children table, so incremental states re-seed fully.
+  ++refrag_epoch_;
+}
 
 void Session::RebindSourceTree(const frag::SourceTree* st) {
   st_ = st;

@@ -26,23 +26,48 @@
 // Execute dispatches through the EvaluatorRegistry (core/evaluator.h);
 // the hot path skips parse, normalize, validation, fingerprinting,
 // cluster construction, and partition planning.
+//
+// Updates: a session over a *mutable* deployment (owning Create, or
+// Create from a non-const FragmentSet*) accepts typed content deltas:
+//
+//   session->Apply(frag::Delta::InsertSubtree(f, parent, "stock"));
+//   auto report = session->ExecuteIncremental(*q);  // revisits only f
+//
+// Apply marks exactly the touched fragment dirty; ExecuteIncremental
+// re-runs partial evaluation on dirty fragments only (one "update"
+// message to each dirty site, one triplet back), reuses the cached
+// triplet formulas of every clean fragment — hash-consing makes an
+// unchanged fragment's formulas bit-identical across runs — and
+// re-solves the equation system at the coordinator. Answers are
+// always identical to a from-scratch run; the whole delta pipeline is
+// metered on the simulated cluster like any other evaluation. Route
+// every mutation of the deployment through Apply: out-of-band edits
+// (e.g. a MaterializedView sharing the set) leave the cached triplets
+// stale. Fragmentation changes (split/merge) invalidate the cached
+// state wholesale via InvalidatePlan, and the next ExecuteIncremental
+// falls back to a full pass.
 
 #ifndef PARBOX_CORE_SESSION_H_
 #define PARBOX_CORE_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "boolexpr/expr.h"
+#include "boolexpr/solver.h"
 #include "common/status.h"
 #include "core/prepared.h"
 #include "core/report.h"
+#include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "sim/cluster.h"
+#include "xpath/fingerprint.h"
 #include "xpath/qlist.h"
 
 namespace parbox::core {
@@ -70,17 +95,25 @@ struct SitePlan {
 class Session {
  public:
   /// Validating factories. The owning overload takes the deployment;
-  /// the borrowing one requires `*set` / `*st` to outlive the session.
+  /// the borrowing ones require `*set` / `*st` to outlive the session.
+  /// Owning and mutable-borrowing sessions accept Apply(delta); a
+  /// session borrowing a const deployment is read-only.
   static Result<Session> Create(frag::FragmentSet set, frag::SourceTree st,
                                 const SessionOptions& options = {});
   static Result<Session> Create(const frag::FragmentSet* set,
                                 const frag::SourceTree* st,
                                 const SessionOptions& options = {});
+  static Result<Session> Create(frag::FragmentSet* set,
+                                const frag::SourceTree* st,
+                                const SessionOptions& options = {});
 
-  /// Borrowing constructor without deployment validation — for embedders
-  /// (QueryService) that already hold a checked deployment. Prefer the
-  /// Create() factories.
+  /// Borrowing constructors without deployment validation — for
+  /// embedders (QueryService) that already hold a checked deployment.
+  /// Prefer the Create() factories. The mutable overload enables
+  /// Apply(delta).
   Session(const frag::FragmentSet* set, const frag::SourceTree* st,
+          const SessionOptions& options = {});
+  Session(frag::FragmentSet* set, const frag::SourceTree* st,
           const SessionOptions& options = {});
 
   Session(Session&&) = default;
@@ -107,6 +140,37 @@ class Session {
   Result<RunReport> Execute(const PreparedQuery& query,
                             const ExecOptions& options = {});
 
+  // ---- Updates: apply deltas, re-execute incrementally ----
+
+  /// True iff this session may mutate its deployment (owning, or
+  /// created from a non-const FragmentSet*).
+  bool writable() const { return mutable_set_ != nullptr; }
+
+  /// Validate and apply a typed content delta to the deployment, and
+  /// mark the touched fragment dirty for every query's incremental
+  /// state. Fails with FailedPrecondition on a read-only session; on
+  /// any failure the document is untouched.
+  Result<frag::AppliedDelta> Apply(const frag::Delta& delta);
+
+  /// Delta-driven re-evaluation of `query`: re-run partial evaluation
+  /// only on the fragments dirtied (by Apply) since this query's last
+  /// incremental run, reuse the cached triplet formulas of every clean
+  /// fragment, and re-solve the equation system at the coordinator.
+  /// The first call per fingerprint (or the first after a
+  /// fragmentation change) is a full ParBoX-shaped pass that seeds the
+  /// cached triplets. The answer is always identical to a from-scratch
+  /// run of any registered evaluator. The report's algorithm field
+  /// names the path taken: IncrementalParBoX[full|delta|clean].
+  Result<RunReport> ExecuteIncremental(const PreparedQuery& query);
+
+  /// Fragments an ExecuteIncremental of `query` would re-evaluate now.
+  std::vector<frag::FragmentId> DirtyFragments(
+      const PreparedQuery& query) const;
+
+  /// Drop every query's cached incremental state (next incremental
+  /// runs are full passes). Also done by InvalidatePlan.
+  void InvalidateIncrementalState();
+
   // ---- Long-lived state ----
 
   const frag::FragmentSet& set() const { return *set_; }
@@ -130,24 +194,71 @@ class Session {
   void RebindSourceTree(const frag::SourceTree* st);
 
  private:
+  /// Per-fingerprint state ExecuteIncremental maintains: the triplet
+  /// equations of the last run (reused verbatim for clean fragments),
+  /// how far into the session's dirty log that run got, and the epoch
+  /// of the fragmentation it was computed under.
+  struct IncrementalState {
+    std::vector<bexpr::FragmentEquations> equations;
+    size_t log_pos = 0;
+    uint64_t refrag_epoch = 0;
+    bool valid = false;
+    bool answer = false;
+  };
+
+  /// One Apply record: which fragment went dirty and the delta's wire
+  /// size (what shipping the update to the owning site costs).
+  struct DirtyRecord {
+    frag::FragmentId fragment = frag::kNoFragment;
+    uint64_t wire_bytes = 0;
+  };
+
   /// Query-level validation shared by every Prepare overload;
   /// `text` (if non-empty) is attached to failure messages.
   Status ValidateQuery(const xpath::NormQuery& q,
                        std::string_view text) const;
   Result<PreparedQuery> Finalize(PreparedQuery q, std::string_view text);
+  /// Shared Execute/ExecuteIncremental handle checks.
+  Status CheckHandle(const PreparedQuery& query) const;
+  /// True iff `state` cannot be reused (never seeded, or computed
+  /// under a different fragmentation).
+  bool NeedsFullPass(const IncrementalState& state) const;
+  /// Dirty records since `state` last ran, deduplicated, live only.
+  std::vector<DirtyRecord> CollectDirty(const IncrementalState& state) const;
 
   /// Owned-deployment storage (null for borrowing sessions). Stable
   /// addresses across Session moves, so set_/st_ never dangle.
-  std::unique_ptr<const frag::FragmentSet> owned_set_;
+  std::unique_ptr<frag::FragmentSet> owned_set_;
   std::unique_ptr<const frag::SourceTree> owned_st_;
   const frag::FragmentSet* set_;
   const frag::SourceTree* st_;
+  /// Non-null iff the session may mutate the deployment (Apply).
+  frag::FragmentSet* mutable_set_ = nullptr;
   sim::Cluster cluster_;
   bexpr::ExprFactory factory_;
   std::shared_ptr<const SitePlan> plan_;
   /// Handed to every PreparedQuery; survives Session moves, so Execute
   /// can tell its own handles from another session's.
   std::shared_ptr<const int> ticket_;
+
+  /// Log of fragments dirtied by Apply; each query's incremental
+  /// state remembers its own *absolute* position in it, so one log
+  /// serves any number of queries exactly. Positions are absolute
+  /// (monotonic since session start); `log_base_` is the absolute
+  /// position of dirty_log_.front(), letting Apply compact the
+  /// prefix every consumer has passed without renumbering anyone.
+  std::vector<DirtyRecord> dirty_log_;
+  size_t log_base_ = 0;
+  /// Absolute log position an in-flight ExecuteIncremental has read
+  /// up to but not yet committed; Apply's compaction never crosses
+  /// it. SIZE_MAX (no pin) outside a run.
+  size_t exec_log_floor_ = SIZE_MAX;
+  /// Bumped by InvalidatePlan (fragmentation changes, source-tree
+  /// rebinds): incremental states from older epochs re-seed fully.
+  uint64_t refrag_epoch_ = 0;
+  std::unordered_map<xpath::QueryFingerprint, IncrementalState,
+                     xpath::QueryFingerprintHash>
+      inc_states_;
 };
 
 }  // namespace parbox::core

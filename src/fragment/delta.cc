@@ -1,0 +1,166 @@
+#include "fragment/delta.h"
+
+namespace parbox::frag {
+
+std::string_view DeltaKindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kInsertSubtree:
+      return "insert-subtree";
+    case DeltaKind::kDeleteSubtree:
+      return "delete-subtree";
+    case DeltaKind::kRenameLabel:
+      return "rename-label";
+    case DeltaKind::kRetext:
+      return "retext";
+  }
+  return "unknown";
+}
+
+Delta Delta::InsertSubtree(FragmentId f, xml::Node* parent,
+                           std::string label, std::string text) {
+  Delta d;
+  d.kind = DeltaKind::kInsertSubtree;
+  d.fragment = f;
+  d.node = parent;
+  d.label = std::move(label);
+  d.text = std::move(text);
+  return d;
+}
+
+Delta Delta::DeleteSubtree(FragmentId f, xml::Node* node) {
+  Delta d;
+  d.kind = DeltaKind::kDeleteSubtree;
+  d.fragment = f;
+  d.node = node;
+  return d;
+}
+
+Delta Delta::RenameLabel(FragmentId f, xml::Node* node, std::string label) {
+  Delta d;
+  d.kind = DeltaKind::kRenameLabel;
+  d.fragment = f;
+  d.node = node;
+  d.label = std::move(label);
+  return d;
+}
+
+Delta Delta::Retext(FragmentId f, xml::Node* node, std::string text) {
+  Delta d;
+  d.kind = DeltaKind::kRetext;
+  d.fragment = f;
+  d.node = node;
+  d.text = std::move(text);
+  return d;
+}
+
+uint64_t DeltaWireBytes(const Delta& delta) {
+  // kind (1) + fragment id (4) + a node-path surrogate (8) + payload.
+  return 13 + delta.label.size() + delta.text.size();
+}
+
+bool NodeInFragment(const FragmentSet& set, FragmentId f,
+                    const xml::Node* node) {
+  if (!set.is_live(f) || node == nullptr) return false;
+  const xml::Node* frag_root = set.fragment(f).root;
+  // Fragment roots are detached (parent == nullptr), so the upward
+  // walk from any member node ends exactly at its fragment's root.
+  for (const xml::Node* n = node; n != nullptr; n = n->parent) {
+    if (n == frag_root) return true;
+  }
+  return false;
+}
+
+Result<AppliedDelta> ApplyDelta(FragmentSet* set, const Delta& delta) {
+  if (set == nullptr) return Status::InvalidArgument("null fragment set");
+  if (!set->is_live(delta.fragment)) {
+    return Status::NotFound("delta targets a dead or unknown fragment");
+  }
+  if (delta.node == nullptr) {
+    return Status::InvalidArgument("delta targets a null node");
+  }
+  if (!NodeInFragment(*set, delta.fragment, delta.node)) {
+    return Status::InvalidArgument(
+        "delta node is not a member of the named fragment");
+  }
+
+  xml::Document* storage = set->mutable_storage();
+  AppliedDelta applied;
+  applied.kind = delta.kind;
+  applied.fragment = delta.fragment;
+  applied.wire_bytes = DeltaWireBytes(delta);
+
+  switch (delta.kind) {
+    case DeltaKind::kInsertSubtree: {
+      if (!delta.node->is_element()) {
+        return Status::InvalidArgument(
+            "insert-subtree parent must be an element");
+      }
+      if (delta.label.empty()) {
+        return Status::InvalidArgument("insert-subtree needs a label");
+      }
+      xml::Node* element = storage->NewElement(delta.label);
+      if (!delta.text.empty()) {
+        storage->AppendChild(element, storage->NewText(delta.text));
+      }
+      storage->AppendChild(delta.node, element);
+      applied.node = element;
+      return applied;
+    }
+    case DeltaKind::kDeleteSubtree: {
+      if (delta.node == set->fragment(delta.fragment).root) {
+        return Status::InvalidArgument(
+            "cannot delete the fragment root with a content delta; "
+            "merge the fragment into its parent instead");
+      }
+      if (xml::CountVirtuals(delta.node) != 0) {
+        return Status::FailedPrecondition(
+            "subtree references sub-fragments; merge them first");
+      }
+      storage->Detach(delta.node);
+      applied.node = nullptr;
+      return applied;
+    }
+    case DeltaKind::kRenameLabel: {
+      if (delta.node->is_virtual()) {
+        return Status::InvalidArgument(
+            "cannot rename a virtual node: its label belongs to the "
+            "sub-fragment root stored at another site");
+      }
+      if (!delta.node->is_element()) {
+        return Status::InvalidArgument(
+            "rename-label target must be an element");
+      }
+      if (delta.label.empty()) {
+        return Status::InvalidArgument("rename-label needs a label");
+      }
+      storage->SetLabel(delta.node, delta.label);
+      applied.node = delta.node;
+      return applied;
+    }
+    case DeltaKind::kRetext: {
+      if (delta.node->is_virtual()) {
+        return Status::InvalidArgument(
+            "cannot retext a virtual node: its content lives in the "
+            "sub-fragment stored at another site");
+      }
+      if (!delta.node->is_element()) {
+        return Status::InvalidArgument("retext target must be an element");
+      }
+      // Replace the element's direct text children with one text node
+      // (or none when the new text is empty).
+      for (xml::Node* c = delta.node->first_child; c != nullptr;) {
+        xml::Node* next = c->next_sibling;
+        if (c->is_text()) storage->Detach(c);
+        c = next;
+      }
+      if (!delta.text.empty()) {
+        storage->AppendChild(delta.node, storage->NewText(delta.text));
+      }
+      applied.node = delta.node;
+      return applied;
+    }
+  }
+  return Status::InvalidArgument("unknown delta kind");
+}
+
+}  // namespace parbox::frag

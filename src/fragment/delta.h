@@ -1,0 +1,98 @@
+// Typed document updates (deltas) over a fragmented tree.
+//
+// A Delta is the unit of change the incremental evaluation pipeline
+// understands: the paper's insNode/delNode content updates plus two
+// in-place edits (relabel an element, replace an element's direct
+// text). Every delta is *content-local to exactly one fragment* — it
+// never moves a fragment boundary, so the source tree, the site
+// partition plan, and the solver's children table all stay valid, and
+// only the touched fragment's (V, CV, DV) triplet can change.
+// Fragmentation changes (splitFragments/mergeFragments) are a
+// different operation class and stay on FragmentSet / MaterializedView.
+//
+// ApplyDelta validates before mutating: a delta that would cross a
+// fragment boundary (delete a subtree holding virtual nodes, rename a
+// virtual node, touch a node outside the named fragment) is rejected
+// and the document is untouched.
+
+#ifndef PARBOX_FRAGMENT_DELTA_H_
+#define PARBOX_FRAGMENT_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "fragment/fragment.h"
+#include "xml/dom.h"
+
+namespace parbox::frag {
+
+enum class DeltaKind : uint8_t {
+  kInsertSubtree,  ///< new element (with optional text) under `node`
+  kDeleteSubtree,  ///< detach `node` and its whole subtree
+  kRenameLabel,    ///< relabel the element `node` in place
+  kRetext,         ///< replace `node`'s direct text children
+};
+
+std::string_view DeltaKindName(DeltaKind kind);
+
+/// One typed update, targeted at a node of one fragment. Construct via
+/// the named factories; `fragment` names the fragment `node` belongs
+/// to (ApplyDelta verifies the membership claim).
+struct Delta {
+  DeltaKind kind = DeltaKind::kInsertSubtree;
+  FragmentId fragment = kNoFragment;
+  /// Insert: the parent element. Delete: the subtree root to remove.
+  /// Rename/retext: the element edited in place.
+  xml::Node* node = nullptr;
+  std::string label;  ///< insert: new element's label; rename: new label
+  std::string text;   ///< insert: optional text child; retext: new text
+
+  static Delta InsertSubtree(FragmentId f, xml::Node* parent,
+                             std::string label, std::string text = {});
+  static Delta DeleteSubtree(FragmentId f, xml::Node* node);
+  static Delta RenameLabel(FragmentId f, xml::Node* node, std::string label);
+  static Delta Retext(FragmentId f, xml::Node* node, std::string text);
+};
+
+/// What ApplyDelta did: the one fragment whose content changed (the
+/// dirty fragment incremental re-evaluation must revisit) and the node
+/// of interest (the inserted element for kInsertSubtree, the edited
+/// element for rename/retext, nullptr for kDeleteSubtree).
+struct AppliedDelta {
+  DeltaKind kind = DeltaKind::kInsertSubtree;
+  FragmentId fragment = kNoFragment;
+  xml::Node* node = nullptr;
+  /// Wire size of the delta message a coordinator ships to the
+  /// fragment's site (kind + target path surrogate + payload).
+  uint64_t wire_bytes = 0;
+};
+
+/// Bytes to ship `delta` to the owning site.
+uint64_t DeltaWireBytes(const Delta& delta);
+
+/// True iff `node` belongs to live fragment `f`: walking parents from
+/// `node` terminates at f's root (fragment roots are detached subtree
+/// roots, so the walk cannot escape into another fragment).
+bool NodeInFragment(const FragmentSet& set, FragmentId f,
+                    const xml::Node* node);
+
+/// Validate and apply `delta` to `*set`. On success exactly fragment
+/// `delta.fragment` changed content; on failure nothing changed.
+///
+/// Rejections, each a distinct failure updates can expose:
+///   * target fragment dead or node not a member of it,
+///   * insert under a non-element (text or virtual) parent,
+///   * delete of the fragment root (the fragment would vanish — that
+///     is mergeFragments' job, not a content delta's),
+///   * delete of a subtree containing virtual nodes (would orphan
+///     sub-fragments),
+///   * rename/retext of a non-element — in particular a *virtual*
+///     node, which has no label of its own: its label lives at the
+///     sub-fragment's root, at another site.
+Result<AppliedDelta> ApplyDelta(FragmentSet* set, const Delta& delta);
+
+}  // namespace parbox::frag
+
+#endif  // PARBOX_FRAGMENT_DELTA_H_

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <sstream>
 
-#include "boolexpr/serialize.h"
 #include "common/bytes.h"
 #include "core/partial_eval.h"
 #include "xpath/eval.h"
@@ -12,30 +11,25 @@ namespace parbox::service {
 
 namespace {
 
-/// Digest of a byte string; never returns 0 so cache entries can use
-/// 0 for "no dependency recorded".
-uint64_t HashBytes(const std::string& bytes) {
-  const uint64_t h = xpath::Fnv1a64(bytes);
-  return h == 0 ? 1 : h;
-}
-
-/// Structure-deterministic signature of one fragment's triplet: two
-/// factories (or one factory at two times) holding structurally equal
-/// formulas serialize identically, so signatures are comparable across
-/// updates.
-uint64_t EquationsSignature(const bexpr::ExprFactory& factory,
-                            const bexpr::FragmentEquations& eq) {
-  std::vector<bexpr::ExprId> roots;
-  roots.reserve(eq.v.size() + eq.cv.size() + eq.dv.size());
-  roots.insert(roots.end(), eq.v.begin(), eq.v.end());
-  roots.insert(roots.end(), eq.cv.begin(), eq.cv.end());
-  roots.insert(roots.end(), eq.dv.begin(), eq.dv.end());
-  return HashBytes(bexpr::SerializeExprs(factory, roots));
+/// Triplet identity inside one hash-consing factory: structurally
+/// equal formulas get equal ExprIds, so element-wise id comparison is
+/// the Sec. 5 "did the triplet change" test.
+bool SameTriplet(const bexpr::FragmentEquations& a,
+                 const bexpr::FragmentEquations& b) {
+  return a.fragment == b.fragment && a.v == b.v && a.cv == b.cv &&
+         a.dv == b.dv;
 }
 
 }  // namespace
 
 QueryService::QueryService(const frag::FragmentSet* set,
+                           const frag::SourceTree* st,
+                           const ServiceOptions& options)
+    : set_(set),
+      options_(options),
+      session_(set, st, core::SessionOptions{options.network}) {}
+
+QueryService::QueryService(frag::FragmentSet* set,
                            const frag::SourceTree* st,
                            const ServiceOptions& options)
     : set_(set),
@@ -89,8 +83,12 @@ void QueryService::Admit(uint64_t id) {
     }
   }
 
-  // Same fingerprint already being evaluated? Ride that round.
-  if (auto it = in_flight_.find(sub.fp); it != in_flight_.end()) {
+  // Same fingerprint already being evaluated? Ride that round — unless
+  // an update landed after the round flushed: this submission arrived
+  // after the update, so serving it the round's pre-update evaluation
+  // would be a stale answer. Let it start a fresh round instead.
+  if (auto it = in_flight_.find(sub.fp);
+      it != in_flight_.end() && it->second->epoch == update_epoch_) {
     for (Unique& u : it->second->uniques) {
       if (u.prepared.fingerprint() == sub.fp) {
         u.waiters.push_back(id);
@@ -168,7 +166,10 @@ void QueryService::FlushBatch() {
   round->plan = session_.plan();
   for (Unique& u : round->uniques) {
     u.equations.resize(set_->table_size());
-    in_flight_.emplace(u.prepared.fingerprint(), round);
+    // insert_or_assign: a stale-epoch round for this fingerprint may
+    // still be in flight (its entry is dead — the epoch check in
+    // Admit refuses joins); the fresh round must take over the key.
+    in_flight_.insert_or_assign(u.prepared.fingerprint(), round);
   }
   ++rounds_;
   unique_evaluations_ += round->uniques.size();
@@ -250,7 +251,12 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
       } else if (first_error_.ok()) {
         first_error_ = result.status();
       }
-      in_flight_.erase(u.prepared.fingerprint());
+      // Deregister only if the key still maps to this round — a fresh
+      // round may have taken it over after an update staled this one.
+      if (auto inf = in_flight_.find(u.prepared.fingerprint());
+          inf != in_flight_.end() && inf->second == round) {
+        in_flight_.erase(inf);
+      }
       std::vector<uint64_t> waiters = std::move(u.waiters);
       // Results computed concurrently with a document update must not
       // persist: the triplets (and possibly the answer) predate it.
@@ -288,14 +294,17 @@ void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
 
 double QueryService::Run() { return session_.cluster().Run(); }
 
-// ---- Result cache ------------------------------------------------------
+// ---- Updates and the result cache --------------------------------------
 
-uint64_t QueryService::TripletSignature(const xpath::NormQuery& q,
-                                        frag::FragmentId f) {
-  xpath::EvalCounters counters;
-  bexpr::FragmentEquations eq = core::PartialEvalFragment(
-      &session_.factory(), q, *set_, f, &counters);
-  return EquationsSignature(session_.factory(), eq);
+Result<frag::AppliedDelta> QueryService::ApplyDelta(
+    const frag::Delta& delta) {
+  // Session::Apply validates (including writability) and mutates; the
+  // fragment it reports dirty is the only one any cached answer could
+  // have moved on.
+  PARBOX_ASSIGN_OR_RETURN(frag::AppliedDelta applied,
+                          session_.Apply(delta));
+  OnContentUpdate(applied.fragment);
+  return applied;
 }
 
 void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
@@ -304,14 +313,47 @@ void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
   CacheEntry entry;
   entry.answer = answer;
   entry.last_used = ++cache_tick_;
-  entry.frag_sig.assign(set_->table_size(), 0);
-  for (frag::FragmentId f : set_->live_ids()) {
-    entry.frag_sig[f] =
-        EquationsSignature(session_.factory(), unique.equations[f]);
-  }
+  // Keep the solved system: updates splice fresh triplets into it and
+  // re-solve instead of discarding the answer wholesale.
+  entry.equations = std::move(unique.equations);
+  entry.equations.resize(set_->table_size());
   entry.query = std::move(unique.prepared);
   cache_.insert_or_assign(fp, std::move(entry));
   EvictIfOverCapacity();
+}
+
+bool QueryService::RefreshEntry(
+    CacheEntry* entry, frag::FragmentId f,
+    const std::vector<std::vector<int32_t>>& children) {
+  // An *unnotified* re-cut that changed the fragment table's size is
+  // detectable here: the retained system's shape no longer matches.
+  // Evict conservatively — the entry's provenance is unknown.
+  // (In-contract updates keep shapes in sync: InsertCacheEntry sizes
+  // at creation, OnFragmentationUpdate resizes on every notified
+  // split/merge. Out-of-band mutations that preserve the table shape
+  // are undetectable and outside the service's contract.)
+  if (entry->equations.size() != set_->table_size()) return false;
+  xpath::EvalCounters counters;
+  bexpr::FragmentEquations fresh = core::PartialEvalFragment(
+      &session_.factory(), entry->query.query(), *set_, f, &counters);
+  total_ops_ += counters.ops;  // maintenance work is real compute
+  if (SameTriplet(entry->equations[f], fresh)) {
+    return true;  // triplet unchanged => the answer provably stands
+  }
+  // Re-solving is only meaningful if the retained system covers every
+  // live fragment; a hole means unknown provenance — evict rather
+  // than re-solve a system that silently ignores a fragment.
+  for (frag::FragmentId g : set_->live_ids()) {
+    if (g != f && entry->equations[g].fragment != g) return false;
+  }
+  entry->equations[f] = std::move(fresh);
+  Result<bool> answer = bexpr::SolveForAnswer(
+      &session_.factory(), entry->equations, children,
+      set_->root_fragment(), entry->query.query().root());
+  if (!answer.ok()) return false;  // malformed system: do not trust it
+  if (*answer != entry->answer) return false;
+  ++cache_refreshes_;
+  return true;
 }
 
 void QueryService::EvictIfOverCapacity() {
@@ -334,28 +376,20 @@ void QueryService::InvalidateAll() {
 }
 
 void QueryService::OnContentUpdate(frag::FragmentId f) {
-  ++update_epoch_;
+  ++update_epoch_;  // racing rounds must not populate the cache
   if (cache_.empty()) return;
   if (!set_->is_live(f)) return;
+  // One children table for every entry's re-solve this update.
+  const std::vector<std::vector<int32_t>> children =
+      set_->ChildrenTable();
   for (auto it = cache_.begin(); it != cache_.end();) {
-    CacheEntry& entry = it->second;
-    bool affected;
-    if (static_cast<size_t>(f) >= entry.frag_sig.size() ||
-        entry.frag_sig[f] == 0) {
-      // Unknown dependency (fragment appeared after caching without a
-      // fragmentation notification): be conservative.
-      affected = true;
+    // Exact invalidation: splice f's fresh triplet into the entry's
+    // retained system and re-solve; evict only if the answer moved.
+    if (RefreshEntry(&it->second, f, children)) {
+      ++it;
     } else {
-      // Sec. 5's maintenance test: re-run bottomUp on F_j alone and
-      // compare triplets. Unchanged triplet => the answer stands.
-      affected = TripletSignature(entry.query.query(), f) !=
-                 entry.frag_sig[f];
-    }
-    if (affected) {
       ++cache_invalidations_;
       it = cache_.erase(it);
-    } else {
-      ++it;
     }
   }
 }
@@ -368,15 +402,20 @@ void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
   if (f < 0) return;
   for (auto& [fp, entry] : cache_) {
     (void)fp;
-    if (entry.frag_sig.size() < set_->table_size()) {
-      entry.frag_sig.resize(set_->table_size(), 0);
+    entry.equations.resize(set_->table_size());
+    if (!set_->is_live(f)) {
+      // Merged away: its variables no longer appear anywhere.
+      entry.equations[f] = bexpr::FragmentEquations{};
+      continue;
     }
     // Split/merge never changes an answer (Sec. 5), so the entry
-    // stays. Its dependency signature for the re-cut fragment is now
-    // stale; reset it to "unknown" rather than eagerly re-evaluating
-    // every cached query — a later content update to this fragment
-    // then evicts conservatively.
-    entry.frag_sig[f] = 0;
+    // stays; only the re-cut fragment's triplet is refreshed so the
+    // retained system keeps matching the current fragmentation. (The
+    // counterpart fragment gets its own notification.)
+    xpath::EvalCounters counters;
+    entry.equations[f] = core::PartialEvalFragment(
+        &session_.factory(), entry.query.query(), *set_, f, &counters);
+    total_ops_ += counters.ops;
   }
 }
 
@@ -417,6 +456,7 @@ ServiceReport QueryService::BuildReport() const {
   report.unique_evaluations = unique_evaluations_;
   report.rounds = rounds_;
   report.cache_invalidations = cache_invalidations_;
+  report.cache_refreshes = cache_refreshes_;
   report.network_bytes = cluster.traffic().total_bytes();
   report.network_messages = cluster.traffic().total_messages();
   for (uint64_t v : cluster.all_visits()) report.total_visits += v;
@@ -437,7 +477,8 @@ std::string ServiceReport::ToString() const {
   out << "  cache hits " << cache_hits << ", shared evals "
       << shared_evaluations << ", unique evals " << unique_evaluations
       << ", rounds " << rounds << ", invalidations "
-      << cache_invalidations << "\n";
+      << cache_invalidations << ", refreshes " << cache_refreshes
+      << "\n";
   out << "  network " << HumanBytes(network_bytes) << " in "
       << network_messages << " msgs, site visits " << total_visits
       << ", ops " << total_ops << ", interned formula nodes "

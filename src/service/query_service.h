@@ -22,12 +22,16 @@
 //     a batch reuse each other's interned subformulas and triplets.
 //   * Result cache. Answers are cached under the query's canonical
 //     fingerprint (xpath/fingerprint.h). A hit completes at the
-//     coordinator with zero site visits and zero network traffic. Each
-//     entry records a per-fragment signature of the triplets it was
-//     derived from; MaterializedView update operations (AttachView)
-//     invalidate exactly the entries whose triplet for the updated
-//     fragment actually changed — the view-maintenance test of Sec. 5
-//     applied to the cache.
+//     coordinator with zero site visits and zero network traffic.
+//     Each entry *retains the triplet equation system* its answer was
+//     solved from. Updates — typed deltas through ApplyDelta, or
+//     MaterializedView update operations via AttachView — re-evaluate
+//     only the touched fragment under each cached query, splice the
+//     fresh triplet into the retained system, and re-solve: an entry
+//     is evicted only when its *answer* actually changed (Sec. 5's
+//     maintenance test, sharpened from triplet identity to answer
+//     identity). Entries whose triplet changed but whose answer stood
+//     are refreshed in place and keep serving hits.
 //   * Reporting. Per-query outcomes aggregate into a ServiceReport:
 //     throughput, p50/p95/p99 latency (common/stats Distribution),
 //     cache and batching counters, and the usual traffic breakdown.
@@ -59,6 +63,7 @@
 #include "core/prepared.h"
 #include "core/session.h"
 #include "core/view.h"
+#include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "sim/cluster.h"
@@ -114,6 +119,9 @@ struct ServiceReport {
   uint64_t unique_evaluations = 0;  ///< distinct (fingerprint) evals run
   uint64_t rounds = 0;              ///< batch rounds executed
   uint64_t cache_invalidations = 0;
+  /// Entries whose triplet changed under an update but whose re-solved
+  /// answer stood: refreshed in place instead of evicted.
+  uint64_t cache_refreshes = 0;
 
   uint64_t network_bytes = 0;
   uint64_t network_messages = 0;
@@ -133,8 +141,12 @@ class QueryService {
 
   /// The service evaluates against `*set` distributed per `*st`; both
   /// must outlive it. The simulated cluster spans st->num_sites()
-  /// machines and the service runs at the root fragment's site.
+  /// machines and the service runs at the root fragment's site. The
+  /// mutable overload additionally accepts ApplyDelta (live updates
+  /// interleaved with reads).
   QueryService(const frag::FragmentSet* set, const frag::SourceTree* st,
+               const ServiceOptions& options = {});
+  QueryService(frag::FragmentSet* set, const frag::SourceTree* st,
                const ServiceOptions& options = {});
 
   QueryService(const QueryService&) = delete;
@@ -159,12 +171,28 @@ class QueryService {
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
   ServiceReport BuildReport() const;
 
-  // ---- Result-cache maintenance ----
+  // ---- Updates and result-cache maintenance ----
+
+  /// Apply a typed content delta to the live document (requires the
+  /// mutable constructor), then invalidate *exactly*: every cached
+  /// entry re-solves with the touched fragment's fresh triplet and is
+  /// evicted only if its answer changed. Safe to call between rounds
+  /// and from completion callbacks. Consistency contract: the *cache*
+  /// never serves a stale answer (rounds racing the update are barred
+  /// from populating it by an epoch guard, and submissions arriving
+  /// after the update never join a pre-update round) — but a read
+  /// already in flight when the delta lands races it, and its one
+  /// delivered answer may reflect the document before, after, or (for
+  /// multi-delta races) a fragment-wise mix of update states, exactly
+  /// like a reader overlapping a writer in any non-transactional
+  /// store.
+  Result<frag::AppliedDelta> ApplyDelta(const frag::Delta& delta);
 
   size_t cache_size() const { return cache_.size(); }
   void InvalidateAll();
-  /// Fragment `f`'s content changed: drop exactly the entries whose
-  /// triplet for `f` changed (triplet-comparison test of Sec. 5).
+  /// Fragment `f`'s content changed out of band (MaterializedView
+  /// InsNode/DelNode): re-solve each cached entry with f's fresh
+  /// triplet, evicting only entries whose answer changed.
   void OnContentUpdate(frag::FragmentId f);
   /// Fragment `f` was re-cut by split/merge: answers are unaffected
   /// (Sec. 5), so entries are kept and their signatures refreshed.
@@ -206,8 +234,12 @@ class QueryService {
     core::PreparedQuery query;  ///< retained for invalidation checks
     bool answer = false;
     uint64_t last_used = 0;
-    /// Triplet signature by fragment id; 0 = no dependency recorded.
-    std::vector<uint64_t> frag_sig;
+    /// The triplet equation system the answer was solved from, by
+    /// fragment id. Retained so an update can splice in one fresh
+    /// triplet and re-solve instead of discarding the entry; a slot
+    /// with .fragment == -1 for a live fragment means "unknown" and is
+    /// recomputed on first use.
+    std::vector<bexpr::FragmentEquations> equations;
   };
 
   sim::SiteId coordinator() const { return session_.coordinator(); }
@@ -219,9 +251,14 @@ class QueryService {
   void Compose(std::shared_ptr<Round> round);
   void Complete(uint64_t id, bool answer, bool cache_hit, bool shared);
 
-  /// Signature of fragment `f`'s current triplet under `q`, computed
-  /// with this service's factory. Never 0.
-  uint64_t TripletSignature(const xpath::NormQuery& q, frag::FragmentId f);
+  /// Sec. 5's maintenance test, per entry: recompute fragment `f`'s
+  /// triplet under the entry's query; if it differs from the retained
+  /// one, splice it in and re-solve over `children` (the current
+  /// children table, computed once per update). Returns false
+  /// ("evict") exactly when the answer changed (or the entry cannot
+  /// be re-solved).
+  bool RefreshEntry(CacheEntry* entry, frag::FragmentId f,
+                    const std::vector<std::vector<int32_t>>& children);
   void InsertCacheEntry(Unique&& unique, bool answer);
   void EvictIfOverCapacity();
 
@@ -262,6 +299,7 @@ class QueryService {
   uint64_t unique_evaluations_ = 0;
   uint64_t rounds_ = 0;
   uint64_t cache_invalidations_ = 0;
+  uint64_t cache_refreshes_ = 0;
   uint64_t total_ops_ = 0;
 };
 

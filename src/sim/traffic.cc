@@ -12,6 +12,7 @@ void TrafficStats::Reset() {
   total_messages_ = 0;
   tag_names_.clear();
   bytes_by_tag_id_.clear();
+  msgs_by_tag_id_.clear();
   bytes_into_.clear();
 }
 
@@ -21,6 +22,7 @@ TrafficStats::TagId TrafficStats::InternTag(std::string_view tag) {
   }
   tag_names_.emplace_back(tag);
   bytes_by_tag_id_.push_back(0);
+  msgs_by_tag_id_.push_back(0);
   return static_cast<TagId>(tag_names_.size() - 1);
 }
 
@@ -31,6 +33,7 @@ void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
   total_bytes_ += bytes;
   total_messages_ += 1;
   bytes_by_tag_id_[tag] += bytes;
+  msgs_by_tag_id_[tag] += 1;
   if (to >= 0) {
     if (static_cast<size_t>(to) >= bytes_into_.size()) {
       bytes_into_.resize(to + 1, 0);
@@ -44,6 +47,21 @@ uint64_t TrafficStats::bytes_with_tag(std::string_view tag) const {
     if (tag_names_[i] == tag) return bytes_by_tag_id_[i];
   }
   return 0;
+}
+
+uint64_t TrafficStats::messages_with_tag(std::string_view tag) const {
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    if (tag_names_[i] == tag) return msgs_by_tag_id_[i];
+  }
+  return 0;
+}
+
+std::map<std::string, uint64_t> TrafficStats::messages_by_tag() const {
+  std::map<std::string, uint64_t> out;
+  for (size_t i = 0; i < tag_names_.size(); ++i) {
+    out[tag_names_[i]] = msgs_by_tag_id_[i];
+  }
+  return out;
 }
 
 std::map<std::string, uint64_t> TrafficStats::bytes_by_tag() const {

@@ -47,9 +47,14 @@ class TrafficStats {
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   uint64_t bytes_with_tag(std::string_view tag) const;
+  /// Message count per kind — how many "update" deltas, "triplet"
+  /// replies, ... crossed the network (incremental-update accounting).
+  uint64_t messages_with_tag(std::string_view tag) const;
   /// Tag -> bytes, sorted by tag name (built on demand; the format the
   /// reports have always printed).
   std::map<std::string, uint64_t> bytes_by_tag() const;
+  /// Tag -> messages, sorted by tag name (built on demand).
+  std::map<std::string, uint64_t> messages_by_tag() const;
   /// Bytes received by a site (grown on demand).
   uint64_t bytes_into(int32_t site) const;
 
@@ -60,6 +65,7 @@ class TrafficStats {
   uint64_t total_messages_ = 0;
   std::vector<std::string> tag_names_;     // registry, index = TagId
   std::vector<uint64_t> bytes_by_tag_id_;  // parallel to tag_names_
+  std::vector<uint64_t> msgs_by_tag_id_;   // parallel to tag_names_
   std::vector<uint64_t> bytes_into_;
 };
 

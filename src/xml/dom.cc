@@ -102,6 +102,11 @@ void Document::Detach(Node* n) {
   n->next_sibling = nullptr;
 }
 
+void Document::SetLabel(Node* n, std::string_view label) {
+  assert(n != nullptr && n->is_element());
+  n->data = arena_.CopyString(label.data(), label.size());
+}
+
 Node* Document::DeepCopy(const Node* src) {
   assert(src != nullptr);
   // Iterative copy: stack of (source node, copied parent).

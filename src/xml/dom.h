@@ -99,6 +99,11 @@ class Document {
   /// arena-owned (memory is reclaimed when the document dies).
   void Detach(Node* n);
 
+  /// Relabel element `n` in place (the paper's renameLabel update).
+  /// The new label is arena-copied; the old bytes stay arena-owned
+  /// until the document dies, like any other dead node data.
+  void SetLabel(Node* n, std::string_view label);
+
   /// Deep-copy `src` (possibly from another document) into this
   /// document; returns the detached copy root.
   Node* DeepCopy(const Node* src);

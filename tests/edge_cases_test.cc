@@ -6,6 +6,8 @@
 
 #include "core/algorithms.h"
 #include "core/path_selection.h"
+#include "core/session.h"
+#include "fragment/delta.h"
 #include "testutil.h"
 #include "xmark/portfolio.h"
 #include "xml/parser.h"
@@ -170,6 +172,139 @@ TEST(SingleFragmentTest, DegenerateDeploymentWorksEverywhere) {
   auto selected = RunPathSelection(set, *st, "a/b");
   ASSERT_TRUE(selected.ok());
   EXPECT_EQ(selected->total_selected, 1u);
+}
+
+// ---- Update edge cases (fragment/delta.h + Session::Apply) -------------
+
+using frag::Delta;
+
+// A fragment that is just its root element (the smallest legal
+// fragment) must accept every content delta and evaluate correctly
+// before and after.
+TEST(UpdateEdgeCaseTest, RootOnlyFragmentAcceptsDeltas) {
+  auto doc = xml::ParseXml("<r/>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = FragmentSet::FromDocument(std::move(*doc));
+  FragmentSet set = std::move(*set_result);
+  ASSERT_EQ(set.FragmentElements(0), 1u);
+  auto st = SourceTree::Create(set, frag::AssignAllToOneSite(set));
+  ASSERT_TRUE(st.ok());
+
+  auto session = Session::Create(&set, &*st);
+  ASSERT_TRUE(session.ok());
+  auto q = session->Prepare("[a/text() = \"x\"]");
+  ASSERT_TRUE(q.ok());
+  auto before = session->ExecuteIncremental(*q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->answer);
+
+  // Retext the lone root, then grow a child under it.
+  ASSERT_TRUE(
+      session->Apply(Delta::Retext(0, set.fragment(0).root, "t")).ok());
+  auto inserted = session->Apply(
+      Delta::InsertSubtree(0, set.fragment(0).root, "a", "x"));
+  ASSERT_TRUE(inserted.ok());
+  auto after = session->ExecuteIncremental(*q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->answer);
+  auto fresh = RunParBoX(set, *st, q->query());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->answer);
+  ASSERT_TRUE(set.Validate().ok());
+}
+
+// Deleting every child of a fragment root leaves a live, empty
+// fragment that must keep evaluating (and stay mergeable/valid).
+TEST(UpdateEdgeCaseTest, DeleteCanEmptyAFragment) {
+  auto doc = xml::ParseXml("<r><s><a>t0</a><b/></s><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = FragmentSet::FromDocument(std::move(*doc));
+  FragmentSet set = std::move(*set_result);
+  xml::Node* s_node = xml::FindFirstElement(set.fragment(0).root, "s");
+  auto f = set.Split(0, s_node);
+  ASSERT_TRUE(f.ok());
+  auto st = SourceTree::Create(set, frag::AssignOneSitePerFragment(set));
+  ASSERT_TRUE(st.ok());
+
+  auto session = Session::Create(&set, &*st);
+  ASSERT_TRUE(session.ok());
+  auto q = session->Prepare("[//s/a]");
+  ASSERT_TRUE(q.ok());
+  auto before = session->ExecuteIncremental(*q);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->answer);
+
+  // Drain the fragment: delete both children of <s>.
+  while (set.fragment(*f).root->first_child != nullptr) {
+    ASSERT_TRUE(session
+                    ->Apply(Delta::DeleteSubtree(
+                        *f, set.fragment(*f).root->first_child))
+                    .ok());
+  }
+  EXPECT_EQ(set.FragmentElements(*f), 1u);  // just <s> itself
+  ASSERT_TRUE(set.Validate().ok());
+
+  auto after = session->ExecuteIncremental(*q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->answer);
+  auto reports = RunAllAlgorithms(set, *st, q->query());
+  ASSERT_TRUE(reports.ok());
+  for (const RunReport& r : *reports) {
+    EXPECT_FALSE(r.answer) << r.algorithm;
+  }
+  // The emptied fragment is still a regular fragment: merge works.
+  EXPECT_TRUE(set.Merge(*f).ok());
+  ASSERT_TRUE(set.Validate().ok());
+}
+
+// Deltas that would cross a fragment boundary are rejected atomically:
+// rename/retext of a virtual node, deletion of the fragment root or of
+// a subtree holding virtual nodes, and membership lies all fail with
+// the document untouched.
+TEST(UpdateEdgeCaseTest, BoundaryCrossingDeltasRejectedAtomically) {
+  auto doc = xml::ParseXml("<r><w><s><a/></s></w></r>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = FragmentSet::FromDocument(std::move(*doc));
+  FragmentSet set = std::move(*set_result);
+  xml::Node* s_node = xml::FindFirstElement(set.fragment(0).root, "s");
+  auto f = set.Split(0, s_node);
+  ASSERT_TRUE(f.ok());
+  auto st = SourceTree::Create(set, frag::AssignOneSitePerFragment(set));
+  ASSERT_TRUE(st.ok());
+  xml::Node* virtual_node = frag::FindVirtualRef(set, 0, *f);
+  ASSERT_NE(virtual_node, nullptr);
+  xml::Node* w_node = xml::FindFirstElement(set.fragment(0).root, "w");
+
+  // Rename / retext a virtual node: its label and content belong to
+  // the sub-fragment at another site.
+  auto renamed = frag::ApplyDelta(
+      &set, Delta::RenameLabel(0, virtual_node, "x"));
+  ASSERT_FALSE(renamed.ok());
+  EXPECT_EQ(renamed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      frag::ApplyDelta(&set, Delta::Retext(0, virtual_node, "x")).ok());
+
+  // Delete the subtree holding the virtual node: would orphan F1.
+  auto del_w = frag::ApplyDelta(&set, Delta::DeleteSubtree(0, w_node));
+  ASSERT_FALSE(del_w.ok());
+  EXPECT_EQ(del_w.status().code(), StatusCode::kFailedPrecondition);
+
+  // Delete the fragment root: that is a merge, not a content delta.
+  EXPECT_FALSE(
+      frag::ApplyDelta(&set, Delta::DeleteSubtree(0, set.fragment(0).root))
+          .ok());
+
+  // Membership lie: the node lives in fragment 0, not F1.
+  EXPECT_FALSE(
+      frag::ApplyDelta(&set, Delta::RenameLabel(*f, w_node, "x")).ok());
+
+  // Everything above was rejected before mutation.
+  ASSERT_TRUE(set.Validate().ok());
+  auto q = xpath::CompileQuery("[//s/a]");
+  ASSERT_TRUE(q.ok());
+  auto report = RunParBoX(set, *st, *q);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->answer);
 }
 
 }  // namespace

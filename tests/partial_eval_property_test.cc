@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
+
 #include "boolexpr/expr.h"
 #include "boolexpr/solver.h"
 #include "core/algorithms.h"
 #include "core/partial_eval.h"
+#include "core/session.h"
+#include "fragment/delta.h"
 #include "testutil.h"
+#include "xpath/fingerprint.h"
 #include "xpath/normalize.h"
 
 namespace parbox::core {
@@ -84,6 +90,67 @@ TEST_P(PartialEvalPropertyTest, PartialEvalCommutesWithResolution) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PartialEvalPropertyTest,
                          ::testing::Range<uint64_t>(0, 20));
+
+// The invariants the incremental update pipeline rests on, as a
+// property over random scenarios and deltas:
+//   * a query's canonical fingerprint is a pure function of its normal
+//     form — untouched by Cluster::Reset, executions, or document
+//     deltas (so per-fingerprint caches stay keyed correctly), and
+//   * within one hash-consing factory, re-running partial evaluation
+//     on an *unchanged* fragment yields bit-identical ExprIds — which
+//     is exactly why ExecuteIncremental may reuse a clean fragment's
+//     retained triplet without re-checking it.
+// Scaled by PARBOX_TEST_TRIALS like the other randomized suites.
+TEST(IncrementalStabilityTest,
+     FingerprintsAndFormulaIdsStableAcrossResetAndDeltas) {
+  const uint64_t seeds =
+      6 * static_cast<uint64_t>(testutil::TrialMultiplier());
+
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    testutil::RandomScenario scenario =
+        testutil::MakeRandomScenario(seed + 3000, 80, 5);
+    Rng rng(seed * 131 + 7);
+    xpath::NormQuery q = xpath::Normalize(*testutil::RandomQual(&rng, 3));
+
+    auto session = core::Session::Create(&scenario.set, &scenario.st);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    auto prepared = session->Prepare(&q);
+    ASSERT_TRUE(prepared.ok());
+    const xpath::QueryFingerprint fp_before = prepared->fingerprint();
+
+    // Baseline triplets of every fragment, in the session's factory.
+    std::map<FragmentId, bexpr::FragmentEquations> baseline;
+    for (FragmentId f : scenario.set.live_ids()) {
+      baseline[f] = PartialEvalFragment(&session->factory(), q,
+                                        scenario.set, f, nullptr);
+    }
+
+    // Perturb the session every way short of changing clean content:
+    // execute, rewind the cluster, apply a delta to one fragment.
+    ASSERT_TRUE(session->ExecuteIncremental(*prepared).ok());
+    session->cluster().Reset();
+    auto applied =
+        session->Apply(testutil::RandomDelta(&scenario.set, &rng));
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+    // Fingerprints: stable from the same normal form, prepared again.
+    auto prepared_again = session->Prepare(&q);
+    ASSERT_TRUE(prepared_again.ok());
+    EXPECT_EQ(prepared_again->fingerprint(), fp_before);
+    EXPECT_EQ(xpath::FingerprintQuery(q), fp_before);
+
+    // Formula identities: every *clean* fragment re-evaluates to the
+    // same ExprIds; the dirty one is exempt (its content moved).
+    for (FragmentId f : scenario.set.live_ids()) {
+      if (f == applied->fragment) continue;
+      bexpr::FragmentEquations again = PartialEvalFragment(
+          &session->factory(), q, scenario.set, f, nullptr);
+      EXPECT_EQ(again.v, baseline[f].v) << "V ids drifted, F" << f;
+      EXPECT_EQ(again.cv, baseline[f].cv) << "CV ids drifted, F" << f;
+      EXPECT_EQ(again.dv, baseline[f].dv) << "DV ids drifted, F" << f;
+    }
+  }
+}
 
 // Boundary: queries wider than the variable encoding are rejected
 // up front rather than producing corrupt VarIds.

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "core/algorithms.h"
 #include "core/view.h"
+#include "fragment/delta.h"
 #include "fragment/strategies.h"
 #include "service/query_service.h"
+#include "xml/parser.h"
 #include "service/workload.h"
 #include "testutil.h"
 #include "xmark/portfolio.h"
@@ -217,6 +220,180 @@ TEST(QueryServiceTest, ViewUpdateInvalidatesExactlyAffectedEntries) {
   ASSERT_EQ(svc.outcomes().size(), 4u);
   EXPECT_TRUE(svc.outcomes()[3].cache_hit);
   EXPECT_TRUE(svc.outcomes()[3].answer);
+}
+
+// ---- Live updates through ApplyDelta -----------------------------------
+
+// Exact invalidation at answer granularity: a delta evicts exactly the
+// entries whose answer changed; entries whose triplet changed but
+// whose answer stood are refreshed in place and keep serving hits.
+TEST(QueryServiceTest, DeltaEvictsOnlyAnswerChangingEntries) {
+  auto doc = xml::ParseXml(
+      "<r><s><stock>GOOG</stock></s><t><broker/></t></r>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = frag::FragmentSet::FromDocument(std::move(*doc));
+  frag::FragmentSet set = std::move(*set_result);
+  xml::Node* s_node = xml::FindFirstElement(set.fragment(0).root, "s");
+  xml::Node* t_node = xml::FindFirstElement(set.fragment(0).root, "t");
+  auto f_s = set.Split(0, s_node);
+  auto f_t = set.Split(0, t_node);
+  ASSERT_TRUE(f_s.ok() && f_t.ok());
+  auto st = frag::SourceTree::Create(set,
+                                     frag::AssignOneSitePerFragment(set));
+  ASSERT_TRUE(st.ok());
+
+  QueryService svc(&set, &*st);
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), 0.0).ok());      // false
+  ASSERT_TRUE(svc.Submit(Compile("[//stock]"), 0.0).ok());    // true
+  ASSERT_TRUE(svc.Submit(Compile("[//broker]"), 0.0).ok());   // true
+  svc.Run();
+  ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+  ASSERT_EQ(svc.cache_size(), 3u);
+
+  // Delta 1 flips [//zzz] only: exactly that entry goes.
+  auto applied =
+      svc.ApplyDelta(frag::Delta::InsertSubtree(*f_s, s_node, "zzz"));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(svc.cache_size(), 2u);
+  EXPECT_EQ(svc.BuildReport().cache_invalidations, 1u);
+
+  // Delta 2 adds a second <stock> where there was none: the triplet
+  // of f_t under [//stock] changes, the answer does not — the entry
+  // must be refreshed, not evicted.
+  ASSERT_TRUE(
+      svc.ApplyDelta(frag::Delta::InsertSubtree(*f_t, t_node, "stock"))
+          .ok());
+  EXPECT_EQ(svc.cache_size(), 2u);
+  EXPECT_EQ(svc.BuildReport().cache_invalidations, 1u);
+  EXPECT_GE(svc.BuildReport().cache_refreshes, 1u);
+
+  // [//stock] and [//broker] still answer from cache, correctly;
+  // [//zzz] re-evaluates against the updated document.
+  ASSERT_TRUE(svc.Submit(Compile("[//stock]"), svc.now()).ok());
+  ASSERT_TRUE(svc.Submit(Compile("[//broker]"), svc.now()).ok());
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), svc.now()).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 6u);
+  EXPECT_TRUE(svc.outcomes()[3].cache_hit);
+  EXPECT_TRUE(svc.outcomes()[3].answer);
+  EXPECT_TRUE(svc.outcomes()[4].cache_hit);
+  EXPECT_TRUE(svc.outcomes()[4].answer);
+  EXPECT_FALSE(svc.outcomes()[5].cache_hit);
+  EXPECT_TRUE(svc.outcomes()[5].answer);
+
+  // Every answer the service ever gave matches a fresh ParBoX run on
+  // the document state it answered for (spot-check the final state).
+  auto fresh = core::RunParBoX(set, *st, Compile("[//zzz]"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->answer);
+}
+
+// Reads interleaved with updates: deltas applied from completion
+// callbacks and mid-round (while site work is in flight) must never
+// let the cache serve a stale answer.
+TEST(QueryServiceTest, ConcurrentReadsInterleavedWithApply) {
+  auto doc = xml::ParseXml("<r><s><a>t0</a></s><t><b/></t></r>");
+  ASSERT_TRUE(doc.ok());
+  auto set_result = frag::FragmentSet::FromDocument(std::move(*doc));
+  frag::FragmentSet set = std::move(*set_result);
+  xml::Node* s_node = xml::FindFirstElement(set.fragment(0).root, "s");
+  auto f_s = set.Split(0, s_node);
+  ASSERT_TRUE(f_s.ok());
+  auto st = frag::SourceTree::Create(set,
+                                     frag::AssignOneSitePerFragment(set));
+  ASSERT_TRUE(st.ok());
+
+  QueryService svc(&set, &*st);
+
+  // A delta lands mid-round, after the sites evaluated [//zzz] (both
+  // site visits happen by ~3.1e-4 on the default network) but before
+  // the coordinator composes: the racing round's pre-update result
+  // must not enter the cache (epoch guard), and a submission arriving
+  // *after* the delta must not ride the stale in-flight round.
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), 0.0).ok());
+  bool mid_round_applied = false;
+  svc.cluster().loop().At(3.5e-4, [&] {
+    auto applied =
+        svc.ApplyDelta(frag::Delta::InsertSubtree(*f_s, s_node, "zzz"));
+    EXPECT_TRUE(applied.ok()) << applied.status().ToString();
+    mid_round_applied = true;
+  });
+  svc.cluster().loop().At(3.6e-4, [&] {
+    ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), svc.now()).ok());
+  });
+  svc.Run();
+  ASSERT_TRUE(mid_round_applied);
+  ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+  ASSERT_EQ(svc.outcomes().size(), 2u);
+  // The racing read evaluated before the delta and answered false;
+  // the post-delta reader must see the insert, not the stale round.
+  EXPECT_FALSE(svc.outcomes()[0].answer);
+  EXPECT_TRUE(svc.outcomes()[1].answer);
+  EXPECT_FALSE(svc.outcomes()[1].cache_hit);
+
+  // The cache, too, answers the post-update truth from here on.
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), svc.now()).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 3u);
+  EXPECT_TRUE(svc.outcomes()[2].answer);
+
+  // Updates from completion callbacks: each completion applies a delta
+  // flipping the answer, then resubmits; every resubmission must see
+  // the flip.
+  int flips = 0;
+  xml::Node* zzz_node = nullptr;
+  std::function<void(const service::QueryOutcome&)> flip_loop =
+      [&](const service::QueryOutcome& outcome) {
+        if (flips >= 4) return;
+        ++flips;
+        if (outcome.answer) {
+          zzz_node =
+              xml::FindFirstElement(set.fragment(*f_s).root, "zzz");
+          ASSERT_NE(zzz_node, nullptr);
+          ASSERT_TRUE(
+              svc.ApplyDelta(frag::Delta::DeleteSubtree(*f_s, zzz_node))
+                  .ok());
+        } else {
+          ASSERT_TRUE(
+              svc.ApplyDelta(
+                     frag::Delta::InsertSubtree(*f_s, s_node, "zzz"))
+                  .ok());
+        }
+        ASSERT_TRUE(
+            svc.Submit(Compile("[//zzz]"), svc.now(), flip_loop).ok());
+      };
+  ASSERT_TRUE(svc.Submit(Compile("[//zzz]"), svc.now(), flip_loop).ok());
+  svc.Run();
+  ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+
+  // Each outcome alternates with the flips; the last one reflects the
+  // final document state, and a fresh ParBoX run agrees.
+  ASSERT_EQ(svc.outcomes().size(), 3u + 5u);
+  const bool final_answer = svc.outcomes().back().answer;
+  auto fresh = core::RunParBoX(set, *st, Compile("[//zzz]"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->answer, final_answer);
+  for (size_t i = 3; i + 1 < svc.outcomes().size(); ++i) {
+    EXPECT_NE(svc.outcomes()[i].answer, svc.outcomes()[i + 1].answer)
+        << "outcome " << i << " did not observe the interleaved flip";
+  }
+}
+
+// A service built over a const deployment is read-only: ApplyDelta
+// reports FailedPrecondition instead of mutating.
+TEST(QueryServiceTest, ConstServiceRejectsApplyDelta) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set,
+                                     frag::AssignOneSitePerFragment(*set));
+  ASSERT_TRUE(st.ok());
+  const frag::FragmentSet* read_only = &*set;
+  QueryService svc(read_only, &*st);
+  auto applied = svc.ApplyDelta(frag::Delta::Retext(
+      set->root_fragment(), set->fragment(set->root_fragment()).root,
+      "x"));
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
 }
 
 // ---- Workload drivers --------------------------------------------------

@@ -4,11 +4,13 @@
 #ifndef PARBOX_TESTS_TESTUTIL_H_
 #define PARBOX_TESTS_TESTUTIL_H_
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
@@ -91,6 +93,63 @@ inline RandomScenario MakeRandomScenario(uint64_t seed, int max_elements,
   auto st = frag::SourceTree::Create(set,
                                      frag::AssignOneSitePerFragment(set));
   return RandomScenario{std::move(set), std::move(st).value()};
+}
+
+/// Trial-count multiplier for the seeded randomized suites (the
+/// `ctest -L extended` set): PARBOX_TEST_TRIALS if set to a positive
+/// integer, else 1.
+inline int TrialMultiplier() {
+  if (const char* trials = std::getenv("PARBOX_TEST_TRIALS")) {
+    const int v = std::atoi(trials);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+/// A random, always-valid content delta against a random live
+/// fragment of `*set`: insert-subtree, delete-subtree (when a
+/// boundary-safe candidate exists), rename-label, or retext, drawn
+/// from the same label/text alphabet as the random documents so
+/// deltas have a fair chance of flipping query answers.
+inline frag::Delta RandomDelta(frag::FragmentSet* set, Rng* rng) {
+  const std::vector<frag::FragmentId> live = set->live_ids();
+  const frag::FragmentId f =
+      live[rng->Uniform(static_cast<uint64_t>(live.size()))];
+  xml::Node* root = set->mutable_fragment(f)->root;
+
+  std::vector<xml::Node*> elements;   // rename/retext/insert targets
+  std::vector<xml::Node*> deletable;  // non-root, no virtual inside
+  std::vector<xml::Node*> stack{root};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_element()) elements.push_back(n);
+    if (n != root && xml::CountVirtuals(n) == 0) deletable.push_back(n);
+    for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+      stack.push_back(c);
+    }
+  }
+
+  auto pick = [&](std::vector<xml::Node*>& v) {
+    return v[rng->Uniform(static_cast<uint64_t>(v.size()))];
+  };
+  switch (rng->Uniform(4)) {
+    case 0:
+      break;  // insert below
+    case 1:
+      if (!deletable.empty()) {
+        return frag::Delta::DeleteSubtree(f, pick(deletable));
+      }
+      break;  // nothing safely deletable: insert instead
+    case 2:
+      return frag::Delta::RenameLabel(f, pick(elements),
+                                      RandomLabel(rng));
+    default:
+      return frag::Delta::Retext(f, pick(elements), RandomText(rng));
+  }
+  return frag::Delta::InsertSubtree(
+      f, pick(elements), RandomLabel(rng),
+      rng->Uniform(2) == 0 ? RandomText(rng) : std::string());
 }
 
 }  // namespace parbox::testutil
