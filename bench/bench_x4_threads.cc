@@ -1,54 +1,82 @@
-// X4 (extension bench): ParBoX on real threads.
+// X4 (extension bench): ParBoX on the real-thread backend.
 //
 // The simulator shows *virtual* speedups; this bench shows genuine
-// wall-clock parallelism on the host: one corpus, fragmented 1..N
-// ways, partial evaluation running on one thread per "site". The
-// centralized evaluation of the same data is the 1-thread baseline.
-// Shape: wall time falls with fragments until the machine runs out of
-// cores; total site time stays roughly constant.
+// wall-clock parallelism on the host, through the same unified path
+// everything else uses: a Session over the "threads:N" ExecBackend,
+// executing the registered "parbox" evaluator. One corpus, fragmented
+// 16 ways over 16 sites; the worker count sweeps 1..N. Shape: wall
+// time falls with workers until the machine runs out of cores; total
+// site time stays roughly constant; answers, visits and wire traffic
+// are identical to the simulated run at every point.
 
 #include <thread>
 
 #include "bench_common.h"
-#include "core/threaded.h"
+#include "core/session.h"
 #include "xpath/eval.h"
 
 int main() {
   using namespace parbox;
   using namespace parbox::bench;
   BenchConfig config = BenchConfig::FromEnv();
-  PrintHeader("X4", "real-thread ParBoX: wall time vs fragment count",
+  PrintHeader("X4", "thread-backend ParBoX: wall time vs worker count",
               config);
   std::printf("host has %u hardware threads\n\n",
               std::thread::hardware_concurrency());
 
   xpath::NormQuery q = QueryOfSize(8);
-  std::printf("%-10s %-14s %-16s %-12s\n", "threads", "wall (s)",
-              "site-sum (s)", "wire bytes");
-  for (int fragments : {1, 2, 4, 8, 16}) {
-    Deployment d = MakeStar(fragments, config.total_bytes, config.seed);
-    // Warm once (page in the corpus), then take the best of 3.
+  Deployment d = MakeStar(16, config.total_bytes, config.seed);
+
+  // The simulated run is the oracle: same answer, same wire traffic.
+  auto sim_session = core::Session::Create(&d.set, &d.st);
+  Check(sim_session.status());
+  auto sim_q = sim_session->Prepare(&q);
+  Check(sim_q.status());
+  auto sim_report = sim_session->Execute(*sim_q);
+  Check(sim_report.status());
+
+  std::printf("%-10s %-14s %-16s %-14s %-8s\n", "workers", "wall (s)",
+              "site-sum (s)", "wire bytes", "answer");
+  for (int workers : {1, 2, 4, 8, 16}) {
+    core::SessionOptions options;
+    options.backend = "threads:" + std::to_string(workers);
+    auto session = core::Session::Create(&d.set, &d.st, options);
+    Check(session.status());
+    auto prepared = session->Prepare(&q);
+    Check(prepared.status());
+    // Warm once (pages + worker factories), then take the best of 3.
     double best_wall = 1e30, site_sum = 0;
     uint64_t wire = 0;
     bool answer = false;
-    for (int rep = 0; rep < 3; ++rep) {
-      auto report = core::RunParBoXThreads(d.set, d.st, q);
+    for (int rep = 0; rep < 4; ++rep) {
+      auto report = session->Execute(*prepared);
       Check(report.status());
-      if (report->wall_seconds < best_wall) {
-        best_wall = report->wall_seconds;
-        site_sum = report->sum_site_seconds;
-        wire = report->wire_bytes;
+      if (rep == 0) continue;
+      if (report->makespan_seconds < best_wall) {
+        best_wall = report->makespan_seconds;
+        site_sum = report->total_compute_seconds;
+        wire = report->network_bytes;
         answer = report->answer;
       }
     }
-    (void)answer;
-    std::printf("%-10d %-14.4f %-16.4f %-12llu\n", fragments, best_wall,
-                site_sum, static_cast<unsigned long long>(wire));
+    if (answer != sim_report->answer || wire != sim_report->network_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: threads:%d diverged from the sim oracle "
+                   "(answer %d vs %d, wire %llu vs %llu)\n",
+                   workers, answer, sim_report->answer,
+                   static_cast<unsigned long long>(wire),
+                   static_cast<unsigned long long>(
+                       sim_report->network_bytes));
+      return 1;
+    }
+    std::printf("%-10d %-14.4f %-16.4f %-14llu %-8s\n", workers, best_wall,
+                site_sum, static_cast<unsigned long long>(wire),
+                answer ? "true" : "false");
   }
-  std::printf("\nshape check: wall time drops with fragments up to the "
+  std::printf("\nshape check: wall time drops with workers up to the "
               "host's core count (on a single-core host it stays flat "
-              "while site-sum grows with scheduling overhead); the "
-              "answer and wire format are identical to the simulated "
-              "runner either way.\n");
+              "while site-sum absorbs scheduling overhead); answers and "
+              "wire traffic are identical to the simulated oracle at "
+              "every worker count.\n");
   return 0;
 }

@@ -83,7 +83,7 @@ int main() {
                 report->algorithm.c_str(),
                 static_cast<unsigned long long>(report->total_visits()),
                 static_cast<unsigned long long>(
-                    session->cluster().traffic().messages_with_tag(
+                    session->backend().traffic().messages_with_tag(
                         "update")));
   };
 

@@ -12,21 +12,22 @@ Engine::Engine(Session* session, const xpath::NormQuery& q,
 
 RunReport Engine::Finish(std::string algorithm, bool answer,
                          uint64_t eq_system_entries) {
-  sim::Cluster& cluster = session_->cluster();
+  exec::ExecBackend& backend = session_->backend();
   RunReport report;
   report.algorithm = std::move(algorithm);
   report.answer = answer;
-  report.makespan_seconds = cluster.now();
-  report.total_compute_seconds = cluster.total_busy_seconds();
-  report.total_ops = total_ops_;
-  report.network_bytes = cluster.traffic().total_bytes();
-  report.network_messages = cluster.traffic().total_messages();
-  report.visits_per_site = cluster.all_visits();
+  report.makespan_seconds = backend.now();
+  report.total_compute_seconds = backend.total_busy_seconds();
+  report.total_ops = total_ops_.load(std::memory_order_relaxed);
+  const sim::TrafficStats& traffic = backend.traffic();
+  report.network_bytes = traffic.total_bytes();
+  report.network_messages = traffic.total_messages();
+  report.visits_per_site = backend.visits();
   report.eq_system_entries = eq_system_entries;
-  for (const auto& [tag, bytes] : cluster.traffic().bytes_by_tag()) {
+  for (const auto& [tag, bytes] : traffic.bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
   }
-  report.stats.Add("sim.events", cluster.loop().events_run());
+  backend.AddBackendStats(&report.stats);
   report.stats.Add("formula.interned_nodes",
                    session_->factory().total_nodes());
   return report;

@@ -3,20 +3,29 @@
 #ifndef PARBOX_CORE_ENGINE_H_
 #define PARBOX_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "boolexpr/expr.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "exec/backend.h"
 
 namespace parbox::core {
 
 /// Per-run state every evaluator needs, assembled by Session::Execute:
-/// views of the session's long-lived pieces (deployment, cluster,
-/// factory, partition plan) plus bookkeeping for the report. The query
-/// is already validated and the cluster is rewound to virtual time 0
-/// by the time an Evaluator sees the engine.
+/// views of the session's long-lived pieces (deployment, execution
+/// backend, factory, partition plan) plus bookkeeping for the report.
+/// The query is already validated and the backend is rewound by the
+/// time an Evaluator sees the engine.
+///
+/// Evaluators drive the run through backend() under the execution-
+/// context contract of exec/backend.h: site-context formula work
+/// interns into backend().site_factory(s), factory-relative payloads
+/// cross as Coded parcels (exec/codec.h), and factory() — the
+/// session's — is touched only in coordinator context.
 class Engine {
  public:
   Engine(Session* session, const xpath::NormQuery& q, uint64_t query_bytes,
@@ -25,7 +34,8 @@ class Engine {
   const frag::FragmentSet& set() const { return session_->set(); }
   const frag::SourceTree& st() const { return session_->st(); }
   const xpath::NormQuery& q() const { return *q_; }
-  sim::Cluster& cluster() { return session_->cluster(); }
+  exec::ExecBackend& backend() { return session_->backend(); }
+  /// The coordinator's (session's) factory: composition and solving.
   bexpr::ExprFactory& factory() { return session_->factory(); }
   /// Pre-partitioned per-site work and the solver's children table,
   /// prepared once per deployment instead of per run.
@@ -36,9 +46,13 @@ class Engine {
   /// Wire size of the query (the |q| factor in traffic bounds).
   uint64_t query_bytes() const { return query_bytes_; }
 
-  void AddOps(uint64_t ops) { total_ops_ += ops; }
+  /// Safe from any execution context (site work accumulates ops on
+  /// worker threads under ThreadPoolBackend).
+  void AddOps(uint64_t ops) {
+    total_ops_.fetch_add(ops, std::memory_order_relaxed);
+  }
 
-  /// Assemble the report from the cluster's measurements.
+  /// Assemble the report from the backend's measurements.
   RunReport Finish(std::string algorithm, bool answer,
                    uint64_t eq_system_entries);
 
@@ -48,7 +62,7 @@ class Engine {
   std::shared_ptr<const SitePlan> plan_;
   sim::SiteId coordinator_;
   uint64_t query_bytes_;
-  uint64_t total_ops_ = 0;
+  std::atomic<uint64_t> total_ops_{0};
 };
 
 }  // namespace parbox::core

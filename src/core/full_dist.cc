@@ -7,19 +7,38 @@
 // evalDistrST). Traffic is lower than ParBoX's because variables never
 // travel; the price is that a site is activated once per fragment it
 // stores.
+//
+// Backend discipline: a fragment's formulas live in its own site's
+// factory and are both built and resolved there; only variable-free
+// truth values cross between sites (Plain parcels), landing in the
+// receiving site's assignment. Per-fragment flags and equation slots
+// are touched exclusively in the owning site's context.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "boolexpr/serialize.h"
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/partial_eval.h"
+#include "exec/backend.h"
 
 namespace parbox::core {
 
 namespace {
+
+/// The variable-free (V, DV) truth values of one resolved fragment —
+/// what a hop ships to the parent's site.
+struct ResolvedValues {
+  frag::FragmentId fragment = frag::kNoFragment;
+  std::vector<char> v;
+  std::vector<char> dv;
+};
 
 class FullDistParBoXEvaluator final : public Evaluator {
  public:
@@ -39,67 +58,102 @@ Result<RunReport> FullDistParBoXEvaluator::Run(Engine& eng) const {
   const frag::FragmentSet& set = eng.set();
   const frag::SourceTree& st = eng.st();
   const xpath::NormQuery& q = eng.q();
-  sim::Cluster& cluster = eng.cluster();
-  const sim::SiteId coord = eng.coordinator();
+  exec::ExecBackend& backend = eng.backend();
   const size_t n = q.size();
 
+  // Per-fragment state, owned by the fragment's site context.
   std::vector<bexpr::FragmentEquations> equations(set.table_size());
-  std::vector<bool> eval_done(set.table_size(), false);
-  std::vector<bool> resolve_done(set.table_size(), false);
+  std::vector<char> eval_done(set.table_size(), 0);
+  std::vector<char> resolve_done(set.table_size(), 0);
   std::vector<size_t> children_pending(set.table_size(), 0);
   for (frag::FragmentId f : st.live_fragments()) {
     children_pending[f] = st.children_of(f).size();
   }
-  bexpr::Assignment assignment;  // resolved (V, DV) values, grows upward
+  // Per-site assignments: resolved (V, DV) values of the sub-fragments
+  // whose hops have landed here. Each slot is touched only in its own
+  // site's context.
+  std::vector<bexpr::Assignment> site_assignment(
+      static_cast<size_t>(st.num_sites()));
   bool answer = false;
+  std::mutex failure_mutex;  // sites can fail concurrently
   Status failure = Status::OK();
+  auto fail = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(failure_mutex);
+    if (failure.ok()) failure = status;
+  };
 
   // Resolve fragment f once its own evaluation and all children are in.
+  // Always runs in f's site context.
   std::function<void(frag::FragmentId)> try_resolve =
       [&](frag::FragmentId f) {
         if (resolve_done[f] || !eval_done[f] || children_pending[f] != 0) {
           return;
         }
-        resolve_done[f] = true;
+        resolve_done[f] = 1;
         const sim::SiteId s = st.site_of(f);
         // Local unification (evalST restricted to this fragment).
         const uint64_t unify_ops = n * (1 + st.children_of(f).size());
         eng.AddOps(unify_ops);
-        cluster.Compute(s, unify_ops, [&, f, s]() {
+        backend.Compute(s, unify_ops, [&, f, s]() {
+          bexpr::ExprFactory& factory = backend.site_factory(s);
+          const bexpr::Assignment& assignment =
+              site_assignment[static_cast<size_t>(s)];
           bexpr::FragmentEquations& eq = equations[f];
+          auto values = std::make_shared<ResolvedValues>();
+          values->fragment = f;
           std::vector<bexpr::ExprId> resolved_consts;
           resolved_consts.reserve(3 * n);
+          bool resolved_ok = true;
           auto resolve_vec = [&](std::vector<bexpr::ExprId>& vec,
-                                 std::optional<bexpr::VectorKind> kind) {
+                                 std::vector<char>* out) {
             for (size_t i = 0; i < vec.size(); ++i) {
-              Result<bool> value = eng.factory().Eval(vec[i], assignment);
+              Result<bool> value = factory.Eval(vec[i], assignment);
               if (!value.ok()) {
-                failure = value.status();
+                fail(value.status());
+                resolved_ok = false;
                 return;
               }
-              vec[i] = eng.factory().FromBool(*value);
+              vec[i] = factory.FromBool(*value);
               resolved_consts.push_back(vec[i]);
-              if (kind.has_value()) {
-                assignment.Set({f, *kind, static_cast<int32_t>(i)}, *value);
-              }
+              if (out != nullptr) out->push_back(*value ? 1 : 0);
             }
           };
-          resolve_vec(eq.v, bexpr::VectorKind::kV);
-          resolve_vec(eq.cv, std::nullopt);
-          resolve_vec(eq.dv, bexpr::VectorKind::kDV);
-          if (!failure.ok()) return;
+          resolve_vec(eq.v, &values->v);
+          if (resolved_ok) resolve_vec(eq.cv, nullptr);
+          if (resolved_ok) resolve_vec(eq.dv, &values->dv);
+          if (!resolved_ok) return;
 
           if (f == st.root_fragment()) {
-            answer = assignment.Get({f, bexpr::VectorKind::kV, q.root()})
-                         .value_or(false);
+            // The root resolves at the coordinator's site.
+            answer = q.root() < static_cast<int32_t>(values->v.size()) &&
+                     values->v[static_cast<size_t>(q.root())] != 0;
             return;
           }
-          // Ship the variable-free triplet to the parent fragment's site.
+          // Ship the variable-free triplet to the parent fragment's
+          // site; only truth values travel, never formulas.
           const frag::FragmentId parent = st.parent_of(f);
+          const sim::SiteId parent_site = st.site_of(parent);
           const uint64_t bytes =
-              bexpr::SerializeExprs(eng.factory(), resolved_consts).size();
-          cluster.Send(s, st.site_of(parent), bytes, "triplet",
-                       [&, parent]() {
+              bexpr::SerializedExprsSize(factory, resolved_consts);
+          backend.Send(s, parent_site,
+                       exec::Parcel::Plain(std::move(values), bytes),
+                       "triplet",
+                       [&, parent, parent_site](exec::Parcel parcel) {
+                         auto got = parcel.local<ResolvedValues>();
+                         bexpr::Assignment& target =
+                             site_assignment[static_cast<size_t>(
+                                 parent_site)];
+                         for (size_t i = 0; i < got->v.size(); ++i) {
+                           target.Set({got->fragment, bexpr::VectorKind::kV,
+                                       static_cast<int32_t>(i)},
+                                      got->v[i] != 0);
+                         }
+                         for (size_t i = 0; i < got->dv.size(); ++i) {
+                           target.Set({got->fragment,
+                                       bexpr::VectorKind::kDV,
+                                       static_cast<int32_t>(i)},
+                                      got->dv[i] != 0);
+                         }
                          --children_pending[parent];
                          try_resolve(parent);
                        });
@@ -110,22 +164,24 @@ Result<RunReport> FullDistParBoXEvaluator::Run(Engine& eng) const {
   // paper assumes every participating site already holds a copy of the
   // (small) source tree, so S_T is not shipped per query.
   for (const auto& [s, fragments] : eng.plan().site_fragments) {
-    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+    backend.Send(eng.coordinator(), s,
+                 exec::Parcel::OfSize(eng.query_bytes()), "query",
+                 [&, s, &fragments = fragments](exec::Parcel) {
       for (frag::FragmentId f : fragments) {
-        cluster.RecordVisit(s);  // one activation per local fragment
+        backend.RecordVisit(s);  // one activation per local fragment
         xpath::EvalCounters counters;
-        equations[f] =
-            PartialEvalFragment(&eng.factory(), q, set, f, &counters);
+        equations[f] = PartialEvalFragment(&backend.site_factory(s), q,
+                                           set, f, &counters);
         eng.AddOps(counters.ops);
-        cluster.Compute(s, counters.ops, [&, f]() {
-          eval_done[f] = true;
+        backend.Compute(s, counters.ops, [&, f]() {
+          eval_done[f] = 1;
           try_resolve(f);
         });
       }
     });
   }
 
-  cluster.Run();
+  backend.Drain();
   PARBOX_RETURN_IF_ERROR(failure);
   return eng.Finish(std::string(display_name()), answer,
                     3 * n * set.live_count());

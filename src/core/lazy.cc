@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
 
 namespace parbox::core {
 
@@ -39,10 +40,12 @@ Result<RunReport> LazyParBoXEvaluator::Run(Engine& eng) const {
   const frag::FragmentSet& set = eng.set();
   const frag::SourceTree& st = eng.st();
   const xpath::NormQuery& q = eng.q();
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = eng.backend();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();
 
+  // Coordinator-context state: triplets land here (decoded into the
+  // session factory), and step() recursion runs here.
   std::vector<bexpr::FragmentEquations> equations(set.table_size());
   std::vector<const bexpr::FragmentEquations*> available(set.table_size(),
                                                          nullptr);
@@ -51,6 +54,7 @@ Result<RunReport> LazyParBoXEvaluator::Run(Engine& eng) const {
   size_t evaluated = 0;
   bool answer = false;
   bool done = false;
+  Status failure = Status::OK();
 
   std::function<void(int)> step = [&](int depth) {
     // The first traversal step covers the coordinator's fragments AND
@@ -65,26 +69,37 @@ Result<RunReport> LazyParBoXEvaluator::Run(Engine& eng) const {
     pending = frontier.size();
     for (frag::FragmentId f : frontier) {
       const sim::SiteId s = st.site_of(f);
-      cluster.RecordVisit(s);
+      backend.RecordVisit(s);
       // The query itself travels only on a site's first contact.
       uint64_t bytes = kRequestBytes;
       if (contacted.insert(s).second) bytes += eng.query_bytes();
-      cluster.Send(coord, s, bytes, "query", [&, f, s, depth]() {
+      backend.Send(coord, s, exec::Parcel::OfSize(bytes), "query",
+                   [&, f, s, depth](exec::Parcel) {
         xpath::EvalCounters counters;
+        bexpr::ExprFactory& site_factory = backend.site_factory(s);
         auto eq = std::make_shared<bexpr::FragmentEquations>(
-            PartialEvalFragment(&eng.factory(), q, set, f, &counters));
+            PartialEvalFragment(&site_factory, q, set, f, &counters));
         eng.AddOps(counters.ops);
-        const uint64_t reply = TripletWireBytes(eng.factory(), *eq);
-        cluster.Compute(s, counters.ops, [&, s, eq, reply, depth]() {
-          cluster.Send(s, coord, reply, "triplet", [&, eq, depth]() {
-            equations[eq->fragment] = std::move(*eq);
-            available[eq->fragment] = &equations[eq->fragment];
+        exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+        backend.Compute(s, counters.ops,
+                        [&, s, depth,
+                         parcel = std::move(parcel)]() mutable {
+          backend.Send(s, coord, std::move(parcel), "triplet",
+                       [&, depth](exec::Parcel delivered) {
+            Result<bexpr::FragmentEquations> got =
+                exec::TakeTriplet(std::move(delivered), &eng.factory());
+            if (!got.ok()) {
+              failure = got.status();
+              return;
+            }
+            equations[got->fragment] = std::move(*got);
+            available[got->fragment] = &equations[got->fragment];
             ++evaluated;
             if (--pending != 0) return;
             // All of this depth collected: try to answer.
             const uint64_t solve_ops = n * evaluated;
             eng.AddOps(solve_ops);
-            cluster.Compute(coord, solve_ops, [&, depth]() {
+            backend.Compute(coord, solve_ops, [&, depth]() {
               bexpr::Tri t = bexpr::SolvePartial(
                   &eng.factory(), available, eng.plan().children,
                   set.root_fragment(), q.root());
@@ -104,7 +119,8 @@ Result<RunReport> LazyParBoXEvaluator::Run(Engine& eng) const {
   };
   step(0);
 
-  cluster.Run();
+  backend.Drain();
+  PARBOX_RETURN_IF_ERROR(failure);
   if (!done) {
     return Status::Internal("LazyParBoX terminated without an answer");
   }

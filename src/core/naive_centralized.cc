@@ -30,7 +30,7 @@ PARBOX_REGISTER_EVALUATOR(0, NaiveCentralizedEvaluator);
 Result<RunReport> NaiveCentralizedEvaluator::Run(Engine& eng) const {
   const frag::FragmentSet& set = eng.set();
   const xpath::NormQuery& q = eng.q();
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = eng.backend();
   const sim::SiteId coord = eng.coordinator();
 
   size_t pending = eng.plan().site_fragments.size();
@@ -38,6 +38,7 @@ Result<RunReport> NaiveCentralizedEvaluator::Run(Engine& eng) const {
   bool answer = false;
   Status failure = Status::OK();
 
+  // Runs in coordinator context, after the last "data" delivery.
   auto evaluate = [&]() {
     // All data is local now: reassemble and evaluate centrally.
     Result<xml::Document> whole = set.Reassemble();
@@ -53,23 +54,27 @@ Result<RunReport> NaiveCentralizedEvaluator::Run(Engine& eng) const {
     }
     eng.AddOps(counters.ops);
     bool value = *result;
-    cluster.Compute(coord, counters.ops, [&, value]() { answer = value; });
+    backend.Compute(coord, counters.ops, [&, value]() { answer = value; });
   };
 
   for (const auto& [s, fragments] : eng.plan().site_fragments) {
-    cluster.RecordVisit(s);
-    cluster.Send(coord, s, kRequestBytes, "request", [&, s]() {
+    backend.RecordVisit(s);
+    backend.Send(coord, s, exec::Parcel::OfSize(kRequestBytes), "request",
+                 [&, s, &fragments = fragments](exec::Parcel) {
+      // Site context: size the payload a real deployment would ship
+      // (the coordinator reads the shared fragment store directly).
       uint64_t data_bytes = 0;
       for (frag::FragmentId f : fragments) {
         data_bytes += set.FragmentSerializedBytes(f);
       }
-      cluster.Send(s, coord, data_bytes, "data", [&]() {
+      backend.Send(s, coord, exec::Parcel::OfSize(data_bytes), "data",
+                   [&](exec::Parcel) {
         if (--pending == 0) evaluate();
       });
     });
   }
 
-  cluster.Run();
+  backend.Drain();
   PARBOX_RETURN_IF_ERROR(failure);
   return eng.Finish(std::string(display_name()), answer, 0);
 }

@@ -54,11 +54,15 @@ Result<RunReport> NaiveDistributedEvaluator::Run(Engine& eng) const {
   const frag::FragmentSet& set = eng.set();
   const frag::SourceTree& st = eng.st();
   const xpath::NormQuery& q = eng.q();
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = eng.backend();
   const sim::SiteId coord = eng.coordinator();
   const std::vector<frag::FragmentId> order = FragmentPostOrder(st);
   const size_t n = q.size();
 
+  // The traversal is one strictly sequential chain of control hops, so
+  // this state — though touched from successive site contexts — is
+  // race-free on any backend: every access is ordered by the
+  // happens-before edges of the hops themselves.
   std::vector<ResolvedVectors> resolved(set.table_size());
   std::unordered_set<sim::SiteId> contacted;
   bool answer = false;
@@ -80,8 +84,9 @@ Result<RunReport> NaiveDistributedEvaluator::Run(Engine& eng) const {
     // O(|q|·card(F)) in Fig. 4 comes from these payloads).
     uint64_t hop_bytes = kControlBytes + result_bytes;
     if (contacted.insert(s).second) hop_bytes += eng.query_bytes();
-    cluster.Send(prev, s, hop_bytes, "control", [&, f, s, i]() {
-      cluster.RecordVisit(s);  // one visit per fragment stored here
+    backend.Send(prev, s, exec::Parcel::OfSize(hop_bytes), "control",
+                 [&, f, s, i](exec::Parcel) {
+      backend.RecordVisit(s);  // one visit per fragment stored here
       xpath::EvalCounters counters;
       ResolvedVectors vectors = BoolEvalFragment(
           q, set, f,
@@ -91,12 +96,12 @@ Result<RunReport> NaiveDistributedEvaluator::Run(Engine& eng) const {
           &counters);
       eng.AddOps(counters.ops);
       resolved[f] = std::move(vectors);
-      cluster.Compute(s, counters.ops, [&, i]() { process(i + 1); });
+      backend.Compute(s, counters.ops, [&, i]() { process(i + 1); });
     });
   };
   process(0);
 
-  cluster.Run();
+  backend.Drain();
   return eng.Finish(std::string(display_name()), answer, 0);
 }
 

@@ -12,12 +12,19 @@
 // Guarantees (verified by tests): one visit per site; traffic
 // O(|q|·card(F)) independent of |T|; total computation O(|q|·(|T| +
 // card(F))).
+//
+// Runs on any ExecBackend: site work interns into the site's factory
+// and triplets cross to the coordinator as Coded parcels, so on a real
+// thread pool stage 2 is genuine parallelism with the wire codec in
+// between, while on the sim every event is bit-identical to the
+// pre-backend figures.
 
 #include <memory>
 
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
 
 namespace parbox::core {
 
@@ -38,7 +45,7 @@ PARBOX_REGISTER_EVALUATOR(2, ParBoXEvaluator);
 Result<RunReport> ParBoXEvaluator::Run(Engine& eng) const {
   const frag::FragmentSet& set = eng.set();
   const xpath::NormQuery& q = eng.q();
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = eng.backend();
   const sim::SiteId coord = eng.coordinator();
 
   std::vector<bexpr::FragmentEquations> equations(set.table_size());
@@ -51,7 +58,7 @@ Result<RunReport> ParBoXEvaluator::Run(Engine& eng) const {
   auto compose = [&]() {
     const uint64_t solve_ops = q.size() * set.live_count();
     eng.AddOps(solve_ops);
-    cluster.Compute(coord, solve_ops, [&]() {
+    backend.Compute(coord, solve_ops, [&]() {
       Result<bool> result =
           bexpr::SolveForAnswer(&eng.factory(), equations,
                                 eng.plan().children, set.root_fragment(),
@@ -66,19 +73,30 @@ Result<RunReport> ParBoXEvaluator::Run(Engine& eng) const {
 
   // Stages 1 and 2, over the pre-partitioned per-site plan.
   for (const auto& [s, fragments] : eng.plan().site_fragments) {
-    cluster.RecordVisit(s);  // the only visit this site will get
-    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+    backend.RecordVisit(s);  // the only visit this site will get
+    backend.Send(coord, s, exec::Parcel::OfSize(eng.query_bytes()),
+                 "query", [&, s, &fragments = fragments](exec::Parcel) {
       for (frag::FragmentId f : fragments) {
-        // The real partial evaluation happens here; its measured cost
-        // is charged to the site's serialized compute queue.
+        // The real partial evaluation happens here, in the site's
+        // context and into the site's factory; its measured cost is
+        // charged to the site's serialized compute queue.
         xpath::EvalCounters counters;
+        bexpr::ExprFactory& site_factory = backend.site_factory(s);
         auto eq = std::make_shared<bexpr::FragmentEquations>(
-            PartialEvalFragment(&eng.factory(), q, set, f, &counters));
+            PartialEvalFragment(&site_factory, q, set, f, &counters));
         eng.AddOps(counters.ops);
-        const uint64_t bytes = TripletWireBytes(eng.factory(), *eq);
-        cluster.Compute(s, counters.ops, [&, s, eq, bytes]() {
-          cluster.Send(s, coord, bytes, "triplet", [&, eq]() {
-            equations[eq->fragment] = std::move(*eq);
+        exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+        backend.Compute(s, counters.ops,
+                        [&, s, parcel = std::move(parcel)]() mutable {
+          backend.Send(s, coord, std::move(parcel), "triplet",
+                       [&](exec::Parcel delivered) {
+            Result<bexpr::FragmentEquations> got =
+                exec::TakeTriplet(std::move(delivered), &eng.factory());
+            if (!got.ok()) {
+              failure = got.status();
+              return;
+            }
+            equations[got->fragment] = std::move(*got);
             if (--pending == 0) compose();
           });
         });
@@ -86,7 +104,7 @@ Result<RunReport> ParBoXEvaluator::Run(Engine& eng) const {
     });
   }
 
-  cluster.Run();
+  backend.Drain();
   PARBOX_RETURN_IF_ERROR(failure);
   return eng.Finish(std::string(display_name()), answer,
                     3 * q.size() * set.live_count());

@@ -1,13 +1,14 @@
 #include "core/path_selection.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "boolexpr/solver.h"
 #include "core/engine.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
 #include "xpath/eval.h"
 
 namespace parbox::core {
@@ -164,7 +165,7 @@ Result<PathSelectionResult> RunPathSelection(
       Session::Create(&set, &st, SessionOptions{options.network}));
   PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
   Engine eng(&session, q, prepared.query_bytes(), session.plan());
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = session.backend();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();
 
@@ -172,17 +173,23 @@ Result<PathSelectionResult> RunPathSelection(
   PathSelectionResult result;
   result.selected_by_fragment.resize(set.table_size());
   size_t pending_up = set.live_count();
+  // Written once at the coordinator, read-only in every site context
+  // of the down pass (ordered by the context deliveries).
   bexpr::Assignment values;
-  std::unordered_set<sim::SiteId> down_visited;
-  Status failure = Status::OK();
+  // The down pass fans out over independent branches, which may run
+  // concurrently on a parallel backend: the per-site second-visit gate
+  // must be atomic.
+  std::vector<std::atomic<char>> down_visited(
+      static_cast<size_t>(st.num_sites()));
+  Status failure = Status::OK();  // written in coordinator context only
 
   // ---- Down pass: context arrives at fragment f ----
   std::function<void(FragmentId, std::shared_ptr<std::vector<char>>)>
       deliver_ctx = [&](FragmentId f,
                         std::shared_ptr<std::vector<char>> ctx_bits) {
         const sim::SiteId s = st.site_of(f);
-        if (down_visited.insert(s).second) {
-          cluster.RecordVisit(s);  // the site's second (and last) visit
+        if (down_visited[static_cast<size_t>(s)].exchange(1) == 0) {
+          backend.RecordVisit(s);  // the site's second (and last) visit
         }
         DownOutput down =
             PropagateDown(q, set, f, *ctx_bits, values);
@@ -192,19 +199,23 @@ Result<PathSelectionResult> RunPathSelection(
             std::make_shared<std::unordered_map<FragmentId,
                                                 std::vector<char>>>(
                 std::move(down.child_ctx));
-        cluster.Compute(s, down.ops, [&, s, f, child_ctx]() {
+        backend.Compute(s, down.ops, [&, s, f, child_ctx]() {
           // Result ids go back to the coordinator (8 bytes per node).
-          cluster.Send(
+          backend.Send(
               s, coord,
-              8 + 8 * result.selected_by_fragment[f].size(), "result",
-              []() {});
+              exec::Parcel::OfSize(
+                  8 + 8 * result.selected_by_fragment[f].size()),
+              "result", [](exec::Parcel) {});
           // Contexts continue to the sub-fragments a match crosses.
           for (auto& [child, bits] : *child_ctx) {
             auto boxed =
                 std::make_shared<std::vector<char>>(std::move(bits));
             const uint64_t bytes = 8 + (n + 7) / 8;
-            cluster.Send(s, st.site_of(child), bytes, "context",
-                         [&, child, boxed]() { deliver_ctx(child, boxed); });
+            backend.Send(s, st.site_of(child),
+                         exec::Parcel::OfSize(bytes), "context",
+                         [&, child, boxed](exec::Parcel) {
+                           deliver_ctx(child, boxed);
+                         });
           }
         });
       };
@@ -213,7 +224,7 @@ Result<PathSelectionResult> RunPathSelection(
   auto compose = [&]() {
     const uint64_t solve_ops = n * set.live_count();
     eng.AddOps(solve_ops);
-    cluster.Compute(coord, solve_ops, [&]() {
+    backend.Compute(coord, solve_ops, [&]() {
       Result<bexpr::Assignment> solved =
           bexpr::SolveBottomUp(&eng.factory(), equations,
                                set.ChildrenTable(), set.root_fragment());
@@ -225,8 +236,9 @@ Result<PathSelectionResult> RunPathSelection(
       auto root_ctx = std::make_shared<std::vector<char>>(n, 0);
       (*root_ctx)[q.root()] = 1;
       const uint64_t bytes = 8 + (n + 7) / 8;
-      cluster.Send(coord, st.site_of(set.root_fragment()), bytes,
-                   "context", [&, root_ctx]() {
+      backend.Send(coord, st.site_of(set.root_fragment()),
+                   exec::Parcel::OfSize(bytes), "context",
+                   [&, root_ctx](exec::Parcel) {
                      deliver_ctx(set.root_fragment(), root_ctx);
                    });
     });
@@ -235,17 +247,27 @@ Result<PathSelectionResult> RunPathSelection(
   // ---- Up pass: plain ParBoX ----
   for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
     if (st.fragments_at(s).empty()) continue;
-    cluster.RecordVisit(s);  // first visit
-    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+    backend.RecordVisit(s);  // first visit
+    backend.Send(coord, s, exec::Parcel::OfSize(eng.query_bytes()),
+                 "query", [&, s](exec::Parcel) {
       for (FragmentId f : st.fragments_at(s)) {
         xpath::EvalCounters counters;
+        bexpr::ExprFactory& site_factory = backend.site_factory(s);
         auto eq = std::make_shared<bexpr::FragmentEquations>(
-            PartialEvalFragment(&eng.factory(), q, set, f, &counters));
+            PartialEvalFragment(&site_factory, q, set, f, &counters));
         eng.AddOps(counters.ops);
-        const uint64_t bytes = TripletWireBytes(eng.factory(), *eq);
-        cluster.Compute(s, counters.ops, [&, s, eq, bytes]() {
-          cluster.Send(s, coord, bytes, "triplet", [&, eq]() {
-            equations[eq->fragment] = std::move(*eq);
+        exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+        backend.Compute(s, counters.ops,
+                        [&, s, parcel = std::move(parcel)]() mutable {
+          backend.Send(s, coord, std::move(parcel), "triplet",
+                       [&](exec::Parcel delivered) {
+            Result<bexpr::FragmentEquations> got =
+                exec::TakeTriplet(std::move(delivered), &eng.factory());
+            if (!got.ok()) {
+              failure = got.status();
+              return;
+            }
+            equations[got->fragment] = std::move(*got);
             if (--pending_up == 0) compose();
           });
         });
@@ -253,7 +275,7 @@ Result<PathSelectionResult> RunPathSelection(
     });
   }
 
-  cluster.Run();
+  backend.Drain();
   PARBOX_RETURN_IF_ERROR(failure);
   for (const auto& group : result.selected_by_fragment) {
     result.total_selected += group.size();

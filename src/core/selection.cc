@@ -1,10 +1,12 @@
 #include "core/selection.h"
 
 #include <memory>
+#include <mutex>
 
 #include "boolexpr/solver.h"
 #include "core/engine.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
 #include "xpath/eval.h"
 
 namespace parbox::core {
@@ -19,7 +21,9 @@ std::vector<const xml::Node*> SelectionResult::AllSelected() const {
 
 namespace {
 
-/// Per-fragment retained state: each element's selection formula.
+/// Per-fragment retained state: each element's selection formula (ids
+/// into the owning site's factory; built and evaluated only in that
+/// site's context).
 struct RetainedFormulas {
   std::vector<std::pair<const xml::Node*, bexpr::ExprId>> per_node;
 };
@@ -35,7 +39,7 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
       Session::Create(&set, &st, SessionOptions{options.network}));
   PARBOX_ASSIGN_OR_RETURN(PreparedQuery prepared, session.Prepare(&q));
   Engine eng(&session, q, prepared.query_bytes(), session.plan());
-  sim::Cluster& cluster = eng.cluster();
+  exec::ExecBackend& backend = session.backend();
   const sim::SiteId coord = eng.coordinator();
   const size_t n = q.size();
 
@@ -45,7 +49,10 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
   result.selected_by_fragment.resize(set.table_size());
   size_t pending_up = set.live_count();
   size_t pending_down = 0;
+  // Written once at the coordinator before pass 2's sends, read-only
+  // in every site context afterwards (ordered by the deliveries).
   bexpr::Assignment assignment;
+  std::mutex failure_mutex;  // pass-2 sites can fail concurrently
   Status failure = Status::OK();
 
   // ---- Pass 2: ship resolved variable values, collect selections ----
@@ -53,7 +60,7 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
     for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
       if (st.fragments_at(s).empty()) continue;
       ++pending_down;
-      cluster.RecordVisit(s);  // second (and last) visit of this site
+      backend.RecordVisit(s);  // second (and last) visit of this site
       // Resolved values for the variables this site's fragments used:
       // 2 bits per (child fragment, entry).
       uint64_t child_entries = 0;
@@ -61,17 +68,21 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
         child_entries += st.children_of(f).size() * n;
       }
       const uint64_t bytes = 16 + (2 * child_entries + 7) / 8;
-      cluster.Send(coord, s, bytes, "values", [&, s]() {
+      backend.Send(coord, s, exec::Parcel::OfSize(bytes), "values",
+                   [&, s](exec::Parcel) {
         uint64_t ops = 0;
         uint64_t selected_here = 0;
         for (frag::FragmentId f : st.fragments_at(s)) {
           for (auto& [node, formula] : retained[f].per_node) {
             ++ops;
-            bexpr::Tri value =
-                eng.factory().EvalPartial(formula, assignment);
+            bexpr::Tri value = backend.site_factory(s).EvalPartial(
+                formula, assignment);
             if (value == bexpr::Tri::kUnknown) {
-              failure = Status::Internal(
-                  "selection formula unresolved after pass 2");
+              std::lock_guard<std::mutex> lock(failure_mutex);
+              if (failure.ok()) {
+                failure = Status::Internal(
+                    "selection formula unresolved after pass 2");
+              }
               return;
             }
             if (value == bexpr::Tri::kTrue) {
@@ -81,10 +92,11 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
           }
         }
         eng.AddOps(ops);
-        cluster.Compute(s, ops, [&, s, selected_here]() {
+        backend.Compute(s, ops, [&, s, selected_here]() {
           // The selected node ids are the query result; 8 bytes each.
-          cluster.Send(s, coord, 8 + 8 * selected_here, "result",
-                       [&]() { --pending_down; });
+          backend.Send(s, coord,
+                       exec::Parcel::OfSize(8 + 8 * selected_here),
+                       "result", [&](exec::Parcel) { --pending_down; });
         });
       });
     }
@@ -94,12 +106,13 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
   auto compose = [&]() {
     const uint64_t solve_ops = n * set.live_count();
     eng.AddOps(solve_ops);
-    cluster.Compute(coord, solve_ops, [&]() {
+    backend.Compute(coord, solve_ops, [&]() {
       Result<bexpr::Assignment> solved =
           bexpr::SolveBottomUp(&eng.factory(), equations,
                                set.ChildrenTable(), set.root_fragment());
       if (!solved.ok()) {
-        failure = solved.status();
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (failure.ok()) failure = solved.status();
         return;
       }
       assignment = std::move(*solved);
@@ -110,11 +123,13 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
   // ---- Pass 1: ParBoX partial evaluation + per-node retention ----
   for (sim::SiteId s = 0; s < st.num_sites(); ++s) {
     if (st.fragments_at(s).empty()) continue;
-    cluster.RecordVisit(s);  // first visit
-    cluster.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+    backend.RecordVisit(s);  // first visit
+    backend.Send(coord, s, exec::Parcel::OfSize(eng.query_bytes()),
+                 "query", [&, s](exec::Parcel) {
       for (frag::FragmentId f : st.fragments_at(s)) {
+        bexpr::ExprFactory& site_factory = backend.site_factory(s);
         xpath::EvalCounters counters;
-        xpath::ExprDomain dom{&eng.factory()};
+        xpath::ExprDomain dom{&site_factory};
         auto vectors = xpath::BottomUpEvalHooked(
             dom, q, *set.fragment(f).root,
             [&](const xml::Node& vnode, std::vector<bexpr::ExprId>* v,
@@ -122,10 +137,10 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
               v->resize(n);
               dv->resize(n);
               for (size_t i = 0; i < n; ++i) {
-                (*v)[i] = eng.factory().Var(
+                (*v)[i] = site_factory.Var(
                     {vnode.fragment_ref, bexpr::VectorKind::kV,
                      static_cast<int32_t>(i)});
-                (*dv)[i] = eng.factory().Var(
+                (*dv)[i] = site_factory.Var(
                     {vnode.fragment_ref, bexpr::VectorKind::kDV,
                      static_cast<int32_t>(i)});
               }
@@ -136,15 +151,24 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
             },
             &counters);
         eng.AddOps(counters.ops);
-        bexpr::FragmentEquations eq;
-        eq.fragment = f;
-        eq.v = std::move(vectors.v);
-        eq.cv = std::move(vectors.cv);
-        eq.dv = std::move(vectors.dv);
-        const uint64_t bytes = TripletWireBytes(eng.factory(), eq);
-        equations[f] = std::move(eq);
-        cluster.Compute(s, counters.ops, [&, s, bytes]() {
-          cluster.Send(s, coord, bytes, "triplet", [&]() {
+        auto eq = std::make_shared<bexpr::FragmentEquations>();
+        eq->fragment = f;
+        eq->v = std::move(vectors.v);
+        eq->cv = std::move(vectors.cv);
+        eq->dv = std::move(vectors.dv);
+        exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+        backend.Compute(s, counters.ops,
+                        [&, s, parcel = std::move(parcel)]() mutable {
+          backend.Send(s, coord, std::move(parcel), "triplet",
+                       [&](exec::Parcel delivered) {
+            Result<bexpr::FragmentEquations> got =
+                exec::TakeTriplet(std::move(delivered), &eng.factory());
+            if (!got.ok()) {
+              std::lock_guard<std::mutex> lock(failure_mutex);
+              if (failure.ok()) failure = got.status();
+              return;
+            }
+            equations[got->fragment] = std::move(*got);
             if (--pending_up == 0) compose();
           });
         });
@@ -152,7 +176,7 @@ Result<SelectionResult> RunSelectionParBoX(const frag::FragmentSet& set,
     });
   }
 
-  cluster.Run();
+  backend.Drain();
   PARBOX_RETURN_IF_ERROR(failure);
   for (const auto& group : result.selected_by_fragment) {
     result.total_selected += group.size();

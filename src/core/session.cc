@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <optional>
 
 #include "core/engine.h"
 #include "core/evaluator.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
+#include "exec/sim_backend.h"
 #include "xpath/fingerprint.h"
 #include "xpath/normalize.h"
 
@@ -68,8 +71,25 @@ Session::Session(const frag::FragmentSet* set, const frag::SourceTree* st,
                  const SessionOptions& options)
     : set_(set),
       st_(st),
-      cluster_(st->num_sites(), options.network),
-      ticket_(std::make_shared<int>(0)) {}
+      factory_(std::make_unique<bexpr::ExprFactory>()),
+      ticket_(std::make_shared<int>(0)) {
+  exec::BackendConfig config;
+  config.num_sites = st->num_sites();
+  config.coordinator = st->site_of(st->root_fragment());
+  config.network = options.network;
+  config.coordinator_factory = factory_.get();
+  Result<std::unique_ptr<exec::ExecBackend>> backend =
+      exec::ExecBackendRegistry::Instance().CreateOrError(options.backend,
+                                                          config);
+  if (backend.ok()) {
+    backend_ = std::move(*backend);
+  } else {
+    // Constructors cannot fail; fall back to the sim and surface the
+    // spec error from the validating factories / the first Execute.
+    backend_status_ = backend.status();
+    backend_ = std::make_unique<exec::SimBackend>(config);
+  }
+}
 
 Session::Session(frag::FragmentSet* set, const frag::SourceTree* st,
                  const SessionOptions& options)
@@ -81,14 +101,18 @@ Result<Session> Session::Create(const frag::FragmentSet* set,
                                 const frag::SourceTree* st,
                                 const SessionOptions& options) {
   PARBOX_RETURN_IF_ERROR(ValidateDeployment(*set, *st));
-  return Session(set, st, options);
+  Session session(set, st, options);
+  PARBOX_RETURN_IF_ERROR(session.backend_status_);
+  return session;
 }
 
 Result<Session> Session::Create(frag::FragmentSet* set,
                                 const frag::SourceTree* st,
                                 const SessionOptions& options) {
   PARBOX_RETURN_IF_ERROR(ValidateDeployment(*set, *st));
-  return Session(set, st, options);
+  Session session(set, st, options);
+  PARBOX_RETURN_IF_ERROR(session.backend_status_);
+  return session;
 }
 
 Result<Session> Session::Create(frag::FragmentSet set, frag::SourceTree st,
@@ -97,6 +121,7 @@ Result<Session> Session::Create(frag::FragmentSet set, frag::SourceTree st,
   auto owned_set = std::make_unique<frag::FragmentSet>(std::move(set));
   auto owned_st = std::make_unique<const frag::SourceTree>(std::move(st));
   Session session(owned_set.get(), owned_st.get(), options);
+  PARBOX_RETURN_IF_ERROR(session.backend_status_);
   session.owned_set_ = std::move(owned_set);
   session.owned_st_ = std::move(owned_st);
   return session;
@@ -166,12 +191,13 @@ Status Session::CheckHandle(const PreparedQuery& query) const {
 
 Result<RunReport> Session::Execute(const PreparedQuery& query,
                                    const ExecOptions& options) {
+  PARBOX_RETURN_IF_ERROR(backend_status_);
   PARBOX_RETURN_IF_ERROR(CheckHandle(query));
   PARBOX_ASSIGN_OR_RETURN(
       std::unique_ptr<Evaluator> evaluator,
       EvaluatorRegistry::Instance().CreateOrError(options.evaluator));
   std::shared_ptr<const SitePlan> p = plan();
-  cluster_.Reset();
+  backend_->Reset();
   Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
   return evaluator->Run(eng);
 }
@@ -184,8 +210,15 @@ Result<frag::AppliedDelta> Session::Apply(const frag::Delta& delta) {
         "session borrows a const deployment; Apply needs an owning or "
         "mutable-borrowing session");
   }
+  // The exclusive side of the backend's document lock: under a real
+  // thread pool, in-flight site work reads the document on worker
+  // threads, and the mutation must not land mid-traversal. On the
+  // single-threaded sim this runs the mutation directly.
+  std::optional<Result<frag::AppliedDelta>> applied_or;
+  backend_->MutateExclusive(
+      [&] { applied_or.emplace(frag::ApplyDelta(mutable_set_, delta)); });
   PARBOX_ASSIGN_OR_RETURN(frag::AppliedDelta applied,
-                          frag::ApplyDelta(mutable_set_, delta));
+                          std::move(*applied_or));
   dirty_log_.push_back({applied.fragment, applied.wire_bytes});
   // Compact the prefix every consumer has passed, so a long-lived
   // writer (e.g. a QueryService applying deltas forever without ever
@@ -262,10 +295,12 @@ std::vector<frag::FragmentId> Session::DirtyFragments(
 void Session::InvalidateIncrementalState() { inc_states_.clear(); }
 
 Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
+  PARBOX_RETURN_IF_ERROR(backend_status_);
   PARBOX_RETURN_IF_ERROR(CheckHandle(query));
   std::shared_ptr<const SitePlan> p = plan();
-  cluster_.Reset();
+  backend_->Reset();
   Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
+  exec::ExecBackend& backend = *backend_;
   const xpath::NormQuery& q = *query.query_;
   const sim::SiteId coord = eng.coordinator();
   IncrementalState& state = inc_states_[query.fp_];
@@ -294,9 +329,9 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
   auto solve = [&]() {
     const uint64_t solve_ops = q.size() * set_->live_count();
     eng.AddOps(solve_ops);
-    cluster_.Compute(coord, solve_ops, [&]() {
+    backend.Compute(coord, solve_ops, [&]() {
       Result<bool> result = bexpr::SolveForAnswer(
-          &factory_, state.equations, eng.plan().children,
+          factory_.get(), state.equations, eng.plan().children,
           set_->root_fragment(), q.root());
       if (result.ok()) {
         answer = *result;
@@ -308,17 +343,32 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
   };
 
   // Stage 2, per fragment (shared by both branches): partially
-  // evaluate `f` at site `s`, charge the compute, ship the triplet to
-  // the coordinator, retain it, and solve once the last one lands.
+  // evaluate `f` at site `s` — in `s`'s execution context, into `s`'s
+  // factory — charge the compute, ship the triplet to the coordinator
+  // through the parcel codec, retain it (ids valid in the session
+  // factory), and solve once the last one lands. The retained clean
+  // triplets stay sound under the thread pool for the same reason as
+  // on the sim: deserializing a structurally identical formula into
+  // the session's hash-consing factory reproduces bit-identical
+  // ExprIds, so reusing stored ids *is* re-evaluation minus the work.
   auto eval_fragment = [&](sim::SiteId s, frag::FragmentId f) {
     xpath::EvalCounters counters;
+    bexpr::ExprFactory& site_factory = backend.site_factory(s);
     auto eq = std::make_shared<bexpr::FragmentEquations>(
-        PartialEvalFragment(&factory_, q, *set_, f, &counters));
+        PartialEvalFragment(&site_factory, q, *set_, f, &counters));
     eng.AddOps(counters.ops);
-    const uint64_t bytes = TripletWireBytes(factory_, *eq);
-    cluster_.Compute(s, counters.ops, [&, s, eq, bytes]() {
-      cluster_.Send(s, coord, bytes, "triplet", [&, eq]() {
-        state.equations[eq->fragment] = std::move(*eq);
+    exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+    backend.Compute(s, counters.ops,
+                    [&, s, parcel = std::move(parcel)]() mutable {
+      backend.Send(s, coord, std::move(parcel), "triplet",
+                   [&](exec::Parcel delivered) {
+        Result<bexpr::FragmentEquations> got =
+            exec::TakeTriplet(std::move(delivered), factory_.get());
+        if (!got.ok()) {
+          failure = got.status();
+          return;
+        }
+        state.equations[got->fragment] = std::move(*got);
         if (--pending == 0) solve();
       });
     });
@@ -330,8 +380,9 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
     state.equations.assign(set_->table_size(), bexpr::FragmentEquations{});
     pending = set_->live_count();
     for (const auto& [s, fragments] : eng.plan().site_fragments) {
-      cluster_.RecordVisit(s);
-      cluster_.Send(coord, s, eng.query_bytes(), "query", [&, s]() {
+      backend.RecordVisit(s);
+      backend.Send(coord, s, exec::Parcel::OfSize(eng.query_bytes()),
+                   "query", [&, s, &fragments = fragments](exec::Parcel) {
         for (frag::FragmentId f : fragments) eval_fragment(s, f);
       });
     }
@@ -344,7 +395,7 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
       const uint64_t lookup_ops = 16 + q.size();
       eng.AddOps(lookup_ops);
       const bool cached = state.answer;
-      cluster_.Compute(coord, lookup_ops, [&answer, &solved, cached]() {
+      backend.Compute(coord, lookup_ops, [&answer, &solved, cached]() {
         answer = cached;
         solved = true;
       });
@@ -378,11 +429,12 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
       for (size_t wi = 0; wi < work->size(); ++wi) {
         const SiteWork& w = (*work)[wi];
         const sim::SiteId s = w.site;
-        cluster_.RecordVisit(s);
+        backend.RecordVisit(s);
         // 16 bytes name the query (its fingerprint) the site should
         // re-evaluate the dirty fragments under.
-        cluster_.Send(coord, s, w.update_bytes + 16, "update",
-                      [&, work, wi, s]() {
+        backend.Send(coord, s,
+                     exec::Parcel::OfSize(w.update_bytes + 16), "update",
+                     [&, work, wi, s](exec::Parcel) {
           for (frag::FragmentId f : (*work)[wi].fragments) {
             eval_fragment(s, f);
           }
@@ -391,7 +443,7 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
     }
   }
 
-  cluster_.Run();
+  backend.Drain();
   exec_log_floor_ = SIZE_MAX;
   state.log_pos = log_snapshot;
   state.refrag_epoch = refrag_epoch_;
@@ -437,6 +489,9 @@ void Session::InvalidatePlan() {
 
 void Session::RebindSourceTree(const frag::SourceTree* st) {
   st_ = st;
+  // The root fragment may live on a different site now; deliveries to
+  // the coordinator must follow it.
+  backend_->SetCoordinator(st->site_of(st->root_fragment()));
   InvalidatePlan();
 }
 

@@ -8,8 +8,10 @@
 //
 //   * the deployment — FragmentSet + SourceTree (owned, or borrowed
 //     from a caller that outlives the session),
-//   * one sim::Cluster, rewound (not reallocated) per execution, so
-//     every report is bit-identical to a fresh standalone run,
+//   * one exec::ExecBackend — the execution substrate (the simulated
+//     cluster by default, a real thread pool with {.backend =
+//     "threads"}), rewound (not reallocated) per execution, so every
+//     simulated report is bit-identical to a fresh standalone run,
 //   * one hash-consing bexpr::ExprFactory, so formulas interned by one
 //     execution are reused by every later one,
 //   * the per-site partition plan (which sites hold which fragments,
@@ -63,6 +65,7 @@
 #include "common/status.h"
 #include "core/prepared.h"
 #include "core/report.h"
+#include "exec/backend.h"
 #include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
@@ -74,6 +77,14 @@ namespace parbox::core {
 
 struct SessionOptions {
   sim::NetworkParams network;
+  /// Execution substrate, by ExecBackendRegistry spec: "sim" (the
+  /// deterministic simulated cluster — the default, and the oracle
+  /// every other backend is held to), "threads" (a real worker pool,
+  /// one per hardware thread), "threads:8", ... Defaults to
+  /// $PARBOX_BACKEND when set. Unknown specs fail Create (or the
+  /// first Execute, for the non-validating constructors) with the
+  /// registered backends listed.
+  std::string backend = exec::DefaultBackendSpec();
 };
 
 struct ExecOptions {
@@ -175,14 +186,21 @@ class Session {
 
   const frag::FragmentSet& set() const { return *set_; }
   const frag::SourceTree& st() const { return *st_; }
-  sim::Cluster& cluster() { return cluster_; }
-  const sim::Cluster& cluster() const { return cluster_; }
-  bexpr::ExprFactory& factory() { return factory_; }
-  const bexpr::ExprFactory& factory() const { return factory_; }
+  /// The execution substrate (exec/backend.h): the simulated cluster
+  /// by default, a real thread pool under {.backend = "threads"}.
+  exec::ExecBackend& backend() { return *backend_; }
+  const exec::ExecBackend& backend() const { return *backend_; }
+  bexpr::ExprFactory& factory() { return *factory_; }
+  const bexpr::ExprFactory& factory() const { return *factory_; }
   /// The site storing the root fragment.
   sim::SiteId coordinator() const {
     return st_->site_of(st_->root_fragment());
   }
+
+  /// OK unless the non-validating constructors were given an invalid
+  /// backend spec (the validating Create factories surface this
+  /// directly; Execute and embedders check it on use).
+  const Status& backend_status() const { return backend_status_; }
 
   /// Current partition plan (computed on first use, then reused).
   std::shared_ptr<const SitePlan> plan();
@@ -234,8 +252,14 @@ class Session {
   const frag::SourceTree* st_;
   /// Non-null iff the session may mutate the deployment (Apply).
   frag::FragmentSet* mutable_set_ = nullptr;
-  sim::Cluster cluster_;
-  bexpr::ExprFactory factory_;
+  /// Heap-held so the address the backend composes triplets into stays
+  /// stable across Session moves.
+  std::unique_ptr<bexpr::ExprFactory> factory_;
+  /// The substrate runs execute on; never null (an invalid options
+  /// spec falls back to the sim and surfaces `backend_status_` on the
+  /// validating factories and on first Execute).
+  std::unique_ptr<exec::ExecBackend> backend_;
+  Status backend_status_ = Status::OK();
   std::shared_ptr<const SitePlan> plan_;
   /// Handed to every PreparedQuery; survives Session moves, so Execute
   /// can tell its own handles from another session's.

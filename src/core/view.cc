@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/partial_eval.h"
+#include "exec/sim_backend.h"
 #include "xpath/eval.h"
 
 namespace parbox::core {
@@ -97,7 +98,15 @@ Result<RunReport> MaterializedView::Refresh(frag::FragmentId f) {
   if (!set_->is_live(f)) return Status::NotFound("no such fragment");
   const sim::SiteId view_site = st_.site_of(st_.root_fragment());
   const sim::SiteId frag_site = st_.site_of(f);
-  sim::Cluster cluster(st_.num_sites(), options_.network);
+  // Maintenance is metered on a throwaway deterministic cluster; views
+  // reach it through SimBackend like everything else above src/exec/.
+  exec::BackendConfig config;
+  config.num_sites = st_.num_sites();
+  config.coordinator = view_site;
+  config.network = options_.network;
+  config.coordinator_factory = &factory_;
+  exec::SimBackend backend(config);
+  sim::Cluster& cluster = *backend.sim_cluster();
 
   uint64_t total_ops = 0;
   bool changed = false;

@@ -1,0 +1,69 @@
+#include "exec/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace parbox::exec {
+
+ExecBackendRegistry& ExecBackendRegistry::Instance() {
+  static ExecBackendRegistry* registry = new ExecBackendRegistry();
+  return *registry;
+}
+
+void ExecBackendRegistry::Register(int order, std::string name,
+                                   Factory factory) {
+  Entry entry{std::move(name), order, factory};
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const Entry& a, const Entry& b) {
+        return std::tie(a.order, a.name) < std::tie(b.order, b.name);
+      });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::vector<std::string> ExecBackendRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+std::string ExecBackendRegistry::NamesJoined(char sep) const {
+  std::string joined;
+  for (const Entry& e : entries_) {
+    if (!joined.empty()) joined += sep;
+    joined += e.name;
+  }
+  return joined;
+}
+
+Result<std::unique_ptr<ExecBackend>> ExecBackendRegistry::CreateOrError(
+    std::string_view spec, const BackendConfig& config) const {
+  std::string_view name = spec;
+  std::string_view arg;
+  if (const size_t colon = spec.find(':'); colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+  }
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.factory(config, arg);
+  }
+  return Status::InvalidArgument("unknown execution backend \"" +
+                                 std::string(spec) + "\"; registered: " +
+                                 NamesJoined());
+}
+
+ExecBackendRegistry::Registrar::Registrar(int order, std::string name,
+                                          Factory factory) {
+  ExecBackendRegistry::Instance().Register(order, std::move(name), factory);
+}
+
+std::string DefaultBackendSpec() {
+  if (const char* spec = std::getenv("PARBOX_BACKEND");
+      spec != nullptr && spec[0] != '\0') {
+    return spec;
+  }
+  return "sim";
+}
+
+}  // namespace parbox::exec

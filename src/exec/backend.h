@@ -1,0 +1,273 @@
+// ExecBackend: the pluggable execution substrate under Session, the
+// evaluators, and QueryService.
+//
+// Every distributed algorithm in this repository needs the same three
+// things from whatever actually runs it: dispatch per-site work units,
+// transport payloads (serialized triplets, control hops) between sites
+// and the coordinator, and meter traffic / visits / clock. ExecBackend
+// captures exactly that, so one evaluator implementation runs on
+//
+//   * SimBackend        — the deterministic simulated cluster
+//                         (sim/cluster.h): virtual clock, bit-identical
+//                         figures; the differential oracle; and
+//   * ThreadPoolBackend — a persistent OS-thread worker pool: genuine
+//                         parallelism for the PDOM scenario of Sec. 1,
+//                         where parbox is the query kernel of a
+//                         centralized store.
+//
+// ## The execution-context contract
+//
+// Each site has an *execution context*. A backend guarantees:
+//
+//   1. Tasks of one site never run concurrently with each other (a
+//      site's compute queue is serial, as in the paper's Experiment 4).
+//   2. `Send(from, to, ...)`'s deliver callback runs in `to`'s context;
+//      `Compute(site, ...)`'s done callback runs in `site`'s context.
+//   3. `Send` and `Compute` must be invoked from `from`'s / the
+//      enclosing context (the coordinator's, before Drain) — true of
+//      every evaluator, and what lets ThreadPoolBackend keep metering
+//      lock-free.
+//   4. Formula work performed in a site's context must intern into
+//      `site_factory(site)`. On SimBackend every site shares the
+//      session's factory; on ThreadPoolBackend each worker owns one,
+//      and the coordinator site uses the session's.
+//   5. Payloads holding factory-relative data (ExprIds) must be built
+//      with Parcel::Coded so the backend can run the wire codec when a
+//      message crosses factory domains. Enqueue/dequeue pairs establish
+//      happens-before, so plain data handed off through parcels (or
+//      written strictly before a Send and read only after its
+//      delivery) needs no further synchronization.
+//
+// Evaluator code that follows the contract is substrate-agnostic; the
+// differential suite (tests/backend_differential_test.cc) holds every
+// registered evaluator to bit-identical answers on both backends.
+
+#ifndef PARBOX_EXEC_BACKEND_H_
+#define PARBOX_EXEC_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "sim/cluster.h"
+#include "sim/traffic.h"
+
+namespace parbox::exec {
+
+using SiteId = sim::SiteId;
+
+/// A message payload crossing between execution contexts. Always knows
+/// its wire size (what the transport meters); carries the content as a
+/// typed local value, as wire bytes, or both:
+///
+///   * OfSize  — metering only; the receiver reconstructs the content
+///               from shared state (query broadcasts, control hops).
+///   * Plain   — a typed value with no factory-relative ids; crosses by
+///               value on every backend (e.g. resolved bool vectors).
+///   * Coded   — a typed value holding ExprIds plus its wire encoder.
+///               Backends whose sender and receiver share a factory
+///               pass the value through; others call Encode() in the
+///               *sender's* context and deliver bytes the receiver
+///               decodes into its own factory (exec/codec.h).
+class Parcel {
+ public:
+  Parcel() = default;
+
+  static Parcel OfSize(uint64_t wire_bytes) {
+    Parcel p;
+    p.wire_bytes_ = wire_bytes;
+    return p;
+  }
+
+  template <typename T>
+  static Parcel Plain(std::shared_ptr<T> value, uint64_t wire_bytes) {
+    Parcel p;
+    p.local_ = std::static_pointer_cast<void>(std::move(value));
+    p.wire_bytes_ = wire_bytes;
+    return p;
+  }
+
+  template <typename T>
+  static Parcel Coded(std::shared_ptr<T> value, uint64_t wire_bytes,
+                      std::function<std::string()> encode) {
+    Parcel p;
+    p.local_ = std::static_pointer_cast<void>(std::move(value));
+    p.wire_bytes_ = wire_bytes;
+    p.encode_ = std::move(encode);
+    return p;
+  }
+
+  /// Bytes this payload occupies on the wire (the metered quantity;
+  /// envelope framing such as tags or routing ids is not counted,
+  /// matching sim::Cluster's accounting).
+  uint64_t wire_bytes() const { return wire_bytes_; }
+
+  bool has_local() const { return local_ != nullptr; }
+  template <typename T>
+  std::shared_ptr<T> local() const {
+    return std::static_pointer_cast<T>(local_);
+  }
+
+  bool has_wire() const { return has_wire_; }
+  const std::string& wire() const { return wire_; }
+
+  /// True iff this parcel holds factory-relative data that must run
+  /// the wire codec to cross into a different factory's context.
+  bool needs_encoding() const { return encode_ != nullptr; }
+
+  /// Backend-side, sender context: materialize the wire bytes and drop
+  /// the local value (its ids are meaningless to the receiver).
+  void Encode() {
+    if (!encode_) return;
+    wire_ = encode_();
+    has_wire_ = true;
+    local_.reset();
+    encode_ = nullptr;
+  }
+
+ private:
+  std::shared_ptr<void> local_;
+  std::function<std::string()> encode_;
+  std::string wire_;
+  uint64_t wire_bytes_ = 0;
+  bool has_wire_ = false;
+};
+
+/// Everything a backend needs to stand up a deployment's substrate.
+struct BackendConfig {
+  int num_sites = 1;
+  /// The site storing the root fragment; deliveries to it run in the
+  /// coordinator's context (the thread that calls Drain).
+  SiteId coordinator = 0;
+  sim::NetworkParams network;
+  /// The coordinator's (session's) hash-consing factory; triplets are
+  /// composed and solved here. Must outlive the backend AND keep its
+  /// address (Session heap-holds it so moves don't relocate it).
+  bexpr::ExprFactory* coordinator_factory = nullptr;
+};
+
+class ExecBackend {
+ public:
+  using Task = std::function<void()>;
+  using DeliverFn = std::function<void(Parcel)>;
+
+  virtual ~ExecBackend() = default;
+
+  /// Registry name ("sim", "threads").
+  virtual std::string_view name() const = 0;
+  virtual int num_sites() const = 0;
+  virtual SiteId coordinator() const = 0;
+  /// The deployment was re-placed (source-tree rebind): deliveries to
+  /// the new coordinator site run in coordinator context from now on.
+  /// Only between runs (the backend must be quiescent).
+  virtual void SetCoordinator(SiteId site) = 0;
+
+  /// Factory for formula work performed in `site`'s context.
+  virtual bexpr::ExprFactory& site_factory(SiteId site) = 0;
+
+  /// Enqueue `ops` abstract kernel operations on `site`'s serial
+  /// queue; `done` runs in `site`'s context after them.
+  virtual void Compute(SiteId site, uint64_t ops, Task done) = 0;
+
+  /// Transport `parcel` from `from` to `to`; `deliver` runs in `to`'s
+  /// context. Local (from == to) hand-offs are free and unmetered.
+  virtual void Send(SiteId from, SiteId to, Parcel parcel,
+                    std::string_view tag, DeliverFn deliver) = 0;
+
+  /// Count a work-initiating contact of `site` (safe from any context).
+  virtual void RecordVisit(SiteId site) = 0;
+
+  /// Run `task` in coordinator context once now() >= `when`. Must be
+  /// called from coordinator context (admission windows, arrivals).
+  virtual void ScheduleAt(double when, Task task) = 0;
+  /// The backend clock: virtual seconds on the sim, real seconds since
+  /// Reset on the thread pool.
+  virtual double now() const = 0;
+
+  /// Drive all outstanding work (and due timers) to completion; blocks
+  /// the calling (coordinator) thread and returns the makespan.
+  virtual double Drain() = 0;
+
+  /// Rewind meters and clock to a fresh state between executions.
+  /// Interned site-factory formulas persist, mirroring the session
+  /// factory's lifetime. Requires quiescence (after Drain).
+  virtual void Reset() = 0;
+
+  /// Run `mutate` exclusively against in-flight site work: site-context
+  /// tasks hold a shared document lock, `mutate` the exclusive one.
+  /// A single-threaded backend runs it directly. Call from coordinator
+  /// context only.
+  virtual void MutateExclusive(const Task& mutate) = 0;
+
+  // ---- Metering (stable once quiescent) ----
+
+  /// Merged traffic across every context.
+  virtual const sim::TrafficStats& traffic() const = 0;
+  virtual std::vector<uint64_t> visits() const = 0;
+  virtual uint64_t visits_at(SiteId site) const = 0;
+  /// Sum of busy time across sites (virtual on sim, measured on
+  /// threads) — the "total computation" rows of Fig. 4.
+  virtual double total_busy_seconds() const = 0;
+  /// Backend-specific report counters ("sim.events", "exec.tasks").
+  virtual void AddBackendStats(StatsRegistry* stats) const = 0;
+
+  /// The underlying deterministic cluster, or nullptr when this
+  /// backend is not the simulation (tests that assert virtual-clock
+  /// specifics guard on this).
+  virtual sim::Cluster* sim_cluster() { return nullptr; }
+};
+
+/// Name -> factory registry of every linked-in backend, mirroring the
+/// EvaluatorRegistry UX: unknown specs error with the registered names
+/// listed.
+class ExecBackendRegistry {
+ public:
+  /// `arg` is the spec suffix after ':' ("8" in "threads:8"), empty
+  /// when absent.
+  using Factory = Result<std::unique_ptr<ExecBackend>> (*)(
+      const BackendConfig& config, std::string_view arg);
+
+  static ExecBackendRegistry& Instance();
+
+  void Register(int order, std::string name, Factory factory);
+
+  std::vector<std::string> Names() const;
+  std::string NamesJoined(char sep = '|') const;
+
+  /// Create from a spec "name" or "name:arg". Unknown names get an
+  /// InvalidArgument listing every registered backend.
+  Result<std::unique_ptr<ExecBackend>> CreateOrError(
+      std::string_view spec, const BackendConfig& config) const;
+
+  struct Registrar {
+    Registrar(int order, std::string name, Factory factory);
+  };
+
+ private:
+  struct Entry {
+    std::string name;
+    int order;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;  // kept sorted by (order, name)
+};
+
+#define PARBOX_REGISTER_EXEC_BACKEND(order, name, factory)       \
+  static const ::parbox::exec::ExecBackendRegistry::Registrar    \
+      parbox_exec_backend_registrar_##order(order, name, factory)
+
+/// The session-default backend spec: $PARBOX_BACKEND if set (the
+/// `ctest -L backends` jobs run existing suites under "threads" this
+/// way), else "sim".
+std::string DefaultBackendSpec();
+
+}  // namespace parbox::exec
+
+#endif  // PARBOX_EXEC_BACKEND_H_

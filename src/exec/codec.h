@@ -1,0 +1,73 @@
+// Parcel codecs for the payloads that hold factory-relative ids.
+//
+// Triplets — the (V, CV, DV) formula vectors a site ships back — are
+// ExprIds into the *site's* factory. On a backend whose sites share
+// one factory (SimBackend) the typed value passes through; when the
+// message crosses factory domains (ThreadPoolBackend worker ->
+// coordinator) the parcel's encoder runs bexpr::SerializeExprs in the
+// sender's context and the receiver decodes into its own factory —
+// exactly what distinct processes would do.
+//
+// Metering: a triplet parcel's wire size is SerializedExprsSize of its
+// 3·|q| roots (the quantity every figure charges); the fragment id and
+// batch framing ride the message envelope, uncounted, like tags.
+
+#ifndef PARBOX_EXEC_CODEC_H_
+#define PARBOX_EXEC_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "boolexpr/expr.h"
+#include "boolexpr/solver.h"
+#include "common/status.h"
+#include "exec/backend.h"
+
+namespace parbox::exec {
+
+/// Wire size of one fragment's triplet (what TripletWireBytes in
+/// core/partial_eval.h reports; duplicated here so exec/ does not
+/// depend on core/).
+uint64_t TripletWireSize(const bexpr::ExprFactory& factory,
+                         const bexpr::FragmentEquations& eq);
+
+/// Parcel carrying one fragment's triplet out of `factory` (the
+/// sending context's).
+Parcel MakeTripletParcel(const bexpr::ExprFactory& factory,
+                         std::shared_ptr<bexpr::FragmentEquations> eq);
+
+/// Receiving side: the triplet, with ids valid in `*factory` (the
+/// receiving context's). Decodes the wire bytes when the parcel
+/// crossed factories; otherwise moves the local value out.
+Result<bexpr::FragmentEquations> TakeTriplet(Parcel parcel,
+                                             bexpr::ExprFactory* factory);
+
+/// A round's worth of triplets from one site: one item per
+/// (work unit, fragment) pair. `key` is caller-defined routing (the
+/// unique-query index of a QueryService round); the fragment id rides
+/// in eq.fragment. Items may be empty triplets (a fragment that died
+/// between plan snapshot and evaluation) — they cross and decode as
+/// such.
+struct TripletBatch {
+  struct Item {
+    uint64_t key = 0;
+    /// Slot the receiver stores the triplet in (eq.fragment is -1 for
+    /// an empty triplet, so the slot travels separately).
+    int32_t slot = -1;
+    bexpr::FragmentEquations eq;
+  };
+  std::vector<Item> items;
+};
+
+/// Parcel carrying a site's whole batch; wire size = the sum of the
+/// per-item triplet sizes (identical to shipping them singly).
+Parcel MakeTripletBatchParcel(const bexpr::ExprFactory& factory,
+                              std::shared_ptr<TripletBatch> batch);
+
+Result<TripletBatch> TakeTripletBatch(Parcel parcel,
+                                      bexpr::ExprFactory* factory);
+
+}  // namespace parbox::exec
+
+#endif  // PARBOX_EXEC_CODEC_H_

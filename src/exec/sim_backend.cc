@@ -1,0 +1,23 @@
+#include "exec/sim_backend.h"
+
+#include <memory>
+
+namespace parbox::exec {
+
+namespace {
+
+Result<std::unique_ptr<ExecBackend>> MakeSimBackend(
+    const BackendConfig& config, std::string_view arg) {
+  if (!arg.empty()) {
+    return Status::InvalidArgument(
+        "backend \"sim\" takes no argument (got \"" + std::string(arg) +
+        "\")");
+  }
+  return std::unique_ptr<ExecBackend>(new SimBackend(config));
+}
+
+}  // namespace
+
+PARBOX_REGISTER_EXEC_BACKEND(0, "sim", MakeSimBackend);
+
+}  // namespace parbox::exec

@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "core/partial_eval.h"
+#include "exec/codec.h"
 #include "xpath/eval.h"
 
 namespace parbox::service {
@@ -27,22 +28,27 @@ QueryService::QueryService(const frag::FragmentSet* set,
                            const ServiceOptions& options)
     : set_(set),
       options_(options),
-      session_(set, st, core::SessionOptions{options.network}) {}
+      session_(set, st,
+               core::SessionOptions{options.network, options.backend}) {}
 
 QueryService::QueryService(frag::FragmentSet* set,
                            const frag::SourceTree* st,
                            const ServiceOptions& options)
     : set_(set),
       options_(options),
-      session_(set, st, core::SessionOptions{options.network}) {}
+      session_(set, st,
+               core::SessionOptions{options.network, options.backend}) {}
 
 Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
                                       double arrival_seconds,
                                       CompletionFn done) {
+  // An invalid ServiceOptions::backend spec surfaces here, with the
+  // registered backends listed.
+  PARBOX_RETURN_IF_ERROR(session_.backend_status());
   // Prepare = validate + fingerprint + wire-size once, at admission.
   PARBOX_ASSIGN_OR_RETURN(core::PreparedQuery prepared,
                           session_.Prepare(std::move(q)));
-  if (session_.st().num_sites() > session_.cluster().num_sites()) {
+  if (session_.st().num_sites() > session_.backend().num_sites()) {
     // A fragmentation update (via an attached view) placed a fragment
     // on a site this service's cluster was never built with.
     return Status::FailedPrecondition(
@@ -57,7 +63,7 @@ Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
   sub.submitted_seconds = arrival;
   sub.done = std::move(done);
   submissions_.emplace(id, std::move(sub));
-  session_.cluster().loop().At(arrival, [this, id] { Admit(id); });
+  session_.backend().ScheduleAt(arrival, [this, id] { Admit(id); });
   return id;
 }
 
@@ -73,7 +79,7 @@ void QueryService::Admit(uint64_t id) {
       const bool answer = it->second.answer;
       // A hit costs one coordinator-local lookup: no site is visited
       // and nothing crosses the network.
-      session_.cluster().Compute(coordinator(), lookup_ops,
+      session_.backend().Compute(coordinator(), lookup_ops,
                                  [this, id, answer] {
                                    Complete(id, answer, /*cache_hit=*/true,
                                             /*shared=*/false);
@@ -128,8 +134,9 @@ void QueryService::ArmBatchTimer() {
   // it: otherwise the stale deadline would truncate the next batch's
   // window.
   const uint64_t epoch = batch_epoch_;
-  session_.cluster().loop().After(options_.batch_window_seconds,
-                                  [this, epoch] {
+  exec::ExecBackend& backend = session_.backend();
+  backend.ScheduleAt(backend.now() + options_.batch_window_seconds,
+                     [this, epoch] {
     if (epoch != batch_epoch_) return;  // a flush superseded this timer
     batch_timer_armed_ = false;
     if (!pending_.empty()) FlushBatch();
@@ -148,7 +155,7 @@ void QueryService::FlushBatch() {
   // An attached view's SplitFragments may have grown the deployment
   // past this service's cluster; Submit guards new arrivals, but
   // already-admitted work must fail cleanly too.
-  if (session_.st().num_sites() > session_.cluster().num_sites()) {
+  if (session_.st().num_sites() > session_.backend().num_sites()) {
     if (first_error_.ok()) {
       first_error_ = Status::FailedPrecondition(
           "source tree outgrew the service's cluster mid-run");
@@ -177,7 +184,7 @@ void QueryService::FlushBatch() {
 }
 
 void QueryService::BeginRound(std::shared_ptr<Round> round) {
-  sim::Cluster& cluster = session_.cluster();
+  exec::ExecBackend& backend = session_.backend();
   const sim::SiteId coord = coordinator();
   uint64_t batch_query_bytes = 0;
   for (const Unique& u : round->uniques) {
@@ -189,20 +196,25 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
   for (size_t si = 0; si < round->plan->site_fragments.size(); ++si) {
     const sim::SiteId s = round->plan->site_fragments[si].first;
     // One visit per site per round, no matter how many queries ride it.
-    cluster.RecordVisit(s);
-    cluster.Send(coord, s, batch_query_bytes, "query", [this, round, coord,
-                                                        s, si] {
-      sim::Cluster& cluster = session_.cluster();
+    backend.RecordVisit(s);
+    backend.Send(coord, s, exec::Parcel::OfSize(batch_query_bytes),
+                 "query", [this, round, coord, s, si](exec::Parcel) {
+      // Site context: evaluate every unique over every local fragment
+      // into the *site's* factory, collect the triplets in one batch,
+      // and ship a single reply once the last compute drains.
+      exec::ExecBackend& backend = session_.backend();
       struct SiteEval {
         size_t remaining = 0;
-        uint64_t reply_bytes = 0;
+        std::shared_ptr<exec::TripletBatch> batch;
       };
       const std::vector<frag::FragmentId>& fragments =
           round->plan->site_fragments[si].second;
       auto site = std::make_shared<SiteEval>();
       site->remaining = fragments.size() * round->uniques.size();
+      site->batch = std::make_shared<exec::TripletBatch>();
       for (frag::FragmentId f : fragments) {
-        for (Unique& u : round->uniques) {
+        for (size_t ui = 0; ui < round->uniques.size(); ++ui) {
+          const Unique& u = round->uniques[ui];
           // Real partial evaluation, charged to the site's serialized
           // compute queue — exactly the parbox evaluator's
           // per-fragment step. A fragment merged away since the flush
@@ -210,23 +222,49 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
           // Unresolved and the round fails cleanly rather than reading
           // freed nodes.
           xpath::EvalCounters counters;
+          exec::TripletBatch::Item item;
+          item.key = ui;
+          item.slot = f;
           if (set_->is_live(f)) {
-            u.equations[f] = core::PartialEvalFragment(
-                &session_.factory(), u.prepared.query(), *set_, f,
+            item.eq = core::PartialEvalFragment(
+                &backend.site_factory(s), u.prepared.query(), *set_, f,
                 &counters);
           }
-          total_ops_ += counters.ops;
-          site->reply_bytes +=
-              core::TripletWireBytes(session_.factory(), u.equations[f]);
-          cluster.Compute(s, counters.ops, [this, round, coord, s, site] {
+          total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
+          site->batch->items.push_back(std::move(item));
+          backend.Compute(s, counters.ops, [this, round, coord, s, site] {
             if (--site->remaining > 0) return;
-            // All fragments x queries done: one reply for the round.
-            session_.cluster().Send(s, coord, site->reply_bytes, "triplet",
-                                    [this, round] {
-                                      if (--round->pending_sites == 0) {
-                                        Compose(round);
-                                      }
-                                    });
+            // All fragments x queries done: one reply for the round,
+            // its triplets crossing through the wire codec when the
+            // backend separates site and coordinator factories.
+            exec::ExecBackend& backend = session_.backend();
+            exec::Parcel reply = exec::MakeTripletBatchParcel(
+                backend.site_factory(s), std::move(site->batch));
+            backend.Send(s, coord, std::move(reply), "triplet",
+                         [this, round](exec::Parcel delivered) {
+              Result<exec::TripletBatch> batch = exec::TakeTripletBatch(
+                  std::move(delivered), &session_.factory());
+              if (!batch.ok()) {
+                if (first_error_.ok()) first_error_ = batch.status();
+              } else {
+                for (exec::TripletBatch::Item& item : batch->items) {
+                  if (item.key >= round->uniques.size() || item.slot < 0 ||
+                      static_cast<size_t>(item.slot) >=
+                          round->uniques[item.key].equations.size()) {
+                    if (first_error_.ok()) {
+                      first_error_ =
+                          Status::Internal("batch item out of range");
+                    }
+                    continue;
+                  }
+                  round->uniques[item.key].equations[item.slot] =
+                      std::move(item.eq);
+                }
+              }
+              if (--round->pending_sites == 0) {
+                Compose(round);
+              }
+            });
           });
         }
       }
@@ -239,8 +277,8 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
   for (const Unique& u : round->uniques) {
     solve_ops += u.prepared.query().size() * set_->live_count();
   }
-  total_ops_ += solve_ops;
-  session_.cluster().Compute(coordinator(), solve_ops, [this, round] {
+  total_ops_.fetch_add(solve_ops, std::memory_order_relaxed);
+  session_.backend().Compute(coordinator(), solve_ops, [this, round] {
     for (Unique& u : round->uniques) {
       Result<bool> result = bexpr::SolveForAnswer(
           &session_.factory(), u.equations, round->plan->children,
@@ -292,7 +330,7 @@ void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
   if (sub.done) sub.done(outcomes_.back());
 }
 
-double QueryService::Run() { return session_.cluster().Run(); }
+double QueryService::Run() { return session_.backend().Drain(); }
 
 // ---- Updates and the result cache --------------------------------------
 
@@ -336,7 +374,8 @@ bool QueryService::RefreshEntry(
   xpath::EvalCounters counters;
   bexpr::FragmentEquations fresh = core::PartialEvalFragment(
       &session_.factory(), entry->query.query(), *set_, f, &counters);
-  total_ops_ += counters.ops;  // maintenance work is real compute
+  // Maintenance work is real compute.
+  total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
   if (SameTriplet(entry->equations[f], fresh)) {
     return true;  // triplet unchanged => the answer provably stands
   }
@@ -415,7 +454,7 @@ void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
     xpath::EvalCounters counters;
     entry.equations[f] = core::PartialEvalFragment(
         &session_.factory(), entry.query.query(), *set_, f, &counters);
-    total_ops_ += counters.ops;
+    total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
   }
 }
 
@@ -442,10 +481,10 @@ Status QueryService::AttachView(core::MaterializedView* view) {
 // ---- Reporting ---------------------------------------------------------
 
 ServiceReport QueryService::BuildReport() const {
-  const sim::Cluster& cluster = session_.cluster();
+  const exec::ExecBackend& backend = session_.backend();
   ServiceReport report;
   report.completed = outcomes_.size();
-  report.makespan_seconds = cluster.now();
+  report.makespan_seconds = backend.now();
   report.throughput_qps =
       report.makespan_seconds > 0.0
           ? static_cast<double>(report.completed) / report.makespan_seconds
@@ -457,15 +496,16 @@ ServiceReport QueryService::BuildReport() const {
   report.rounds = rounds_;
   report.cache_invalidations = cache_invalidations_;
   report.cache_refreshes = cache_refreshes_;
-  report.network_bytes = cluster.traffic().total_bytes();
-  report.network_messages = cluster.traffic().total_messages();
-  for (uint64_t v : cluster.all_visits()) report.total_visits += v;
-  report.total_ops = total_ops_;
+  const sim::TrafficStats& traffic = backend.traffic();
+  report.network_bytes = traffic.total_bytes();
+  report.network_messages = traffic.total_messages();
+  for (uint64_t v : backend.visits()) report.total_visits += v;
+  report.total_ops = total_ops_.load(std::memory_order_relaxed);
   report.interned_formula_nodes = session_.factory().total_nodes();
-  for (const auto& [tag, bytes] : cluster.traffic().bytes_by_tag()) {
+  for (const auto& [tag, bytes] : traffic.bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
   }
-  report.stats.Add("sim.events", cluster.loop().events_run());
+  backend.AddBackendStats(&report.stats);
   return report;
 }
 

@@ -1,8 +1,10 @@
-// QueryService: a long-lived serving layer over one simulated cluster.
+// QueryService: a long-lived serving layer over one execution backend.
 //
 // Where the Run* entry points of core/algorithms.h build a fresh
-// cluster per query, a QueryService owns one sim::Cluster for its
-// lifetime and serves a *stream* of queries — the paper's cost model
+// substrate per query, a QueryService owns one exec::ExecBackend for
+// its lifetime — the deterministic simulated cluster by default, a
+// real thread pool under {.backend = "threads"} — and serves a
+// *stream* of queries — the paper's cost model
 // (each site visited once, O(|q|·card(F)) traffic per query) amortized
 // across concurrent traffic:
 //
@@ -50,6 +52,7 @@
 #ifndef PARBOX_SERVICE_QUERY_SERVICE_H_
 #define PARBOX_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -63,6 +66,7 @@
 #include "core/prepared.h"
 #include "core/session.h"
 #include "core/view.h"
+#include "exec/backend.h"
 #include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
@@ -74,6 +78,12 @@ namespace parbox::service {
 
 struct ServiceOptions {
   sim::NetworkParams network;
+  /// Execution substrate (exec/backend.h registry spec): "sim" for the
+  /// deterministic simulated cluster (default), "threads[:N]" for the
+  /// real worker pool — the latter turns the service into a measurably
+  /// parallel server (bench_x9_backend_throughput). Defaults to
+  /// $PARBOX_BACKEND when set.
+  std::string backend = exec::DefaultBackendSpec();
 
   /// Merge concurrently admitted queries into per-site batch rounds.
   /// Off: every admission is its own round (ablation baseline).
@@ -162,8 +172,9 @@ class QueryService {
   /// queries submitted by completion callbacks). Returns virtual now().
   double Run();
 
-  double now() const { return session_.cluster().now(); }
-  sim::Cluster& cluster() { return session_.cluster(); }
+  double now() const { return session_.backend().now(); }
+  /// The execution substrate the service runs on.
+  exec::ExecBackend& backend() { return session_.backend(); }
   /// First internal failure, if any (malformed equation system).
   const Status& status() const { return first_error_; }
 
@@ -300,7 +311,9 @@ class QueryService {
   uint64_t rounds_ = 0;
   uint64_t cache_invalidations_ = 0;
   uint64_t cache_refreshes_ = 0;
-  uint64_t total_ops_ = 0;
+  /// Site work accumulates ops from worker threads under a parallel
+  /// backend.
+  std::atomic<uint64_t> total_ops_{0};
 };
 
 }  // namespace parbox::service

@@ -42,6 +42,22 @@ void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
   }
 }
 
+void TrafficStats::Merge(const TrafficStats& other) {
+  total_bytes_ += other.total_bytes_;
+  total_messages_ += other.total_messages_;
+  for (size_t i = 0; i < other.tag_names_.size(); ++i) {
+    const TagId tag = InternTag(other.tag_names_[i]);
+    bytes_by_tag_id_[tag] += other.bytes_by_tag_id_[i];
+    msgs_by_tag_id_[tag] += other.msgs_by_tag_id_[i];
+  }
+  if (other.bytes_into_.size() > bytes_into_.size()) {
+    bytes_into_.resize(other.bytes_into_.size(), 0);
+  }
+  for (size_t i = 0; i < other.bytes_into_.size(); ++i) {
+    bytes_into_[i] += other.bytes_into_[i];
+  }
+}
+
 uint64_t TrafficStats::bytes_with_tag(std::string_view tag) const {
   for (size_t i = 0; i < tag_names_.size(); ++i) {
     if (tag_names_[i] == tag) return bytes_by_tag_id_[i];

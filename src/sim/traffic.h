@@ -44,6 +44,15 @@ class TrafficStats {
   /// accounting is bit-identical to a freshly constructed object.
   void Reset();
 
+  /// Fold `other`'s counters into this object, matching tags by name.
+  ///
+  /// Concurrency: a TrafficStats is single-writer — Record is two
+  /// plain array increments and must never race. Parallel backends
+  /// (exec::ThreadPoolBackend) therefore keep one instance per
+  /// execution context, each written only by its own thread, and Merge
+  /// them into a combined view once the run is quiescent.
+  void Merge(const TrafficStats& other);
+
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_messages() const { return total_messages_; }
   uint64_t bytes_with_tag(std::string_view tag) const;

@@ -1,0 +1,207 @@
+// The ExecBackend contract, held to by differential testing: the
+// deterministic simulation is the oracle, and the thread-pool backend
+// must agree with it bit-for-bit wherever the quantity is defined on
+// both — answers, per-site visits, network bytes and messages, kernel
+// ops, equation-system sizes, and the per-tag traffic breakdown.
+// (Virtual times and event counts are sim-defined and excluded.)
+//
+// Covers every registered evaluator, ExecuteIncremental across random
+// delta sequences (the seeded-trial harness of
+// incremental_update_test.cc), and QueryService answer streams; plus
+// the registry's unknown-spec UX.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/session.h"
+#include "exec/backend.h"
+#include "fragment/delta.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "testutil.h"
+#include "xpath/normalize.h"
+
+namespace parbox::core {
+namespace {
+
+using frag::FragmentSet;
+using testutil::TrialMultiplier;
+
+/// The cross-backend comparable slice of a RunReport.
+void ExpectReportsAgree(const RunReport& sim, const RunReport& threads,
+                        const std::string& context) {
+  EXPECT_EQ(sim.answer, threads.answer) << context;
+  EXPECT_EQ(sim.algorithm, threads.algorithm) << context;
+  EXPECT_EQ(sim.total_ops, threads.total_ops) << context;
+  EXPECT_EQ(sim.network_bytes, threads.network_bytes) << context;
+  EXPECT_EQ(sim.network_messages, threads.network_messages) << context;
+  EXPECT_EQ(sim.visits_per_site, threads.visits_per_site) << context;
+  EXPECT_EQ(sim.eq_system_entries, threads.eq_system_entries) << context;
+  for (const auto& [name, value] : sim.stats.counters()) {
+    if (name.rfind("net.", 0) == 0) {
+      EXPECT_EQ(value, threads.stats.Get(name)) << context << " " << name;
+    }
+  }
+}
+
+TEST(BackendDifferentialTest, AllEvaluatorsBitIdenticalAcrossBackends) {
+  const std::vector<std::string> names =
+      EvaluatorRegistry::Instance().Names();
+  ASSERT_FALSE(names.empty());
+  size_t trials = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    testutil::RandomScenario scenario =
+        testutil::MakeRandomScenario(seed + 900, /*max_elements=*/90,
+                                     /*splits=*/6);
+    auto sim = Session::Create(
+        static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+        SessionOptions{.backend = "sim"});
+    auto threads = Session::Create(
+        static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+        SessionOptions{.backend = "threads"});
+    ASSERT_TRUE(sim.ok() && threads.ok());
+
+    Rng rng(seed * 31 + 7);
+    for (int i = 0; i < 3; ++i) {
+      auto ast = testutil::RandomQual(&rng, 3);
+      xpath::NormQuery q = xpath::Normalize(*ast);
+      auto sim_q = sim->Prepare(&q);
+      auto thr_q = threads->Prepare(&q);
+      ASSERT_TRUE(sim_q.ok() && thr_q.ok());
+      for (const std::string& name : names) {
+        auto sim_report = sim->Execute(*sim_q, {.evaluator = name});
+        auto thr_report = threads->Execute(*thr_q, {.evaluator = name});
+        ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
+        ASSERT_TRUE(thr_report.ok()) << thr_report.status().ToString();
+        ExpectReportsAgree(*sim_report, *thr_report,
+                           "seed " + std::to_string(seed) + " evaluator " +
+                               name + " query " + xpath::ToString(*ast));
+        ++trials;
+      }
+    }
+  }
+  EXPECT_GE(trials, 6u * 3u * names.size());
+}
+
+// ExecuteIncremental across random delta sequences: two identically
+// seeded deployments, one per backend, mutated in lockstep; every
+// incremental run (full, delta, and clean paths all occur) must agree
+// on the comparable report slice — including the "update" traffic tag
+// and per-site visits, which prove the thread pool revisits exactly
+// the dirty sites the sim does.
+TEST(BackendDifferentialTest, IncrementalRunsBitIdenticalAcrossBackends) {
+  const int deltas_per_seed = 12 * TrialMultiplier();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    testutil::RandomScenario for_sim =
+        testutil::MakeRandomScenario(seed + 950, 70, 5);
+    testutil::RandomScenario for_threads =
+        testutil::MakeRandomScenario(seed + 950, 70, 5);
+
+    auto sim = Session::Create(&for_sim.set, &for_sim.st,
+                               SessionOptions{.backend = "sim"});
+    auto threads = Session::Create(&for_threads.set, &for_threads.st,
+                                   SessionOptions{.backend = "threads"});
+    ASSERT_TRUE(sim.ok() && threads.ok());
+    ASSERT_TRUE(sim->writable() && threads->writable());
+
+    Rng rng_sim(seed * 131 + 17);
+    Rng rng_thr(seed * 131 + 17);
+    auto sim_q =
+        sim->Prepare(xpath::Normalize(*testutil::RandomQual(&rng_sim, 3)));
+    auto thr_q = threads->Prepare(
+        xpath::Normalize(*testutil::RandomQual(&rng_thr, 3)));
+    ASSERT_TRUE(sim_q.ok() && thr_q.ok());
+
+    for (int d = 0; d < deltas_per_seed; ++d) {
+      // Identical RNG streams over identical documents pick identical
+      // deltas; apply one to each deployment.
+      frag::Delta delta_sim = testutil::RandomDelta(&for_sim.set, &rng_sim);
+      frag::Delta delta_thr =
+          testutil::RandomDelta(&for_threads.set, &rng_thr);
+      ASSERT_EQ(delta_sim.kind, delta_thr.kind);
+      ASSERT_TRUE(sim->Apply(delta_sim).ok());
+      ASSERT_TRUE(threads->Apply(delta_thr).ok());
+
+      auto sim_report = sim->ExecuteIncremental(*sim_q);
+      auto thr_report = threads->ExecuteIncremental(*thr_q);
+      ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
+      ASSERT_TRUE(thr_report.ok()) << thr_report.status().ToString();
+      ExpectReportsAgree(
+          *sim_report, *thr_report,
+          "seed " + std::to_string(seed) + " delta " + std::to_string(d));
+
+      // Every other delta, also compare the clean path (a re-run with
+      // nothing dirty).
+      if (d % 2 == 1) {
+        auto sim_clean = sim->ExecuteIncremental(*sim_q);
+        auto thr_clean = threads->ExecuteIncremental(*thr_q);
+        ASSERT_TRUE(sim_clean.ok() && thr_clean.ok());
+        EXPECT_EQ(sim_clean->algorithm, "IncrementalParBoX[clean]");
+        ExpectReportsAgree(*sim_clean, *thr_clean,
+                           "clean after seed " + std::to_string(seed) +
+                               " delta " + std::to_string(d));
+      }
+    }
+  }
+}
+
+TEST(BackendDifferentialTest, ServiceAnswerStreamsAgreeAcrossBackends) {
+  testutil::RandomScenario scenario =
+      testutil::MakeRandomScenario(1234, 120, 6);
+  auto workload =
+      service::Workload::Make({.distinct_queries = 8, .min_qlist_size = 2});
+  ASSERT_TRUE(workload.ok());
+
+  auto serve = [&](const std::string& backend) {
+    service::ServiceOptions options;
+    options.backend = backend;
+    service::QueryService svc(
+        static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+        options);
+    auto report = service::RunOpenLoop(
+        &svc, *workload, {.num_queries = 64, .seed = 99});
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(svc.status().ok()) << svc.status().ToString();
+    // Answers by submission id (completion order may differ).
+    std::vector<std::pair<uint64_t, bool>> answers;
+    for (const service::QueryOutcome& outcome : svc.outcomes()) {
+      answers.emplace_back(outcome.query_id, outcome.answer);
+    }
+    std::sort(answers.begin(), answers.end());
+    return answers;
+  };
+
+  auto sim_answers = serve("sim");
+  auto thr_answers = serve("threads");
+  ASSERT_EQ(sim_answers.size(), 64u);
+  EXPECT_EQ(sim_answers, thr_answers);
+}
+
+TEST(BackendDifferentialTest, UnknownBackendErrorsListRegistered) {
+  testutil::RandomScenario scenario = testutil::MakeRandomScenario(7, 40, 2);
+  auto session = Session::Create(
+      static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+      SessionOptions{.backend = "quantum"});
+  ASSERT_FALSE(session.ok());
+  const std::string message = session.status().ToString();
+  EXPECT_NE(message.find("quantum"), std::string::npos) << message;
+  EXPECT_NE(message.find("sim"), std::string::npos) << message;
+  EXPECT_NE(message.find("threads"), std::string::npos) << message;
+
+  auto bad_arg = Session::Create(
+      static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+      SessionOptions{.backend = "threads:zero"});
+  ASSERT_FALSE(bad_arg.ok());
+
+  auto counted = Session::Create(
+      static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+      SessionOptions{.backend = "threads:3"});
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->backend().name(), "threads");
+}
+
+}  // namespace
+}  // namespace parbox::core

@@ -291,6 +291,9 @@ TEST(ComplexityTest, FullDistShipsLessThanParBoX) {
 }
 
 TEST(ComplexityTest, ParBoXParallelismBeatsSequentialTraversal) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   // Equal fragments on distinct sites: ParBoX's makespan should be
   // well under NaiveDistributed's strictly serialized one.
   xml::Document doc = xmark::GenerateStarDocument(8, 20000, 17);

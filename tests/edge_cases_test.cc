@@ -77,6 +77,9 @@ TEST(SelectionConsistencyTest, PathSelectionAgreesWithBooleanAnswer) {
 }
 
 TEST(DeterminismTest, IdenticalRunsProduceIdenticalReports) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   auto scenario = testutil::MakeRandomScenario(123, 150, 5);
   auto q = xpath::CompileQuery("[//a and not(//e/text() = \"t3\")]");
   ASSERT_TRUE(q.ok());
@@ -92,6 +95,9 @@ TEST(DeterminismTest, IdenticalRunsProduceIdenticalReports) {
 }
 
 TEST(DeterminismTest, NetworkParamsAffectOnlyTiming) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   auto scenario = testutil::MakeRandomScenario(124, 150, 5);
   auto q = xpath::CompileQuery("[//b/c]");
   ASSERT_TRUE(q.ok());

@@ -146,8 +146,8 @@ TEST(IncrementalUpdateTest, DeltaRunVisitsOnlyDirtySites) {
   EXPECT_EQ(delta_run->algorithm, "IncrementalParBoX[delta]");
   EXPECT_TRUE(delta_run->answer);
   EXPECT_EQ(delta_run->total_visits(), 1u);
-  EXPECT_EQ(session->cluster().visits(st->site_of(*f_t)), 1u);
-  const sim::TrafficStats& traffic = session->cluster().traffic();
+  EXPECT_EQ(session->backend().visits_at(st->site_of(*f_t)), 1u);
+  const sim::TrafficStats& traffic = session->backend().traffic();
   EXPECT_EQ(traffic.messages_with_tag("update"), 1u);
   EXPECT_EQ(traffic.messages_with_tag("triplet"), 1u);
   EXPECT_EQ(traffic.messages_with_tag("query"), 0u);

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/algorithms.h"
-#include "core/threaded.h"
+#include "core/session.h"
 #include "testutil.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
@@ -86,8 +86,15 @@ TEST_P(PlacementSweepTest, AllAlgorithmsCorrectUnderEveryPlacement) {
           << static_cast<int>(placement) << " seed " << seed << " query "
           << xpath::ToString(*ast);
     }
-    auto threaded = RunParBoXThreads(set, *st, q);
-    ASSERT_TRUE(threaded.ok());
+    // The thread-pool backend must agree through the unified path.
+    auto threaded_session = Session::Create(
+        static_cast<const FragmentSet*>(&set), &*st,
+        core::SessionOptions{.backend = "threads"});
+    ASSERT_TRUE(threaded_session.ok());
+    auto threaded_q = threaded_session->Prepare(&q);
+    ASSERT_TRUE(threaded_q.ok());
+    auto threaded = threaded_session->Execute(*threaded_q);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
     EXPECT_EQ(threaded->answer, expected);
   }
 }
@@ -232,7 +239,11 @@ TEST(StatsTest, ReportBreaksTrafficDownByKind) {
   EXPECT_EQ(parbox->stats.Get("net.query.bytes") +
                 parbox->stats.Get("net.triplet.bytes"),
             parbox->network_bytes);
-  EXPECT_GT(parbox->stats.Get("sim.events"), 0u);
+  // The backend-specific event counter: simulator events, or executed
+  // tasks on the thread pool.
+  EXPECT_GT(parbox->stats.Get("sim.events") +
+                parbox->stats.Get("exec.tasks"),
+            0u);
 
   auto central = RunNaiveCentralized(scenario.set, scenario.st, q);
   ASSERT_TRUE(central.ok());

@@ -128,7 +128,7 @@ TEST(IncrementalStabilityTest,
     // Perturb the session every way short of changing clean content:
     // execute, rewind the cluster, apply a delta to one fragment.
     ASSERT_TRUE(session->ExecuteIncremental(*prepared).ok());
-    session->cluster().Reset();
+    session->backend().Reset();
     auto applied =
         session->Apply(testutil::RandomDelta(&scenario.set, &rng));
     ASSERT_TRUE(applied.ok()) << applied.status().ToString();

@@ -87,6 +87,9 @@ TEST(EvaluatorRegistryTest, UnknownNameErrorListsRegisteredNames) {
 // ---------- Prepare-once / execute-many == fresh Run* ----------
 
 TEST(SessionTest, ExecuteManyIsBitIdenticalToFreshRunsAllEvaluators) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   Portfolio p = MakePortfolio();
   xpath::NormQuery q = Compile(xmark::kYhooQuery);
 
@@ -114,6 +117,9 @@ TEST(SessionTest, ExecuteManyIsBitIdenticalToFreshRunsAllEvaluators) {
 }
 
 TEST(SessionTest, RandomScenariosMatchLegacyRunParBoX) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     testutil::RandomScenario scenario =
         testutil::MakeRandomScenario(seed, /*max_elements=*/60,
@@ -140,6 +146,9 @@ TEST(SessionTest, RandomScenariosMatchLegacyRunParBoX) {
 // ---------- PreparedQuery lifetime across interleavings ----------
 
 TEST(SessionTest, PreparedQueryStaysValidAcrossInterleavedExecutions) {
+  if (!testutil::DefaultBackendIsSim()) {
+    GTEST_SKIP() << "virtual-clock property; sim backend only";
+  }
   Portfolio p = MakePortfolio();
   auto session = Session::Create(&p.set, &p.st);
   ASSERT_TRUE(session.ok());

@@ -95,6 +95,18 @@ inline RandomScenario MakeRandomScenario(uint64_t seed, int max_elements,
   return RandomScenario{std::move(set), std::move(st).value()};
 }
 
+/// True iff the session-default execution backend ($PARBOX_BACKEND)
+/// is the deterministic simulation. Tests asserting virtual-clock
+/// properties — bit-identical reports, makespans that scale with
+/// NetworkParams, "sim.events" — skip under any other backend (the
+/// `ctest -L backends` jobs re-run whole suites with
+/// PARBOX_BACKEND=threads).
+inline bool DefaultBackendIsSim() {
+  const char* spec = std::getenv("PARBOX_BACKEND");
+  return spec == nullptr || spec[0] == '\0' ||
+         std::string(spec) == "sim";
+}
+
 /// Trial-count multiplier for the seeded randomized suites (the
 /// `ctest -L extended` set): PARBOX_TEST_TRIALS if set to a positive
 /// integer, else 1.

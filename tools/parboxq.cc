@@ -25,7 +25,7 @@
 #include "core/path_selection.h"
 #include "core/selection.h"
 #include "core/session.h"
-#include "core/threaded.h"
+#include "exec/backend.h"
 #include "fragment/strategies.h"
 #include "service/query_service.h"
 #include "service/workload.h"
@@ -44,6 +44,7 @@ struct CliOptions {
   int random_splits = 0;
   int sites = 0;  // 0 = one site per fragment
   std::string algorithm = "parbox";
+  std::string backend = exec::DefaultBackendSpec();
   uint64_t seed = 42;
   bool select = false;
   bool select_path = false;
@@ -57,6 +58,8 @@ struct CliOptions {
 int Usage(const char* argv0) {
   const std::string algos =
       core::EvaluatorRegistry::Instance().NamesJoined('|');
+  const std::string backends =
+      exec::ExecBackendRegistry::Instance().NamesJoined('|');
   std::fprintf(
       stderr,
       "usage: %s --query=QUERY [options] FILE|-\n"
@@ -67,9 +70,12 @@ int Usage(const char* argv0) {
       "  --splits=N          N random splits (default: 0, one fragment)\n"
       "  --sites=N           round-robin fragments over N sites\n"
       "                      (default: one site per fragment)\n"
-      "  --algo=A            registered evaluator, or threads|all\n"
+      "  --algo=A            registered evaluator, or all\n"
       "                      (registered: %s; default: parbox;\n"
       "                      --algorithm= is accepted as an alias)\n"
+      "  --backend=B         execution substrate, e.g. sim or\n"
+      "                      threads:8 (registered: %s; default: sim;\n"
+      "                      --serve honors it too)\n"
       "  --select            treat the query as a node predicate and\n"
       "                      list matching elements\n"
       "  --select-path       treat the query as a path and list the\n"
@@ -82,7 +88,7 @@ int Usage(const char* argv0) {
       "  --serve-queries=N   total queries to serve (default: 64)\n"
       "  --serve-clients=N   concurrent clients (default: 8)\n"
       "  --serve-think-ms=T  per-client think time (default: 0)\n",
-      argv0, algos.c_str());
+      argv0, algos.c_str(), backends.c_str());
   std::fprintf(stderr, "\nregistered evaluators:\n");
   for (const std::string& name :
        core::EvaluatorRegistry::Instance().Names()) {
@@ -122,6 +128,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--algo", &value) ||
                ParseFlag(argv[i], "--algorithm", &value)) {
       options.algorithm = value;
+    } else if (ParseFlag(argv[i], "--backend", &value)) {
+      options.backend = value;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--serve-queries", &value)) {
@@ -200,7 +208,10 @@ int main(int argc, char** argv) {
               set->TotalElements(), set->live_count(), st->num_sites());
 
   // ---- Open a session, prepare the query once ----
-  auto session = core::Session::Create(&*set, &*st);
+  // An unknown --backend fails here, listing the registered backends —
+  // the same UX as an unknown --algo.
+  auto session = core::Session::Create(
+      &*set, &*st, core::SessionOptions{.backend = options.backend});
   if (!session.ok()) return Fail(session.status());
   auto prepared = session->Prepare(options.query);
   if (!prepared.ok()) return Fail(prepared.status());
@@ -209,7 +220,9 @@ int main(int argc, char** argv) {
 
   // ---- Serve ----
   if (options.serve) {
-    service::QueryService svc(&*set, &*st);
+    service::ServiceOptions svc_options;
+    svc_options.backend = options.backend;
+    service::QueryService svc(&*set, &*st, svc_options);
     auto report = service::RunClosedLoopWith(
         &svc, [&](size_t) { return xpath::CompileQuery(options.query); },
         static_cast<size_t>(std::max(options.serve_queries, 0)),
@@ -260,17 +273,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (options.algorithm == "threads") {
-    auto report = core::RunParBoXThreads(*set, *st, prepared->query());
-    if (!report.ok()) return Fail(report.status());
-    std::printf("answer: %s\n", report->answer ? "true" : "false");
-    std::printf("ParBoX(threads): wall=%.4fs site-sum=%.4fs threads=%d "
-                "wire=%llu B\n",
-                report->wall_seconds, report->sum_site_seconds,
-                report->sites_used,
-                static_cast<unsigned long long>(report->wire_bytes));
-    return 0;
-  }
   if (options.algorithm == "all") {
     bool first = true;
     for (const std::string& name :
