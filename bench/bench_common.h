@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/session.h"
@@ -166,6 +167,43 @@ inline core::RunReport Exec(core::Session* session,
   Check(report.status());
   return std::move(*report);
 }
+
+// ---- Machine-readable bench output -------------------------------------
+
+/// Collects a flat set of key -> number metrics and, when
+/// $PARBOX_BENCH_JSON_DIR is set, writes them to
+/// <dir>/<bench name>.json on destruction (CI uploads the directory as
+/// a workflow artifact, so the perf trajectory is inspectable per
+/// run). A no-op when the variable is unset.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const char* key, double value) {
+    entries_.emplace_back(key, value);
+  }
+
+  ~JsonReport() {
+    const char* dir = std::getenv("PARBOX_BENCH_JSON_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    const std::string path = std::string(dir) + "/" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void PrintHeader(const char* figure, const char* caption,
                         const BenchConfig& config) {

@@ -105,6 +105,12 @@ int main() {
 
   const double speedup_batch = batch_only.throughput_qps / seq_qps;
   const double speedup_full = full.throughput_qps / seq_qps;
+  JsonReport json("bench_x6_service_throughput");
+  json.Add("sequential_qps", seq_qps);
+  json.Add("batch_only_qps", batch_only.throughput_qps);
+  json.Add("batch_cache_qps", full.throughput_qps);
+  json.Add("speedup_batch", speedup_batch);
+  json.Add("speedup_full", speedup_full);
   std::printf("\nspeedup vs sequential: batch-only %.1fx, batch+cache "
               "%.1fx (target >= 2x)\n",
               speedup_batch, speedup_full);

@@ -111,6 +111,11 @@ int main() {
       per_call.Percentile(50) / per_exec.Percentile(50);
   std::printf("\nspeedup: mean %.2fx, p50 %.2fx (target >= 1.5x mean)\n",
               speedup_mean, speedup_p50);
+  JsonReport json("bench_x7_prepared_reuse");
+  json.Add("parse_per_call_mean_seconds", per_call.mean());
+  json.Add("prepared_mean_seconds", per_exec.mean());
+  json.Add("speedup_mean", speedup_mean);
+  json.Add("speedup_p50", speedup_p50);
   if (speedup_mean < 1.5) {
     std::fprintf(stderr,
                  "FAILED: prepared reuse below 1.5x parse-per-call\n");

@@ -153,6 +153,11 @@ int main() {
   std::printf("\nspeedup: mean %.2fx, p50 %.2fx (target >= 3x mean at "
               "<10%% dirty)\n",
               speedup_mean, speedup_p50);
+  JsonReport json("bench_x8_incremental_updates");
+  json.Add("full_rerun_mean_seconds", full_wall.mean());
+  json.Add("incremental_mean_seconds", inc_wall.mean());
+  json.Add("speedup_mean", speedup_mean);
+  json.Add("speedup_p50", speedup_p50);
   if (speedup_mean < 3.0) {
     std::fprintf(stderr,
                  "FAILED: incremental re-execution below 3x full re-run\n");

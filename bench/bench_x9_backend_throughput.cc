@@ -78,6 +78,11 @@ int main() {
   const double speedup = wall_8 > 0.0 ? wall_1 / wall_8 : 0.0;
   std::printf("\n8-worker speedup over 1 worker: %.2fx (gate: >= 2x)\n",
               speedup);
+  JsonReport json("bench_x9_backend_throughput");
+  json.Add("wall_1_worker_seconds", wall_1);
+  json.Add("wall_8_workers_seconds", wall_8);
+  json.Add("speedup", speedup);
+  json.Add("hardware_threads", hw);
   if (hw < 4) {
     std::printf("SKIPPED: host has %u hardware threads; the parallelism "
                 "gate needs >= 4 to be meaningful. Answers verified "

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/selection.h"
 #include "core/session.h"
@@ -54,13 +55,14 @@ int main() {
   auto session = core::Session::Create(&*set, &*st);
   Check(session.status());
   for (int version : {0, kVersions / 2, kVersions - 1}) {
-    auto query = xmark::MakeMarkerQuery("v" + std::to_string(version));
+    std::string marker = "v";
+    marker += std::to_string(version);
+    auto query = xmark::MakeMarkerQuery(marker);
     Check(query.status());
     auto prepared = session->Prepare(std::move(*query));
     Check(prepared.status());
     std::printf("== query satisfied at version %d: %s ==\n", version,
-                xmark::MarkerQueryText("v" + std::to_string(version))
-                    .c_str());
+                xmark::MarkerQueryText(marker).c_str());
     for (const char* evaluator : {"parbox", "fulldist", "lazy"}) {
       auto report = session->Execute(*prepared, {.evaluator = evaluator});
       Check(report.status());

@@ -35,6 +35,14 @@ class Distribution {
   /// Nearest-rank percentile, `pct` in [0, 100]. 0 on an empty sample.
   double Percentile(double pct) const;
 
+  /// Pool `other`'s observations into this sample (aggregate service
+  /// reports across documents).
+  void Merge(const Distribution& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+  }
+
   /// "n=.. mean=.. p50=.. p95=.. p99=.. max=.." with `unit` appended
   /// to each value (e.g. "ms") and values multiplied by `scale`
   /// (e.g. 1e3 to print seconds as milliseconds).

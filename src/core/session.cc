@@ -79,8 +79,10 @@ Session::Session(const frag::FragmentSet* set, const frag::SourceTree* st,
   config.network = options.network;
   config.coordinator_factory = factory_.get();
   Result<std::unique_ptr<exec::ExecBackend>> backend =
-      exec::ExecBackendRegistry::Instance().CreateOrError(options.backend,
-                                                          config);
+      options.host != nullptr
+          ? options.host->AddNamespace(config)
+          : exec::ExecBackendRegistry::Instance().CreateOrError(
+                options.backend, config);
   if (backend.ok()) {
     backend_ = std::move(*backend);
   } else {
@@ -465,7 +467,53 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
                     entries);
 }
 
+void Session::FollowPlacement(
+    std::shared_ptr<const frag::PlacementFeed> feed) {
+  placement_feed_ = std::move(feed);
+  placement_epoch_seen_ = placement_feed_->epoch();
+  if (std::shared_ptr<const frag::SourceTree> snap =
+          placement_feed_->snapshot()) {
+    snapshot_hold_ = std::move(snap);
+    st_ = snapshot_hold_.get();
+    plan_ = nullptr;
+  }
+}
+
+void Session::SyncPlacement() {
+  if (placement_feed_ == nullptr ||
+      placement_feed_->epoch() == placement_epoch_seen_) {
+    return;
+  }
+  const std::vector<frag::FragmentId> moved =
+      placement_feed_->MovedSince(placement_epoch_seen_);
+  placement_epoch_seen_ = placement_feed_->epoch();
+  snapshot_hold_ = placement_feed_->snapshot();
+  st_ = snapshot_hold_.get();
+  // A Move changes no content: the plan re-partitions, but the refrag
+  // epoch does NOT bump — retained incremental triplets stay valid,
+  // and only the moved fragments go dirty. The 16 bytes are the
+  // migration control record (fragment id, new site, epoch) the next
+  // incremental "update" message carries; the fragment's *content*
+  // already lives at the new site (the catalog ships it at Move time,
+  // metered under the "migrate" tag).
+  plan_ = nullptr;
+  // Only already-seeded incremental states ever read these records; a
+  // state seeded after the move starts from a full pass at the current
+  // log position. With no such consumer, skip the append so a
+  // read-only serving session's log stays empty across moves.
+  bool any_reusable = false;
+  for (const auto& [fp, state] : inc_states_) {
+    (void)fp;
+    any_reusable = any_reusable || !NeedsFullPass(state);
+  }
+  if (!any_reusable) return;
+  for (frag::FragmentId f : moved) {
+    if (set_->is_live(f)) dirty_log_.push_back({f, 16});
+  }
+}
+
 std::shared_ptr<const SitePlan> Session::plan() {
+  SyncPlacement();
   if (plan_ == nullptr) {
     auto p = std::make_shared<SitePlan>();
     p->children = set_->ChildrenTable();

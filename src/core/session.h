@@ -66,8 +66,10 @@
 #include "core/prepared.h"
 #include "core/report.h"
 #include "exec/backend.h"
+#include "exec/host.h"
 #include "fragment/delta.h"
 #include "fragment/fragment.h"
+#include "fragment/placement.h"
 #include "fragment/source_tree.h"
 #include "sim/cluster.h"
 #include "xpath/fingerprint.h"
@@ -76,7 +78,7 @@
 namespace parbox::core {
 
 struct SessionOptions {
-  sim::NetworkParams network;
+  sim::NetworkParams network{};
   /// Execution substrate, by ExecBackendRegistry spec: "sim" (the
   /// deterministic simulated cluster — the default, and the oracle
   /// every other backend is held to), "threads" (a real worker pool,
@@ -85,6 +87,12 @@ struct SessionOptions {
   /// first Execute, for the non-validating constructors) with the
   /// registered backends listed.
   std::string backend = exec::DefaultBackendSpec();
+  /// When set, the session joins this shared multi-document substrate
+  /// (catalog serving) instead of standing up a dedicated backend: its
+  /// sites become a fresh namespace on the host (`backend` is then
+  /// ignored — the host already chose the substrate). The host must
+  /// outlive the session.
+  exec::BackendHost* host = nullptr;
 };
 
 struct ExecOptions {
@@ -203,6 +211,7 @@ class Session {
   const Status& backend_status() const { return backend_status_; }
 
   /// Current partition plan (computed on first use, then reused).
+  /// Catches up on the placement feed first (SyncPlacement).
   std::shared_ptr<const SitePlan> plan();
   /// The deployment was re-fragmented or re-placed: recompute the plan
   /// on next use. Holders of the old shared_ptr keep their snapshot.
@@ -210,6 +219,21 @@ class Session {
   /// Follow a source tree rebuilt elsewhere (view maintenance). The
   /// new tree must describe the same FragmentSet. Invalidates the plan.
   void RebindSourceTree(const frag::SourceTree* st);
+
+  // ---- Placement subscription (catalog documents) ----
+
+  /// Subscribe to a catalog document's placement feed. From here on,
+  /// plan() (and therefore every Execute*) first catches up on Move
+  /// epochs: rebind the current snapshot, recompute the per-site plan,
+  /// and append one dirty-log *migration record* per moved fragment —
+  /// WITHOUT re-seeding retained incremental state (a Move changes no
+  /// fragment content, so cached triplets stay valid; only the moved
+  /// fragments re-ship their state, via the metered "update" message
+  /// of the next ExecuteIncremental, and visit counts stay bounded by
+  /// the moved-fragment count).
+  void FollowPlacement(std::shared_ptr<const frag::PlacementFeed> feed);
+  /// Catch up on the followed feed now (plan() does this implicitly).
+  void SyncPlacement();
 
  private:
   /// Per-fingerprint state ExecuteIncremental maintains: the triplet
@@ -264,6 +288,13 @@ class Session {
   /// Handed to every PreparedQuery; survives Session moves, so Execute
   /// can tell its own handles from another session's.
   std::shared_ptr<const int> ticket_;
+
+  /// Placement subscription (FollowPlacement): the feed, the last
+  /// epoch caught up to, and the snapshot keeping st_ alive across
+  /// publishes.
+  std::shared_ptr<const frag::PlacementFeed> placement_feed_;
+  uint64_t placement_epoch_seen_ = 0;
+  std::shared_ptr<const frag::SourceTree> snapshot_hold_;
 
   /// Log of fragments dirtied by Apply; each query's incremental
   /// state remembers its own *absolute* position in it, so one log

@@ -5,6 +5,16 @@
 
 namespace parbox::exec {
 
+Result<SiteId> ExecBackend::AddNamespace(int num_sites, SiteId coordinator,
+                                         bexpr::ExprFactory* coordinator_factory) {
+  (void)num_sites;
+  (void)coordinator;
+  (void)coordinator_factory;
+  return Status::FailedPrecondition(
+      "backend \"" + std::string(name()) +
+      "\" does not host multiple site namespaces");
+}
+
 ExecBackendRegistry& ExecBackendRegistry::Instance() {
   static ExecBackendRegistry* registry = new ExecBackendRegistry();
   return *registry;

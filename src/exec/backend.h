@@ -146,7 +146,7 @@ struct BackendConfig {
   /// The site storing the root fragment; deliveries to it run in the
   /// coordinator's context (the thread that calls Drain).
   SiteId coordinator = 0;
-  sim::NetworkParams network;
+  sim::NetworkParams network{};
   /// The coordinator's (session's) hash-consing factory; triplets are
   /// composed and solved here. Must outlive the backend AND keep its
   /// address (Session heap-holds it so moves don't relocate it).
@@ -166,8 +166,24 @@ class ExecBackend {
   virtual SiteId coordinator() const = 0;
   /// The deployment was re-placed (source-tree rebind): deliveries to
   /// the new coordinator site run in coordinator context from now on.
-  /// Only between runs (the backend must be quiescent).
+  /// On a multi-namespace backend, `site` re-homes the coordinator of
+  /// the namespace containing it. Only between runs (the backend must
+  /// be quiescent).
   virtual void SetCoordinator(SiteId site) = 0;
+
+  /// Multi-document hosting: grow the substrate by `num_sites` fresh
+  /// global sites forming a new namespace, so several deployments
+  /// share one worker pool / one virtual clock instead of standing up
+  /// one cluster each. `coordinator` (namespace-local) names the site
+  /// whose deliveries must run in coordinator context, with formula
+  /// work interned into `*coordinator_factory` (the owning session's;
+  /// must outlive the backend and keep its address). Returns the
+  /// namespace's base global site id — the namespace's local site s is
+  /// global site base + s. Requires quiescence. Backends that cannot
+  /// host more than their construction-time sites return
+  /// FailedPrecondition (the default).
+  virtual Result<SiteId> AddNamespace(int num_sites, SiteId coordinator,
+                                      bexpr::ExprFactory* coordinator_factory);
 
   /// Factory for formula work performed in `site`'s context.
   virtual bexpr::ExprFactory& site_factory(SiteId site) = 0;

@@ -1,0 +1,115 @@
+#include "exec/host.h"
+
+namespace parbox::exec {
+
+Result<std::unique_ptr<BackendHost>> BackendHost::Create(
+    std::string_view spec, const sim::NetworkParams& network) {
+  BackendConfig config;
+  config.num_sites = 0;   // namespaces grow the substrate on demand
+  config.coordinator = -1;
+  config.network = network;
+  config.coordinator_factory = nullptr;
+  PARBOX_ASSIGN_OR_RETURN(
+      std::unique_ptr<ExecBackend> backend,
+      ExecBackendRegistry::Instance().CreateOrError(spec, config));
+  auto host = std::unique_ptr<BackendHost>(new BackendHost());
+  host->spec_ = std::string(spec);
+  host->backend_ = std::move(backend);
+  return host;
+}
+
+Result<std::unique_ptr<ExecBackend>> BackendHost::AddNamespace(
+    const BackendConfig& config) {
+  PARBOX_ASSIGN_OR_RETURN(
+      SiteId base,
+      backend_->AddNamespace(config.num_sites, config.coordinator,
+                             config.coordinator_factory));
+  const std::string prefix = "d" + std::to_string(next_namespace_++) + ".";
+  return std::unique_ptr<ExecBackend>(
+      new NamespaceBackend(backend_.get(), base, config.num_sites,
+                           config.coordinator, prefix));
+}
+
+NamespaceBackend::NamespaceBackend(ExecBackend* shared, SiteId base,
+                                   int num_sites, SiteId coordinator,
+                                   std::string prefix)
+    : shared_(shared),
+      base_(base),
+      num_sites_(num_sites),
+      coordinator_(coordinator),
+      prefix_(std::move(prefix)) {
+  CaptureBaseline();
+}
+
+void NamespaceBackend::SetCoordinator(SiteId site) {
+  coordinator_ = site;
+  shared_->SetCoordinator(base_ + site);
+}
+
+void NamespaceBackend::Send(SiteId from, SiteId to, Parcel parcel,
+                            std::string_view tag, DeliverFn deliver) {
+  // The namespace prefix makes this view's share of the substrate's
+  // merged traffic exactly separable; traffic() strips it again.
+  std::string prefixed = prefix_;
+  prefixed += tag;
+  shared_->Send(base_ + from, base_ + to, std::move(parcel), prefixed,
+                std::move(deliver));
+}
+
+void NamespaceBackend::CaptureBaseline() {
+  clock_base_ = shared_->now();
+  baseline_busy_ = shared_->total_busy_seconds();
+  baseline_visits_.assign(static_cast<size_t>(num_sites_), 0);
+  baseline_into_.assign(static_cast<size_t>(num_sites_), 0);
+  const sim::TrafficStats& t = shared_->traffic();
+  for (int s = 0; s < num_sites_; ++s) {
+    baseline_visits_[static_cast<size_t>(s)] =
+        shared_->visits_at(base_ + s);
+    baseline_into_[static_cast<size_t>(s)] = t.bytes_into(base_ + s);
+  }
+  baseline_tags_.clear();
+  for (size_t i = 0; i < t.tag_count(); ++i) {
+    const std::string_view tag = t.tag_name(i);
+    if (tag.substr(0, prefix_.size()) != prefix_) continue;
+    baseline_tags_[std::string(tag)] = {t.tag_bytes(i), t.tag_messages(i)};
+  }
+}
+
+const sim::TrafficStats& NamespaceBackend::traffic() const {
+  scoped_.Reset();
+  const sim::TrafficStats& t = shared_->traffic();
+  for (size_t i = 0; i < t.tag_count(); ++i) {
+    const std::string_view tag = t.tag_name(i);
+    if (tag.substr(0, prefix_.size()) != prefix_) continue;
+    uint64_t base_bytes = 0;
+    uint64_t base_msgs = 0;
+    if (auto it = baseline_tags_.find(tag); it != baseline_tags_.end()) {
+      base_bytes = it->second.first;
+      base_msgs = it->second.second;
+    }
+    const uint64_t bytes = t.tag_bytes(i) - base_bytes;
+    const uint64_t messages = t.tag_messages(i) - base_msgs;
+    // Skip all-baseline tags: a dedicated backend's Reset forgets its
+    // tag registry, so the scoped view must not report phantom
+    // zero-count tags from before the local rewind.
+    if (bytes == 0 && messages == 0) continue;
+    scoped_.AddTagCounts(tag.substr(prefix_.size()), bytes, messages);
+  }
+  for (int s = 0; s < num_sites_; ++s) {
+    const uint64_t into = t.bytes_into(base_ + s) -
+                          baseline_into_[static_cast<size_t>(s)];
+    if (into > 0) scoped_.AddBytesInto(s, into);
+  }
+  return scoped_;
+}
+
+std::vector<uint64_t> NamespaceBackend::visits() const {
+  std::vector<uint64_t> out(static_cast<size_t>(num_sites_), 0);
+  for (int s = 0; s < num_sites_; ++s) {
+    out[static_cast<size_t>(s)] = shared_->visits_at(base_ + s) -
+                                  baseline_visits_[static_cast<size_t>(s)];
+  }
+  return out;
+}
+
+}  // namespace parbox::exec

@@ -1,0 +1,168 @@
+// BackendHost: one shared execution substrate hosting many documents.
+//
+// A catalog serving N documents must not stand up N clusters / N
+// thread pools. The host owns ONE underlying ExecBackend (sim or
+// threads, by registry spec) created with zero sites; every document
+// (in fact, every Session joining the host) registers a *namespace* —
+// a fresh block of global sites via ExecBackend::AddNamespace — and
+// receives a NamespaceBackend: an ExecBackend view scoped to that
+// block. Through the view,
+//
+//   * site ids translate local <-> global (local site s = global
+//     base + s), so Session, the evaluators, and QueryService run
+//     unchanged;
+//   * traffic tags are namespace-prefixed on the wire ("d3.query"),
+//     which makes the shared substrate's merged meters exactly
+//     separable: the view's traffic()/visits()/now() present ONLY its
+//     namespace's share, with tags unprefixed again — byte-identical
+//     to what a dedicated backend would have metered (the
+//     tests/catalog_test.cc differential);
+//   * Reset() is local: the view snapshots baselines (meters + clock)
+//     instead of rewinding the substrate under its neighbors, so
+//     Session::Execute's rewind-per-run contract holds per namespace;
+//   * Drain() drives the WHOLE substrate (work is shared; any
+//     namespace's drain finishes everyone's outstanding work) and
+//     reports the namespace-relative makespan.
+//
+// Lifetime: the host must outlive every view it handed out; views are
+// owned by their sessions (Session's usual backend slot). Namespaces
+// are never recycled — a closed document's sites simply go idle, a
+// deliberate simplification (site ids are virtual; idle sim sites cost
+// nothing, and thread-pool sites are sharded onto the same fixed
+// workers regardless).
+
+#ifndef PARBOX_EXEC_HOST_H_
+#define PARBOX_EXEC_HOST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace parbox::exec {
+
+class BackendHost {
+ public:
+  /// Stand up the shared substrate from a registry spec ("sim",
+  /// "threads[:N]"). Bad specs (unknown name, threads:0) fail HERE —
+  /// catalog construction time — with the registered backends listed.
+  static Result<std::unique_ptr<BackendHost>> Create(
+      std::string_view spec, const sim::NetworkParams& network = {});
+
+  /// Register a namespace of `config.num_sites` sites whose local
+  /// `config.coordinator` runs in coordinator context against
+  /// `config.coordinator_factory`, and return the scoped view. Called
+  /// by Session when SessionOptions::host is set. Requires quiescence.
+  Result<std::unique_ptr<ExecBackend>> AddNamespace(
+      const BackendConfig& config);
+
+  /// The underlying shared substrate (drive it directly to drain all
+  /// documents at once).
+  ExecBackend& backend() { return *backend_; }
+  const ExecBackend& backend() const { return *backend_; }
+
+  const std::string& spec() const { return spec_; }
+  int num_namespaces() const { return next_namespace_; }
+
+ private:
+  BackendHost() = default;
+
+  std::string spec_;
+  std::unique_ptr<ExecBackend> backend_;
+  int next_namespace_ = 0;
+};
+
+/// The scoped view one namespace sees (see file comment). Exposed for
+/// tests; normal code receives it as a plain ExecBackend.
+class NamespaceBackend final : public ExecBackend {
+ public:
+  /// `*shared` must outlive this view. `base` is the namespace's first
+  /// global site id, `prefix` its traffic-tag prefix ("d3.").
+  NamespaceBackend(ExecBackend* shared, SiteId base, int num_sites,
+                   SiteId coordinator, std::string prefix);
+
+  std::string_view name() const override { return shared_->name(); }
+  int num_sites() const override { return num_sites_; }
+  SiteId coordinator() const override { return coordinator_; }
+  void SetCoordinator(SiteId site) override;
+
+  bexpr::ExprFactory& site_factory(SiteId site) override {
+    return shared_->site_factory(base_ + site);
+  }
+
+  void Compute(SiteId site, uint64_t ops, Task done) override {
+    shared_->Compute(base_ + site, ops, std::move(done));
+  }
+  void Send(SiteId from, SiteId to, Parcel parcel, std::string_view tag,
+            DeliverFn deliver) override;
+  void RecordVisit(SiteId site) override {
+    shared_->RecordVisit(base_ + site);
+  }
+
+  void ScheduleAt(double when, Task task) override {
+    shared_->ScheduleAt(when + clock_base_, std::move(task));
+  }
+  double now() const override { return shared_->now() - clock_base_; }
+
+  double Drain() override { return shared_->Drain() - clock_base_; }
+  /// Local rewind: snapshots baselines instead of resetting the shared
+  /// substrate under the other namespaces.
+  void Reset() override { CaptureBaseline(); }
+
+  void MutateExclusive(const Task& mutate) override {
+    shared_->MutateExclusive(mutate);
+  }
+
+  const sim::TrafficStats& traffic() const override;
+  std::vector<uint64_t> visits() const override;
+  uint64_t visits_at(SiteId site) const override {
+    return shared_->visits_at(base_ + site) -
+           baseline_visits_[static_cast<size_t>(site)];
+  }
+  double total_busy_seconds() const override {
+    // Busy time is per worker, not per namespace, on the thread pool;
+    // this is the substrate's busy share since the last local Reset.
+    return shared_->total_busy_seconds() - baseline_busy_;
+  }
+  void AddBackendStats(StatsRegistry* stats) const override {
+    shared_->AddBackendStats(stats);
+  }
+
+  sim::Cluster* sim_cluster() override { return shared_->sim_cluster(); }
+
+  SiteId base() const { return base_; }
+  const std::string& tag_prefix() const { return prefix_; }
+
+ private:
+  void CaptureBaseline();
+
+  ExecBackend* shared_;
+  SiteId base_;
+  int num_sites_;
+  SiteId coordinator_;
+  std::string prefix_;
+
+  /// Meter/clock baselines as of construction or the last Reset();
+  /// every read subtracts them, making the view behave like a freshly
+  /// reset dedicated backend.
+  double clock_base_ = 0.0;
+  double baseline_busy_ = 0.0;
+  std::vector<uint64_t> baseline_visits_;
+  std::vector<uint64_t> baseline_into_;
+  /// Prefixed tag -> (bytes, messages) at baseline.
+  std::map<std::string, std::pair<uint64_t, uint64_t>, std::less<>>
+      baseline_tags_;
+
+  /// traffic()'s scoped view, rebuilt on demand (quiescent reads only,
+  /// like every backend meter).
+  mutable sim::TrafficStats scoped_;
+};
+
+}  // namespace parbox::exec
+
+#endif  // PARBOX_EXEC_HOST_H_

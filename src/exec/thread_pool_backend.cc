@@ -19,9 +19,16 @@ ThreadPoolBackend::ThreadPoolBackend(const BackendConfig& config,
                                      int num_workers)
     : num_sites_(config.num_sites),
       coordinator_(config.coordinator),
+      coord_factory_(static_cast<size_t>(std::max(config.num_sites, 0)),
+                     nullptr),
       visits_(static_cast<size_t>(config.num_sites)),
       epoch_(std::chrono::steady_clock::now()) {
   coord_.factory = config.coordinator_factory;
+  if (config.coordinator >= 0 && config.coordinator < config.num_sites) {
+    coord_factory_[static_cast<size_t>(config.coordinator)] =
+        config.coordinator_factory;
+    ranges_.push_back(Range{0, config.num_sites, config.coordinator});
+  }
   const int n = std::max(1, num_workers);
   workers_.reserve(static_cast<size_t>(n));
   threads_.reserve(static_cast<size_t>(n));
@@ -150,13 +157,73 @@ void ThreadPoolBackend::Send(SiteId from, SiteId to, Parcel parcel,
     // Contract: Send runs in `from`'s context, so src's meter is ours.
     src->traffic.Record(from, to, parcel.wire_bytes(), tag);
   }
-  if (parcel.needs_encoding() && src->factory != dst->factory) {
+  // Factory domains are per *site*, not per executor: coordinator
+  // sites of different hosted namespaces share the coordinator
+  // executor but compose into their own sessions' factories.
+  if (parcel.needs_encoding() && &site_factory(from) != &site_factory(to)) {
     parcel.Encode();  // the real wire codec, in the sender's context
   }
   Enqueue(dst, [deliver = std::move(deliver),
                 parcel = std::move(parcel)]() mutable {
     deliver(std::move(parcel));
   });
+}
+
+void ThreadPoolBackend::SetCoordinator(SiteId site) {
+  // Re-home coordinator-ness within the namespace containing `site`
+  // (a view rebind moved the root fragment): that namespace's old
+  // coordinator site becomes a worker site, the new one joins the
+  // Drain()ing context with the same session factory. Other hosted
+  // namespaces' coordinators are untouched.
+  Range* range = nullptr;
+  for (Range& r : ranges_) {
+    if (site >= r.base && site < r.base + r.num_sites) range = &r;
+  }
+  const SiteId old_site = range != nullptr ? range->coordinator : coordinator_;
+  bexpr::ExprFactory* factory = coord_factory_of(old_site);
+  if (old_site >= 0 &&
+      static_cast<size_t>(old_site) < coord_factory_.size()) {
+    coord_factory_[static_cast<size_t>(old_site)] = nullptr;
+  }
+  if (range != nullptr) range->coordinator = site;
+  if (range == nullptr || range == &ranges_.front()) coordinator_ = site;
+  if (site >= 0) {
+    if (static_cast<size_t>(site) >= coord_factory_.size()) {
+      coord_factory_.resize(static_cast<size_t>(site) + 1, nullptr);
+    }
+    coord_factory_[static_cast<size_t>(site)] =
+        factory != nullptr ? factory : coord_.factory;
+  }
+}
+
+Result<SiteId> ThreadPoolBackend::AddNamespace(
+    int num_sites, SiteId coordinator,
+    bexpr::ExprFactory* coordinator_factory) {
+  assert(outstanding_.load(std::memory_order_acquire) == 0 &&
+         "AddNamespace requires quiescence");
+  if (num_sites < 1) {
+    return Status::InvalidArgument("namespace needs at least one site");
+  }
+  if (coordinator < 0 || coordinator >= num_sites) {
+    return Status::InvalidArgument(
+        "namespace coordinator outside [0, num_sites)");
+  }
+  if (coordinator_factory == nullptr) {
+    return Status::InvalidArgument(
+        "namespace needs a coordinator factory");
+  }
+  const SiteId base = num_sites_;
+  num_sites_ += num_sites;
+  coord_factory_.resize(static_cast<size_t>(num_sites_), nullptr);
+  coord_factory_[static_cast<size_t>(base + coordinator)] =
+      coordinator_factory;
+  visits_.resize(static_cast<size_t>(num_sites_));
+  ranges_.push_back(Range{base, num_sites, base + coordinator});
+  if (coordinator_ < 0) {
+    coordinator_ = base + coordinator;
+    coord_.factory = coordinator_factory;
+  }
+  return base;
 }
 
 void ThreadPoolBackend::ScheduleAt(double when, Task task) {

@@ -47,6 +47,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -68,10 +69,21 @@ class ThreadPoolBackend final : public ExecBackend {
   std::string_view name() const override { return "threads"; }
   int num_sites() const override { return num_sites_; }
   SiteId coordinator() const override { return coordinator_; }
-  void SetCoordinator(SiteId site) override { coordinator_ = site; }
+  void SetCoordinator(SiteId site) override;
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// Multi-document hosting: a fresh block of sites sharded over the
+  /// SAME worker pool; `base + coordinator` joins the coordinator
+  /// context (the Drain()ing thread) with `coordinator_factory` as its
+  /// formula domain. Requires quiescence.
+  Result<SiteId> AddNamespace(
+      int num_sites, SiteId coordinator,
+      bexpr::ExprFactory* coordinator_factory) override;
+
   bexpr::ExprFactory& site_factory(SiteId site) override {
+    // Coordinator sites (one per hosted namespace) compose into their
+    // own session's factory; worker sites intern into the worker's.
+    if (bexpr::ExprFactory* f = coord_factory_of(site)) return *f;
     return *executor_of(site)->factory;
   }
 
@@ -136,11 +148,20 @@ class ThreadPoolBackend final : public ExecBackend {
   };
 
   Executor* executor_of(SiteId site) {
-    if (site == coordinator_ || workers_.empty()) return &coord_;
+    if (workers_.empty() || is_coordinator_site(site)) return &coord_;
     return workers_[static_cast<size_t>(site) % workers_.size()].get();
   }
   const Executor* executor_of(SiteId site) const {
     return const_cast<ThreadPoolBackend*>(this)->executor_of(site);
+  }
+  bool is_coordinator_site(SiteId site) const {
+    return site >= 0 && static_cast<size_t>(site) < coord_factory_.size() &&
+           coord_factory_[static_cast<size_t>(site)] != nullptr;
+  }
+  bexpr::ExprFactory* coord_factory_of(SiteId site) const {
+    return site >= 0 && static_cast<size_t>(site) < coord_factory_.size()
+               ? coord_factory_[static_cast<size_t>(site)]
+               : nullptr;
   }
 
   /// Push onto `ex`'s mailbox (lock-free), waking its consumer if it
@@ -160,7 +181,22 @@ class ThreadPoolBackend final : public ExecBackend {
   Executor coord_;
   std::vector<std::unique_ptr<Executor>> workers_;
   std::vector<std::thread> threads_;
-  std::vector<std::atomic<uint64_t>> visits_;
+  /// Per site: the hosting session's factory for coordinator sites,
+  /// nullptr for worker sites. Indexed by global site id; grown only
+  /// while quiescent (AddNamespace).
+  std::vector<bexpr::ExprFactory*> coord_factory_;
+  /// One hosted namespace's site block; SetCoordinator re-homes
+  /// within the block containing the named site, so re-homing one
+  /// namespace never disturbs another's coordinator.
+  struct Range {
+    SiteId base = 0;
+    int num_sites = 0;
+    SiteId coordinator = 0;
+  };
+  std::vector<Range> ranges_;
+  /// deque, not vector: AddNamespace grows it without relocating the
+  /// atomics live RecordVisit calls may already reference.
+  std::deque<std::atomic<uint64_t>> visits_;
 
   /// Tasks enqueued but not yet finished, across every executor; 0
   /// with empty mailboxes and timer heap means quiescent.

@@ -57,6 +57,22 @@ Result<SourceTree> SourceTree::Create(const FragmentSet& set,
   return st;
 }
 
+Result<SourceTree> SourceTree::Create(const FragmentSet& set,
+                                      std::vector<SiteId> site_of_fragment,
+                                      int32_t num_sites,
+                                      uint64_t placement_epoch) {
+  PARBOX_ASSIGN_OR_RETURN(SourceTree st,
+                          Create(set, std::move(site_of_fragment)));
+  if (num_sites < st.num_sites_) {
+    return Status::InvalidArgument(
+        "placement names fewer sites than its assignment uses");
+  }
+  st.num_sites_ = num_sites;
+  st.fragments_at_.resize(num_sites);
+  st.placement_epoch_ = placement_epoch;
+  return st;
+}
+
 std::vector<FragmentId> SourceTree::fragments_at_depth(int d) const {
   std::vector<FragmentId> out;
   for (FragmentId f : live_) {

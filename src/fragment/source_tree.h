@@ -30,7 +30,18 @@ class SourceTree {
   static Result<SourceTree> Create(const FragmentSet& set,
                                    std::vector<SiteId> site_of_fragment);
 
+  /// Placement::Snapshot's entry point: like Create above, but the
+  /// site count is pinned to the placement's (sites may be empty) and
+  /// the snapshot is stamped with the placement epoch it froze.
+  static Result<SourceTree> Create(const FragmentSet& set,
+                                   std::vector<SiteId> site_of_fragment,
+                                   int32_t num_sites,
+                                   uint64_t placement_epoch);
+
   int32_t num_sites() const { return num_sites_; }
+  /// Epoch of the Placement this snapshot froze (0 for trees built
+  /// straight from a site vector).
+  uint64_t placement_epoch() const { return placement_epoch_; }
   FragmentId root_fragment() const { return root_; }
 
   SiteId site_of(FragmentId f) const { return site_of_[f]; }
@@ -63,6 +74,7 @@ class SourceTree {
  private:
   FragmentId root_ = kNoFragment;
   int32_t num_sites_ = 0;
+  uint64_t placement_epoch_ = 0;
   int max_depth_ = 0;
   std::vector<SiteId> site_of_;
   std::vector<std::vector<FragmentId>> fragments_at_;

@@ -29,7 +29,13 @@ QueryService::QueryService(const frag::FragmentSet* set,
     : set_(set),
       options_(options),
       session_(set, st,
-               core::SessionOptions{options.network, options.backend}) {}
+               core::SessionOptions{options.network, options.backend,
+                                    options.host}) {
+  // A bad backend spec is visible through status() from birth (the
+  // Create factories refuse outright; Submit re-checks for the
+  // non-validating path).
+  first_error_ = session_.backend_status();
+}
 
 QueryService::QueryService(frag::FragmentSet* set,
                            const frag::SourceTree* st,
@@ -37,7 +43,28 @@ QueryService::QueryService(frag::FragmentSet* set,
     : set_(set),
       options_(options),
       session_(set, st,
-               core::SessionOptions{options.network, options.backend}) {}
+               core::SessionOptions{options.network, options.backend,
+                                    options.host}) {
+  first_error_ = session_.backend_status();
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    const frag::FragmentSet* set, const frag::SourceTree* st,
+    const ServiceOptions& options) {
+  auto service =
+      std::unique_ptr<QueryService>(new QueryService(set, st, options));
+  PARBOX_RETURN_IF_ERROR(service->session_.backend_status());
+  return service;
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    frag::FragmentSet* set, const frag::SourceTree* st,
+    const ServiceOptions& options) {
+  auto service =
+      std::unique_ptr<QueryService>(new QueryService(set, st, options));
+  PARBOX_RETURN_IF_ERROR(service->session_.backend_status());
+  return service;
+}
 
 Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
                                       double arrival_seconds,

@@ -77,13 +77,19 @@
 namespace parbox::service {
 
 struct ServiceOptions {
-  sim::NetworkParams network;
+  sim::NetworkParams network{};
   /// Execution substrate (exec/backend.h registry spec): "sim" for the
   /// deterministic simulated cluster (default), "threads[:N]" for the
   /// real worker pool — the latter turns the service into a measurably
   /// parallel server (bench_x9_backend_throughput). Defaults to
   /// $PARBOX_BACKEND when set.
   std::string backend = exec::DefaultBackendSpec();
+  /// When set, serve on this shared multi-document substrate instead
+  /// of a dedicated backend (`backend` is then ignored): the service's
+  /// sites become a namespace on the host — how a CatalogService runs
+  /// N documents on one worker pool. The host must outlive the
+  /// service.
+  exec::BackendHost* host = nullptr;
 
   /// Merge concurrently admitted queries into per-site batch rounds.
   /// Off: every admission is its own round (ablation baseline).
@@ -159,6 +165,16 @@ class QueryService {
   QueryService(frag::FragmentSet* set, const frag::SourceTree* st,
                const ServiceOptions& options = {});
 
+  /// Validating factories: a bad ServiceOptions::backend spec (unknown
+  /// name, threads:0) fails HERE — construction time, with the
+  /// registered backends listed — instead of on the first Submit.
+  static Result<std::unique_ptr<QueryService>> Create(
+      const frag::FragmentSet* set, const frag::SourceTree* st,
+      const ServiceOptions& options = {});
+  static Result<std::unique_ptr<QueryService>> Create(
+      frag::FragmentSet* set, const frag::SourceTree* st,
+      const ServiceOptions& options = {});
+
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
@@ -175,6 +191,7 @@ class QueryService {
   double now() const { return session_.backend().now(); }
   /// The execution substrate the service runs on.
   exec::ExecBackend& backend() { return session_.backend(); }
+  const exec::ExecBackend& backend() const { return session_.backend(); }
   /// First internal failure, if any (malformed equation system).
   const Status& status() const { return first_error_; }
 
@@ -212,6 +229,16 @@ class QueryService {
   /// follow the view's source tree from now on. The view must maintain
   /// the same FragmentSet this service evaluates against.
   Status AttachView(core::MaterializedView* view);
+
+  /// Subscribe the embedded session to a catalog document's placement
+  /// feed (CatalogService wiring). A Move changes no answer, so cached
+  /// entries keep serving; the next batch flush re-partitions the plan
+  /// via Session::SyncPlacement.
+  void FollowPlacement(std::shared_ptr<const frag::PlacementFeed> feed) {
+    session_.FollowPlacement(std::move(feed));
+  }
+  /// Catch up on the followed feed now (flushes also do this).
+  void SyncPlacement() { session_.SyncPlacement(); }
 
  private:
   /// One distinct query being (or about to be) evaluated in a round.

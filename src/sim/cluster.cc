@@ -10,7 +10,16 @@ Cluster::Cluster(int num_sites, const NetworkParams& params)
       busy_until_(num_sites, 0.0),
       busy_seconds_(num_sites, 0.0),
       visits_(num_sites, 0) {
-  assert(num_sites > 0);
+  // 0 sites is a valid start for a shared multi-namespace substrate
+  // (exec::BackendHost) that grows per document via Grow().
+  assert(num_sites >= 0);
+}
+
+void Cluster::Grow(int additional) {
+  assert(additional >= 0);
+  busy_until_.resize(busy_until_.size() + additional, 0.0);
+  busy_seconds_.resize(busy_seconds_.size() + additional, 0.0);
+  visits_.resize(visits_.size() + additional, 0);
 }
 
 void Cluster::Compute(SiteId site, uint64_t ops, EventLoop::Task done) {

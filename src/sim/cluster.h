@@ -66,6 +66,11 @@ class Cluster {
   /// Run the event loop to completion and return the virtual makespan.
   double Run();
 
+  /// Append `additional` fresh idle sites (a new namespace joining a
+  /// shared substrate). Existing sites, clock, and meters are
+  /// untouched. Only between runs (the loop must be quiescent).
+  void Grow(int additional);
+
   /// Rewind to a just-constructed state (clock 0, no traffic, no
   /// visits, all sites idle) without reallocating. A long-lived owner
   /// (core::Session) resets between evaluations so every run's report

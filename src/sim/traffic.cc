@@ -42,6 +42,23 @@ void TrafficStats::Record(int32_t from, int32_t to, uint64_t bytes,
   }
 }
 
+void TrafficStats::AddTagCounts(std::string_view tag, uint64_t bytes,
+                                uint64_t messages) {
+  const TagId id = InternTag(tag);
+  total_bytes_ += bytes;
+  total_messages_ += messages;
+  bytes_by_tag_id_[id] += bytes;
+  msgs_by_tag_id_[id] += messages;
+}
+
+void TrafficStats::AddBytesInto(int32_t site, uint64_t bytes) {
+  if (site < 0) return;
+  if (static_cast<size_t>(site) >= bytes_into_.size()) {
+    bytes_into_.resize(site + 1, 0);
+  }
+  bytes_into_[site] += bytes;
+}
+
 void TrafficStats::Merge(const TrafficStats& other) {
   total_bytes_ += other.total_bytes_;
   total_messages_ += other.total_messages_;

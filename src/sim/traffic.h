@@ -44,6 +44,15 @@ class TrafficStats {
   /// accounting is bit-identical to a freshly constructed object.
   void Reset();
 
+  /// Bulk-add one tag's counters without per-message Record calls —
+  /// how a per-namespace scoped view of a shared substrate's traffic
+  /// is rebuilt (exec::BackendHost). Totals are updated too.
+  void AddTagCounts(std::string_view tag, uint64_t bytes,
+                    uint64_t messages);
+  /// Bulk-add received bytes for one site (scoped-view companion to
+  /// AddTagCounts; does not touch totals — AddTagCounts already did).
+  void AddBytesInto(int32_t site, uint64_t bytes);
+
   /// Fold `other`'s counters into this object, matching tags by name.
   ///
   /// Concurrency: a TrafficStats is single-writer — Record is two
@@ -64,6 +73,13 @@ class TrafficStats {
   std::map<std::string, uint64_t> bytes_by_tag() const;
   /// Tag -> messages, sorted by tag name (built on demand).
   std::map<std::string, uint64_t> messages_by_tag() const;
+  /// Direct registry reads, intern order — the per-namespace scoped
+  /// views (exec::BackendHost) iterate these on every rewind/report
+  /// instead of materializing the sorted maps above.
+  size_t tag_count() const { return tag_names_.size(); }
+  std::string_view tag_name(size_t i) const { return tag_names_[i]; }
+  uint64_t tag_bytes(size_t i) const { return bytes_by_tag_id_[i]; }
+  uint64_t tag_messages(size_t i) const { return msgs_by_tag_id_[i]; }
   /// Bytes received by a site (grown on demand).
   uint64_t bytes_into(int32_t site) const;
 

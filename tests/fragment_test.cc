@@ -2,6 +2,7 @@
 
 #include "common/rng.h"
 #include "fragment/fragment.h"
+#include "fragment/placement.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
 #include "xmark/generator.h"
@@ -280,6 +281,168 @@ TEST(StrategiesTest, Assignments) {
     EXPECT_GE(rr[f], 0);
     EXPECT_LT(rr[f], 3);
   }
+}
+
+// ---- Placement: the mutable h -----------------------------------------
+
+TEST(PlacementTest, CreateValidatesLikeSourceTree) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  // Too-short table rejected.
+  EXPECT_FALSE(Placement::Create(*set, {0, 1}).ok());
+  // Live fragment without a site rejected.
+  EXPECT_FALSE(Placement::Create(*set, {0, -1, 1, 2}).ok());
+  // Assignment naming a site beyond num_sites rejected.
+  EXPECT_FALSE(Placement::Create(*set, {0, 1, 2, 3}, 3).ok());
+
+  auto p = Placement::Create(*set, {0, 1, 2, 3});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->num_sites(), 4);
+  EXPECT_EQ(p->epoch(), 0u);
+  // Extra idle sites are allowed (room to migrate into).
+  auto roomy = Placement::Create(*set, {0, 1, 2, 3}, 6);
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_EQ(roomy->num_sites(), 6);
+}
+
+TEST(PlacementTest, MoveValidatesAndBumpsEpoch) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto p = Placement::Create(*set, {0, 1, 2, 3});
+  ASSERT_TRUE(p.ok());
+
+  // The root fragment is pinned to the coordinator.
+  EXPECT_FALSE(p->Move(*set, set->root_fragment(), 1).ok());
+  // Dead fragment / out-of-range site rejected.
+  EXPECT_FALSE(p->Move(*set, 99, 1).ok());
+  EXPECT_FALSE(p->Move(*set, 1, 4).ok());
+  EXPECT_FALSE(p->Move(*set, 1, -1).ok());
+  EXPECT_EQ(p->epoch(), 0u);
+
+  // A no-op move is OK but bumps nothing.
+  ASSERT_TRUE(p->Move(*set, 1, 1).ok());
+  EXPECT_EQ(p->epoch(), 0u);
+
+  ASSERT_TRUE(p->Move(*set, 1, 3).ok());
+  EXPECT_EQ(p->epoch(), 1u);
+  EXPECT_EQ(p->site_of(1), 3);
+  ASSERT_TRUE(p->Move(*set, 2, 3).ok());
+  EXPECT_EQ(p->epoch(), 2u);
+}
+
+TEST(PlacementTest, SnapshotStampsEpochAndKeepsSiteCount) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto p = Placement::Create(*set, {0, 1, 2, 3});
+  ASSERT_TRUE(p.ok());
+
+  auto st0 = p->Snapshot(*set);
+  ASSERT_TRUE(st0.ok());
+  EXPECT_EQ(st0->placement_epoch(), 0u);
+  EXPECT_EQ(st0->num_sites(), 4);
+
+  // Moving fragment 3 onto site 0 empties site 3; the snapshot must
+  // keep the placement's 4 sites anyway (the substrate was sized for
+  // them), and carry the new epoch.
+  ASSERT_TRUE(p->Move(*set, 3, 0).ok());
+  auto st1 = p->Snapshot(*set);
+  ASSERT_TRUE(st1.ok());
+  EXPECT_EQ(st1->placement_epoch(), 1u);
+  EXPECT_EQ(st1->num_sites(), 4);
+  EXPECT_EQ(st1->site_of(3), 0);
+  EXPECT_TRUE(st1->fragments_at(3).empty());
+  // The older snapshot is untouched (immutable view semantics).
+  EXPECT_EQ(st0->site_of(3), 3);
+}
+
+TEST(PlacementTest, AssignCoversFragmentsMintedBySplit) {
+  FragmentSet set = SetFrom("<r><a><b><c/></b></a></r>");
+  auto p = Placement::Create(set, {0}, 2);
+  ASSERT_TRUE(p.ok());
+  xml::Node* b = xml::FindFirstElement(set.fragment(0).root, "b");
+  auto f = set.Split(0, b);
+  ASSERT_TRUE(f.ok());
+  // The new fragment has no site yet: Snapshot must fail until Assign.
+  EXPECT_FALSE(p->Snapshot(set).ok());
+  ASSERT_TRUE(p->Assign(set, *f, 1).ok());
+  EXPECT_EQ(p->epoch(), 1u);
+  auto st = p->Snapshot(set);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->site_of(*f), 1);
+}
+
+// ---- Load-aware rebalance ----------------------------------------------
+
+TEST(PlacementTest, ProposeRebalanceShiftsLoadOffHotSite) {
+  // 1 + 6 fragments; the root alone on site 0, everything else piled
+  // onto site 1 of a 4-site placement.
+  Rng rng(17);
+  xml::Document doc = xmark::GenerateRandomSmallDocument(300, &rng);
+  auto set_result = FragmentSet::FromDocument(std::move(doc));
+  FragmentSet set = std::move(*set_result);
+  ASSERT_TRUE(RandomSplits(&set, 6, &rng).ok());
+  std::vector<SiteId> site_of(set.table_size(), 1);
+  site_of[set.root_fragment()] = 0;
+  auto p = Placement::Create(set, std::move(site_of), 4);
+  ASSERT_TRUE(p.ok());
+
+  // Observed load: site 1 got all the visits and bytes.
+  std::vector<uint64_t> visits = {1, 60, 0, 0};
+  std::vector<uint64_t> bytes = {512, 1 << 20, 0, 0};
+  const std::vector<ProposedMove> moves =
+      ProposeRebalance(set, *p, visits, bytes, {});
+  ASSERT_FALSE(moves.empty());
+  for (const ProposedMove& m : moves) {
+    EXPECT_NE(m.fragment, set.root_fragment());
+    EXPECT_EQ(m.from, 1);
+    EXPECT_NE(m.to, 1);
+    EXPECT_GE(m.to, 0);
+    EXPECT_LT(m.to, 4);
+  }
+  // Deterministic: the same inputs propose the same plan.
+  const std::vector<ProposedMove> again =
+      ProposeRebalance(set, *p, visits, bytes, {});
+  ASSERT_EQ(moves.size(), again.size());
+  for (size_t i = 0; i < moves.size(); ++i) {
+    EXPECT_EQ(moves[i].fragment, again[i].fragment);
+    EXPECT_EQ(moves[i].to, again[i].to);
+  }
+  // max_moves is honored.
+  EXPECT_LE(ProposeRebalance(set, *p, visits, bytes, {.max_moves = 1})
+                .size(),
+            1u);
+  // Balanced load proposes nothing.
+  EXPECT_TRUE(ProposeRebalance(set, *p, {5, 5, 5, 5}, {0, 0, 0, 0}, {})
+                  .empty());
+}
+
+TEST(PlacementTest, FeedPublishesEpochsAndDedupsMoves) {
+  auto set = xmark::BuildPortfolioFragments();
+  ASSERT_TRUE(set.ok());
+  auto p = Placement::Create(*set, {0, 1, 2, 3});
+  ASSERT_TRUE(p.ok());
+  PlacementFeed feed;
+  auto snap = [&] {
+    auto st = p->Snapshot(*set);
+    EXPECT_TRUE(st.ok());
+    return std::make_shared<const SourceTree>(std::move(*st));
+  };
+  feed.Publish(snap(), {});
+  EXPECT_EQ(feed.epoch(), 1u);
+  const uint64_t seen = feed.epoch();
+
+  ASSERT_TRUE(p->Move(*set, 1, 3).ok());
+  feed.Publish(snap(), {1});
+  ASSERT_TRUE(p->Move(*set, 2, 3).ok());
+  feed.Publish(snap(), {2});
+  ASSERT_TRUE(p->Move(*set, 1, 2).ok());
+  feed.Publish(snap(), {1});
+
+  EXPECT_EQ(feed.epoch(), 4u);
+  EXPECT_EQ(feed.MovedSince(seen), (std::vector<FragmentId>{1, 2}));
+  EXPECT_EQ(feed.MovedSince(3), (std::vector<FragmentId>{1}));
+  EXPECT_TRUE(feed.MovedSince(4).empty());
+  EXPECT_EQ(feed.snapshot()->site_of(1), 2);
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// Coverage for fragment/strategies.cc: the FT1/FT2/FT3 fragment-tree
+// shapes the experiments carve (Fig. 6), determinism of the seeded
+// random fragmenter, and the site-assignment invariants the
+// coordinator placement relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "fragment/fragment.h"
+#include "fragment/strategies.h"
+#include "xmark/generator.h"
+
+namespace parbox {
+namespace {
+
+frag::FragmentSet SplitLabeled(xml::Document doc, const char* label) {
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  EXPECT_TRUE(set.ok()) << set.status().ToString();
+  auto created = frag::SplitAtAllLabeled(&*set, label);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(set->Validate().ok());
+  return std::move(*set);
+}
+
+// ---- Fragment-tree shapes (Fig. 6) -------------------------------------
+
+// FT1, the star: every site fragment is a direct sub-fragment of F0
+// and has no sub-fragments of its own.
+TEST(StrategiesTest, StarSplitYieldsFT1Shape) {
+  // The generator emits a document root plus kSites <site> subtrees;
+  // splitting at "site" leaves F0 = the root shell with every site
+  // fragment as a direct sub-fragment.
+  const int kSites = 8;
+  frag::FragmentSet set = SplitLabeled(
+      xmark::GenerateStarDocument(kSites, 4096, /*seed=*/11), "site");
+  ASSERT_EQ(set.live_count(), static_cast<size_t>(kSites) + 1);
+
+  const frag::Fragment& root = set.fragment(set.root_fragment());
+  EXPECT_EQ(root.parent, frag::kNoFragment);
+  EXPECT_EQ(root.children.size(), static_cast<size_t>(kSites));
+  for (frag::FragmentId f : set.live_ids()) {
+    if (f == set.root_fragment()) continue;
+    EXPECT_EQ(set.fragment(f).parent, set.root_fragment());
+    EXPECT_TRUE(set.fragment(f).children.empty());
+  }
+}
+
+// FT2, the chain: F_{i+1} is the only sub-fragment of F_i.
+TEST(StrategiesTest, ChainSplitYieldsFT2Shape) {
+  const int kDepth = 6;
+  frag::FragmentSet set = SplitLabeled(
+      xmark::GenerateChainDocument(kDepth, 4096, /*seed=*/12), "site");
+  ASSERT_EQ(set.live_count(), static_cast<size_t>(kDepth));
+
+  frag::FragmentId f = set.root_fragment();
+  int length = 1;
+  while (!set.fragment(f).children.empty()) {
+    ASSERT_EQ(set.fragment(f).children.size(), 1u) << "fragment " << f;
+    const frag::FragmentId child = set.fragment(f).children[0];
+    EXPECT_EQ(set.fragment(child).parent, f);
+    f = child;
+    ++length;
+  }
+  EXPECT_EQ(length, kDepth);
+}
+
+// FT3, the bushy mix of Fig. 6: the fragment tree reproduces the
+// generator topology 0 -> {1,2,3}, 1 -> {4,5}, 2 -> {6}, 3 -> {7}.
+TEST(StrategiesTest, BushySplitYieldsFT3Shape) {
+  const std::vector<std::vector<int>> topology = {{1, 2, 3}, {4, 5}, {6},
+                                                  {7},       {},     {},
+                                                  {},        {}};
+  frag::FragmentSet set = SplitLabeled(
+      xmark::GenerateTreeDocument(topology,
+                                  std::vector<uint64_t>(8, 2048),
+                                  /*seed=*/13),
+      "site");
+  ASSERT_EQ(set.live_count(), 8u);
+
+  // Child-count multiset per depth matches the topology. (Fragment ids
+  // are assigned in split order, outermost first, so map fragments to
+  // topology nodes by walking the fragment tree from the root.)
+  std::vector<size_t> expected;
+  for (const auto& children : topology) expected.push_back(children.size());
+  std::vector<size_t> actual;
+  for (frag::FragmentId f : set.live_ids()) {
+    actual.push_back(set.fragment(f).children.size());
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+
+  // The root has exactly the topology's fan-out and depth 2 below it.
+  EXPECT_EQ(set.fragment(set.root_fragment()).children.size(), 3u);
+}
+
+// ---- RandomSplits determinism ------------------------------------------
+
+// The same seed must produce the same fragmentation: identical created
+// ids and identical per-fragment element counts.
+TEST(StrategiesTest, RandomSplitsDeterministicUnderFixedSeed) {
+  auto make = [](uint64_t seed) {
+    Rng doc_rng(7);
+    xml::Document doc = xmark::GenerateRandomSmallDocument(200, &doc_rng);
+    auto set = frag::FragmentSet::FromDocument(std::move(doc));
+    EXPECT_TRUE(set.ok());
+    Rng rng(seed);
+    auto created = frag::RandomSplits(&*set, 6, &rng);
+    EXPECT_TRUE(created.ok());
+    return std::make_pair(std::move(*set), std::move(*created));
+  };
+
+  auto [set_a, created_a] = make(42);
+  auto [set_b, created_b] = make(42);
+  EXPECT_EQ(created_a, created_b);
+  ASSERT_EQ(set_a.live_count(), set_b.live_count());
+  for (frag::FragmentId f : set_a.live_ids()) {
+    EXPECT_EQ(set_a.FragmentElements(f), set_b.FragmentElements(f))
+        << "fragment " << f;
+    EXPECT_EQ(set_a.fragment(f).parent, set_b.fragment(f).parent);
+    EXPECT_EQ(set_a.fragment(f).children, set_b.fragment(f).children);
+  }
+
+  // A different seed diverges (on a 200-element document the candidate
+  // pool is large enough that collision would be a miracle).
+  auto [set_c, created_c] = make(43);
+  bool same = set_c.live_count() == set_a.live_count();
+  if (same) {
+    for (frag::FragmentId f : set_a.live_ids()) {
+      same = same && set_a.FragmentElements(f) == set_c.FragmentElements(f);
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+// RandomSplits respects min_elements and stops when candidates run out.
+TEST(StrategiesTest, RandomSplitsStopsWhenCandidatesRunOut) {
+  Rng doc_rng(3);
+  xml::Document doc = xmark::GenerateRandomSmallDocument(12, &doc_rng);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  ASSERT_TRUE(set.ok());
+  Rng rng(5);
+  auto created = frag::RandomSplits(&*set, 1000, &rng,
+                                    /*min_elements=*/2);
+  ASSERT_TRUE(created.ok());
+  EXPECT_LT(created->size(), 1000u);
+  EXPECT_TRUE(set->Validate().ok());
+}
+
+// ---- Site assignments --------------------------------------------------
+
+// AssignRoundRobin pins the root fragment to site 0 (the coordinator)
+// and keeps every other fragment off it, within [1, num_sites).
+TEST(StrategiesTest, AssignRoundRobinPinsRootToSiteZero) {
+  Rng doc_rng(9);
+  xml::Document doc = xmark::GenerateRandomSmallDocument(150, &doc_rng);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  ASSERT_TRUE(set.ok());
+  Rng rng(2);
+  ASSERT_TRUE(frag::RandomSplits(&*set, 7, &rng).ok());
+
+  for (int num_sites : {1, 2, 3, 5}) {
+    const std::vector<frag::SiteId> site_of =
+        frag::AssignRoundRobin(*set, num_sites);
+    EXPECT_EQ(site_of[set->root_fragment()], 0)
+        << num_sites << " sites";
+    for (frag::FragmentId f : set->live_ids()) {
+      EXPECT_GE(site_of[f], 0);
+      EXPECT_LT(site_of[f], num_sites);
+      if (num_sites > 1 && f != set->root_fragment()) {
+        EXPECT_NE(site_of[f], 0) << "fragment " << f << " shares the "
+                                    "coordinator site";
+      }
+    }
+  }
+}
+
+TEST(StrategiesTest, AssignOneSitePerFragmentIsDenseAndDisjoint) {
+  Rng doc_rng(4);
+  xml::Document doc = xmark::GenerateRandomSmallDocument(100, &doc_rng);
+  auto set = frag::FragmentSet::FromDocument(std::move(doc));
+  ASSERT_TRUE(set.ok());
+  Rng rng(8);
+  ASSERT_TRUE(frag::RandomSplits(&*set, 5, &rng).ok());
+
+  const std::vector<frag::SiteId> site_of =
+      frag::AssignOneSitePerFragment(*set);
+  std::vector<frag::SiteId> seen;
+  for (frag::FragmentId f : set->live_ids()) seen.push_back(site_of[f]);
+  std::sort(seen.begin(), seen.end());
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<frag::SiteId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace parbox

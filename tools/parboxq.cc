@@ -3,6 +3,8 @@
 //   parboxq --query='[//stock[code = "GOOG"]]' portfolio.xml
 //   parboxq --query='[//a]' --split-label=site --algo=all doc.xml
 //   cat doc.xml | parboxq --query='[//a]' --splits=8 --sites=4 -
+//   parboxq --query='[//a]' --serve --splits=8 a.xml b.xml c.xml
+//   parboxq --list
 //
 // Loads an XML document, fragments it (either at every element with a
 // given label, or with N random splits), distributes the fragments
@@ -11,22 +13,33 @@
 // and cost profiles. Evaluator names come straight from the
 // EvaluatorRegistry — a newly registered algorithm shows up here with
 // no tool changes.
+//
+// With --serve and SEVERAL input files, the tool opens a catalog: one
+// shared execution substrate (--backend), one document per file, all
+// served concurrently by a service::CatalogService, with per-document
+// and aggregate metrics printed.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "catalog/catalog.h"
 #include "common/rng.h"
 #include "core/evaluator.h"
 #include "core/path_selection.h"
 #include "core/selection.h"
 #include "core/session.h"
 #include "exec/backend.h"
+#include "fragment/placement.h"
 #include "fragment/strategies.h"
+#include "service/catalog_service.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 #include "xml/parser.h"
@@ -39,8 +52,9 @@ using namespace parbox;
 
 struct CliOptions {
   std::string query;
-  std::string input_path;
+  std::vector<std::string> input_paths;
   std::string split_label;
+  bool list = false;
   int random_splits = 0;
   int sites = 0;  // 0 = one site per fragment
   std::string algorithm = "parbox";
@@ -62,9 +76,12 @@ int Usage(const char* argv0) {
       exec::ExecBackendRegistry::Instance().NamesJoined('|');
   std::fprintf(
       stderr,
-      "usage: %s --query=QUERY [options] FILE|-\n"
+      "usage: %s --query=QUERY [options] FILE...|-\n"
+      "       %s --list\n"
       "\n"
       "options:\n"
+      "  --list              print registered evaluators and backends\n"
+      "                      to stdout and exit 0 (script-friendly)\n"
       "  --query=Q           Boolean XPath (XBL) query, e.g. '[//a[b]]'\n"
       "  --split-label=L     fragment at every element labelled L\n"
       "  --splits=N          N random splits (default: 0, one fragment)\n"
@@ -84,11 +101,14 @@ int Usage(const char* argv0) {
       "  --seed=N            RNG seed for --splits (default: 42)\n"
       "  --serve             run a QueryService: serve the query as a\n"
       "                      closed-loop stream (batched, cached) and\n"
-      "                      print service-level metrics\n"
-      "  --serve-queries=N   total queries to serve (default: 64)\n"
+      "                      print service-level metrics; with several\n"
+      "                      FILEs, serve them all as one catalog on a\n"
+      "                      shared backend (per-doc + aggregate stats)\n"
+      "  --serve-queries=N   total queries to serve, per document\n"
+      "                      (default: 64)\n"
       "  --serve-clients=N   concurrent clients (default: 8)\n"
       "  --serve-think-ms=T  per-client think time (default: 0)\n",
-      argv0, algos.c_str(), backends.c_str());
+      argv0, argv0, algos.c_str(), backends.c_str());
   std::fprintf(stderr, "\nregistered evaluators:\n");
   for (const std::string& name :
        core::EvaluatorRegistry::Instance().Names()) {
@@ -109,6 +129,148 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "parboxq: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// --list: the registries, on STDOUT, exit 0 — so scripts stop
+/// scraping the usage error text for the names.
+int ListRegistries() {
+  std::printf("evaluators:\n");
+  for (const std::string& name :
+       core::EvaluatorRegistry::Instance().Names()) {
+    auto evaluator = core::EvaluatorRegistry::Instance().Create(name);
+    std::printf("  %-12s %s\n", name.c_str(),
+                std::string(evaluator->description()).c_str());
+  }
+  std::printf("backends:\n");
+  for (const std::string& name :
+       exec::ExecBackendRegistry::Instance().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+/// A loaded input: the fragmented document plus its (mutable) h.
+struct LoadedDoc {
+  frag::FragmentSet set;
+  frag::Placement placement;
+};
+
+Result<std::string> ReadInput(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Parse + fragment + place one input per the CLI flags.
+Result<LoadedDoc> LoadDoc(const CliOptions& options,
+                          const std::string& path) {
+  PARBOX_ASSIGN_OR_RETURN(std::string xml_text, ReadInput(path));
+  PARBOX_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseXml(xml_text));
+  PARBOX_ASSIGN_OR_RETURN(frag::FragmentSet set,
+                          frag::FragmentSet::FromDocument(std::move(doc)));
+  if (!options.split_label.empty()) {
+    PARBOX_RETURN_IF_ERROR(
+        frag::SplitAtAllLabeled(&set, options.split_label).status());
+  }
+  if (options.random_splits > 0) {
+    Rng rng(options.seed);
+    PARBOX_RETURN_IF_ERROR(
+        frag::RandomSplits(&set, options.random_splits, &rng).status());
+  }
+  PARBOX_ASSIGN_OR_RETURN(
+      frag::Placement placement,
+      frag::Placement::Create(
+          set, options.sites > 0
+                   ? frag::AssignRoundRobin(set, options.sites)
+                   : frag::AssignOneSitePerFragment(set)));
+  return LoadedDoc{std::move(set), std::move(placement)};
+}
+
+/// --serve with several FILEs: one catalog, one shared backend, every
+/// file a named document served closed-loop (--serve-queries per
+/// document, --serve-clients concurrent streams, --serve-think-ms
+/// between a completion and the client's next ask), per-document +
+/// aggregate reports.
+int ServeCatalog(const CliOptions& options) {
+  catalog::CatalogOptions cat_options;
+  cat_options.backend = options.backend;
+  auto cat = catalog::Catalog::Create(cat_options);
+  if (!cat.ok()) return Fail(cat.status());
+  for (const std::string& path : options.input_paths) {
+    auto loaded = LoadDoc(options, path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    std::printf("%s: %zu elements, %zu fragments, %d sites\n",
+                path.c_str(), loaded->set.TotalElements(),
+                loaded->set.live_count(), loaded->placement.num_sites());
+    auto opened = (*cat)->Open(path, std::move(loaded->set),
+                               std::move(loaded->placement));
+    if (!opened.ok()) return Fail(opened.status());
+  }
+  auto svc = service::CatalogService::Create(cat->get());
+  if (!svc.ok()) return Fail(svc.status());
+  service::CatalogService* service = svc->get();
+
+  // Closed loop per document: `serve_clients` concurrent streams, a
+  // client re-asking (after think time) only when its previous query
+  // completes — the same drive as the single-document --serve path.
+  const size_t per_doc =
+      static_cast<size_t>(std::max(options.serve_queries, 0));
+  const double think = options.serve_think_ms / 1e3;
+  auto remaining = std::make_shared<std::vector<size_t>>(
+      options.input_paths.size(), per_doc);
+  auto failed = std::make_shared<Status>(Status::OK());
+  auto ask = std::make_shared<std::function<void(size_t, double)>>();
+  *ask = [&options, service, remaining, failed, ask, think](
+             size_t di, double delay) {
+    if ((*remaining)[di] == 0 || !failed->ok()) return;
+    --(*remaining)[di];
+    auto q = xpath::CompileQuery(options.query);
+    if (!q.ok()) {
+      *failed = q.status();
+      return;
+    }
+    const std::string& doc = options.input_paths[di];
+    const double arrival =
+        service->document_service(doc)->now() + delay;
+    auto id = service->Submit(
+        doc, std::move(*q), arrival,
+        // A completion is this client asking again, after thinking.
+        [ask, di, think](const service::QueryOutcome&) {
+          (*ask)(di, think);
+        });
+    if (!id.ok()) *failed = id.status();
+  };
+  const int clients = std::max(options.serve_clients, 1);
+  for (size_t di = 0; di < options.input_paths.size(); ++di) {
+    for (int c = 0; c < clients; ++c) (*ask)(di, /*delay=*/0.0);
+  }
+  (*svc)->Run();
+  *ask = {};  // break the callback's self-reference cycle
+  if (!failed->ok()) return Fail(*failed);
+  if (!(*svc)->status().ok()) return Fail((*svc)->status());
+  for (const std::string& path : options.input_paths) {
+    auto report = (*svc)->BuildReport(path);
+    if (!report.ok()) return Fail(report.status());
+    const service::QueryService* qs = (*svc)->document_service(path);
+    std::printf("\n--- %s (answer: %s) ---\n%s\n", path.c_str(),
+                !qs->outcomes().empty() && qs->outcomes().front().answer
+                    ? "true"
+                    : "false",
+                report->ToString().c_str());
+  }
+  std::printf("\n=== catalog aggregate (%zu documents, backend %s) ===\n%s\n",
+              options.input_paths.size(), options.backend.c_str(),
+              (*svc)->BuildAggregateReport().ToString().c_str());
+  return 0;
 }
 
 }  // namespace
@@ -140,6 +302,8 @@ int main(int argc, char** argv) {
       options.serve_think_ms = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       options.serve = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      options.list = true;
     } else if (std::strcmp(argv[i], "--select") == 0) {
       options.select = true;
     } else if (std::strcmp(argv[i], "--select-path") == 0) {
@@ -150,45 +314,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return Usage(argv[0]);
     } else {
-      options.input_path = argv[i];
+      options.input_paths.emplace_back(argv[i]);
     }
   }
-  if (options.query.empty() || options.input_path.empty()) {
+  if (options.list) return ListRegistries();
+  if (options.query.empty() || options.input_paths.empty()) {
     return Usage(argv[0]);
   }
-
-  // ---- Load ----
-  std::string xml_text;
-  if (options.input_path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    xml_text = buffer.str();
-  } else {
-    std::ifstream file(options.input_path);
-    if (!file) {
-      std::fprintf(stderr, "parboxq: cannot open %s\n",
-                   options.input_path.c_str());
-      return 1;
+  if (options.input_paths.size() > 1) {
+    if (!options.serve) {
+      return Fail(Status::InvalidArgument(
+          "several input files need --serve (catalog mode)"));
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    xml_text = buffer.str();
+    return ServeCatalog(options);
   }
-  auto doc = xml::ParseXml(xml_text);
-  if (!doc.ok()) return Fail(doc.status());
 
-  // ---- Fragment ----
-  auto set = frag::FragmentSet::FromDocument(std::move(*doc));
-  if (!set.ok()) return Fail(set.status());
-  if (!options.split_label.empty()) {
-    auto created = frag::SplitAtAllLabeled(&*set, options.split_label);
-    if (!created.ok()) return Fail(created.status());
-  }
-  if (options.random_splits > 0) {
-    Rng rng(options.seed);
-    auto created = frag::RandomSplits(&*set, options.random_splits, &rng);
-    if (!created.ok()) return Fail(created.status());
-  }
+  // ---- Load + fragment + place (single document) ----
+  auto loaded = LoadDoc(options, options.input_paths.front());
+  if (!loaded.ok()) return Fail(loaded.status());
+  frag::FragmentSet set_storage = std::move(loaded->set);
+  frag::FragmentSet* set = &set_storage;
   if (options.show_fragments) {
     for (auto f : set->live_ids()) {
       std::printf("--- fragment F%d (%zu elements) ---\n%s\n", f,
@@ -198,11 +343,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- Distribute ----
-  auto st = frag::SourceTree::Create(
-      *set, options.sites > 0
-                ? frag::AssignRoundRobin(*set, options.sites)
-                : frag::AssignOneSitePerFragment(*set));
+  // ---- Distribute: freeze h into the epoch-stamped snapshot ----
+  auto st = loaded->placement.Snapshot(*set);
   if (!st.ok()) return Fail(st.status());
   std::printf("%zu elements, %zu fragments, %d sites\n",
               set->TotalElements(), set->live_count(), st->num_sites());
