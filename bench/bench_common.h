@@ -25,6 +25,7 @@
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
 #include "fragment/strategies.h"
+#include "obs/metrics.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
 #include "xpath/normalize.h"
@@ -170,17 +171,21 @@ inline core::RunReport Exec(core::Session* session,
 
 // ---- Machine-readable bench output -------------------------------------
 
-/// Collects a flat set of key -> number metrics and, when
+/// Collects a flat set of key -> number metrics (backed by gauges of
+/// an obs::MetricsRegistry, so bench figures flow through the same
+/// metrics layer the serving stack reports into) and, when
 /// $PARBOX_BENCH_JSON_DIR is set, writes them to
 /// <dir>/<bench name>.json on destruction (CI uploads the directory as
 /// a workflow artifact, so the perf trajectory is inspectable per
-/// run). A no-op when the variable is unset.
+/// run — bench/trajectory/ holds committed baselines for
+/// tools/bench_diff). Keys are emitted sorted by name; writing is a
+/// no-op when the variable is unset.
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
 
   void Add(const char* key, double value) {
-    entries_.emplace_back(key, value);
+    registry_.SetGauge(key, value);
   }
 
   ~JsonReport() {
@@ -193,7 +198,7 @@ class JsonReport {
       return;
     }
     std::fprintf(out, "{\n  \"bench\": \"%s\"", name_.c_str());
-    for (const auto& [key, value] : entries_) {
+    for (const auto& [key, value] : registry_.Snapshot().gauges) {
       std::fprintf(out, ",\n  \"%s\": %.17g", key.c_str(), value);
     }
     std::fprintf(out, "\n}\n");
@@ -202,7 +207,7 @@ class JsonReport {
 
  private:
   std::string name_;
-  std::vector<std::pair<std::string, double>> entries_;
+  obs::MetricsRegistry registry_;
 };
 
 inline void PrintHeader(const char* figure, const char* caption,

@@ -17,7 +17,11 @@
 // sequential at 64 concurrent in-flight queries; in practice the
 // amortization lands far beyond that.
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_common.h"
+#include "obs/trace.h"
 #include "service/query_service.h"
 #include "service/workload.h"
 
@@ -103,6 +107,47 @@ int main() {
   row("batch+cache", full);
   std::printf("\n%s\n", full.ToString().c_str());
 
+  // ---- Tracing overhead gate (wall clock, best of 3) ----
+  //
+  // The observability layer must be structurally free when absent and
+  // near-free when attached-but-disabled: with no tracer the session
+  // never installs the TracingBackend decorator, and a disabled tracer
+  // early-outs before touching any parcel. Gate: the disabled pass
+  // stays within 3% of the no-tracer baseline (plus a 20 ms absolute
+  // floor so a fast run is not failed on scheduler jitter alone).
+  auto time_full_service = [&](obs::Tracer* tracer) -> double {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      service::ServiceOptions options;
+      options.enable_cache = true;
+      options.tracer = tracer;
+      service::QueryService svc(&d.set, &d.st, options);
+      const auto t0 = std::chrono::steady_clock::now();
+      Check(service::RunClosedLoop(&svc, *workload, loop).status());
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+      if (tracer != nullptr) tracer->Reset();
+    }
+    return best;
+  };
+  const double wall_base = time_full_service(nullptr);
+  obs::Tracer overhead_tracer;
+  overhead_tracer.set_enabled(false);
+  const double wall_off = time_full_service(&overhead_tracer);
+  overhead_tracer.set_enabled(true);
+  const double wall_on = time_full_service(&overhead_tracer);
+  const double off_overhead = wall_base > 0.0
+                                  ? wall_off / wall_base - 1.0
+                                  : 0.0;
+  const double on_overhead = wall_base > 0.0
+                                 ? wall_on / wall_base - 1.0
+                                 : 0.0;
+  std::printf("\ntracing wall clock (best of 3): none %.4fs, "
+              "disabled %.4fs (%+.1f%%), enabled %.4fs (%+.1f%%)\n",
+              wall_base, wall_off, off_overhead * 1e2, wall_on,
+              on_overhead * 1e2);
+
   const double speedup_batch = batch_only.throughput_qps / seq_qps;
   const double speedup_full = full.throughput_qps / seq_qps;
   JsonReport json("bench_x6_service_throughput");
@@ -111,11 +156,20 @@ int main() {
   json.Add("batch_cache_qps", full.throughput_qps);
   json.Add("speedup_batch", speedup_batch);
   json.Add("speedup_full", speedup_full);
+  json.Add("tracing_off_overhead", off_overhead);
+  json.Add("tracing_on_overhead", on_overhead);
   std::printf("\nspeedup vs sequential: batch-only %.1fx, batch+cache "
               "%.1fx (target >= 2x)\n",
               speedup_batch, speedup_full);
   if (speedup_batch < 2.0 || speedup_full < 2.0) {
     std::fprintf(stderr, "FAILED: batched service below 2x sequential\n");
+    return 1;
+  }
+  if (wall_off > wall_base * 1.03 + 0.02) {
+    std::fprintf(stderr,
+                 "FAILED: tracing-disabled run %.4fs exceeds 3%% over "
+                 "the no-tracer baseline %.4fs\n",
+                 wall_off, wall_base);
     return 1;
   }
   std::printf("answers: all %zu bit-identical to standalone RunParBoX\n",

@@ -10,6 +10,7 @@
 #include "core/partial_eval.h"
 #include "exec/codec.h"
 #include "exec/sim_backend.h"
+#include "obs/trace_backend.h"
 #include "xpath/fingerprint.h"
 #include "xpath/normalize.h"
 
@@ -90,6 +91,14 @@ Session::Session(const frag::FragmentSet* set, const frag::SourceTree* st,
     // spec error from the validating factories / the first Execute.
     backend_status_ = backend.status();
     backend_ = std::make_unique<exec::SimBackend>(config);
+  }
+  if (options.tracer != nullptr) {
+    // Tracing present: decorate the substrate. When no tracer is
+    // configured (the default), the execution path is structurally the
+    // undecorated backend — zero per-call cost.
+    tracer_ = options.tracer;
+    backend_ = std::make_unique<obs::TracingBackend>(std::move(backend_),
+                                                     tracer_);
   }
 }
 
@@ -201,7 +210,27 @@ Result<RunReport> Session::Execute(const PreparedQuery& query,
   std::shared_ptr<const SitePlan> p = plan();
   backend_->Reset();
   Engine eng(this, *query.query_, query.query_bytes_, std::move(p));
-  return evaluator->Run(eng);
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return evaluator->Run(eng);
+  }
+  // Root span for a standalone execution: everything the evaluator
+  // issues (broadcast sends, per-site computes, triplet replies)
+  // parents beneath it via the ambient context.
+  const obs::TraceContext ctx{tracer_->MintTraceId(),
+                              tracer_->MintSpanId()};
+  obs::ScopedTraceContext scope(ctx);
+  const double t0 = backend_->now();
+  Result<RunReport> report = evaluator->Run(eng);
+  obs::TraceEvent e;
+  e.name = "execute";
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.site = backend_->coordinator();
+  e.ts_seconds = t0;
+  e.dur_seconds = backend_->now() - t0;
+  e.args.emplace_back("evaluator", options.evaluator);
+  tracer_->Record(std::move(e));
+  return report;
 }
 
 // ---- Updates -----------------------------------------------------------
@@ -216,11 +245,29 @@ Result<frag::AppliedDelta> Session::Apply(const frag::Delta& delta) {
   // thread pool, in-flight site work reads the document on worker
   // threads, and the mutation must not land mid-traversal. On the
   // single-threaded sim this runs the mutation directly.
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  const double apply_t0 = traced ? backend_->now() : 0.0;
   std::optional<Result<frag::AppliedDelta>> applied_or;
   backend_->MutateExclusive(
       [&] { applied_or.emplace(frag::ApplyDelta(mutable_set_, delta)); });
   PARBOX_ASSIGN_OR_RETURN(frag::AppliedDelta applied,
                           std::move(*applied_or));
+  if (traced) {
+    // Child of the ambient context when one is active (a service-level
+    // delta.apply span), a root span of its own otherwise.
+    const obs::TraceContext ctx = obs::CurrentTraceContext();
+    obs::TraceEvent e;
+    e.name = "session.apply";
+    e.trace_id = ctx.active() ? ctx.trace_id : tracer_->MintTraceId();
+    e.span_id = tracer_->MintSpanId();
+    e.parent_id = ctx.span_id;
+    e.site = backend_->coordinator();
+    e.ts_seconds = apply_t0;
+    e.dur_seconds = backend_->now() - apply_t0;
+    e.args.emplace_back("fragment", std::to_string(applied.fragment));
+    e.args.emplace_back("bytes", std::to_string(applied.wire_bytes));
+    tracer_->Record(std::move(e));
+  }
   dirty_log_.push_back({applied.fragment, applied.wire_bytes});
   // Compact the prefix every consumer has passed, so a long-lived
   // writer (e.g. a QueryService applying deltas forever without ever
@@ -307,6 +354,17 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
   const sim::SiteId coord = eng.coordinator();
   IncrementalState& state = inc_states_[query.fp_];
 
+  // Root span for the incremental run; active through the coordinator
+  // sends below, so the whole delta pipeline parents beneath it.
+  obs::TraceContext trace_ctx;
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  double trace_t0 = 0.0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    trace_ctx = {tracer_->MintTraceId(), tracer_->MintSpanId()};
+    trace_scope.emplace(trace_ctx);
+    trace_t0 = backend.now();
+  }
+
   // Reusable state requires the same fragmentation it was computed
   // under: a split/merge (refrag epoch bump, or a resized fragment
   // table) invalidates every cached triplet's variable structure.
@@ -331,6 +389,7 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
   auto solve = [&]() {
     const uint64_t solve_ops = q.size() * set_->live_count();
     eng.AddOps(solve_ops);
+    if (tracer_ != nullptr) tracer_->SetNextComputeName("solve");
     backend.Compute(coord, solve_ops, [&]() {
       Result<bool> result = bexpr::SolveForAnswer(
           factory_.get(), state.equations, eng.plan().children,
@@ -360,6 +419,7 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
         PartialEvalFragment(&site_factory, q, *set_, f, &counters));
     eng.AddOps(counters.ops);
     exec::Parcel parcel = exec::MakeTripletParcel(site_factory, eq);
+    if (tracer_ != nullptr) tracer_->SetNextComputeName("site.eval");
     backend.Compute(s, counters.ops,
                     [&, s, parcel = std::move(parcel)]() mutable {
       backend.Send(s, coord, std::move(parcel), "triplet",
@@ -397,6 +457,7 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
       const uint64_t lookup_ops = 16 + q.size();
       eng.AddOps(lookup_ops);
       const bool cached = state.answer;
+      if (tracer_ != nullptr) tracer_->SetNextComputeName("cache.lookup");
       backend.Compute(coord, lookup_ops, [&answer, &solved, cached]() {
         answer = cached;
         solved = true;
@@ -446,6 +507,17 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
   }
 
   backend.Drain();
+  if (trace_ctx.active()) {
+    obs::TraceEvent e;
+    e.name = "execute.incremental";
+    e.trace_id = trace_ctx.trace_id;
+    e.span_id = trace_ctx.span_id;
+    e.site = coord;
+    e.ts_seconds = trace_t0;
+    e.dur_seconds = backend.now() - trace_t0;
+    e.args.emplace_back("mode", mode);
+    tracer_->Record(std::move(e));
+  }
   exec_log_floor_ = SIZE_MAX;
   state.log_pos = log_snapshot;
   state.refrag_epoch = refrag_epoch_;

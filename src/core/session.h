@@ -71,6 +71,7 @@
 #include "fragment/fragment.h"
 #include "fragment/placement.h"
 #include "fragment/source_tree.h"
+#include "obs/trace.h"
 #include "sim/cluster.h"
 #include "xpath/fingerprint.h"
 #include "xpath/qlist.h"
@@ -93,6 +94,11 @@ struct SessionOptions {
   /// ignored — the host already chose the substrate). The host must
   /// outlive the session.
   exec::BackendHost* host = nullptr;
+  /// When non-null, the session wraps its backend in an
+  /// obs::TracingBackend reporting here (must outlive the session);
+  /// when null — the default unless $PARBOX_TRACE is set — tracing is
+  /// structurally absent from the execution path.
+  obs::Tracer* tracer = obs::DefaultTracer();
 };
 
 struct ExecOptions {
@@ -200,6 +206,9 @@ class Session {
   const exec::ExecBackend& backend() const { return *backend_; }
   bexpr::ExprFactory& factory() { return *factory_; }
   const bexpr::ExprFactory& factory() const { return *factory_; }
+  /// The tracer execute spans report to; nullptr when tracing is
+  /// structurally absent (SessionOptions::tracer was null).
+  obs::Tracer* tracer() const { return tracer_; }
   /// The site storing the root fragment.
   sim::SiteId coordinator() const {
     return st_->site_of(st_->root_fragment());
@@ -284,6 +293,7 @@ class Session {
   /// validating factories and on first Execute).
   std::unique_ptr<exec::ExecBackend> backend_;
   Status backend_status_ = Status::OK();
+  obs::Tracer* tracer_ = nullptr;
   std::shared_ptr<const SitePlan> plan_;
   /// Handed to every PreparedQuery; survives Session moves, so Execute
   /// can tell its own handles from another session's.

@@ -132,11 +132,25 @@ class Parcel {
     encode_ = nullptr;
   }
 
+  /// Trace metadata (obs/trace.h): stamped by the sender's tracing
+  /// layer, read back in the destination's context to re-establish the
+  /// message's causal context. Rides the parcel across every backend
+  /// unchanged; 0 means untraced. Not counted in wire_bytes (like the
+  /// tag/routing envelope).
+  void set_trace(uint64_t trace_id, uint64_t span_id) {
+    trace_id_ = trace_id;
+    trace_span_ = span_id;
+  }
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t trace_span() const { return trace_span_; }
+
  private:
   std::shared_ptr<void> local_;
   std::function<std::string()> encode_;
   std::string wire_;
   uint64_t wire_bytes_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t trace_span_ = 0;
   bool has_wire_ = false;
 };
 

@@ -1,0 +1,182 @@
+// MetricsRegistry: one process-wide registry of named counters,
+// gauges, and histograms behind a uniform interface.
+//
+// The serving stack used to meter itself three different ways: interned
+// tag counts in sim::TrafficStats, string-keyed counters in
+// StatsRegistry, and exact-sample percentiles in Distribution — each
+// read through its own API. The registry subsumes them:
+//
+//   * Names are interned once (at service construction) into dense
+//     MetricIds; the hot path is an array increment into the calling
+//     thread's shard (obs/shard.h), so worker threads of the
+//     thread-pool backend record without locks or atomics — the same
+//     single-writer pattern as the backend's per-executor traffic
+//     meters, with the same quiescent-merge read discipline.
+//   * Histograms keep exact samples with Distribution's API (Add,
+//     Percentile, Summary, Merge), so report types can switch over
+//     without perturbing existing percentile assertions.
+//   * Namespace prefixes are plain name prefixes ("d3.service.rounds"),
+//     matching exec::BackendHost's traffic-tag prefixes, so
+//     per-document meters on a shared registry stay exactly separable.
+//   * Snapshot() materializes everything into a sorted, delta-able,
+//     JSON-able view (StatsSink intervals, parboxq --statz, bench
+//     JSON).
+//
+// Concurrency: Add/Increment/Observe are safe from any execution
+// context and never contend after a thread's first touch. Merged reads
+// (CounterValue, HistogramValue, Snapshot) require quiescence — call
+// after Drain, exactly like backend meters. LocalCounterValue reads
+// only the calling thread's shard and is therefore safe mid-run for
+// metrics that thread itself recorded (the StatsSink's periodic lines
+// run in coordinator context and read coordinator-written counters).
+
+#ifndef PARBOX_OBS_METRICS_H_
+#define PARBOX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/shard.h"
+
+namespace parbox::obs {
+
+/// A sample of real-valued observations — Distribution's exact-sample
+/// semantics (nearest-rank percentiles on a lazily sorted copy) plus
+/// summary-stats export for snapshots.
+class Histogram {
+ public:
+  void Add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+  double sum() const;
+  double mean() const { return values_.empty() ? 0.0 : sum() / count(); }
+  double min() const;
+  double max() const;
+
+  /// Nearest-rank percentile, `pct` in [0, 100]. 0 on an empty sample.
+  double Percentile(double pct) const;
+
+  /// Pool `other`'s observations into this sample.
+  void Merge(const Histogram& other) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+  }
+
+  /// "n=.. mean=.. p50=.. p95=.. p99=.. max=.." with `unit` appended
+  /// and values multiplied by `scale` (1e3 prints seconds as ms) —
+  /// byte-compatible with Distribution::Summary.
+  std::string Summary(const std::string& unit = "",
+                      double scale = 1.0) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// One histogram's summary statistics inside a snapshot.
+struct HistogramSummary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// A point-in-time materialization of a registry (sorted by name).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Counters minus `base`'s (absent = 0); gauges and histograms are
+  /// taken from *this as-is (exact-sample percentiles do not subtract).
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
+  std::string ToJson() const;
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string ToString() const;
+};
+
+class MetricsRegistry {
+ public:
+  using MetricId = int32_t;
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// Intern `name` as a metric of `kind`, returning its dense id
+  /// (stable for the registry's lifetime, across Reset). Re-interning
+  /// an existing name returns the same id; the kind must match.
+  MetricId Intern(std::string_view name, Kind kind);
+
+  // ---- Hot path (any execution context, shard-local) ----
+
+  void Add(MetricId id, uint64_t delta);
+  void Increment(MetricId id) { Add(id, 1); }
+  void Observe(MetricId id, double value);
+
+  /// Gauges are last-write-wins and rare (snapshot-time state like
+  /// cache size); they live under the registry mutex, not in shards.
+  void Set(MetricId id, double value);
+
+  // ---- String-keyed conveniences (intern + record) ----
+
+  void AddCounter(std::string_view name, uint64_t delta) {
+    Add(Intern(name, Kind::kCounter), delta);
+  }
+  void ObserveValue(std::string_view name, double value) {
+    Observe(Intern(name, Kind::kHistogram), value);
+  }
+  void SetGauge(std::string_view name, double value) {
+    Set(Intern(name, Kind::kGauge), value);
+  }
+
+  // ---- Merged reads (quiescent only, except LocalCounterValue) ----
+
+  uint64_t CounterValue(MetricId id) const;
+  uint64_t CounterValue(std::string_view name) const;
+  Histogram HistogramValue(MetricId id) const;
+  Histogram HistogramValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+  /// The calling thread's own shard's count only — exact for metrics
+  /// this thread recorded, and safe while other threads are running.
+  uint64_t LocalCounterValue(MetricId id) const;
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToString() const { return Snapshot().ToString(); }
+
+  /// Forget every recorded value. Names and ids persist, so interned
+  /// handles stay valid. Requires quiescence.
+  void Reset();
+
+ private:
+  struct Shard {
+    std::vector<uint64_t> counters;    // by MetricId
+    std::vector<Histogram> histograms; // by MetricId
+  };
+
+  /// -1 when `name` is not interned (const read paths).
+  MetricId FindId(std::string_view name) const;
+
+  mutable std::mutex mu_;  // names, kinds, gauges
+  std::vector<std::string> names_;  // registry, index = MetricId
+  std::vector<Kind> kinds_;
+  std::map<std::string, MetricId, std::less<>> index_;
+  std::vector<double> gauges_;  // by MetricId (kGauge slots)
+  mutable detail::ShardSet<Shard> shards_;
+};
+
+}  // namespace parbox::obs
+
+#endif  // PARBOX_OBS_METRICS_H_

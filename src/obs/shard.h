@@ -1,0 +1,86 @@
+// Per-thread shard registry shared by the metrics registry and the
+// tracer.
+//
+// Hot-path recording (counter bumps, span appends) must not contend or
+// race under the thread-pool backend, so each writer thread gets its
+// own shard — a plain (non-atomic) T written only by that thread — and
+// quiescent readers merge every shard under the registration mutex.
+// This is the same single-writer/merge-when-quiescent pattern as the
+// per-executor TrafficStats in exec::ThreadPoolBackend: the backend's
+// outstanding-work accounting (release fetch_sub / acquire load)
+// provides the happens-before edge between a worker's last write and
+// the coordinator's read after Drain.
+//
+// Thread-local lookup is a linear scan of a small per-thread cache
+// keyed by a process-unique ShardSet id; a thread touches only the few
+// registries of the sessions it serves, so the scan is short, and a
+// destroyed (or Clear()ed) ShardSet's id is never reissued, so stale
+// cache entries can never alias a live set.
+
+#ifndef PARBOX_OBS_SHARD_H_
+#define PARBOX_OBS_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace parbox::obs::detail {
+
+inline uint64_t NextShardSetId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename T>
+class ShardSet {
+ public:
+  ShardSet() : id_(NextShardSetId()) {}
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  /// The calling thread's shard, created (and registered) on first
+  /// touch. The returned reference stays valid until Clear() or
+  /// destruction; only the owning thread may write through it.
+  T& Local() {
+    thread_local std::vector<std::pair<uint64_t, void*>> cache;
+    for (const auto& [id, ptr] : cache) {
+      if (id == id_) return *static_cast<T*>(ptr);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<T>());
+    T* shard = shards_.back().get();
+    cache.emplace_back(id_, shard);
+    return *shard;
+  }
+
+  /// Visit every shard (registration order). Quiescent reads only: a
+  /// shard's owning thread must not be writing concurrently.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) fn(*shard);
+  }
+
+  /// Drop every shard. Requires quiescence; the fresh id makes every
+  /// thread's cached pointer permanently stale rather than dangling
+  /// into a reused slot.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.clear();
+    id_ = NextShardSetId();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<T>> shards_;
+  uint64_t id_;
+};
+
+}  // namespace parbox::obs::detail
+
+#endif  // PARBOX_OBS_SHARD_H_

@@ -1,0 +1,55 @@
+#include "obs/sink.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace parbox::obs {
+
+StatsSink::StatsSink(StatsSinkOptions options)
+    : options_(std::move(options)) {}
+
+bool StatsSink::DueAt(double now_seconds) {
+  if (!ticked_) {
+    ticked_ = true;
+    last_tick_ = now_seconds;
+    return false;
+  }
+  if (now_seconds - last_tick_ < options_.interval_seconds) return false;
+  last_tick_ = now_seconds;
+  return true;
+}
+
+void StatsSink::Line(std::string line) {
+  if (options_.write) options_.write(line);
+  lines_.push_back(std::move(line));
+  while (lines_.size() > options_.max_lines) lines_.pop_front();
+}
+
+void StatsSink::SlowQuery(std::string_view label, uint64_t query_id,
+                          uint64_t trace_id, double latency_seconds,
+                          double now_seconds) {
+  ++slow_queries_;
+  char buf[192];
+  char trace[32];
+  if (trace_id != 0) {
+    std::snprintf(trace, sizeof(trace), "%llu",
+                  static_cast<unsigned long long>(trace_id));
+  } else {
+    std::snprintf(trace, sizeof(trace), "-");
+  }
+  std::snprintf(buf, sizeof(buf),
+                "[%.*s] slow-query q=%llu trace=%s lat=%.3fms t=%.3fs",
+                static_cast<int>(label.size()), label.data(),
+                static_cast<unsigned long long>(query_id), trace,
+                latency_seconds * 1e3, now_seconds);
+  Line(buf);
+}
+
+void StatsSink::Reset() {
+  lines_.clear();
+  last_tick_ = 0.0;
+  ticked_ = false;
+  slow_queries_ = 0;
+}
+
+}  // namespace parbox::obs

@@ -1,0 +1,82 @@
+// StatsSink: periodic interval snapshots and a slow-query log for a
+// serving run.
+//
+// A QueryService (or several, sharing one sink under a CatalogService)
+// reports into the sink from its coordinator execution context:
+//
+//   * interval summary lines — the service checks DueAt(now) on every
+//     completion and emits one line per elapsed interval (qps, p99,
+//     cache hit rate, bytes by tag), computed from coordinator-local
+//     meters so live serving never reads another thread's shard;
+//   * slow queries — completions over the latency threshold are logged
+//     with their trace id, so `--trace` output can be cross-referenced
+//     to exactly the outliers.
+//
+// Lines are retained in a bounded ring (lines()) and optionally
+// streamed through `write` (parboxq --serve prints them as they
+// happen). Time is the service's backend clock: virtual on the sim —
+// deterministic lines — real on the thread pool.
+//
+// Concurrency: a sink is single-writer. Every caller runs in
+// coordinator context (completions, flush ticks), and a shared
+// substrate has ONE draining thread, so catalog-wide sharing needs no
+// lock.
+
+#ifndef PARBOX_OBS_SINK_H_
+#define PARBOX_OBS_SINK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace parbox::obs {
+
+struct StatsSinkOptions {
+  /// Interval between summary lines, on the reporting service's clock.
+  double interval_seconds = 1.0;
+  /// Completions at or above this latency are logged; <= 0 disables.
+  double slow_query_seconds = 0.1;
+  /// Retained lines; older lines fall off the front.
+  size_t max_lines = 4096;
+  /// Optional streaming callback (stdout printer, test capture).
+  std::function<void(const std::string&)> write;
+};
+
+class StatsSink {
+ public:
+  explicit StatsSink(StatsSinkOptions options = {});
+
+  const StatsSinkOptions& options() const { return options_; }
+
+  /// True at most once per interval: the first call observes the clock
+  /// and returns false; later calls return true once a full interval
+  /// has elapsed since the last due tick (and advance it).
+  bool DueAt(double now_seconds);
+
+  /// Record (and stream) one line.
+  void Line(std::string line);
+
+  /// Record a completion over the threshold. `label` names the service
+  /// ("sched" document name); trace_id 0 prints as "-" (untraced).
+  void SlowQuery(std::string_view label, uint64_t query_id,
+                 uint64_t trace_id, double latency_seconds,
+                 double now_seconds);
+
+  const std::deque<std::string>& lines() const { return lines_; }
+  uint64_t slow_queries() const { return slow_queries_; }
+
+  void Reset();
+
+ private:
+  StatsSinkOptions options_;
+  std::deque<std::string> lines_;
+  double last_tick_ = 0.0;
+  bool ticked_ = false;
+  uint64_t slow_queries_ = 0;
+};
+
+}  // namespace parbox::obs
+
+#endif  // PARBOX_OBS_SINK_H_

@@ -1,0 +1,97 @@
+#include "obs/trace_backend.h"
+
+namespace parbox::obs {
+
+void TracingBackend::Compute(exec::SiteId site, uint64_t ops, Task done) {
+  if (!tracer_->enabled()) {
+    inner_->Compute(site, ops, std::move(done));
+    return;
+  }
+  const TraceContext ctx = CurrentTraceContext();
+  if (!ctx.active()) {
+    inner_->Compute(site, ops, std::move(done));
+    return;
+  }
+  const char* hint = tracer_->TakeNextComputeName();
+  const char* name = hint != nullptr ? hint : "compute";
+  const uint64_t span = tracer_->MintSpanId();
+  const double start = inner_->now();
+  inner_->Compute(site, ops,
+                  [this, ctx, span, name, start, site, ops,
+                   done = std::move(done)] {
+    // The site's context: children created by done() (e.g. the site's
+    // triplet reply) parent beneath this compute span.
+    ScopedTraceContext scope({ctx.trace_id, span});
+    done();
+    TraceEvent e;
+    e.name = name;
+    e.category = "site";
+    e.trace_id = ctx.trace_id;
+    e.span_id = span;
+    e.parent_id = ctx.span_id;
+    e.site = site;
+    e.ts_seconds = start;
+    e.dur_seconds = inner_->now() - start;
+    e.args.emplace_back("ops", std::to_string(ops));
+    tracer_->Record(std::move(e));
+  });
+}
+
+void TracingBackend::Send(exec::SiteId from, exec::SiteId to,
+                          exec::Parcel parcel, std::string_view tag,
+                          DeliverFn deliver) {
+  if (!tracer_->enabled()) {
+    inner_->Send(from, to, std::move(parcel), tag, std::move(deliver));
+    return;
+  }
+  const TraceContext ctx = CurrentTraceContext();
+  if (!ctx.active()) {
+    inner_->Send(from, to, std::move(parcel), tag, std::move(deliver));
+    return;
+  }
+  const double start = inner_->now();
+  parcel.set_trace(ctx.trace_id, tracer_->MintSpanId());
+  std::string name = "send[";
+  name += tag;
+  name += "]";
+  inner_->Send(from, to, std::move(parcel), tag,
+               [this, name = std::move(name), ctx, start, from, to,
+                deliver = std::move(deliver)](exec::Parcel delivered) {
+    TraceEvent e;
+    e.name = name;
+    e.category = "net";
+    e.trace_id = delivered.trace_id();
+    e.span_id = delivered.trace_span();
+    e.parent_id = ctx.span_id;
+    e.site = from;
+    e.ts_seconds = start;
+    e.dur_seconds = inner_->now() - start;
+    e.args.emplace_back("bytes", std::to_string(delivered.wire_bytes()));
+    e.args.emplace_back("from", std::to_string(from));
+    e.args.emplace_back("to", std::to_string(to));
+    tracer_->Record(std::move(e));
+    // The destination's context: work the delivery triggers parents
+    // beneath this wire span. The context comes off the parcel's trace
+    // metadata — what actually crossed — not the sender-side capture.
+    ScopedTraceContext scope(
+        {delivered.trace_id(), delivered.trace_span()});
+    deliver(std::move(delivered));
+  });
+}
+
+void TracingBackend::RecordVisit(exec::SiteId site) {
+  inner_->RecordVisit(site);
+  if (!tracer_->enabled()) return;
+  const TraceContext ctx = CurrentTraceContext();
+  if (!ctx.active()) return;
+  TraceEvent e;
+  e.name = "visit";
+  e.category = "site";
+  e.trace_id = ctx.trace_id;
+  e.parent_id = ctx.span_id;
+  e.site = site;
+  e.ts_seconds = inner_->now();
+  tracer_->Record(std::move(e));
+}
+
+}  // namespace parbox::obs

@@ -41,6 +41,13 @@ Status CatalogService::ServeDocument(std::string_view name) {
   ServiceOptions options = options_;
   options.host = catalog_->host();
   options.network = catalog_->options().network;
+  // All documents report into one registry, namespaced to match the
+  // host's traffic-tag prefix for the namespace this service is about
+  // to claim ("d<N>." — host.cc assigns them in AddNamespace order).
+  options.metrics = &metrics();
+  options.metrics_prefix =
+      "d" + std::to_string(catalog_->host()->num_namespaces()) + ".";
+  options.name = std::string(name);
   PARBOX_ASSIGN_OR_RETURN(
       std::unique_ptr<QueryService> qs,
       QueryService::Create(doc->mutable_set(), doc->source_tree().get(),
@@ -134,6 +141,25 @@ Result<frag::SiteId> CatalogService::Move(std::string_view doc,
     }
     s->migrate_bytes_into[static_cast<size_t>(site)] += bytes;
     s->service->SyncPlacement();
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      // A migration is its own causal root (nothing submitted it).
+      obs::TraceEvent e;
+      e.name = "placement.move";
+      e.trace_id = options_.tracer->MintTraceId();
+      e.site = from;
+      e.ts_seconds = backend->now();
+      e.args.emplace_back("doc", std::string(doc));
+      e.args.emplace_back("fragment", std::to_string(f));
+      e.args.emplace_back("to", std::to_string(site));
+      e.args.emplace_back("bytes", std::to_string(bytes));
+      options_.tracer->Record(std::move(e));
+    }
+    if (options_.sink != nullptr) {
+      options_.sink->Line("[" + std::string(doc) + "] placement.move f=" +
+                          std::to_string(f) + " " + std::to_string(from) +
+                          "->" + std::to_string(site) +
+                          " bytes=" + std::to_string(bytes));
+    }
   }
   return from;
 }
@@ -211,6 +237,7 @@ ServiceReport CatalogService::BuildAggregateReport() const {
     total.total_ops += r.total_ops;
     total.interned_formula_nodes += r.interned_formula_nodes;
     total.latency.Merge(r.latency);
+    total.admission_wait.Merge(r.admission_wait);
     for (const auto& [tag, value] : r.stats.counters()) {
       total.stats.Add(tag, value);
     }

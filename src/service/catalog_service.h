@@ -45,6 +45,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "fragment/placement.h"
+#include "obs/metrics.h"
 #include "service/query_service.h"
 
 namespace parbox::service {
@@ -119,6 +120,15 @@ class CatalogService {
 
   catalog::Catalog* catalog() { return catalog_; }
 
+  /// The registry every served document reports into (one namespace
+  /// per document: "d0.service.completed", "d1.net.query.bytes", ...,
+  /// matching the host's traffic-tag prefixes). The caller's when
+  /// ServiceOptions::metrics was set at Create, otherwise the
+  /// catalog-owned one.
+  obs::MetricsRegistry& metrics() {
+    return options_.metrics != nullptr ? *options_.metrics : metrics_;
+  }
+
  private:
   struct Served {
     catalog::Document* document = nullptr;
@@ -139,6 +149,10 @@ class CatalogService {
 
   catalog::Catalog* catalog_;
   ServiceOptions options_;
+  /// Shared registry for every document's service (used when the
+  /// caller passed none). Declared before served_ so it outlives the
+  /// services reporting into it.
+  obs::MetricsRegistry metrics_;
   std::map<std::string, Served, std::less<>> served_;
 };
 

@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 #include "common/bytes.h"
@@ -30,11 +31,12 @@ QueryService::QueryService(const frag::FragmentSet* set,
       options_(options),
       session_(set, st,
                core::SessionOptions{options.network, options.backend,
-                                    options.host}) {
+                                    options.host, options.tracer}) {
   // A bad backend spec is visible through status() from birth (the
   // Create factories refuse outright; Submit re-checks for the
   // non-validating path).
   first_error_ = session_.backend_status();
+  InitObs();
 }
 
 QueryService::QueryService(frag::FragmentSet* set,
@@ -44,8 +46,46 @@ QueryService::QueryService(frag::FragmentSet* set,
       options_(options),
       session_(set, st,
                core::SessionOptions{options.network, options.backend,
-                                    options.host}) {
+                                    options.host, options.tracer}) {
   first_error_ = session_.backend_status();
+  InitObs();
+}
+
+void QueryService::InitObs() {
+  tracer_ = options_.tracer;
+  sink_ = options_.sink;
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::MetricsRegistry& m = *metrics_;
+  const std::string& p = options_.metrics_prefix;
+  using Kind = obs::MetricsRegistry::Kind;
+  auto counter = [&](const char* name) {
+    return m.Intern(p + name, Kind::kCounter);
+  };
+  m_submitted_ = counter("service.submitted");
+  m_completed_ = counter("service.completed");
+  m_cache_hits_ = counter("service.cache_hits");
+  m_shared_evals_ = counter("service.shared_evals");
+  m_unique_evals_ = counter("service.unique_evals");
+  m_rounds_ = counter("service.rounds");
+  m_cache_invalidations_ = counter("service.cache_invalidations");
+  m_cache_refreshes_ = counter("service.cache_refreshes");
+  m_ops_ = counter("service.ops");
+  // Service-side wire meters: what the service *asked* the substrate
+  // to ship, by tag, coordinator-local hops excluded — definitionally
+  // equal to the backend's TrafficStats for the same tags (the
+  // equivalence is tested in tests/obs_test.cc).
+  m_query_bytes_ = counter("net.query.bytes");
+  m_query_msgs_ = counter("net.query.messages");
+  m_triplet_bytes_ = counter("net.triplet.bytes");
+  m_triplet_msgs_ = counter("net.triplet.messages");
+  m_latency_ = m.Intern(p + "service.latency_seconds", Kind::kHistogram);
+  m_admission_wait_ =
+      m.Intern(p + "service.admission_wait_seconds", Kind::kHistogram);
 }
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -89,6 +129,13 @@ Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
   sub.prepared = std::move(prepared);
   sub.submitted_seconds = arrival;
   sub.done = std::move(done);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The query's trace is born at submission; everything from
+    // admission to completion parents beneath this root span (emitted
+    // by Complete, spanning submitted -> completed).
+    sub.trace = {tracer_->MintTraceId(), tracer_->MintSpanId()};
+  }
+  metrics_->Increment(m_submitted_);
   submissions_.emplace(id, std::move(sub));
   session_.backend().ScheduleAt(arrival, [this, id] { Admit(id); });
   return id;
@@ -96,16 +143,21 @@ Result<uint64_t> QueryService::Submit(xpath::NormQuery q,
 
 void QueryService::Admit(uint64_t id) {
   Submission& sub = submissions_.at(id);
+  // Admission runs under the submission's trace: the cache-hit lookup
+  // compute and round joins parent beneath the query's root span.
+  obs::ScopedTraceContext trace_scope(sub.trace);
   const uint64_t lookup_ops = 16 + sub.prepared.query().size();
 
   if (options_.enable_cache) {
     auto it = cache_.find(sub.fp);
     if (it != cache_.end()) {
       it->second.last_used = ++cache_tick_;
-      ++cache_hits_;
+      metrics_->Increment(m_cache_hits_);
+      TraceInstant("cache.hit");
       const bool answer = it->second.answer;
       // A hit costs one coordinator-local lookup: no site is visited
       // and nothing crosses the network.
+      if (tracer_ != nullptr) tracer_->SetNextComputeName("cache.lookup");
       session_.backend().Compute(coordinator(), lookup_ops,
                                  [this, id, answer] {
                                    Complete(id, answer, /*cache_hit=*/true,
@@ -125,7 +177,10 @@ void QueryService::Admit(uint64_t id) {
     for (Unique& u : it->second->uniques) {
       if (u.prepared.fingerprint() == sub.fp) {
         u.waiters.push_back(id);
-        ++shared_evaluations_;
+        metrics_->Increment(m_shared_evals_);
+        // Joining an already-flushed round: no admission wait ahead.
+        metrics_->Observe(m_admission_wait_, 0.0);
+        TraceInstant("round.join");
         sub.prepared = core::PreparedQuery();
         return;
       }
@@ -134,7 +189,8 @@ void QueryService::Admit(uint64_t id) {
   // Same fingerprint already pending in the next batch? Join it.
   if (auto it = pending_index_.find(sub.fp); it != pending_index_.end()) {
     pending_[it->second].waiters.push_back(id);
-    ++shared_evaluations_;
+    metrics_->Increment(m_shared_evals_);
+    TraceInstant("round.join");
     sub.prepared = core::PreparedQuery();
     return;
   }
@@ -178,6 +234,42 @@ void QueryService::FlushBatch() {
   pending_.clear();
   pending_index_.clear();
   round->epoch = update_epoch_;
+  round->start = now();
+
+  // Every waiter in this round has now finished waiting on admission:
+  // record how long the batch window held each one (zero when the
+  // flush was immediate), and emit its admission.wait span.
+  const bool traced = tracer_ != nullptr && tracer_->enabled();
+  for (const Unique& u : round->uniques) {
+    for (uint64_t wid : u.waiters) {
+      auto sit = submissions_.find(wid);
+      if (sit == submissions_.end()) continue;
+      const Submission& sub = sit->second;
+      const double wait = round->start - sub.submitted_seconds;
+      metrics_->Observe(m_admission_wait_, wait);
+      if (traced && sub.trace.active()) {
+        obs::TraceEvent e;
+        e.name = "admission.wait";
+        e.trace_id = sub.trace.trace_id;
+        e.span_id = tracer_->MintSpanId();
+        e.parent_id = sub.trace.span_id;
+        e.site = coordinator();
+        e.ts_seconds = sub.submitted_seconds;
+        e.dur_seconds = wait;
+        tracer_->Record(std::move(e));
+      }
+    }
+  }
+  // The round span adopts the first waiter's trace (one round can
+  // carry many traces; the tree follows the one that opened it).
+  if (traced && !round->uniques.empty() &&
+      !round->uniques[0].waiters.empty()) {
+    auto sit = submissions_.find(round->uniques[0].waiters[0]);
+    if (sit != submissions_.end() && sit->second.trace.active()) {
+      round->parent_span = sit->second.trace.span_id;
+      round->trace = {sit->second.trace.trace_id, tracer_->MintSpanId()};
+    }
+  }
 
   // An attached view's SplitFragments may have grown the deployment
   // past this service's cluster; Submit guards new arrivals, but
@@ -205,8 +297,8 @@ void QueryService::FlushBatch() {
     // Admit refuses joins); the fresh round must take over the key.
     in_flight_.insert_or_assign(u.prepared.fingerprint(), round);
   }
-  ++rounds_;
-  unique_evaluations_ += round->uniques.size();
+  metrics_->Increment(m_rounds_);
+  metrics_->Add(m_unique_evals_, round->uniques.size());
   BeginRound(std::move(round));
 }
 
@@ -220,10 +312,21 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
 
   round->pending_sites = static_cast<int>(round->plan->site_fragments.size());
 
+  // The whole fan-out runs under the round's trace: each per-site
+  // "query" send span (and the site work hanging off its delivery)
+  // parents beneath the round span.
+  obs::ScopedTraceContext round_scope(round->trace);
+
   for (size_t si = 0; si < round->plan->site_fragments.size(); ++si) {
     const sim::SiteId s = round->plan->site_fragments[si].first;
     // One visit per site per round, no matter how many queries ride it.
     backend.RecordVisit(s);
+    // Service-side wire meter; coordinator-local hops are free and
+    // unmetered, exactly like the substrate's TrafficStats.
+    if (s != coord) {
+      metrics_->Add(m_query_bytes_, batch_query_bytes);
+      metrics_->Increment(m_query_msgs_);
+    }
     backend.Send(coord, s, exec::Parcel::OfSize(batch_query_bytes),
                  "query", [this, round, coord, s, si](exec::Parcel) {
       // Site context: evaluate every unique over every local fragment
@@ -257,8 +360,9 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
                 &backend.site_factory(s), u.prepared.query(), *set_, f,
                 &counters);
           }
-          total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
+          metrics_->Add(m_ops_, counters.ops);
           site->batch->items.push_back(std::move(item));
+          if (tracer_ != nullptr) tracer_->SetNextComputeName("site.eval");
           backend.Compute(s, counters.ops, [this, round, coord, s, site] {
             if (--site->remaining > 0) return;
             // All fragments x queries done: one reply for the round,
@@ -268,7 +372,11 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
             exec::Parcel reply = exec::MakeTripletBatchParcel(
                 backend.site_factory(s), std::move(site->batch));
             backend.Send(s, coord, std::move(reply), "triplet",
-                         [this, round](exec::Parcel delivered) {
+                         [this, round, s, coord](exec::Parcel delivered) {
+              if (s != coord) {
+                metrics_->Add(m_triplet_bytes_, delivered.wire_bytes());
+                metrics_->Increment(m_triplet_msgs_);
+              }
               Result<exec::TripletBatch> batch = exec::TakeTripletBatch(
                   std::move(delivered), &session_.factory());
               if (!batch.ok()) {
@@ -304,7 +412,12 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
   for (const Unique& u : round->uniques) {
     solve_ops += u.prepared.query().size() * set_->live_count();
   }
-  total_ops_.fetch_add(solve_ops, std::memory_order_relaxed);
+  metrics_->Add(m_ops_, solve_ops);
+  // Compose is called from the last triplet's delivery context; scope
+  // the round's own trace so the solve compute parents beneath the
+  // round span rather than beneath that one site's reply.
+  obs::ScopedTraceContext round_scope(round->trace);
+  if (tracer_ != nullptr) tracer_->SetNextComputeName("solve");
   session_.backend().Compute(coordinator(), solve_ops, [this, round] {
     for (Unique& u : round->uniques) {
       Result<bool> result = bexpr::SolveForAnswer(
@@ -334,6 +447,22 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
                  /*shared=*/w > 0);
       }
     }
+    // The round span: flush -> all triplets composed and solved.
+    if (round->trace.active()) {
+      obs::TraceEvent e;
+      e.name = "round";
+      e.trace_id = round->trace.trace_id;
+      e.span_id = round->trace.span_id;
+      e.parent_id = round->parent_span;
+      e.site = coordinator();
+      e.ts_seconds = round->start;
+      e.dur_seconds = now() - round->start;
+      e.args.emplace_back("uniques",
+                          std::to_string(round->uniques.size()));
+      e.args.emplace_back(
+          "sites", std::to_string(round->plan->site_fragments.size()));
+      tracer_->Record(std::move(e));
+    }
   });
 }
 
@@ -350,9 +479,36 @@ void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
   outcome.answer = answer;
   outcome.cache_hit = cache_hit;
   outcome.shared_evaluation = shared && !cache_hit;
+  outcome.trace_id = sub.trace.trace_id;
   outcome.submitted_seconds = sub.submitted_seconds;
   outcome.completed_seconds = now();
-  latency_.Add(outcome.latency_seconds());
+  const double latency = outcome.latency_seconds();
+  metrics_->Increment(m_completed_);
+  metrics_->Observe(m_latency_, latency);
+  interval_latency_.Add(latency);
+  if (sub.trace.active()) {
+    // The query's root span: submission to completion.
+    obs::TraceEvent e;
+    e.name = "query";
+    e.trace_id = sub.trace.trace_id;
+    e.span_id = sub.trace.span_id;
+    e.site = coordinator();
+    e.ts_seconds = sub.submitted_seconds;
+    e.dur_seconds = latency;
+    e.args.emplace_back("answer", answer ? "true" : "false");
+    e.args.emplace_back("cache_hit", cache_hit ? "true" : "false");
+    e.args.emplace_back("shared",
+                        outcome.shared_evaluation ? "true" : "false");
+    tracer_->Record(std::move(e));
+  }
+  if (sink_ != nullptr) {
+    const double t = outcome.completed_seconds;
+    if (sink_->options().slow_query_seconds > 0.0 &&
+        latency >= sink_->options().slow_query_seconds) {
+      sink_->SlowQuery(label(), id, sub.trace.trace_id, latency, t);
+    }
+    if (sink_->DueAt(t)) EmitStatsLine(t);
+  }
   outcomes_.push_back(outcome);
   if (sub.done) sub.done(outcomes_.back());
 }
@@ -363,12 +519,31 @@ double QueryService::Run() { return session_.backend().Drain(); }
 
 Result<frag::AppliedDelta> QueryService::ApplyDelta(
     const frag::Delta& delta) {
+  // A delta gets its own trace: the session's apply span and every
+  // cache evict/refresh instant parent beneath one delta.apply root.
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    ctx = {tracer_->MintTraceId(), tracer_->MintSpanId()};
+  }
+  obs::ScopedTraceContext trace_scope(ctx);
+  const double t0 = now();
   // Session::Apply validates (including writability) and mutates; the
   // fragment it reports dirty is the only one any cached answer could
   // have moved on.
   PARBOX_ASSIGN_OR_RETURN(frag::AppliedDelta applied,
                           session_.Apply(delta));
   OnContentUpdate(applied.fragment);
+  if (ctx.active()) {
+    obs::TraceEvent e;
+    e.name = "delta.apply";
+    e.trace_id = ctx.trace_id;
+    e.span_id = ctx.span_id;
+    e.site = coordinator();
+    e.ts_seconds = t0;
+    e.dur_seconds = now() - t0;
+    e.args.emplace_back("fragment", std::to_string(applied.fragment));
+    tracer_->Record(std::move(e));
+  }
   return applied;
 }
 
@@ -402,7 +577,7 @@ bool QueryService::RefreshEntry(
   bexpr::FragmentEquations fresh = core::PartialEvalFragment(
       &session_.factory(), entry->query.query(), *set_, f, &counters);
   // Maintenance work is real compute.
-  total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
+  metrics_->Add(m_ops_, counters.ops);
   if (SameTriplet(entry->equations[f], fresh)) {
     return true;  // triplet unchanged => the answer provably stands
   }
@@ -418,7 +593,8 @@ bool QueryService::RefreshEntry(
       set_->root_fragment(), entry->query.query().root());
   if (!answer.ok()) return false;  // malformed system: do not trust it
   if (*answer != entry->answer) return false;
-  ++cache_refreshes_;
+  metrics_->Increment(m_cache_refreshes_);
+  TraceInstant("cache.refresh");
   return true;
 }
 
@@ -437,7 +613,7 @@ void QueryService::EvictIfOverCapacity() {
 
 void QueryService::InvalidateAll() {
   ++update_epoch_;
-  cache_invalidations_ += cache_.size();
+  metrics_->Add(m_cache_invalidations_, cache_.size());
   cache_.clear();
 }
 
@@ -454,7 +630,8 @@ void QueryService::OnContentUpdate(frag::FragmentId f) {
     if (RefreshEntry(&it->second, f, children)) {
       ++it;
     } else {
-      ++cache_invalidations_;
+      metrics_->Increment(m_cache_invalidations_);
+      TraceInstant("cache.evict");
       it = cache_.erase(it);
     }
   }
@@ -481,7 +658,7 @@ void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
     xpath::EvalCounters counters;
     entry.equations[f] = core::PartialEvalFragment(
         &session_.factory(), entry.query.query(), *set_, f, &counters);
-    total_ops_.fetch_add(counters.ops, std::memory_order_relaxed);
+    metrics_->Add(m_ops_, counters.ops);
   }
 }
 
@@ -516,18 +693,20 @@ ServiceReport QueryService::BuildReport() const {
       report.makespan_seconds > 0.0
           ? static_cast<double>(report.completed) / report.makespan_seconds
           : 0.0;
-  report.latency = latency_;
-  report.cache_hits = cache_hits_;
-  report.shared_evaluations = shared_evaluations_;
-  report.unique_evaluations = unique_evaluations_;
-  report.rounds = rounds_;
-  report.cache_invalidations = cache_invalidations_;
-  report.cache_refreshes = cache_refreshes_;
+  report.latency = metrics_->HistogramValue(m_latency_);
+  report.admission_wait = metrics_->HistogramValue(m_admission_wait_);
+  report.cache_hits = metrics_->CounterValue(m_cache_hits_);
+  report.shared_evaluations = metrics_->CounterValue(m_shared_evals_);
+  report.unique_evaluations = metrics_->CounterValue(m_unique_evals_);
+  report.rounds = metrics_->CounterValue(m_rounds_);
+  report.cache_invalidations =
+      metrics_->CounterValue(m_cache_invalidations_);
+  report.cache_refreshes = metrics_->CounterValue(m_cache_refreshes_);
   const sim::TrafficStats& traffic = backend.traffic();
   report.network_bytes = traffic.total_bytes();
   report.network_messages = traffic.total_messages();
   for (uint64_t v : backend.visits()) report.total_visits += v;
-  report.total_ops = total_ops_.load(std::memory_order_relaxed);
+  report.total_ops = metrics_->CounterValue(m_ops_);
   report.interned_formula_nodes = session_.factory().total_nodes();
   for (const auto& [tag, bytes] : traffic.bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
@@ -536,11 +715,89 @@ ServiceReport QueryService::BuildReport() const {
   return report;
 }
 
+obs::MetricsSnapshot QueryService::SnapshotMetrics() const {
+  const exec::ExecBackend& backend = session_.backend();
+  const std::string& p = options_.metrics_prefix;
+  // Inject the substrate's wire meters as point-in-time gauges next to
+  // the service's own counters (idempotent across snapshots; the
+  // counter twins "net.<tag>.*" are metered live by the service and
+  // must agree — tests/obs_test.cc holds them equal).
+  const sim::TrafficStats& traffic = backend.traffic();
+  for (const auto& [tag, bytes] : traffic.bytes_by_tag()) {
+    metrics_->SetGauge(p + "exec.net." + tag + ".bytes",
+                       static_cast<double>(bytes));
+  }
+  for (const auto& [tag, msgs] : traffic.messages_by_tag()) {
+    metrics_->SetGauge(p + "exec.net." + tag + ".messages",
+                       static_cast<double>(msgs));
+  }
+  uint64_t visits = 0;
+  for (uint64_t v : backend.visits()) visits += v;
+  metrics_->SetGauge(p + "exec.visits", static_cast<double>(visits));
+  metrics_->SetGauge(p + "exec.busy_seconds",
+                     backend.total_busy_seconds());
+  metrics_->SetGauge(p + "service.cache_size",
+                     static_cast<double>(cache_.size()));
+  return metrics_->Snapshot();
+}
+
+void QueryService::FlushStats() {
+  if (sink_ == nullptr) return;
+  EmitStatsLine(now());
+}
+
+void QueryService::EmitStatsLine(double now_seconds) {
+  // Coordinator-thread shard only: every counter read here is written
+  // exclusively from coordinator context, so this is exact and safe
+  // mid-run (no cross-shard merge while workers are hot).
+  const uint64_t completed = metrics_->LocalCounterValue(m_completed_);
+  const uint64_t hits = metrics_->LocalCounterValue(m_cache_hits_);
+  const uint64_t qbytes = metrics_->LocalCounterValue(m_query_bytes_);
+  const uint64_t tbytes = metrics_->LocalCounterValue(m_triplet_bytes_);
+  const double dt = now_seconds - sink_cursor_.t;
+  const uint64_t dc = completed - sink_cursor_.completed;
+  const uint64_t dh = hits - sink_cursor_.hits;
+  const double qps = dt > 0.0 ? static_cast<double>(dc) / dt : 0.0;
+  const double hit_pct =
+      dc > 0 ? 100.0 * static_cast<double>(dh) / static_cast<double>(dc)
+             : 0.0;
+  const double p99_ms =
+      interval_latency_.count() > 0
+          ? interval_latency_.Percentile(99) * 1e3
+          : 0.0;
+  std::ostringstream line;
+  line << "[" << label() << "] t=" << std::fixed << std::setprecision(2)
+       << now_seconds << "s qps=" << std::setprecision(1) << qps
+       << " p99=" << std::setprecision(3) << p99_ms
+       << "ms cache_hit=" << std::setprecision(1) << hit_pct
+       << "% bytes{query=" << HumanBytes(qbytes - sink_cursor_.query_bytes)
+       << ",triplet=" << HumanBytes(tbytes - sink_cursor_.triplet_bytes)
+       << "}";
+  sink_->Line(line.str());
+  sink_cursor_ = {now_seconds, completed, hits, qbytes, tbytes};
+  interval_latency_ = obs::Histogram();
+}
+
+void QueryService::TraceInstant(const char* name) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (!ctx.active()) return;
+  obs::TraceEvent e;
+  e.name = name;
+  e.trace_id = ctx.trace_id;
+  e.parent_id = ctx.span_id;
+  e.site = coordinator();
+  e.ts_seconds = now();
+  tracer_->Record(std::move(e));
+}
+
 std::string ServiceReport::ToString() const {
   std::ostringstream out;
   out << "QueryService: " << completed << " queries in "
       << makespan_seconds << "s  (" << throughput_qps << " q/s)\n";
   out << "  latency ms: " << latency.Summary("", 1e3) << "\n";
+  out << "  admission wait ms: " << admission_wait.Summary("", 1e3)
+      << "\n";
   out << "  cache hits " << cache_hits << ", shared evals "
       << shared_evaluations << ", unique evals " << unique_evaluations
       << ", rounds " << rounds << ", invalidations "

@@ -70,6 +70,9 @@
 #include "fragment/delta.h"
 #include "fragment/fragment.h"
 #include "fragment/source_tree.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "sim/cluster.h"
 #include "xpath/fingerprint.h"
 #include "xpath/qlist.h"
@@ -104,6 +107,27 @@ struct ServiceOptions {
   size_t max_batch_queries = 64;
   /// Cache entries kept; least-recently-used evicted beyond this.
   size_t cache_capacity = 4096;
+
+  // ---- Observability (src/obs/) ----
+
+  /// Per-query trace spans (admission wait, round, per-site visit,
+  /// solve); must outlive the service. Defaults to the $PARBOX_TRACE
+  /// environment tracer, i.e. null — tracing structurally absent —
+  /// unless that variable is set.
+  obs::Tracer* tracer = obs::DefaultTracer();
+  /// Metrics registry to report into (a CatalogService shares one
+  /// across documents); the service owns a private one when null. Must
+  /// outlive the service when set.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Prefix for every metric this service interns ("d0." under a
+  /// catalog, matching the backend host's traffic-tag prefixes).
+  std::string metrics_prefix;
+  /// Periodic stats lines and the slow-query log; borrowed, may be
+  /// shared by several services on one shared backend host.
+  obs::StatsSink* sink = nullptr;
+  /// Display label for sink lines and slow-query records; "svc" when
+  /// empty (a catalog passes the document name).
+  std::string name;
 };
 
 /// What one submission experienced, start to finish.
@@ -115,6 +139,9 @@ struct QueryOutcome {
   bool cache_hit = false;
   /// Shared another submission's evaluation of the same fingerprint.
   bool shared_evaluation = false;
+  /// The query's trace id (0 when untraced) — the key into the
+  /// tracer's Breakdown and the slow-query log.
+  uint64_t trace_id = 0;
   double submitted_seconds = 0.0;
   double completed_seconds = 0.0;
   double latency_seconds() const {
@@ -128,7 +155,11 @@ struct ServiceReport {
   double makespan_seconds = 0.0;
   double throughput_qps = 0.0;
   /// Per-query latency in seconds.
-  Distribution latency;
+  obs::Histogram latency;
+  /// Time submissions waited in the admission batch window before
+  /// their round flushed (cache hits excluded; in-flight joiners
+  /// observe zero).
+  obs::Histogram admission_wait;
 
   uint64_t cache_hits = 0;
   uint64_t shared_evaluations = 0;  ///< submissions that rode a dup
@@ -199,6 +230,17 @@ class QueryService {
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
   ServiceReport BuildReport() const;
 
+  /// The registry this service's meters live in (shared or owned).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Snapshot the registry, first injecting the substrate's wire
+  /// meters ("<prefix>exec.net.<tag>.bytes", visits, busy seconds) and
+  /// point-in-time gauges (cache size) — one export covering the
+  /// service and exec layers. Quiescent reads only (after Run()).
+  obs::MetricsSnapshot SnapshotMetrics() const;
+  /// Force the final interval line out of the configured sink (no-op
+  /// without one); parboxq --serve calls this after Run().
+  void FlushStats();
+
   // ---- Updates and result-cache maintenance ----
 
   /// Apply a typed content delta to the live document (requires the
@@ -252,6 +294,11 @@ class QueryService {
   struct Round {
     std::vector<Unique> uniques;
     int pending_sites = 0;
+    /// Trace of the round span (adopted from the first waiter's trace;
+    /// inactive when untraced), its parent, and the flush time.
+    obs::TraceContext trace;
+    uint64_t parent_span = 0;
+    double start = 0.0;
     /// Session::plan() snapshot taken at flush (site -> fragments plus
     /// the solver's children table), so in-flight rounds stay in
     /// bounds if an attached view re-cuts fragments mid-run.
@@ -264,6 +311,9 @@ class QueryService {
   struct Submission {
     core::PreparedQuery prepared;  ///< until admitted; then moved or dropped
     xpath::QueryFingerprint fp;    ///< outlives `prepared` for Complete()
+    /// Minted at Submit; the root "query" span. Inactive when the
+    /// service is untraced.
+    obs::TraceContext trace;
     double submitted_seconds = 0.0;
     CompletionFn done;
   };
@@ -300,8 +350,50 @@ class QueryService {
   void InsertCacheEntry(Unique&& unique, bool answer);
   void EvictIfOverCapacity();
 
+  /// Resolve the registry (shared vs owned) and intern every metric id
+  /// under the configured prefix. Constructor-only.
+  void InitObs();
+  /// Emit an instant event under the ambient trace context (no-op when
+  /// untraced or the context is inactive).
+  void TraceInstant(const char* name);
+  /// One interval summary line into the sink, from coordinator-thread
+  /// meters only (mid-run safe: reads this thread's shard).
+  void EmitStatsLine(double now_seconds);
+  std::string_view label() const {
+    return options_.name.empty() ? std::string_view("svc")
+                                 : std::string_view(options_.name);
+  }
+
   const frag::FragmentSet* set_;
   ServiceOptions options_;
+
+  /// Metrics/tracing state. Declared BEFORE session_ so the registry
+  /// outlives the backend's worker threads at destruction (workers
+  /// join in the backend's dtor, inside session_'s).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::StatsSink* sink_ = nullptr;
+  // Interned ids (names carry options_.metrics_prefix).
+  using MetricId = obs::MetricsRegistry::MetricId;
+  MetricId m_submitted_ = 0, m_completed_ = 0, m_cache_hits_ = 0;
+  MetricId m_shared_evals_ = 0, m_unique_evals_ = 0, m_rounds_ = 0;
+  MetricId m_cache_invalidations_ = 0, m_cache_refreshes_ = 0, m_ops_ = 0;
+  MetricId m_query_bytes_ = 0, m_query_msgs_ = 0;
+  MetricId m_triplet_bytes_ = 0, m_triplet_msgs_ = 0;
+  MetricId m_latency_ = 0, m_admission_wait_ = 0;
+  /// Latency samples since the last sink line (coordinator thread
+  /// only), and the cursor of counter values the last line reported.
+  obs::Histogram interval_latency_;
+  struct SinkCursor {
+    double t = 0.0;
+    uint64_t completed = 0;
+    uint64_t hits = 0;
+    uint64_t query_bytes = 0;
+    uint64_t triplet_bytes = 0;
+  };
+  SinkCursor sink_cursor_;
+
   /// Owns the cluster, the service-lifetime hash-consing ExprFactory
   /// (formulas and triplets interned once, reused across every batch
   /// and query), and the per-site partition plan. Also tracks the
@@ -329,18 +421,8 @@ class QueryService {
   uint64_t cache_tick_ = 0;
 
   std::vector<QueryOutcome> outcomes_;
-  Distribution latency_;
   uint64_t update_epoch_ = 0;  ///< bumped per document update
   Status first_error_ = Status::OK();
-  uint64_t cache_hits_ = 0;
-  uint64_t shared_evaluations_ = 0;
-  uint64_t unique_evaluations_ = 0;
-  uint64_t rounds_ = 0;
-  uint64_t cache_invalidations_ = 0;
-  uint64_t cache_refreshes_ = 0;
-  /// Site work accumulates ops from worker threads under a parallel
-  /// backend.
-  std::atomic<uint64_t> total_ops_{0};
 };
 
 }  // namespace parbox::service

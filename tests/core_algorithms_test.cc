@@ -391,8 +391,12 @@ TEST(LazyTest, DescendsUntilSatisfied) {
   ASSERT_TRUE(lazy.ok() && parbox.ok());
   EXPECT_TRUE(lazy->answer);
   EXPECT_EQ(lazy->total_visits(), 5u);  // had to touch every depth
-  // Sequential depth-stepping is slower end-to-end than ParBoX.
-  EXPECT_GT(lazy->makespan_seconds, parbox->makespan_seconds);
+  // Sequential depth-stepping is slower end-to-end than ParBoX. A
+  // virtual-clock property: on the thread pool both makespans are
+  // real microseconds apart and scheduler noise can invert them.
+  if (testutil::DefaultBackendIsSim()) {
+    EXPECT_GT(lazy->makespan_seconds, parbox->makespan_seconds);
+  }
 }
 
 TEST(LazyTest, SavesComputationWhenSatisfiedEarly) {

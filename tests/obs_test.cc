@@ -1,0 +1,505 @@
+// Observability suite: trace spans, the metrics registry, and the
+// stats sink — unit semantics plus the serving-stack integration
+// contracts:
+//
+//   * determinism — a seeded sim serving run's span log is
+//     byte-identical across repeats (golden property, not a golden
+//     file: two fresh runs must agree exactly);
+//   * backend equivalence — the span *structure* (names, parenting,
+//     per-site counts) is the same on the sim and the thread pool;
+//     only timestamps differ;
+//   * meter equivalence — the service-recorded wire counters match the
+//     substrate's own TrafficStats, tag by tag, on both backends;
+//   * a single traced query produces the full causal tree: query ->
+//     admission.wait -> round -> per-site site.eval -> solve, with
+//     non-zero durations.
+//
+// Runs under `ctest -L backends` (and re-runs whole with
+// PARBOX_BACKEND=threads); tests that assert virtual-clock properties
+// construct an explicit "sim" backend, so nothing here skips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "fragment/strategies.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+#include "service/query_service.h"
+#include "service/workload.h"
+#include "testutil.h"
+#include "xmark/portfolio.h"
+#include "xpath/normalize.h"
+
+namespace parbox {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::StatsSink;
+using obs::StatsSinkOptions;
+using obs::TraceEvent;
+using obs::Tracer;
+using service::QueryService;
+using service::ServiceOptions;
+using service::ServiceReport;
+
+xpath::NormQuery Compile(const char* text) {
+  auto q = xpath::CompileQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(*q);
+}
+
+// ---- MetricsRegistry ---------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  const auto c = registry.Intern("requests", MetricsRegistry::Kind::kCounter);
+  const auto g = registry.Intern("queue_depth", MetricsRegistry::Kind::kGauge);
+  const auto h =
+      registry.Intern("latency", MetricsRegistry::Kind::kHistogram);
+
+  registry.Add(c, 3);
+  registry.Increment(c);
+  registry.Set(g, 17.5);
+  registry.Observe(h, 0.25);
+  registry.Observe(h, 0.75);
+
+  EXPECT_EQ(registry.CounterValue(c), 4u);
+  EXPECT_EQ(registry.CounterValue("requests"), 4u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("queue_depth"), 17.5);
+  const obs::Histogram merged = registry.HistogramValue(h);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 1.0);
+
+  // Re-interning an existing name returns the same id.
+  EXPECT_EQ(registry.Intern("requests", MetricsRegistry::Kind::kCounter), c);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("requests"), 4u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("queue_depth"), 17.5);
+  EXPECT_EQ(snap.histograms.at("latency").count, 2u);
+
+  // Reset forgets values; interned ids stay valid.
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue(c), 0u);
+  registry.Increment(c);
+  EXPECT_EQ(registry.CounterValue("requests"), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotDelta) {
+  MetricsRegistry registry;
+  registry.AddCounter("a", 10);
+  MetricsSnapshot base = registry.Snapshot();
+  registry.AddCounter("a", 5);
+  registry.AddCounter("b", 2);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counters.at("a"), 5u);
+  EXPECT_EQ(delta.counters.at("b"), 2u);
+}
+
+TEST(MetricsRegistryTest, LocalCounterValueSeesOwnWrites) {
+  MetricsRegistry registry;
+  const auto c = registry.Intern("n", MetricsRegistry::Kind::kCounter);
+  registry.Add(c, 7);
+  EXPECT_EQ(registry.LocalCounterValue(c), 7u);
+}
+
+// The histogram replaces Distribution in the service report; the two
+// must agree exactly (same exact-sample nearest-rank semantics).
+TEST(MetricsRegistryTest, HistogramMatchesDistribution) {
+  obs::Histogram h;
+  Distribution d;
+  Rng rng(7);
+  for (int i = 0; i < 257; ++i) {
+    const double v = static_cast<double>(rng.Next64() % 10000) / 100.0;
+    h.Add(v);
+    d.Add(v);
+  }
+  for (double pct : {0.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(pct), d.Percentile(pct)) << pct;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), d.mean());
+  EXPECT_EQ(h.count(), d.count());
+  EXPECT_EQ(h.Summary("ms", 1e3), d.Summary("ms", 1e3));
+}
+
+// ---- Tracer ------------------------------------------------------------
+
+TEST(TracerTest, RecordCollectBreakdown) {
+  Tracer tracer;
+  const uint64_t trace = tracer.MintTraceId();
+  const uint64_t root = tracer.MintSpanId();
+
+  TraceEvent e;
+  e.name = "query";
+  e.trace_id = trace;
+  e.span_id = root;
+  e.ts_seconds = 0.0;
+  e.dur_seconds = 2.0;
+  tracer.Record(e);
+
+  TraceEvent child;
+  child.name = "solve";
+  child.trace_id = trace;
+  child.span_id = tracer.MintSpanId();
+  child.parent_id = root;
+  child.ts_seconds = 0.5;
+  child.dur_seconds = 1.0;
+  tracer.Record(child);
+
+  TraceEvent instant;
+  instant.name = "cache.hit";
+  instant.trace_id = trace;
+  instant.parent_id = root;
+  instant.ts_seconds = 1.0;
+  tracer.Record(instant);
+
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  const std::string breakdown = tracer.Breakdown(trace);
+  EXPECT_NE(breakdown.find("query"), std::string::npos);
+  EXPECT_NE(breakdown.find("solve"), std::string::npos);
+  EXPECT_NE(breakdown.find("cache.hit"), std::string::npos);
+  // The child renders beneath (after) its parent.
+  EXPECT_LT(breakdown.find("query"), breakdown.find("solve"));
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+
+  tracer.Reset();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, DisabledAndCapped) {
+  Tracer::Options options;
+  options.max_events = 2;
+  Tracer tracer(options);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.name = "x";
+    e.trace_id = 1;
+    tracer.Record(std::move(e));
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, ScopedContextRestores) {
+  EXPECT_FALSE(obs::CurrentTraceContext().active());
+  {
+    obs::ScopedTraceContext scope({.trace_id = 9, .span_id = 4});
+    EXPECT_EQ(obs::CurrentTraceContext().trace_id, 9u);
+    {
+      obs::ScopedTraceContext inner({.trace_id = 2, .span_id = 1});
+      EXPECT_EQ(obs::CurrentTraceContext().trace_id, 2u);
+    }
+    EXPECT_EQ(obs::CurrentTraceContext().trace_id, 9u);
+  }
+  EXPECT_FALSE(obs::CurrentTraceContext().active());
+}
+
+// ---- StatsSink ---------------------------------------------------------
+
+TEST(StatsSinkTest, DueAtOncePerInterval) {
+  StatsSinkOptions due_options;
+  due_options.interval_seconds = 1.0;
+  StatsSink sink(due_options);
+  EXPECT_FALSE(sink.DueAt(10.0));  // first call initializes
+  EXPECT_FALSE(sink.DueAt(10.5));
+  EXPECT_TRUE(sink.DueAt(11.0));
+  EXPECT_FALSE(sink.DueAt(11.2));  // already ticked this interval
+  EXPECT_TRUE(sink.DueAt(12.5));
+}
+
+TEST(StatsSinkTest, LinesRingAndSlowQueries) {
+  std::vector<std::string> streamed;
+  StatsSinkOptions options;
+  options.max_lines = 2;
+  options.write = [&streamed](const std::string& line) {
+    streamed.push_back(line);
+  };
+  StatsSink sink(options);
+  sink.Line("one");
+  sink.Line("two");
+  sink.Line("three");
+  ASSERT_EQ(sink.lines().size(), 2u);  // ring dropped "one"
+  EXPECT_EQ(sink.lines().front(), "two");
+  EXPECT_EQ(streamed.size(), 3u);  // streaming saw everything
+
+  sink.SlowQuery("doc", 12, 34, 0.25, 5.0);
+  EXPECT_EQ(sink.slow_queries(), 1u);
+  const std::string& slow = sink.lines().back();
+  EXPECT_NE(slow.find("[doc]"), std::string::npos);
+  EXPECT_NE(slow.find("q=12"), std::string::npos);
+  EXPECT_NE(slow.find("trace=34"), std::string::npos);
+  sink.SlowQuery("doc", 13, 0, 0.25, 5.0);
+  EXPECT_NE(sink.lines().back().find("trace=-"), std::string::npos);
+}
+
+// ---- Serving integration ----------------------------------------------
+
+struct Scenario {
+  frag::FragmentSet set;
+  frag::SourceTree st;
+};
+
+Scenario MakePortfolio() {
+  auto set = xmark::BuildPortfolioFragments();
+  EXPECT_TRUE(set.ok());
+  auto st = frag::SourceTree::Create(*set,
+                                     frag::AssignOneSitePerFragment(*set));
+  EXPECT_TRUE(st.ok());
+  return Scenario{std::move(*set), std::move(*st)};
+}
+
+/// Serve a small mixed workload (one repeat => one cache hit) against
+/// a fresh service over `*scenario`; the service outlives the call so
+/// tests can inspect outcomes.
+std::unique_ptr<QueryService> ServeMixed(Scenario* scenario,
+                                         const std::string& backend,
+                                         Tracer* tracer) {
+  ServiceOptions options;
+  options.backend = backend;
+  options.tracer = tracer;
+  auto svc = std::make_unique<QueryService>(&scenario->set, &scenario->st,
+                                            options);
+  EXPECT_TRUE(svc->Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  EXPECT_TRUE(svc->Submit(Compile(xmark::kGoogSellQuery), 0.0).ok());
+  svc->Run();
+  EXPECT_TRUE(svc->Submit(Compile(xmark::kYhooQuery), 1.0).ok());  // hit
+  svc->Run();
+  EXPECT_TRUE(svc->status().ok()) << svc->status().ToString();
+  return svc;
+}
+
+/// The structural skeleton of a span log: (name, category,
+/// has-duration) multiset — identical across backends; timestamps are
+/// not compared.
+std::multiset<std::string> Skeleton(const std::vector<TraceEvent>& events) {
+  std::multiset<std::string> shape;
+  for (const TraceEvent& e : events) {
+    shape.insert(std::string(e.name) + "|" + e.category + "|" +
+                 (e.dur_seconds < 0 ? "i" : "X"));
+  }
+  return shape;
+}
+
+TEST(TracingIntegrationTest, SingleQueryProducesFullSpanTree) {
+  for (const char* backend : {"sim", "threads:2"}) {
+    SCOPED_TRACE(backend);
+    Scenario scenario = MakePortfolio();
+    ServiceOptions options;
+    options.backend = backend;
+    Tracer tracer;
+    options.tracer = &tracer;
+    QueryService svc(&scenario.set, &scenario.st, options);
+    ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+    svc.Run();
+    ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+
+    ASSERT_EQ(svc.outcomes().size(), 1u);
+    const uint64_t trace_id = svc.outcomes()[0].trace_id;
+    ASSERT_NE(trace_id, 0u);
+
+    const std::vector<TraceEvent> events = tracer.Collect();
+    std::map<std::string, const TraceEvent*> by_name;
+    std::map<uint64_t, const TraceEvent*> by_span;
+    size_t site_evals = 0;
+    for (const TraceEvent& e : events) {
+      ASSERT_EQ(e.trace_id, trace_id) << e.name;
+      by_name.emplace(e.name, &e);
+      if (e.span_id != 0) by_span.emplace(e.span_id, &e);
+      if (e.name == "site.eval") ++site_evals;
+    }
+
+    // The causal chain: query -> admission.wait and query -> round ->
+    // ... -> solve, with non-zero durations on every link.
+    for (const char* name : {"query", "admission.wait", "round", "solve"}) {
+      ASSERT_TRUE(by_name.count(name)) << name;
+      EXPECT_GT(by_name.at(name)->dur_seconds, 0.0) << name;
+    }
+    // One evaluation per site (ParBoX's bound), each parented under
+    // the round through its query send.
+    EXPECT_EQ(site_evals,
+              static_cast<size_t>(scenario.st.num_sites()));
+    EXPECT_EQ(by_name.at("admission.wait")->parent_id,
+              by_name.at("query")->span_id);
+    EXPECT_EQ(by_name.at("round")->parent_id,
+              by_name.at("query")->span_id);
+    // solve is reachable from the round by walking parents.
+    const TraceEvent* cursor = by_name.at("solve");
+    bool reached_round = false;
+    while (cursor != nullptr && cursor->parent_id != 0) {
+      auto it = by_span.find(cursor->parent_id);
+      cursor = it == by_span.end() ? nullptr : it->second;
+      if (cursor == by_name.at("round")) {
+        reached_round = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(reached_round);
+  }
+}
+
+TEST(TracingIntegrationTest, SimTraceIsDeterministic) {
+  Scenario s1 = MakePortfolio(), s2 = MakePortfolio();
+  Tracer a, b;
+  ServeMixed(&s1, "sim", &a);
+  ServeMixed(&s2, "sim", &b);
+  EXPECT_EQ(a.ToChromeJson(), b.ToChromeJson());
+  EXPECT_EQ(a.Breakdown(1), b.Breakdown(1));
+  EXPECT_GT(a.event_count(), 0u);
+}
+
+TEST(TracingIntegrationTest, SpanStructureMatchesAcrossBackends) {
+  Scenario s1 = MakePortfolio(), s2 = MakePortfolio();
+  Tracer sim_tracer, threads_tracer;
+  ServeMixed(&s1, "sim", &sim_tracer);
+  ServeMixed(&s2, "threads:2", &threads_tracer);
+  const auto sim_shape = Skeleton(sim_tracer.Collect());
+  const auto threads_shape = Skeleton(threads_tracer.Collect());
+  EXPECT_EQ(sim_shape, threads_shape);
+  EXPECT_GT(sim_shape.size(), 0u);
+}
+
+TEST(TracingIntegrationTest, CacheHitEmitsInstantNotRound) {
+  Tracer tracer;
+  Scenario scenario = MakePortfolio();
+  ServiceOptions options;
+  options.backend = "sim";
+  options.tracer = &tracer;
+  QueryService svc(&scenario.set, &scenario.st, options);
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  svc.Run();
+  tracer.Reset();
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 1.0).ok());
+  svc.Run();
+  bool saw_hit = false;
+  for (const TraceEvent& e : tracer.Collect()) {
+    EXPECT_NE(e.name, "round");  // no re-evaluation
+    if (e.name == "cache.hit") saw_hit = true;
+  }
+  EXPECT_TRUE(saw_hit);
+}
+
+TEST(MetricsIntegrationTest, RegistryMatchesTrafficStats) {
+  for (const char* backend : {"sim", "threads:2"}) {
+    SCOPED_TRACE(backend);
+    Scenario scenario = MakePortfolio();
+    ServiceOptions options;
+    options.backend = backend;
+    QueryService svc(&scenario.set, &scenario.st, options);
+    ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+    ASSERT_TRUE(svc.Submit(Compile(xmark::kGoogSellQuery), 0.0).ok());
+    svc.Run();
+    ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+
+    // The service-recorded wire counters must equal the substrate's
+    // own meters, which SnapshotMetrics injects as "exec." gauges.
+    MetricsSnapshot snap = svc.SnapshotMetrics();
+    for (const char* tag : {"query", "triplet"}) {
+      const std::string counter = std::string("net.") + tag + ".bytes";
+      const std::string gauge = "exec." + counter;
+      ASSERT_TRUE(snap.counters.count(counter)) << counter;
+      ASSERT_TRUE(snap.gauges.count(gauge)) << gauge;
+      EXPECT_EQ(static_cast<double>(snap.counters.at(counter)),
+                snap.gauges.at(gauge))
+          << tag;
+      const std::string msgs = std::string("net.") + tag + ".messages";
+      EXPECT_EQ(static_cast<double>(snap.counters.at(msgs)),
+                snap.gauges.at("exec." + msgs))
+          << tag;
+    }
+    // Counter cross-checks against the report.
+    ServiceReport report = svc.BuildReport();
+    EXPECT_EQ(snap.counters.at("service.completed"), report.completed);
+    EXPECT_EQ(snap.counters.at("service.rounds"), report.rounds);
+    EXPECT_EQ(static_cast<double>(snap.gauges.at("exec.visits")),
+              static_cast<double>(report.total_visits));
+    // Snapshotting twice must not double-count the injected gauges.
+    MetricsSnapshot again = svc.SnapshotMetrics();
+    EXPECT_EQ(again.gauges.at("exec.net.query.bytes"),
+              snap.gauges.at("exec.net.query.bytes"));
+  }
+}
+
+TEST(MetricsIntegrationTest, ReportCarriesAdmissionWait) {
+  Scenario scenario = MakePortfolio();
+  ServiceOptions options;
+  options.backend = "sim";
+  QueryService svc(&scenario.set, &scenario.st, options);
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kGoogSellQuery), 0.0).ok());
+  svc.Run();
+  ServiceReport report = svc.BuildReport();
+  // Both queries waited out the batch window before their round.
+  ASSERT_EQ(report.admission_wait.count(), 2u);
+  EXPECT_GT(report.admission_wait.max(), 0.0);
+  EXPECT_NE(report.ToString().find("admission wait"), std::string::npos);
+
+  // Merging reports pools the samples (the catalog aggregate path).
+  ServiceReport other = svc.BuildReport();
+  other.admission_wait.Merge(report.admission_wait);
+  EXPECT_EQ(other.admission_wait.count(), 4u);
+}
+
+TEST(MetricsIntegrationTest, SinkEmitsIntervalAndSlowQueryLines) {
+  Scenario scenario = MakePortfolio();
+  StatsSinkOptions sink_options;
+  sink_options.interval_seconds = 1e-4;
+  sink_options.slow_query_seconds = 1e-9;  // everything is "slow"
+  StatsSink sink(sink_options);
+  Tracer tracer;
+  ServiceOptions options;
+  options.backend = "sim";
+  options.sink = &sink;
+  options.tracer = &tracer;
+  QueryService svc(&scenario.set, &scenario.st, options);
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 0.0).ok());
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kGoogSellQuery), 0.0).ok());
+  svc.Run();
+  ASSERT_TRUE(svc.Submit(Compile(xmark::kYhooQuery), 1.0).ok());
+  svc.Run();
+  svc.FlushStats();
+
+  EXPECT_GE(sink.slow_queries(), 2u);
+  bool saw_interval = false, saw_trace = false;
+  for (const std::string& line : sink.lines()) {
+    if (line.find("qps=") != std::string::npos) saw_interval = true;
+    if (line.find("trace=") != std::string::npos &&
+        line.find("trace=-") == std::string::npos) {
+      saw_trace = true;
+    }
+  }
+  EXPECT_TRUE(saw_interval);
+  EXPECT_TRUE(saw_trace);  // slow-query lines carry real trace ids
+}
+
+TEST(MetricsIntegrationTest, OutcomesCarryTraceIds) {
+  Scenario scenario = MakePortfolio();
+  Tracer tracer;
+  std::unique_ptr<QueryService> svc = ServeMixed(&scenario, "sim", &tracer);
+  ASSERT_EQ(svc->outcomes().size(), 3u);
+  std::set<uint64_t> trace_ids;
+  for (const auto& outcome : svc->outcomes()) {
+    EXPECT_NE(outcome.trace_id, 0u);
+    trace_ids.insert(outcome.trace_id);
+  }
+  // Three submissions, three distinct traces (the cache hit is its
+  // own trace referencing no round).
+  EXPECT_EQ(trace_ids.size(), 3u);
+}
+
+}  // namespace
+}  // namespace parbox

@@ -1,0 +1,231 @@
+// bench_diff: compare two bench JSON trajectories and flag regressions.
+//
+// The figure benches emit flat {"bench": name, "key": number, ...}
+// JSON through bench::JsonReport (one file per bench under
+// $PARBOX_BENCH_JSON_DIR); bench/trajectory/ holds committed baseline
+// snapshots of those files. This tool diffs a baseline against a fresh
+// run:
+//
+//   bench_diff bench/trajectory out/               # dir vs dir
+//   bench_diff old_x6.json new_x6.json             # file vs file
+//   bench_diff --threshold=0.10 bench/trajectory out/
+//
+// Directories are matched per bench: by each file's "bench" field when
+// present, else by filename stem — so the committed BENCH_x6_*.json
+// baseline pairs with a fresh bench_x6_*.json. For every shared metric
+// it prints old/new/delta% and a verdict; the regression direction is
+// inferred from the key (qps and speedup want higher; seconds, ms,
+// bytes, and overhead want lower; anything else — corpus sizes, thread
+// counts — is informational only). Exits 1 iff any directed metric
+// regressed by more than the threshold (default 5%).
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BenchFile {
+  std::string bench;  // the "bench" field; filename stem when absent
+  std::map<std::string, double> metrics;
+};
+
+/// Minimal scanner for the flat JSON the benches emit: every
+/// "key": value pair at any depth, numeric values kept as metrics and
+/// the "bench" string kept as the identity. Not a general JSON parser
+/// on purpose — the input format is ours.
+bool ParseBenchJson(const fs::path& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  out->bench = path.stem().string();
+  size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    size_t cursor = key_end + 1;
+    while (cursor < text.size() && std::isspace(
+               static_cast<unsigned char>(text[cursor]))) {
+      ++cursor;
+    }
+    if (cursor >= text.size() || text[cursor] != ':') {
+      pos = key_end + 1;  // a string value, not a key
+      continue;
+    }
+    ++cursor;
+    while (cursor < text.size() && std::isspace(
+               static_cast<unsigned char>(text[cursor]))) {
+      ++cursor;
+    }
+    if (cursor < text.size() && text[cursor] == '"') {
+      const size_t value_end = text.find('"', cursor + 1);
+      if (value_end == std::string::npos) break;
+      if (key == "bench") {
+        out->bench = text.substr(cursor + 1, value_end - cursor - 1);
+      }
+      pos = value_end + 1;
+      continue;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + cursor, &end);
+    if (end != text.c_str() + cursor) {
+      out->metrics[key] = value;
+      pos = static_cast<size_t>(end - text.c_str());
+    } else {
+      pos = cursor;
+    }
+  }
+  return true;
+}
+
+/// Load one file, or every *.json in a directory, keyed by bench name.
+bool LoadPath(const fs::path& path, std::map<std::string, BenchFile>* out) {
+  std::vector<fs::path> files;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.path().extension() == ".json") files.push_back(entry.path());
+    }
+    if (files.empty()) {
+      std::fprintf(stderr, "bench_diff: no *.json in %s\n",
+                   path.string().c_str());
+      return false;
+    }
+  } else {
+    files.push_back(path);
+  }
+  for (const fs::path& file : files) {
+    BenchFile parsed;
+    if (!ParseBenchJson(file, &parsed)) return false;
+    (*out)[parsed.bench] = std::move(parsed);
+  }
+  return true;
+}
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kInfo };
+
+Direction DirectionOf(const std::string& key) {
+  auto contains = [&key](const char* needle) {
+    return key.find(needle) != std::string::npos;
+  };
+  if (contains("qps") || contains("speedup")) {
+    return Direction::kHigherIsBetter;
+  }
+  if (contains("seconds") || contains("_ms") || contains("bytes") ||
+      contains("overhead") || contains("latency")) {
+    return Direction::kLowerIsBetter;
+  }
+  return Direction::kInfo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.05;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[i] + 12, nullptr);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--threshold=FRACTION] OLD NEW\n"
+                  "  OLD, NEW: bench JSON files, or directories of them\n"
+                  "  exits 1 iff any directed metric regresses beyond\n"
+                  "  the threshold (default 0.05 = 5%%)\n",
+                  argv[0]);
+      return 0;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr, "usage: %s [--threshold=FRACTION] OLD NEW\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::map<std::string, BenchFile> old_set, new_set;
+  if (!LoadPath(paths[0], &old_set) || !LoadPath(paths[1], &new_set)) {
+    return 2;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [bench, old_file] : old_set) {
+    auto it = new_set.find(bench);
+    if (it == new_set.end()) {
+      std::printf("%s: only in %s\n", bench.c_str(),
+                  paths[0].string().c_str());
+      continue;
+    }
+    const BenchFile& new_file = it->second;
+    std::printf("%s\n", bench.c_str());
+    std::printf("  %-28s %14s %14s %9s  %s\n", "metric", "old", "new",
+                "delta", "verdict");
+    for (const auto& [key, old_value] : old_file.metrics) {
+      auto nit = new_file.metrics.find(key);
+      if (nit == new_file.metrics.end()) {
+        std::printf("  %-28s %14.6g %14s\n", key.c_str(), old_value,
+                    "(gone)");
+        continue;
+      }
+      const double new_value = nit->second;
+      const double delta = old_value != 0.0
+                               ? new_value / old_value - 1.0
+                               : (new_value == 0.0 ? 0.0 : INFINITY);
+      const Direction dir = DirectionOf(key);
+      const char* verdict = "";
+      if (dir != Direction::kInfo) {
+        ++compared;
+        const bool worse = dir == Direction::kHigherIsBetter
+                               ? delta < -threshold
+                               : delta > threshold;
+        const bool better = dir == Direction::kHigherIsBetter
+                                ? delta > threshold
+                                : delta < -threshold;
+        if (worse) {
+          verdict = "REGRESSION";
+          ++regressions;
+        } else if (better) {
+          verdict = "improved";
+        } else {
+          verdict = "ok";
+        }
+      }
+      std::printf("  %-28s %14.6g %14.6g %+8.1f%%  %s\n", key.c_str(),
+                  old_value, new_value, delta * 1e2, verdict);
+    }
+    for (const auto& [key, new_value] : new_file.metrics) {
+      if (old_file.metrics.count(key) == 0) {
+        std::printf("  %-28s %14s %14.6g %9s  new\n", key.c_str(), "-",
+                    new_value, "");
+      }
+    }
+  }
+  for (const auto& [bench, file] : new_set) {
+    if (old_set.count(bench) == 0) {
+      std::printf("%s: only in %s\n", bench.c_str(),
+                  paths[1].string().c_str());
+    }
+  }
+  std::printf("\n%d directed metrics compared, %d regression%s beyond "
+              "%.0f%%\n",
+              compared, regressions, regressions == 1 ? "" : "s",
+              threshold * 1e2);
+  return regressions > 0 ? 1 : 0;
+}

@@ -39,6 +39,9 @@
 #include "exec/backend.h"
 #include "fragment/placement.h"
 #include "fragment/strategies.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "service/catalog_service.h"
 #include "service/query_service.h"
 #include "service/workload.h"
@@ -67,6 +70,9 @@ struct CliOptions {
   int serve_queries = 64;
   int serve_clients = 8;
   double serve_think_ms = 0.0;
+  std::string trace_path;  ///< --trace=FILE: Chrome trace JSON out
+  bool statz = false;      ///< dump the metrics registry after the run
+  double stats_interval = 1.0;  ///< --serve periodic line cadence
 };
 
 int Usage(const char* argv0) {
@@ -107,7 +113,16 @@ int Usage(const char* argv0) {
       "  --serve-queries=N   total queries to serve, per document\n"
       "                      (default: 64)\n"
       "  --serve-clients=N   concurrent clients (default: 8)\n"
-      "  --serve-think-ms=T  per-client think time (default: 0)\n",
+      "  --serve-think-ms=T  per-client think time (default: 0)\n"
+      "  --trace=FILE        trace every query; write Chrome\n"
+      "                      trace_event JSON to FILE (load it in\n"
+      "                      chrome://tracing or ui.perfetto.dev) and\n"
+      "                      print the first query's span breakdown\n"
+      "  --statz             dump the metrics registry (counters,\n"
+      "                      gauges, histograms) after the run\n"
+      "  --stats-interval=S  cadence of --serve's periodic one-line\n"
+      "                      stats summaries (default: 1s of the\n"
+      "                      backend clock)\n",
       argv0, argv0, algos.c_str(), backends.c_str());
   std::fprintf(stderr, "\nregistered evaluators:\n");
   for (const std::string& name :
@@ -147,6 +162,34 @@ int ListRegistries() {
     std::printf("  %s\n", name.c_str());
   }
   return 0;
+}
+
+/// Write the collected trace and show the first query's breakdown.
+int DumpTrace(const obs::Tracer& tracer, const std::string& path) {
+  Status written = tracer.WriteChromeJson(path);
+  if (!written.ok()) return Fail(written);
+  std::printf("\ntrace: %zu events -> %s", tracer.event_count(),
+              path.c_str());
+  if (tracer.dropped() > 0) {
+    std::printf("  (%llu dropped at the event cap)",
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  std::printf("\n");
+  const std::string breakdown = tracer.Breakdown(1);
+  if (!breakdown.empty()) {
+    std::printf("first query breakdown:\n%s", breakdown.c_str());
+  }
+  return 0;
+}
+
+/// Build the stdout-printing sink used by --serve.
+obs::StatsSink MakeServeSink(double interval_seconds) {
+  obs::StatsSinkOptions sink_options;
+  sink_options.interval_seconds = interval_seconds;
+  sink_options.write = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
+  return obs::StatsSink(sink_options);
 }
 
 /// A loaded input: the fragmented document plus its (mutable) h.
@@ -215,7 +258,12 @@ int ServeCatalog(const CliOptions& options) {
                                std::move(loaded->placement));
     if (!opened.ok()) return Fail(opened.status());
   }
-  auto svc = service::CatalogService::Create(cat->get());
+  obs::Tracer tracer;
+  obs::StatsSink sink = MakeServeSink(options.stats_interval);
+  service::ServiceOptions svc_options;
+  if (!options.trace_path.empty()) svc_options.tracer = &tracer;
+  svc_options.sink = &sink;
+  auto svc = service::CatalogService::Create(cat->get(), svc_options);
   if (!svc.ok()) return Fail(svc.status());
   service::CatalogService* service = svc->get();
 
@@ -257,10 +305,15 @@ int ServeCatalog(const CliOptions& options) {
   *ask = {};  // break the callback's self-reference cycle
   if (!failed->ok()) return Fail(*failed);
   if (!(*svc)->status().ok()) return Fail((*svc)->status());
+  obs::MetricsSnapshot statz;
   for (const std::string& path : options.input_paths) {
+    service::QueryService* qs = service->document_service(path);
+    qs->FlushStats();
+    // Each call injects that document's substrate gauges into the
+    // shared registry; the last snapshot carries them all.
+    statz = qs->SnapshotMetrics();
     auto report = (*svc)->BuildReport(path);
     if (!report.ok()) return Fail(report.status());
-    const service::QueryService* qs = (*svc)->document_service(path);
     std::printf("\n--- %s (answer: %s) ---\n%s\n", path.c_str(),
                 !qs->outcomes().empty() && qs->outcomes().front().answer
                     ? "true"
@@ -270,6 +323,10 @@ int ServeCatalog(const CliOptions& options) {
   std::printf("\n=== catalog aggregate (%zu documents, backend %s) ===\n%s\n",
               options.input_paths.size(), options.backend.c_str(),
               (*svc)->BuildAggregateReport().ToString().c_str());
+  if (options.statz) std::printf("\n%s", statz.ToString().c_str());
+  if (!options.trace_path.empty()) {
+    return DumpTrace(tracer, options.trace_path);
+  }
   return 0;
 }
 
@@ -300,6 +357,12 @@ int main(int argc, char** argv) {
       options.serve_clients = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--serve-think-ms", &value)) {
       options.serve_think_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      options.trace_path = value;
+    } else if (ParseFlag(argv[i], "--stats-interval", &value)) {
+      options.stats_interval = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--statz") == 0) {
+      options.statz = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       options.serve = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -352,8 +415,10 @@ int main(int argc, char** argv) {
   // ---- Open a session, prepare the query once ----
   // An unknown --backend fails here, listing the registered backends —
   // the same UX as an unknown --algo.
-  auto session = core::Session::Create(
-      &*set, &*st, core::SessionOptions{.backend = options.backend});
+  obs::Tracer tracer;
+  core::SessionOptions session_options{.backend = options.backend};
+  if (!options.trace_path.empty()) session_options.tracer = &tracer;
+  auto session = core::Session::Create(&*set, &*st, session_options);
   if (!session.ok()) return Fail(session.status());
   auto prepared = session->Prepare(options.query);
   if (!prepared.ok()) return Fail(prepared.status());
@@ -362,8 +427,11 @@ int main(int argc, char** argv) {
 
   // ---- Serve ----
   if (options.serve) {
+    obs::StatsSink sink = MakeServeSink(options.stats_interval);
     service::ServiceOptions svc_options;
     svc_options.backend = options.backend;
+    if (!options.trace_path.empty()) svc_options.tracer = &tracer;
+    svc_options.sink = &sink;
     service::QueryService svc(&*set, &*st, svc_options);
     auto report = service::RunClosedLoopWith(
         &svc, [&](size_t) { return xpath::CompileQuery(options.query); },
@@ -373,9 +441,16 @@ int main(int argc, char** argv) {
     if (svc.outcomes().empty()) {
       return Fail(Status::InvalidArgument("nothing served"));
     }
+    svc.FlushStats();
     std::printf("answer: %s\n",
                 svc.outcomes().front().answer ? "true" : "false");
     std::printf("%s\n", report->ToString().c_str());
+    if (options.statz) {
+      std::printf("\n%s", svc.SnapshotMetrics().ToString().c_str());
+    }
+    if (!options.trace_path.empty()) {
+      return DumpTrace(tracer, options.trace_path);
+    }
     return 0;
   }
 
@@ -427,6 +502,9 @@ int main(int argc, char** argv) {
       }
       std::printf("  %s\n", report->ToString().c_str());
     }
+    if (!options.trace_path.empty()) {
+      return DumpTrace(tracer, options.trace_path);
+    }
     return 0;
   }
   // Unknown names fail with the registered list in the message.
@@ -434,5 +512,8 @@ int main(int argc, char** argv) {
   if (!report.ok()) return Fail(report.status());
   std::printf("answer: %s\n%s\n", report->answer ? "true" : "false",
               report->Detailed().c_str());
+  if (!options.trace_path.empty()) {
+    return DumpTrace(tracer, options.trace_path);
+  }
   return 0;
 }
