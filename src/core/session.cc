@@ -584,8 +584,50 @@ void Session::SyncPlacement() {
   }
 }
 
+void Session::SyncRecovery() {
+  exec::ExecBackend* backend = backend_.get();
+  const sim::SiteId num_sites = st_->num_sites();
+  bool shipped = false;
+  bool any_reusable = false;
+  for (const auto& [fp, state] : inc_states_) {
+    (void)fp;
+    any_reusable = any_reusable || !NeedsFullPass(state);
+  }
+  for (sim::SiteId s = 0; s < num_sites; ++s) {
+    const uint64_t epoch = backend->RecoveryEpoch(s);
+    if (static_cast<size_t>(s) >= recovery_seen_.size()) {
+      recovery_seen_.resize(static_cast<size_t>(s) + 1, 0);
+      recovery_seen_[static_cast<size_t>(s)] = epoch;
+      continue;
+    }
+    if (epoch == recovery_seen_[static_cast<size_t>(s)]) continue;
+    recovery_seen_[static_cast<size_t>(s)] = epoch;
+    // The site's daemon restarted since we last looked: everything it
+    // held is gone. Re-ship exactly this site's live fragments — the
+    // content as a metered "migrate" transfer out of the coordinator's
+    // context, and (for retained incremental state only, mirroring
+    // SyncPlacement) a migration dirty record so the next incremental
+    // run re-ships f's triplet state too.
+    const sim::SiteId coord = coordinator();
+    for (frag::FragmentId f : st_->fragments_at(s)) {
+      if (!set_->is_live(f)) continue;
+      const uint64_t bytes = set_->FragmentSerializedBytes(f);
+      backend->Compute(coord, 0, [backend, coord, s, bytes] {
+        backend->Send(coord, s, exec::Parcel::OfSize(bytes), "migrate",
+                      [](exec::Parcel) {});
+      });
+      if (any_reusable) dirty_log_.push_back({f, 16});
+      shipped = true;
+    }
+  }
+  // Complete the transfers here: Execute resets the backend right
+  // after plan(), and Reset requires quiescence.
+  if (shipped) backend->Drain();
+}
+
 std::shared_ptr<const SitePlan> Session::plan() {
   SyncPlacement();
+  SyncRecovery();
   if (plan_ == nullptr) {
     auto p = std::make_shared<SitePlan>();
     p->children = set_->ChildrenTable();

@@ -243,6 +243,15 @@ class Session {
   void FollowPlacement(std::shared_ptr<const frag::PlacementFeed> feed);
   /// Catch up on the followed feed now (plan() does this implicitly).
   void SyncPlacement();
+  /// Catch up on backend site recovery now (plan() does this
+  /// implicitly). Backends whose sites hold real remote state (the
+  /// `proc` process backend) bump a site's RecoveryEpoch when its
+  /// daemon restarts and loses everything it was shipped; this
+  /// re-ships the site's live fragments — content over the metered
+  /// "migrate" path, plus one migration dirty record per fragment for
+  /// retained incremental state, exactly the catalog Move path — and
+  /// drains the backend so the next Execute starts quiescent.
+  void SyncRecovery();
 
  private:
   /// Per-fingerprint state ExecuteIncremental maintains: the triplet
@@ -305,6 +314,11 @@ class Session {
   std::shared_ptr<const frag::PlacementFeed> placement_feed_;
   uint64_t placement_epoch_seen_ = 0;
   std::shared_ptr<const frag::SourceTree> snapshot_hold_;
+
+  /// Last backend RecoveryEpoch observed per site (SyncRecovery).
+  /// Sites first seen at epoch E start AT E: their content ships (or
+  /// shipped) on the current daemon incarnation, so nothing re-ships.
+  std::vector<uint64_t> recovery_seen_;
 
   /// Log of fragments dirtied by Apply; each query's incremental
   /// state remembers its own *absolute* position in it, so one log

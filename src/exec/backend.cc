@@ -21,8 +21,8 @@ ExecBackendRegistry& ExecBackendRegistry::Instance() {
 }
 
 void ExecBackendRegistry::Register(int order, std::string name,
-                                   Factory factory) {
-  Entry entry{std::move(name), order, factory};
+                                   std::string grammar, Factory factory) {
+  Entry entry{std::move(name), std::move(grammar), order, factory};
   auto pos = std::lower_bound(
       entries_.begin(), entries_.end(), entry,
       [](const Entry& a, const Entry& b) {
@@ -63,9 +63,18 @@ Result<std::unique_ptr<ExecBackend>> ExecBackendRegistry::CreateOrError(
                                  NamesJoined());
 }
 
+std::string ExecBackendRegistry::Grammar(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.grammar;
+  }
+  return std::string(name);
+}
+
 ExecBackendRegistry::Registrar::Registrar(int order, std::string name,
+                                          std::string grammar,
                                           Factory factory) {
-  ExecBackendRegistry::Instance().Register(order, std::move(name), factory);
+  ExecBackendRegistry::Instance().Register(order, std::move(name),
+                                           std::move(grammar), factory);
 }
 
 std::string DefaultBackendSpec() {

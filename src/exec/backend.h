@@ -104,6 +104,18 @@ class Parcel {
     return p;
   }
 
+  /// Receiver-side reconstruction of a parcel whose content arrived as
+  /// wire bytes from another process (exec/process_backend.h): behaves
+  /// exactly like a Coded parcel after Encode() — the receiver's
+  /// Take* codec decodes it into its own factory.
+  static Parcel FromWire(std::string wire, uint64_t wire_bytes) {
+    Parcel p;
+    p.wire_ = std::move(wire);
+    p.has_wire_ = true;
+    p.wire_bytes_ = wire_bytes;
+    return p;
+  }
+
   /// Bytes this payload occupies on the wire (the metered quantity;
   /// envelope framing such as tags or routing ids is not counted,
   /// matching sim::Cluster's accounting).
@@ -248,6 +260,17 @@ class ExecBackend {
   /// Backend-specific report counters ("sim.events", "exec.tasks").
   virtual void AddBackendStats(StatsRegistry* stats) const = 0;
 
+  /// Monotonic per-site recovery counter: bumped when the remote
+  /// state backing `site`'s context was lost (the process backend's
+  /// hosting daemon restarted). Consumers (Session::plan) snapshot
+  /// epochs and re-ship a site's fragment state when its epoch
+  /// advances. In-process backends' site state cannot vanish, so the
+  /// default is a constant 0.
+  virtual uint64_t RecoveryEpoch(SiteId site) const {
+    (void)site;
+    return 0;
+  }
+
   /// The underlying deterministic cluster, or nullptr when this
   /// backend is not the simulation (tests that assert virtual-clock
   /// specifics guard on this).
@@ -266,10 +289,16 @@ class ExecBackendRegistry {
 
   static ExecBackendRegistry& Instance();
 
-  void Register(int order, std::string name, Factory factory);
+  /// `grammar` is the full spec grammar shown to users ("threads[:W]",
+  /// "proc[:N[,tcp]]"); equal to `name` when the backend takes no
+  /// options.
+  void Register(int order, std::string name, std::string grammar,
+                Factory factory);
 
   std::vector<std::string> Names() const;
   std::string NamesJoined(char sep = '|') const;
+  /// The registered spec grammar for `name` (`name` itself if unknown).
+  std::string Grammar(std::string_view name) const;
 
   /// Create from a spec "name" or "name:arg". Unknown names get an
   /// InvalidArgument listing every registered backend.
@@ -277,21 +306,23 @@ class ExecBackendRegistry {
       std::string_view spec, const BackendConfig& config) const;
 
   struct Registrar {
-    Registrar(int order, std::string name, Factory factory);
+    Registrar(int order, std::string name, std::string grammar,
+              Factory factory);
   };
 
  private:
   struct Entry {
     std::string name;
+    std::string grammar;
     int order;
     Factory factory;
   };
   std::vector<Entry> entries_;  // kept sorted by (order, name)
 };
 
-#define PARBOX_REGISTER_EXEC_BACKEND(order, name, factory)       \
-  static const ::parbox::exec::ExecBackendRegistry::Registrar    \
-      parbox_exec_backend_registrar_##order(order, name, factory)
+#define PARBOX_REGISTER_EXEC_BACKEND(order, name, grammar, factory)  \
+  static const ::parbox::exec::ExecBackendRegistry::Registrar        \
+      parbox_exec_backend_registrar_##order(order, name, grammar, factory)
 
 /// The session-default backend spec: $PARBOX_BACKEND if set (the
 /// `ctest -L backends` jobs run existing suites under "threads" this

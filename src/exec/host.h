@@ -135,6 +135,10 @@ class NamespaceBackend final : public ExecBackend {
 
   sim::Cluster* sim_cluster() override { return shared_->sim_cluster(); }
 
+  uint64_t RecoveryEpoch(SiteId site) const override {
+    return shared_->RecoveryEpoch(base_ + site);
+  }
+
   SiteId base() const { return base_; }
   const std::string& tag_prefix() const { return prefix_; }
 

@@ -18,6 +18,6 @@ Result<std::unique_ptr<ExecBackend>> MakeSimBackend(
 
 }  // namespace
 
-PARBOX_REGISTER_EXEC_BACKEND(0, "sim", MakeSimBackend);
+PARBOX_REGISTER_EXEC_BACKEND(0, "sim", "sim", MakeSimBackend);
 
 }  // namespace parbox::exec

@@ -361,6 +361,6 @@ Result<std::unique_ptr<ExecBackend>> MakeThreadPoolBackend(
 
 }  // namespace
 
-PARBOX_REGISTER_EXEC_BACKEND(1, "threads", MakeThreadPoolBackend);
+PARBOX_REGISTER_EXEC_BACKEND(1, "threads", "threads[:W]", MakeThreadPoolBackend);
 
 }  // namespace parbox::exec

@@ -1,0 +1,103 @@
+#include "net/conn.h"
+
+#include <limits>
+
+#include "net/socket.h"
+
+namespace parbox::net {
+
+void Conn::Adopt(int fd) {
+  Close();
+  fd_ = fd;
+  reader_ = FrameReader();
+  wq_.clear();
+  wq_off_ = 0;
+  delayed_.clear();
+}
+
+void Conn::Close() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  wq_.clear();
+  wq_off_ = 0;
+  delayed_.clear();
+}
+
+void Conn::Queue(std::string bytes) {
+  bytes_sent_ += bytes.size();
+  ++frames_sent_;
+  wq_.push_back(std::move(bytes));
+}
+
+void Conn::SendFrame(const Frame& frame, uint32_t attempt, bool faultable,
+                     double now) {
+  if (fd_ < 0) return;  // disconnected: the retry protocol re-sends
+  std::string bytes = EncodeFrame(frame);
+  if (faultable && injector_.enabled()) {
+    const FaultDecision d = injector_.Decide(frame.seq, attempt);
+    switch (d.action) {
+      case FaultAction::kDrop:
+        ++faults_dropped_;
+        return;
+      case FaultAction::kDelay:
+        ++faults_delayed_;
+        delayed_.push_back({now + d.delay_seconds, std::move(bytes)});
+        return;
+      case FaultAction::kDuplicate:
+        ++faults_duplicated_;
+        delayed_.push_back({now + d.delay_seconds, bytes});
+        break;  // and deliver the original now
+      case FaultAction::kDeliver:
+        break;
+    }
+  }
+  Queue(std::move(bytes));
+}
+
+bool Conn::FlushWrites() {
+  while (!wq_.empty()) {
+    const std::string& front = wq_.front();
+    const long n = SendSome(fd_, front.data() + wq_off_,
+                            front.size() - wq_off_);
+    if (n < 0) return false;
+    if (n == 0) return true;  // kernel buffer full; wait for POLLOUT
+    wq_off_ += static_cast<size_t>(n);
+    if (wq_off_ == front.size()) {
+      wq_.pop_front();
+      wq_off_ = 0;
+    }
+  }
+  return true;
+}
+
+bool Conn::ReadReady() {
+  char buf[64 * 1024];
+  for (;;) {
+    const long n = RecvSome(fd_, buf, sizeof(buf));
+    if (n < 0) return false;
+    if (n == 0) break;
+    bytes_received_ += static_cast<uint64_t>(n);
+    reader_.Feed(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  return !reader_.error();
+}
+
+double Conn::PumpDelayed(double now) {
+  double next = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].due <= now) {
+      Queue(std::move(delayed_[i].bytes));
+      delayed_[i] = std::move(delayed_.back());
+      delayed_.pop_back();
+    } else {
+      if (delayed_[i].due < next) next = delayed_[i].due;
+      ++i;
+    }
+  }
+  return next;
+}
+
+}  // namespace parbox::net

@@ -1,0 +1,95 @@
+// One framed, nonblocking connection: read side feeds a FrameReader,
+// write side is a per-connection queue flushed on POLLOUT, and every
+// outgoing frame passes the fault injector (net/faults.h) unless it is
+// protocol-critical (HELLO, PING/PONG).
+//
+// Shared by both ends of a link — the coordinator's DaemonLink
+// (exec/process_backend.cc) and the daemon's coordinator connection
+// (net/daemon.cc). Single-threaded: each side's poll loop is the only
+// caller.
+
+#ifndef PARBOX_NET_CONN_H_
+#define PARBOX_NET_CONN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/faults.h"
+#include "net/wire.h"
+
+namespace parbox::net {
+
+class Conn {
+ public:
+  explicit Conn(FaultInjector injector) : injector_(injector) {}
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn() { Close(); }
+
+  /// Take ownership of a connected fd; the previous connection's
+  /// buffers, queues, and delayed frames are discarded (stale frames
+  /// of a dead connection must not leak into its successor).
+  void Adopt(int fd);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Queue one frame. `faultable` frames consult the injector (drop /
+  /// delay / duplicate); `attempt` is the requester's 1-based send
+  /// count for the seq (retransmissions become harder to fault, see
+  /// net/faults.h).
+  void SendFrame(const Frame& frame, uint32_t attempt, bool faultable,
+                 double now);
+
+  /// POLLOUT wanted (queued bytes remain).
+  bool wants_write() const { return !wq_.empty(); }
+  /// Write as much of the queue as the socket accepts; false on a
+  /// connection-fatal error.
+  bool FlushWrites();
+  /// Drain readable bytes into the frame reader; false on EOF/error or
+  /// a poisoned (malformed) stream.
+  bool ReadReady();
+  /// Pop the next complete inbound frame.
+  bool NextFrame(Frame* out) { return reader_.Next(out); }
+
+  /// Move delayed frames whose time has come into the write queue;
+  /// returns the earliest still-pending due time (or +inf).
+  double PumpDelayed(double now);
+  bool has_delayed() const { return !delayed_.empty(); }
+
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  uint64_t faults_dropped() const { return faults_dropped_; }
+  uint64_t faults_delayed() const { return faults_delayed_; }
+  uint64_t faults_duplicated() const { return faults_duplicated_; }
+
+ private:
+  void Queue(std::string bytes);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  /// Write queue: encoded frames; wq_off_ is the partial-write offset
+  /// into the front element.
+  std::deque<std::string> wq_;
+  size_t wq_off_ = 0;
+  struct Delayed {
+    double due = 0.0;
+    std::string bytes;
+  };
+  std::vector<Delayed> delayed_;
+  FaultInjector injector_;
+
+  uint64_t frames_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+  uint64_t faults_dropped_ = 0;
+  uint64_t faults_delayed_ = 0;
+  uint64_t faults_duplicated_ = 0;
+};
+
+}  // namespace parbox::net
+
+#endif  // PARBOX_NET_CONN_H_

@@ -1,0 +1,60 @@
+// The site-daemon loop behind the `sited` binary: one process hosting
+// site shards of a parbox deployment, speaking the frame protocol of
+// net/wire.h over a socket to a coordinator (exec/process_backend.h).
+//
+// What a daemon does with a PARCEL_REQ:
+//   * dedup by (connection, seq) — the protocol is at-least-once, so a
+//     retried frame is re-acked but never re-metered or re-decoded;
+//   * meter the parcel (per-tag bytes/messages, per-site received
+//     bytes) — the STATS_RESP report the coordinator merges, and the
+//     quantity net_test.cc holds byte-identical to the coordinator's
+//     own logical meters;
+//   * if the payload is codec wire bytes (a triplet / triplet batch
+//     that crossed factory domains), decode it into the shard's pinned
+//     hash-consing ExprFactory — the shipped formulas genuinely live
+//     in this process; shards are keyed by the factory-domain id the
+//     frame carries and created on first sight;
+//   * echo the payload in the PARCEL_RESP — the bytes cross the socket
+//     back, and the coordinator reconstructs the delivered parcel from
+//     them (the round trip IS the transport, not a simulation of one).
+//
+// Two modes:
+//   * connect mode (`sited --connect=ADDR --index=K`): dial the
+//     coordinator's listener, serve until EOF, exit — the auto-spawn
+//     lifecycle, where the coordinator owns restarts;
+//   * listen mode (`sited --listen=ADDR`): accept coordinators one at
+//     a time forever — standalone daemons a coordinator reaches via
+//     PARBOX_SITED_ADDRS.
+//
+// In-memory state (factories, meters) lives for the process: a
+// restarted daemon announces a fresh boot nonce in HELLO, which is how
+// the coordinator knows to re-ship fragments.
+
+#ifndef PARBOX_NET_DAEMON_H_
+#define PARBOX_NET_DAEMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace parbox::net {
+
+struct DaemonOptions {
+  /// Exactly one of connect_addr / listen_addr is set.
+  std::string connect_addr;
+  std::string listen_addr;
+  /// Which daemon of the coordinator's fleet this is (HELLO.src).
+  int index = 0;
+  /// Fault-injection seed for this daemon's outbound frames (0 off).
+  uint64_t fault_seed = 0;
+  /// Optional log stream (not owned); nullptr = silent.
+  std::FILE* log = nullptr;
+};
+
+/// Run the daemon loop; returns the process exit code (0 on orderly
+/// coordinator EOF in connect mode; listen mode only returns on error).
+int RunSiteDaemon(const DaemonOptions& options);
+
+}  // namespace parbox::net
+
+#endif  // PARBOX_NET_DAEMON_H_

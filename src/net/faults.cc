@@ -1,0 +1,53 @@
+#include "net/faults.h"
+
+#include <cstdlib>
+
+namespace parbox::net {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed, and stable across platforms — the
+/// determinism contract is "same seed, same faults", so no libc RNG.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultDecision FaultInjector::Decide(uint64_t seq, uint32_t attempt) const {
+  FaultDecision decision;
+  if (seed_ == 0) return decision;
+  const uint64_t h = Mix(Mix(Mix(seed_) ^ endpoint_) ^
+                         (seq * 0x100000001b3ull + attempt));
+  const uint32_t roll = static_cast<uint32_t>(h % 100);
+  // 12% drop, 10% delay, 6% duplicate, 72% clean — aggressive enough
+  // that a 64-query stream exercises every path, tame enough that the
+  // attempt-3 exemption below keeps retry counts within budget.
+  if (roll < 12) {
+    if (attempt < kAlwaysDeliverAttempt) {
+      decision.action = FaultAction::kDrop;
+    }
+  } else if (roll < 22) {
+    decision.action = attempt < kAlwaysDeliverAttempt
+                          ? FaultAction::kDelay
+                          : FaultAction::kDeliver;
+    decision.delay_seconds = 0.001 + static_cast<double>((h >> 32) % 8) /
+                                         1000.0;  // 1..8 ms
+  } else if (roll < 28) {
+    decision.action = FaultAction::kDuplicate;
+    decision.delay_seconds =
+        0.001 + static_cast<double>((h >> 32) % 4) / 1000.0;
+  }
+  return decision;
+}
+
+uint64_t FaultInjector::SeedFromEnv() {
+  const char* env = std::getenv("PARBOX_NET_FAULTS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
+}  // namespace parbox::net

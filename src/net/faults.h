@@ -1,0 +1,67 @@
+// Deterministic frame-level fault injection (PARBOX_NET_FAULTS=seed).
+//
+// The process backend's chaos path — drops, delays, duplicated frames
+// — must be testable in CI, so faults are not random: the decision for
+// a frame is a pure hash of (seed, endpoint id, frame seq, attempt
+// counter). Two runs with the same seed inject the same faults at the
+// same protocol points, and seed 0 (or an unset env) disables the hook
+// entirely.
+//
+// Guarantees that keep a faulty run convergent and fast:
+//   * only PARCEL/STATS/RESET frames are faulted — HELLO and the
+//     PING/PONG liveness probes always fly, so fault injection
+//     exercises the retry path, never the reconnect path;
+//   * an attempt counter >= kAlwaysDeliverAttempt is never dropped:
+//     the bounded retry budget of exec/process_backend.cc always
+//     suffices, no matter the seed.
+
+#ifndef PARBOX_NET_FAULTS_H_
+#define PARBOX_NET_FAULTS_H_
+
+#include <cstdint>
+
+namespace parbox::net {
+
+/// Retries from this attempt on are exempt from drops/delays (see
+/// file comment). The coordinator's retry budget must exceed it.
+inline constexpr uint32_t kAlwaysDeliverAttempt = 3;
+
+enum class FaultAction : uint8_t {
+  kDeliver = 0,
+  kDrop = 1,
+  kDelay = 2,      ///< deliver after delay_seconds
+  kDuplicate = 3,  ///< deliver now AND again after delay_seconds
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kDeliver;
+  double delay_seconds = 0.0;
+};
+
+class FaultInjector {
+ public:
+  /// `seed` 0 disables; `endpoint` distinguishes the two directions of
+  /// a link (coordinator mixes the daemon index, daemons mix their own
+  /// index + a direction bit) so both sides fault independently but
+  /// deterministically.
+  FaultInjector(uint64_t seed, uint64_t endpoint)
+      : seed_(seed), endpoint_(endpoint) {}
+
+  bool enabled() const { return seed_ != 0; }
+
+  /// The fate of one send of frame `seq`, `attempt` (1-based, counts
+  /// retransmissions of the same seq).
+  FaultDecision Decide(uint64_t seq, uint32_t attempt) const;
+
+  /// The process-wide seed: $PARBOX_NET_FAULTS parsed once (0 when
+  /// unset/empty/unparseable).
+  static uint64_t SeedFromEnv();
+
+ private:
+  uint64_t seed_;
+  uint64_t endpoint_;
+};
+
+}  // namespace parbox::net
+
+#endif  // PARBOX_NET_FAULTS_H_

@@ -1,0 +1,233 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstddef>
+#include <cstring>
+
+namespace parbox::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Fill a sockaddr_un for "@abstract" or "/path" forms. Abstract names
+/// ('@' -> leading NUL) are Linux-only but leave no filesystem residue,
+/// which is why the auto-spawn path uses them.
+Result<std::pair<sockaddr_un, socklen_t>> UnixSockaddr(
+    std::string_view addr) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (addr.size() + 1 > sizeof(sa.sun_path)) {
+    return Status::InvalidArgument("unix socket address too long: \"" +
+                                   std::string(addr) + "\"");
+  }
+  socklen_t len;
+  if (!addr.empty() && addr[0] == '@') {
+    sa.sun_path[0] = '\0';
+    std::memcpy(sa.sun_path + 1, addr.data() + 1, addr.size() - 1);
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                 addr.size());
+  } else {
+    std::memcpy(sa.sun_path, addr.data(), addr.size());
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                 addr.size() + 1);
+  }
+  return std::make_pair(sa, len);
+}
+
+Result<std::pair<sockaddr_in, socklen_t>> TcpSockaddr(
+    std::string_view addr) {
+  const size_t colon = addr.rfind(':');
+  const std::string host(addr.substr(0, colon));
+  const std::string_view port_str = addr.substr(colon + 1);
+  int port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_str.data(), port_str.data() + port_str.size(), port);
+  if (ec != std::errc() || ptr != port_str.data() + port_str.size() ||
+      port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad TCP port in \"" +
+                                   std::string(addr) + "\"");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host in \"" +
+                                   std::string(addr) + "\"");
+  }
+  return std::make_pair(sa, static_cast<socklen_t>(sizeof(sa)));
+}
+
+}  // namespace
+
+bool IsTcpAddress(std::string_view addr) {
+  // Unix forms are "@name" or contain '/'; everything with a ':' and
+  // neither marker is "host:port".
+  return !addr.empty() && addr[0] != '@' &&
+         addr.find('/') == std::string_view::npos &&
+         addr.find(':') != std::string_view::npos;
+}
+
+Result<int> Listen(std::string_view addr) {
+  const bool tcp = IsTcpAddress(addr);
+  const int fd = socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (tcp) {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    auto sa = TcpSockaddr(addr);
+    if (!sa.ok()) {
+      CloseFd(fd);
+      return sa.status();
+    }
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa->first), sa->second) < 0) {
+      CloseFd(fd);
+      return Errno("bind " + std::string(addr));
+    }
+  } else {
+    auto sa = UnixSockaddr(addr);
+    if (!sa.ok()) {
+      CloseFd(fd);
+      return sa.status();
+    }
+    if (!addr.empty() && addr[0] != '@') unlink(std::string(addr).c_str());
+    if (bind(fd, reinterpret_cast<sockaddr*>(&sa->first), sa->second) < 0) {
+      CloseFd(fd);
+      return Errno("bind " + std::string(addr));
+    }
+  }
+  if (listen(fd, 64) < 0) {
+    CloseFd(fd);
+    return Errno("listen " + std::string(addr));
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<std::string> ListenAddress(int fd, std::string_view requested) {
+  if (!IsTcpAddress(requested)) return std::string(requested);
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    return Errno("getsockname");
+  }
+  char host[INET_ADDRSTRLEN];
+  if (inet_ntop(AF_INET, &sa.sin_addr, host, sizeof(host)) == nullptr) {
+    return Errno("inet_ntop");
+  }
+  return std::string(host) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+Result<int> Accept(int listen_fd) {
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return -1;
+    }
+    return Errno("accept");
+  }
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> Connect(std::string_view addr, double timeout_seconds) {
+  const bool tcp = IsTcpAddress(addr);
+  const int fd = socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int rc;
+  if (tcp) {
+    auto sa = TcpSockaddr(addr);
+    if (!sa.ok()) {
+      CloseFd(fd);
+      return sa.status();
+    }
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&sa->first), sa->second);
+  } else {
+    auto sa = UnixSockaddr(addr);
+    if (!sa.ok()) {
+      CloseFd(fd);
+      return sa.status();
+    }
+    rc = connect(fd, reinterpret_cast<sockaddr*>(&sa->first), sa->second);
+  }
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int n =
+        poll(&pfd, 1, static_cast<int>(timeout_seconds * 1000.0));
+    if (n <= 0) {
+      CloseFd(fd);
+      return Status::Internal("connect " + std::string(addr) +
+                              ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      CloseFd(fd);
+      errno = err;
+      return Errno("connect " + std::string(addr));
+    }
+  } else if (rc < 0) {
+    CloseFd(fd);
+    return Errno("connect " + std::string(addr));
+  }
+  if (tcp) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+long SendSome(int fd, const char* data, size_t n) {
+  const ssize_t rc = send(fd, data, n, MSG_NOSIGNAL);
+  if (rc >= 0) return rc;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+long RecvSome(int fd, char* buf, size_t n) {
+  const ssize_t rc = recv(fd, buf, n, 0);
+  if (rc > 0) return rc;
+  if (rc == 0) return -1;  // orderly EOF is connection-fatal too
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+}  // namespace parbox::net

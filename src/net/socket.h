@@ -1,0 +1,56 @@
+// Thin socket helpers under the process backend: address parsing,
+// nonblocking listen/connect/accept. Three address forms:
+//
+//   "@name"        Linux abstract Unix-domain socket (no filesystem
+//                  residue — what the coordinator's auto-spawned
+//                  daemons use)
+//   "/path/sock"   filesystem Unix-domain socket (anything with '/')
+//   "host:port"    TCP over IPv4 (127.0.0.1:0 picks an ephemeral port;
+//                  ListenAddress recovers the bound port)
+//
+// All fds come back nonblocking with SIGPIPE suppressed per send; the
+// single-threaded poll loops in exec/process_backend.cc and
+// net/daemon.cc are the only consumers.
+
+#ifndef PARBOX_NET_SOCKET_H_
+#define PARBOX_NET_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace parbox::net {
+
+/// True iff `addr` is a TCP "host:port" form (vs a Unix-domain one).
+bool IsTcpAddress(std::string_view addr);
+
+/// Bind + listen on `addr`, returning the nonblocking listener fd.
+Result<int> Listen(std::string_view addr);
+
+/// The address a Listen() fd is actually bound to — equal to the input
+/// except for TCP port 0, where the kernel-assigned port is filled in.
+Result<std::string> ListenAddress(int fd, std::string_view requested);
+
+/// Accept one pending connection (nonblocking listener); returns the
+/// nonblocking connection fd, or -1 when nothing is pending.
+Result<int> Accept(int listen_fd);
+
+/// Connect to `addr`, waiting up to `timeout_seconds` for the
+/// handshake; returns a nonblocking connected fd. Fails (rather than
+/// blocks) when nobody listens — callers own the retry loop.
+Result<int> Connect(std::string_view addr, double timeout_seconds);
+
+/// write() wrapper: bytes written (possibly 0 on EAGAIN), -1 on a
+/// connection-fatal error. Never raises SIGPIPE.
+long SendSome(int fd, const char* data, size_t n);
+
+/// read() wrapper: bytes read, 0 on EAGAIN, -1 on EOF or a
+/// connection-fatal error.
+long RecvSome(int fd, char* buf, size_t n);
+
+void CloseFd(int fd);
+
+}  // namespace parbox::net
+
+#endif  // PARBOX_NET_SOCKET_H_

@@ -98,6 +98,9 @@ class TracingBackend final : public exec::ExecBackend {
     inner_->AddBackendStats(stats);
   }
   sim::Cluster* sim_cluster() override { return inner_->sim_cluster(); }
+  uint64_t RecoveryEpoch(exec::SiteId site) const override {
+    return inner_->RecoveryEpoch(site);
+  }
 
  private:
   std::unique_ptr<exec::ExecBackend> inner_;

@@ -736,6 +736,16 @@ obs::MetricsSnapshot QueryService::SnapshotMetrics() const {
   metrics_->SetGauge(p + "exec.visits", static_cast<double>(visits));
   metrics_->SetGauge(p + "exec.busy_seconds",
                      backend.total_busy_seconds());
+  // Substrate-specific counters (thread-pool steals, proc-backend
+  // frames/retries/reconnects, ...) ride along under the same "exec."
+  // namespace, except keys that already carry it.
+  StatsRegistry backend_stats;
+  backend.AddBackendStats(&backend_stats);
+  for (const auto& [name, value] : backend_stats.counters()) {
+    const std::string gauge =
+        name.rfind("exec.", 0) == 0 ? name : "exec." + name;
+    metrics_->SetGauge(p + gauge, static_cast<double>(value));
+  }
   metrics_->SetGauge(p + "service.cache_size",
                      static_cast<double>(cache_.size()));
   return metrics_->Snapshot();

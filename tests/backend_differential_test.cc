@@ -1,9 +1,11 @@
 // The ExecBackend contract, held to by differential testing: the
-// deterministic simulation is the oracle, and the thread-pool backend
-// must agree with it bit-for-bit wherever the quantity is defined on
-// both — answers, per-site visits, network bytes and messages, kernel
-// ops, equation-system sizes, and the per-tag traffic breakdown.
-// (Virtual times and event counts are sim-defined and excluded.)
+// deterministic simulation is the oracle, and the real backends — the
+// in-process thread pool ("threads") and the multi-process site
+// daemons ("proc:2") — must agree with it bit-for-bit wherever the
+// quantity is defined on both: answers, per-site visits, network bytes
+// and messages, kernel ops, equation-system sizes, and the per-tag
+// traffic breakdown. (Virtual times and event counts are sim-defined
+// and excluded.)
 //
 // Covers every registered evaluator, ExecuteIncremental across random
 // delta sequences (the seeded-trial harness of
@@ -12,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,13 @@ namespace {
 
 using frag::FragmentSet;
 using testutil::TrialMultiplier;
+
+/// The real (non-sim) backends every differential below holds to the
+/// sim oracle.
+const std::vector<std::string>& RealBackends() {
+  static const std::vector<std::string> kBackends = {"threads", "proc:2"};
+  return kBackends;
+}
 
 /// The cross-backend comparable slice of a RunReport.
 void ExpectReportsAgree(const RunReport& sim, const RunReport& threads,
@@ -59,31 +69,46 @@ TEST(BackendDifferentialTest, AllEvaluatorsBitIdenticalAcrossBackends) {
     auto sim = Session::Create(
         static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
         SessionOptions{.backend = "sim"});
-    auto threads = Session::Create(
-        static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
-        SessionOptions{.backend = "threads"});
-    ASSERT_TRUE(sim.ok() && threads.ok());
+    ASSERT_TRUE(sim.ok());
+    std::vector<std::unique_ptr<Session>> real;
+    for (const std::string& backend : RealBackends()) {
+      auto session = Session::Create(
+          static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+          SessionOptions{.backend = backend});
+      ASSERT_TRUE(session.ok()) << backend << ": "
+                                << session.status().ToString();
+      real.push_back(std::make_unique<Session>(std::move(*session)));
+    }
 
     Rng rng(seed * 31 + 7);
     for (int i = 0; i < 3; ++i) {
       auto ast = testutil::RandomQual(&rng, 3);
       xpath::NormQuery q = xpath::Normalize(*ast);
       auto sim_q = sim->Prepare(&q);
-      auto thr_q = threads->Prepare(&q);
-      ASSERT_TRUE(sim_q.ok() && thr_q.ok());
+      ASSERT_TRUE(sim_q.ok());
+      std::vector<PreparedQuery> real_q;
+      for (auto& session : real) {
+        auto prepared = session->Prepare(&q);
+        ASSERT_TRUE(prepared.ok());
+        real_q.push_back(std::move(*prepared));
+      }
       for (const std::string& name : names) {
         auto sim_report = sim->Execute(*sim_q, {.evaluator = name});
-        auto thr_report = threads->Execute(*thr_q, {.evaluator = name});
         ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
-        ASSERT_TRUE(thr_report.ok()) << thr_report.status().ToString();
-        ExpectReportsAgree(*sim_report, *thr_report,
-                           "seed " + std::to_string(seed) + " evaluator " +
-                               name + " query " + xpath::ToString(*ast));
-        ++trials;
+        for (size_t b = 0; b < real.size(); ++b) {
+          auto real_report =
+              real[b]->Execute(real_q[b], {.evaluator = name});
+          ASSERT_TRUE(real_report.ok()) << real_report.status().ToString();
+          ExpectReportsAgree(*sim_report, *real_report,
+                             "seed " + std::to_string(seed) + " backend " +
+                                 RealBackends()[b] + " evaluator " + name +
+                                 " query " + xpath::ToString(*ast));
+          ++trials;
+        }
       }
     }
   }
-  EXPECT_GE(trials, 6u * 3u * names.size());
+  EXPECT_GE(trials, 6u * 3u * RealBackends().size() * names.size());
 }
 
 // ExecuteIncremental across random delta sequences: two identically
@@ -94,55 +119,59 @@ TEST(BackendDifferentialTest, AllEvaluatorsBitIdenticalAcrossBackends) {
 // the dirty sites the sim does.
 TEST(BackendDifferentialTest, IncrementalRunsBitIdenticalAcrossBackends) {
   const int deltas_per_seed = 12 * TrialMultiplier();
-  for (uint64_t seed = 1; seed <= 4; ++seed) {
-    testutil::RandomScenario for_sim =
-        testutil::MakeRandomScenario(seed + 950, 70, 5);
-    testutil::RandomScenario for_threads =
-        testutil::MakeRandomScenario(seed + 950, 70, 5);
+  for (const std::string& backend : RealBackends()) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      testutil::RandomScenario for_sim =
+          testutil::MakeRandomScenario(seed + 950, 70, 5);
+      testutil::RandomScenario for_real =
+          testutil::MakeRandomScenario(seed + 950, 70, 5);
 
-    auto sim = Session::Create(&for_sim.set, &for_sim.st,
-                               SessionOptions{.backend = "sim"});
-    auto threads = Session::Create(&for_threads.set, &for_threads.st,
-                                   SessionOptions{.backend = "threads"});
-    ASSERT_TRUE(sim.ok() && threads.ok());
-    ASSERT_TRUE(sim->writable() && threads->writable());
+      auto sim = Session::Create(&for_sim.set, &for_sim.st,
+                                 SessionOptions{.backend = "sim"});
+      auto real = Session::Create(&for_real.set, &for_real.st,
+                                  SessionOptions{.backend = backend});
+      ASSERT_TRUE(sim.ok() && real.ok());
+      ASSERT_TRUE(sim->writable() && real->writable());
 
-    Rng rng_sim(seed * 131 + 17);
-    Rng rng_thr(seed * 131 + 17);
-    auto sim_q =
-        sim->Prepare(xpath::Normalize(*testutil::RandomQual(&rng_sim, 3)));
-    auto thr_q = threads->Prepare(
-        xpath::Normalize(*testutil::RandomQual(&rng_thr, 3)));
-    ASSERT_TRUE(sim_q.ok() && thr_q.ok());
+      Rng rng_sim(seed * 131 + 17);
+      Rng rng_real(seed * 131 + 17);
+      auto sim_q = sim->Prepare(
+          xpath::Normalize(*testutil::RandomQual(&rng_sim, 3)));
+      auto real_q = real->Prepare(
+          xpath::Normalize(*testutil::RandomQual(&rng_real, 3)));
+      ASSERT_TRUE(sim_q.ok() && real_q.ok());
 
-    for (int d = 0; d < deltas_per_seed; ++d) {
-      // Identical RNG streams over identical documents pick identical
-      // deltas; apply one to each deployment.
-      frag::Delta delta_sim = testutil::RandomDelta(&for_sim.set, &rng_sim);
-      frag::Delta delta_thr =
-          testutil::RandomDelta(&for_threads.set, &rng_thr);
-      ASSERT_EQ(delta_sim.kind, delta_thr.kind);
-      ASSERT_TRUE(sim->Apply(delta_sim).ok());
-      ASSERT_TRUE(threads->Apply(delta_thr).ok());
+      for (int d = 0; d < deltas_per_seed; ++d) {
+        // Identical RNG streams over identical documents pick identical
+        // deltas; apply one to each deployment.
+        frag::Delta delta_sim =
+            testutil::RandomDelta(&for_sim.set, &rng_sim);
+        frag::Delta delta_real =
+            testutil::RandomDelta(&for_real.set, &rng_real);
+        ASSERT_EQ(delta_sim.kind, delta_real.kind);
+        ASSERT_TRUE(sim->Apply(delta_sim).ok());
+        ASSERT_TRUE(real->Apply(delta_real).ok());
 
-      auto sim_report = sim->ExecuteIncremental(*sim_q);
-      auto thr_report = threads->ExecuteIncremental(*thr_q);
-      ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
-      ASSERT_TRUE(thr_report.ok()) << thr_report.status().ToString();
-      ExpectReportsAgree(
-          *sim_report, *thr_report,
-          "seed " + std::to_string(seed) + " delta " + std::to_string(d));
-
-      // Every other delta, also compare the clean path (a re-run with
-      // nothing dirty).
-      if (d % 2 == 1) {
-        auto sim_clean = sim->ExecuteIncremental(*sim_q);
-        auto thr_clean = threads->ExecuteIncremental(*thr_q);
-        ASSERT_TRUE(sim_clean.ok() && thr_clean.ok());
-        EXPECT_EQ(sim_clean->algorithm, "IncrementalParBoX[clean]");
-        ExpectReportsAgree(*sim_clean, *thr_clean,
-                           "clean after seed " + std::to_string(seed) +
+        auto sim_report = sim->ExecuteIncremental(*sim_q);
+        auto real_report = real->ExecuteIncremental(*real_q);
+        ASSERT_TRUE(sim_report.ok()) << sim_report.status().ToString();
+        ASSERT_TRUE(real_report.ok()) << real_report.status().ToString();
+        ExpectReportsAgree(*sim_report, *real_report,
+                           backend + " seed " + std::to_string(seed) +
                                " delta " + std::to_string(d));
+
+        // Every other delta, also compare the clean path (a re-run with
+        // nothing dirty).
+        if (d % 2 == 1) {
+          auto sim_clean = sim->ExecuteIncremental(*sim_q);
+          auto real_clean = real->ExecuteIncremental(*real_q);
+          ASSERT_TRUE(sim_clean.ok() && real_clean.ok());
+          EXPECT_EQ(sim_clean->algorithm, "IncrementalParBoX[clean]");
+          ExpectReportsAgree(*sim_clean, *real_clean,
+                             backend + " clean after seed " +
+                                 std::to_string(seed) + " delta " +
+                                 std::to_string(d));
+        }
       }
     }
   }
@@ -175,9 +204,10 @@ TEST(BackendDifferentialTest, ServiceAnswerStreamsAgreeAcrossBackends) {
   };
 
   auto sim_answers = serve("sim");
-  auto thr_answers = serve("threads");
   ASSERT_EQ(sim_answers.size(), 64u);
-  EXPECT_EQ(sim_answers, thr_answers);
+  for (const std::string& backend : RealBackends()) {
+    EXPECT_EQ(sim_answers, serve(backend)) << backend;
+  }
 }
 
 TEST(BackendDifferentialTest, UnknownBackendErrorsListRegistered) {
@@ -190,17 +220,42 @@ TEST(BackendDifferentialTest, UnknownBackendErrorsListRegistered) {
   EXPECT_NE(message.find("quantum"), std::string::npos) << message;
   EXPECT_NE(message.find("sim"), std::string::npos) << message;
   EXPECT_NE(message.find("threads"), std::string::npos) << message;
+  EXPECT_NE(message.find("proc"), std::string::npos) << message;
 
   auto bad_arg = Session::Create(
       static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
       SessionOptions{.backend = "threads:zero"});
   ASSERT_FALSE(bad_arg.ok());
 
+  // The proc spec grammar rejects junk with the grammar in the
+  // message, and the registry can report it (parboxq --list).
+  auto bad_proc = Session::Create(
+      static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+      SessionOptions{.backend = "proc:zero"});
+  ASSERT_FALSE(bad_proc.ok());
+  EXPECT_NE(bad_proc.status().ToString().find("proc[:N[,tcp]]"),
+            std::string::npos)
+      << bad_proc.status().ToString();
+  EXPECT_EQ(exec::ExecBackendRegistry::Instance().Grammar("proc"),
+            "proc[:N[,tcp]]");
+
   auto counted = Session::Create(
       static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
       SessionOptions{.backend = "threads:3"});
   ASSERT_TRUE(counted.ok());
   EXPECT_EQ(counted->backend().name(), "threads");
+
+  // QueryService::Create validates the same spec at construction
+  // time, with the same grammar in the error.
+  service::ServiceOptions bad_options;
+  bad_options.backend = "proc:zero";
+  auto bad_svc = service::QueryService::Create(
+      static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+      bad_options);
+  ASSERT_FALSE(bad_svc.ok());
+  EXPECT_NE(bad_svc.status().ToString().find("proc[:N[,tcp]]"),
+            std::string::npos)
+      << bad_svc.status().ToString();
 }
 
 }  // namespace

@@ -296,7 +296,7 @@ std::multiset<std::string> Skeleton(const std::vector<TraceEvent>& events) {
 }
 
 TEST(TracingIntegrationTest, SingleQueryProducesFullSpanTree) {
-  for (const char* backend : {"sim", "threads:2"}) {
+  for (const char* backend : {"sim", "threads:2", "proc:2"}) {
     SCOPED_TRACE(backend);
     Scenario scenario = MakePortfolio();
     ServiceOptions options;
@@ -363,13 +363,19 @@ TEST(TracingIntegrationTest, SimTraceIsDeterministic) {
 }
 
 TEST(TracingIntegrationTest, SpanStructureMatchesAcrossBackends) {
-  Scenario s1 = MakePortfolio(), s2 = MakePortfolio();
-  Tracer sim_tracer, threads_tracer;
+  // Three-way: the proc backend carries trace ids across process
+  // boundaries as wire bytes, so its span log must have the same
+  // skeleton as the in-process backends'.
+  Scenario s1 = MakePortfolio(), s2 = MakePortfolio(), s3 = MakePortfolio();
+  Tracer sim_tracer, threads_tracer, proc_tracer;
   ServeMixed(&s1, "sim", &sim_tracer);
   ServeMixed(&s2, "threads:2", &threads_tracer);
+  ServeMixed(&s3, "proc:2", &proc_tracer);
   const auto sim_shape = Skeleton(sim_tracer.Collect());
   const auto threads_shape = Skeleton(threads_tracer.Collect());
+  const auto proc_shape = Skeleton(proc_tracer.Collect());
   EXPECT_EQ(sim_shape, threads_shape);
+  EXPECT_EQ(sim_shape, proc_shape);
   EXPECT_GT(sim_shape.size(), 0u);
 }
 
@@ -394,7 +400,7 @@ TEST(TracingIntegrationTest, CacheHitEmitsInstantNotRound) {
 }
 
 TEST(MetricsIntegrationTest, RegistryMatchesTrafficStats) {
-  for (const char* backend : {"sim", "threads:2"}) {
+  for (const char* backend : {"sim", "threads:2", "proc:2"}) {
     SCOPED_TRACE(backend);
     Scenario scenario = MakePortfolio();
     ServiceOptions options;

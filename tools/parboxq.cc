@@ -96,8 +96,9 @@ int Usage(const char* argv0) {
       "  --algo=A            registered evaluator, or all\n"
       "                      (registered: %s; default: parbox;\n"
       "                      --algorithm= is accepted as an alias)\n"
-      "  --backend=B         execution substrate, e.g. sim or\n"
-      "                      threads:8 (registered: %s; default: sim;\n"
+      "  --backend=B         execution substrate, e.g. sim, threads:8,\n"
+      "                      or proc:4 — site daemons over sockets\n"
+      "                      (registered: %s; default: sim;\n"
       "                      --serve honors it too)\n"
       "  --select            treat the query as a node predicate and\n"
       "                      list matching elements\n"
@@ -159,7 +160,9 @@ int ListRegistries() {
   std::printf("backends:\n");
   for (const std::string& name :
        exec::ExecBackendRegistry::Instance().Names()) {
-    std::printf("  %s\n", name.c_str());
+    std::printf(
+        "  %s\n",
+        exec::ExecBackendRegistry::Instance().Grammar(name).c_str());
   }
   return 0;
 }

@@ -1,0 +1,107 @@
+// sited: a parbox site daemon — hosts site shards (pinned
+// hash-consing ExprFactories) and speaks the net/wire.h frame protocol
+// to a coordinator running the `proc` execution backend.
+//
+// Usage:
+//   sited --connect=ADDR --index=K [--log=FILE]
+//       Dial a coordinator's listener (what `--backend=proc:N`
+//       auto-spawns), serve until the coordinator hangs up, exit.
+//   sited --listen=ADDR [--index=K] [--log=FILE]
+//       Standalone mode: accept coordinators one at a time forever.
+//       Point a coordinator at it with PARBOX_SITED_ADDRS=ADDR[,...].
+//
+// Addresses: "@name" (abstract Unix-domain), "/path/sock", or
+// "host:port" (TCP). Fault injection: PARBOX_NET_FAULTS=seed makes
+// this daemon's outbound frames subject to the same deterministic
+// drop/delay/duplicate schedule the coordinator applies (seed 0 or
+// unset disables). If --log is not given but PARBOX_SITED_LOG_DIR is
+// set, logs go to $PARBOX_SITED_LOG_DIR/sited-<index>-<pid>.log.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/daemon.h"
+#include "net/faults.h"
+
+#include <unistd.h>
+
+namespace {
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: sited --connect=ADDR --index=K [--log=FILE]\n"
+               "       sited --listen=ADDR [--index=K] [--log=FILE]\n"
+               "\n"
+               "ADDR: @name (abstract unix socket), /path/sock, or "
+               "host:port (TCP).\n"
+               "Env:  PARBOX_NET_FAULTS=seed   deterministic fault "
+               "injection (0 = off)\n"
+               "      PARBOX_SITED_LOG_DIR     default log location "
+               "when --log is absent\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parbox::net::DaemonOptions options;
+  options.fault_seed = parbox::net::FaultInjector::SeedFromEnv();
+  std::string log_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      if (arg.compare(0, n, flag) == 0 && arg.size() > n &&
+          arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--connect")) {
+      options.connect_addr = v;
+    } else if (const char* v = value_of("--listen")) {
+      options.listen_addr = v;
+    } else if (const char* v = value_of("--index")) {
+      options.index = std::atoi(v);
+    } else if (const char* v = value_of("--log")) {
+      log_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "sited: unknown argument \"%s\"\n",
+                   arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+  if (options.connect_addr.empty() == options.listen_addr.empty()) {
+    std::fprintf(stderr,
+                 "sited: exactly one of --connect / --listen required\n");
+    Usage(stderr);
+    return 2;
+  }
+  if (log_path.empty()) {
+    if (const char* dir = std::getenv("PARBOX_SITED_LOG_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      log_path = std::string(dir) + "/sited-" +
+                 std::to_string(options.index) + "-" +
+                 std::to_string(getpid()) + ".log";
+    }
+  }
+  std::FILE* log = nullptr;
+  if (!log_path.empty()) {
+    log = std::fopen(log_path.c_str(), "a");
+    if (log == nullptr) {
+      std::fprintf(stderr, "sited: cannot open log %s\n",
+                   log_path.c_str());
+    } else {
+      setvbuf(log, nullptr, _IOLBF, 0);
+    }
+  }
+  options.log = log;
+  const int rc = parbox::net::RunSiteDaemon(options);
+  if (log != nullptr) std::fclose(log);
+  return rc;
+}
