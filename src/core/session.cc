@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <optional>
+#include <unordered_map>
 
 #include "core/engine.h"
 #include "core/evaluator.h"
@@ -312,17 +313,19 @@ std::vector<Session::DirtyRecord> Session::CollectDirty(
   std::vector<DirtyRecord> dirty;
   const size_t start =
       state.log_pos > log_base_ ? state.log_pos - log_base_ : 0;
+  // First-seen order, deduped by fragment via an index map — a linear
+  // rescan of `dirty` per record is quadratic under the delta storms
+  // the chaos suite applies at 10k+ fragments.
+  std::unordered_map<frag::FragmentId, size_t> at;
+  at.reserve(dirty_log_.size() - start);
   for (size_t i = start; i < dirty_log_.size(); ++i) {
     const DirtyRecord& rec = dirty_log_[i];
     if (!set_->is_live(rec.fragment)) continue;
-    auto it = std::find_if(dirty.begin(), dirty.end(),
-                           [&](const DirtyRecord& d) {
-                             return d.fragment == rec.fragment;
-                           });
-    if (it == dirty.end()) {
+    auto [it, inserted] = at.try_emplace(rec.fragment, dirty.size());
+    if (inserted) {
       dirty.push_back(rec);
     } else {
-      it->wire_bytes += rec.wire_bytes;
+      dirty[it->second].wire_bytes += rec.wire_bytes;
     }
   }
   return dirty;
@@ -475,17 +478,17 @@ Result<RunReport> Session::ExecuteIncremental(const PreparedQuery& query) {
         uint64_t update_bytes = 0;
       };
       auto work = std::make_shared<std::vector<SiteWork>>();
+      std::unordered_map<sim::SiteId, size_t> site_at;
+      site_at.reserve(dirty.size());
       for (const DirtyRecord& rec : dirty) {
         const sim::SiteId s = st_->site_of(rec.fragment);
-        auto it = std::find_if(work->begin(), work->end(),
-                               [&](const SiteWork& w) {
-                                 return w.site == s;
-                               });
-        if (it == work->end()) {
+        auto [it, inserted] = site_at.try_emplace(s, work->size());
+        if (inserted) {
           work->push_back({s, {rec.fragment}, rec.wire_bytes});
         } else {
-          it->fragments.push_back(rec.fragment);
-          it->update_bytes += rec.wire_bytes;
+          SiteWork& w = (*work)[it->second];
+          w.fragments.push_back(rec.fragment);
+          w.update_bytes += rec.wire_bytes;
         }
         ++pending;
       }

@@ -670,7 +670,20 @@ void ProcessBackend::Step(double max_wait) {
       if (conn == nullptr || !conn->connected()) continue;
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
         if (!conn->ReadReady()) {
-          DeclareDead(link, "connection closed");
+          // Distinguish a malformed stream (corrupt/oversize length
+          // prefix) from a plain close: the former is surfaced as a
+          // frame error — the link resets and redials, the retry
+          // protocol re-sends, and the answer path never sees it.
+          if (!conn->read_error_reason().empty()) {
+            ++frame_errors_;
+            std::fprintf(stderr,
+                         "parbox: daemon %d link: malformed frame (%s); "
+                         "resetting connection\n",
+                         link->index, conn->read_error_reason().c_str());
+            DeclareDead(link, "malformed frame");
+          } else {
+            DeclareDead(link, "connection closed");
+          }
           continue;
         }
         net::Frame frame;
@@ -824,6 +837,7 @@ void ProcessBackend::AddBackendStats(StatsRegistry* stats) const {
   stats->Add("proc.acked", acked_);
   stats->Add("proc.retries", retries_);
   stats->Add("proc.reconnects", reconnects_);
+  stats->Add("proc.frame_errors", frame_errors_);
   stats->Add("proc.dup_acks", dup_acks_);
   stats->Add("proc.rtt_micros", rtt_micros_);
   stats->Add("proc.faults", faults_injected());

@@ -158,6 +158,11 @@ class ProcessBackend final : public ExecBackend {
   pid_t daemon_pid(int index) const;
   uint64_t reconnects() const { return reconnects_; }
   uint64_t retries() const { return retries_; }
+  /// Links torn down because the inbound byte stream was malformed
+  /// (oversize/corrupt length prefix, truncated sections) — the
+  /// connection is reset and redialed, the retry protocol re-sends,
+  /// and the reason lands in "proc.frame_errors" + stderr.
+  uint64_t frame_errors() const { return frame_errors_; }
   uint64_t frames_sent() const;
   uint64_t faults_injected() const;
   /// Merged daemon-reported meters as of the last quiescent Drain —
@@ -289,6 +294,7 @@ class ProcessBackend final : public ExecBackend {
 
   uint64_t retries_ = 0;
   uint64_t reconnects_ = 0;
+  uint64_t frame_errors_ = 0;
   uint64_t timeouts_ = 0;
   uint64_t acked_ = 0;
   uint64_t dup_acks_ = 0;

@@ -1,6 +1,7 @@
 #include "fragment/fragment.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_set>
 
 #include "xml/writer.h"
@@ -57,6 +58,12 @@ Result<FragmentId> FragmentSet::Split(FragmentId j, xml::Node* at) {
     if (n == parent.root) break;
   }
 
+  // Ids are int32; past this the cast below would wrap negative and
+  // alias tombstone/"no fragment" sentinels.
+  if (fragments_.size() >=
+      static_cast<size_t>(std::numeric_limits<FragmentId>::max())) {
+    return Status::FailedPrecondition("fragment table full (2^31-1 ids)");
+  }
   FragmentId new_id = static_cast<FragmentId>(fragments_.size());
   xml::Node* placeholder = storage_.NewVirtual(new_id);
   xml::Node* at_parent = at->parent;

@@ -100,17 +100,25 @@ std::vector<ProposedMove> ProposeRebalance(
 
   // Working copy of h and of each site's estimated per-fragment load
   // split: a fragment carries its element share of its site's load.
+  // Element counts and per-site movable lists are computed ONCE —
+  // FragmentElements walks the fragment's subtree, and calling it per
+  // candidate per move iteration (as this loop once did) is quadratic
+  // at the 10k-fragment scale the chaos suite serves.
   std::vector<SiteId> site_of = placement.site_table();
-  std::vector<double> site_elements(static_cast<size_t>(n), 0.0);
   const std::vector<FragmentId> live = set.live_ids();
+  std::vector<double> elements_of(site_of.size(), 0.0);
+  std::vector<double> site_elements(static_cast<size_t>(n), 0.0);
+  std::vector<std::vector<FragmentId>> movable_at(static_cast<size_t>(n));
   for (FragmentId f : live) {
-    site_elements[site_of[f]] +=
-        static_cast<double>(set.FragmentElements(f)) + 1.0;
+    elements_of[f] = static_cast<double>(set.FragmentElements(f)) + 1.0;
+    site_elements[site_of[f]] += elements_of[f];
+    if (f != placement.root_fragment()) {
+      movable_at[site_of[f]].push_back(f);
+    }
   }
   auto fragment_load = [&](FragmentId f) {
     const SiteId s = site_of[f];
-    return load[s] * (static_cast<double>(set.FragmentElements(f)) + 1.0) /
-           site_elements[s];
+    return load[s] * elements_of[f] / site_elements[s];
   };
 
   while (moves.size() < options.max_moves) {
@@ -126,12 +134,9 @@ std::vector<ProposedMove> ProposeRebalance(
       if (s == cold || load[s] <= mean * (1.0 + options.tolerance)) {
         continue;
       }
-      bool movable = false;
-      for (FragmentId f : live) {
-        movable = movable ||
-                  (site_of[f] == s && f != placement.root_fragment());
+      if (!movable_at[s].empty() && (hot < 0 || load[s] > load[hot])) {
+        hot = s;
       }
-      if (movable && (hot < 0 || load[s] > load[hot])) hot = s;
     }
     if (hot < 0) break;  // balanced, or every hot fragment is pinned
     const double gap = load[hot] - load[cold];
@@ -141,10 +146,10 @@ std::vector<ProposedMove> ProposeRebalance(
     // the imbalance); lowest id breaks ties deterministically.
     FragmentId best = kNoFragment;
     double best_score = 0.0;
-    for (FragmentId f : live) {
-      if (site_of[f] != hot || f == placement.root_fragment()) continue;
+    for (FragmentId f : movable_at[hot]) {
       const double score = std::abs(fragment_load(f) - gap / 2.0);
-      if (best == kNoFragment || score < best_score) {
+      if (best == kNoFragment || score < best_score ||
+          (score == best_score && f < best)) {
         best = f;
         best_score = score;
       }
@@ -159,13 +164,15 @@ std::vector<ProposedMove> ProposeRebalance(
         load[hot]) {
       break;
     }
-    const double moved_elements =
-        static_cast<double>(set.FragmentElements(best)) + 1.0;
+    const double moved_elements = elements_of[best];
     moves.push_back(ProposedMove{best, hot, cold});
     load[hot] -= moved_load;
     load[cold] += moved_load;
     site_elements[hot] -= moved_elements;
     site_elements[cold] += moved_elements;
+    std::vector<FragmentId>& hot_list = movable_at[hot];
+    hot_list.erase(std::find(hot_list.begin(), hot_list.end(), best));
+    movable_at[cold].push_back(best);
     site_of[best] = cold;
   }
   return moves;

@@ -1,5 +1,6 @@
 #include "fragment/strategies.h"
 
+#include <unordered_map>
 #include <utility>
 
 namespace parbox::frag {
@@ -8,21 +9,40 @@ namespace {
 
 /// All (fragment, node) split candidates: elements of live fragments
 /// that are not the fragment's own root and whose in-fragment subtree
-/// has at least `min_elements` elements.
+/// has at least `min_elements` elements. One post-order pass per
+/// fragment computes every subtree's element count (the per-candidate
+/// xml::CountElements it replaces was O(n) per node — quadratic on the
+/// deep/large documents the scale suite generates).
 std::vector<std::pair<FragmentId, xml::Node*>> SplitCandidates(
     const FragmentSet& set, size_t min_elements) {
   std::vector<std::pair<FragmentId, xml::Node*>> out;
   for (FragmentId f : set.live_ids()) {
-    std::vector<xml::Node*> stack{set.fragment(f).root};
-    while (!stack.empty()) {
-      xml::Node* n = stack.back();
-      stack.pop_back();
-      if (n->is_element() && n != set.fragment(f).root &&
-          xml::CountElements(n) >= min_elements) {
-        out.emplace_back(f, n);
-      }
+    std::vector<xml::Node*> order;  // discovery order; reversed has
+                                    // children before parents
+    std::vector<xml::Node*> walk{set.fragment(f).root};
+    while (!walk.empty()) {
+      xml::Node* n = walk.back();
+      walk.pop_back();
+      order.push_back(n);
       for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
-        stack.push_back(c);
+        walk.push_back(c);
+      }
+    }
+    // Processing `order` in reverse guarantees children before parents.
+    std::unordered_map<const xml::Node*, size_t> subtree_elements;
+    subtree_elements.reserve(order.size());
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      xml::Node* n = *it;
+      size_t total = n->is_element() ? 1 : 0;
+      for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+        total += subtree_elements[c];
+      }
+      subtree_elements[n] = total;
+    }
+    for (xml::Node* n : order) {
+      if (n->is_element() && n != set.fragment(f).root &&
+          subtree_elements[n] >= min_elements) {
+        out.emplace_back(f, n);
       }
     }
   }
@@ -33,34 +53,55 @@ std::vector<std::pair<FragmentId, xml::Node*>> SplitCandidates(
 
 Result<std::vector<FragmentId>> SplitAtAllLabeled(FragmentSet* set,
                                                   std::string_view label) {
-  std::vector<FragmentId> created;
-  for (;;) {
-    // Re-scan after every split: splitting moves inner matches into the
-    // new fragment, so the owning fragment id must be recomputed.
-    FragmentId owner = kNoFragment;
-    xml::Node* target = nullptr;
-    for (FragmentId f : set->live_ids()) {
-      std::vector<xml::Node*> stack{set->fragment(f).root};
-      while (!stack.empty() && target == nullptr) {
-        xml::Node* n = stack.back();
-        stack.pop_back();
-        if (n->is_element() && n->label() == label &&
-            n != set->fragment(f).root) {
-          owner = f;
-          target = n;
-          break;
-        }
-        for (xml::Node* c = n->first_child; c != nullptr;
-             c = c->next_sibling) {
-          stack.push_back(c);
+  // One pass per initial fragment builds the match forest (each
+  // match's parent = its nearest enclosing match); splitting the
+  // forest in level order assigns exactly the fragment ids the old
+  // rescan-after-every-split loop did — a split moved nested matches
+  // into the new (highest-id, scanned-last) fragment, which is level
+  // order — without its O(matches x nodes) rescans.
+  struct Match {
+    xml::Node* node;
+    FragmentId owner;          // fragment to split from
+    std::vector<size_t> kids;  // nested matches, discovery order
+  };
+  constexpr size_t kNone = static_cast<size_t>(-1);
+  std::vector<Match> matches;
+  std::vector<size_t> queue;  // level-order worklist (head index below)
+  for (FragmentId f : set->live_ids()) {
+    std::vector<std::pair<xml::Node*, size_t>> stack{
+        {set->fragment(f).root, kNone}};
+    while (!stack.empty()) {
+      auto [n, enclosing] = stack.back();
+      stack.pop_back();
+      size_t inside = enclosing;
+      if (n->is_element() && n->label() == label &&
+          n != set->fragment(f).root) {
+        inside = matches.size();
+        matches.push_back(Match{n, f, {}});
+        if (enclosing == kNone) {
+          queue.push_back(inside);
+        } else {
+          matches[enclosing].kids.push_back(inside);
         }
       }
-      if (target != nullptr) break;
+      for (xml::Node* c = n->first_child; c != nullptr; c = c->next_sibling) {
+        stack.push_back({c, inside});
+      }
     }
-    if (target == nullptr) return created;
-    PARBOX_ASSIGN_OR_RETURN(FragmentId id, set->Split(owner, target));
-    created.push_back(id);
   }
+
+  std::vector<FragmentId> created;
+  created.reserve(matches.size());
+  for (size_t head = 0; head < queue.size(); ++head) {
+    Match& m = matches[queue[head]];
+    PARBOX_ASSIGN_OR_RETURN(FragmentId id, set->Split(m.owner, m.node));
+    created.push_back(id);
+    for (size_t kid : m.kids) {
+      matches[kid].owner = id;  // nested matches now live in the new one
+      queue.push_back(kid);
+    }
+  }
+  return created;
 }
 
 Result<std::vector<FragmentId>> RandomSplits(FragmentSet* set, int count,

@@ -34,6 +34,10 @@ void Conn::Queue(std::string bytes) {
 void Conn::SendFrame(const Frame& frame, uint32_t attempt, bool faultable,
                      double now) {
   if (fd_ < 0) return;  // disconnected: the retry protocol re-sends
+  if (!FrameFitsWire(frame)) {
+    ++frames_rejected_;
+    return;
+  }
   std::string bytes = EncodeFrame(frame);
   if (faultable && injector_.enabled()) {
     const FaultDecision d = injector_.Decide(frame.seq, attempt);

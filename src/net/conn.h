@@ -39,7 +39,9 @@ class Conn {
   /// Queue one frame. `faultable` frames consult the injector (drop /
   /// delay / duplicate); `attempt` is the requester's 1-based send
   /// count for the seq (retransmissions become harder to fault, see
-  /// net/faults.h).
+  /// net/faults.h). A frame that does not fit the wire format
+  /// (FrameFitsWire) is rejected — counted in frames_rejected(), never
+  /// queued — so a corrupt length prefix is never written.
   void SendFrame(const Frame& frame, uint32_t attempt, bool faultable,
                  double now);
 
@@ -49,10 +51,16 @@ class Conn {
   /// connection-fatal error.
   bool FlushWrites();
   /// Drain readable bytes into the frame reader; false on EOF/error or
-  /// a poisoned (malformed) stream.
+  /// a malformed stream (see read_error_reason()).
   bool ReadReady();
   /// Pop the next complete inbound frame.
   bool NextFrame(Frame* out) { return reader_.Next(out); }
+  /// Why the inbound stream was rejected ("" when it wasn't): the
+  /// frame reader's latched diagnostic, surfaced so the owner can say
+  /// more than "connection closed" when tearing the link down.
+  const std::string& read_error_reason() const {
+    return reader_.error_reason();
+  }
 
   /// Move delayed frames whose time has come into the write queue;
   /// returns the earliest still-pending due time (or +inf).
@@ -60,6 +68,7 @@ class Conn {
   bool has_delayed() const { return !delayed_.empty(); }
 
   uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t frames_rejected() const { return frames_rejected_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t bytes_received() const { return bytes_received_; }
   uint64_t faults_dropped() const { return faults_dropped_; }
@@ -83,6 +92,7 @@ class Conn {
   FaultInjector injector_;
 
   uint64_t frames_sent_ = 0;
+  uint64_t frames_rejected_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t bytes_received_ = 0;
   uint64_t faults_dropped_ = 0;

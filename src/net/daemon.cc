@@ -215,7 +215,13 @@ bool ServeConnection(Conn* conn, SiteState* state, std::FILE* log) {
     }
     if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       if (!conn->ReadReady()) {
-        Log(log, "coordinator disconnected");
+        if (!conn->read_error_reason().empty()) {
+          Log(log, "malformed frame from coordinator (%s); dropping "
+                   "connection",
+              conn->read_error_reason().c_str());
+        } else {
+          Log(log, "coordinator disconnected");
+        }
         return true;
       }
       Frame frame;

@@ -79,7 +79,15 @@ std::string_view ByteReader::Bytes(size_t n) {
   return v;
 }
 
+bool FrameFitsWire(const Frame& frame) {
+  if (frame.tag.size() > 0xffff) return false;
+  const uint64_t body =
+      52 + static_cast<uint64_t>(frame.tag.size()) + frame.payload.size();
+  return body <= kMaxFrameBody;
+}
+
 std::string EncodeFrame(const Frame& frame) {
+  if (!FrameFitsWire(frame)) return {};
   std::string body;
   body.reserve(52 + frame.tag.size() + frame.payload.size());
   PutU8(&body, frame.type);
@@ -117,15 +125,32 @@ void FrameReader::Feed(const char* data, size_t n) {
   buf_.append(data, n);
 }
 
+bool FrameReader::FailStream(std::string reason) {
+  error_ = true;
+  error_reason_ = std::move(reason);
+  // Release the buffer: nothing behind a corrupt length is decodable,
+  // and holding bytes for an impossible frame is exactly the
+  // unbounded-allocation path this guards against.
+  buf_.clear();
+  buf_.shrink_to_fit();
+  pos_ = 0;
+  return false;
+}
+
 bool FrameReader::Next(Frame* out) {
   if (error_) return false;
   const size_t avail = buf_.size() - pos_;
   if (avail < 4) return false;
   uint32_t body_len;
   std::memcpy(&body_len, buf_.data() + pos_, 4);
-  if (body_len > kMaxFrameBody || body_len < 52) {
-    error_ = true;
-    return false;
+  if (body_len > kMaxFrameBody) {
+    return FailStream("frame body length " + std::to_string(body_len) +
+                      " exceeds the " + std::to_string(kMaxFrameBody) +
+                      "-byte cap");
+  }
+  if (body_len < 52) {
+    return FailStream("frame body length " + std::to_string(body_len) +
+                      " is below the 52-byte fixed header");
   }
   if (avail < 4 + static_cast<size_t>(body_len)) return false;
 
@@ -144,8 +169,7 @@ bool FrameReader::Next(Frame* out) {
   out->tag = std::string(r.Bytes(tag_len));
   out->payload = std::string(r.Bytes(payload_len));
   if (!r.ok() || r.remaining() != 0) {
-    error_ = true;
-    return false;
+    return FailStream("frame sections disagree with the body length");
   }
   pos_ += 4 + body_len;
   return true;

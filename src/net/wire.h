@@ -78,26 +78,42 @@ struct Frame {
 /// comes close; guards the reader against a corrupt length prefix).
 inline constexpr uint32_t kMaxFrameBody = 64u << 20;
 
-/// The whole frame, length prefix included.
+/// True when `frame`'s variable sections fit the wire format: tag no
+/// longer than a u16 counts, whole body within kMaxFrameBody. A frame
+/// that fails this must not be encoded — the u16/u32 length fields
+/// would silently truncate and desynchronize the peer's reader.
+bool FrameFitsWire(const Frame& frame);
+
+/// The whole frame, length prefix included. Returns "" when
+/// !FrameFitsWire(frame) — callers (Conn::SendFrame) reject oversize
+/// frames instead of putting a corrupt length on the wire.
 std::string EncodeFrame(const Frame& frame);
 
 /// Incremental decoder over a byte stream: feed whatever the socket
 /// produced, pop complete frames. A malformed frame (oversized length,
-/// truncated sections) poisons the reader — the connection must be
-/// torn down, which the retry protocol recovers from.
+/// truncated sections) puts the reader into a latched error state
+/// without buffering or allocating anything for the bogus length;
+/// error_reason() says what was rejected. Recovery is per-connection:
+/// tearing the connection down and re-Adopt()ing a fresh socket resets
+/// the reader, and the retry protocol re-sends anything lost.
 class FrameReader {
  public:
   void Feed(const char* data, size_t n);
   /// Pop the next complete frame into `*out`; false when no complete
-  /// frame is buffered (or the stream is poisoned).
+  /// frame is buffered (or the stream is in the error state).
   bool Next(Frame* out);
   bool error() const { return error_; }
+  /// Human-readable cause of the latched error ("" when !error()).
+  const std::string& error_reason() const { return error_reason_; }
   size_t buffered() const { return buf_.size() - pos_; }
 
  private:
+  bool FailStream(std::string reason);
+
   std::string buf_;
   size_t pos_ = 0;
   bool error_ = false;
+  std::string error_reason_;
 };
 
 // ---- Primitive little-endian helpers (shared with the stats blob) --

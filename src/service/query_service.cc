@@ -291,7 +291,7 @@ void QueryService::FlushBatch() {
   // even if a view re-cuts fragments mid-flight.
   round->plan = session_.plan();
   for (Unique& u : round->uniques) {
-    u.equations.resize(set_->table_size());
+    u.equations = AcquireEquations();
     // insert_or_assign: a stale-epoch round for this fingerprint may
     // still be in flight (its entry is dead — the epoch check in
     // Admit refuses joins); the fresh round must take over the key.
@@ -439,7 +439,11 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
       // Results computed concurrently with a document update must not
       // persist: the triplets (and possibly the answer) predate it.
       const bool cacheable = result.ok() && round->epoch == update_epoch_;
-      if (cacheable) InsertCacheEntry(std::move(u), answer);
+      if (cacheable) {
+        InsertCacheEntry(std::move(u), answer);
+      } else {
+        ReleaseEquations(std::move(u.equations));
+      }
       // waiters[0] is the submission whose query was evaluated; the
       // rest joined it.
       for (size_t w = 0; w < waiters.size(); ++w) {
@@ -547,8 +551,33 @@ Result<frag::AppliedDelta> QueryService::ApplyDelta(
   return applied;
 }
 
+std::vector<bexpr::FragmentEquations> QueryService::AcquireEquations() {
+  std::vector<bexpr::FragmentEquations> eqs;
+  if (!equations_pool_.empty()) {
+    eqs = std::move(equations_pool_.back());
+    equations_pool_.pop_back();
+    eqs.clear();  // keeps the table-sized element capacity
+  }
+  eqs.resize(set_->table_size());
+  return eqs;
+}
+
+void QueryService::ReleaseEquations(
+    std::vector<bexpr::FragmentEquations>&& eqs) {
+  // Bounded: a pool larger than the biggest possible batch can never
+  // be drawn down, so anything beyond it is just retained memory.
+  if (eqs.capacity() == 0 ||
+      equations_pool_.size() >= options_.max_batch_queries) {
+    return;
+  }
+  equations_pool_.push_back(std::move(eqs));
+}
+
 void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
-  if (!options_.enable_cache || options_.cache_capacity == 0) return;
+  if (!options_.enable_cache || options_.cache_capacity == 0) {
+    ReleaseEquations(std::move(unique.equations));
+    return;
+  }
   const xpath::QueryFingerprint fp = unique.prepared.fingerprint();
   CacheEntry entry;
   entry.answer = answer;
@@ -564,7 +593,8 @@ void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
 
 bool QueryService::RefreshEntry(
     CacheEntry* entry, frag::FragmentId f,
-    const std::vector<std::vector<int32_t>>& children) {
+    const std::vector<std::vector<int32_t>>& children,
+    const std::vector<frag::FragmentId>& live) {
   // An *unnotified* re-cut that changed the fragment table's size is
   // detectable here: the retained system's shape no longer matches.
   // Evict conservatively — the entry's provenance is unknown.
@@ -584,7 +614,7 @@ bool QueryService::RefreshEntry(
   // Re-solving is only meaningful if the retained system covers every
   // live fragment; a hole means unknown provenance — evict rather
   // than re-solve a system that silently ignores a fragment.
-  for (frag::FragmentId g : set_->live_ids()) {
+  for (frag::FragmentId g : live) {
     if (g != f && entry->equations[g].fragment != g) return false;
   }
   entry->equations[f] = std::move(fresh);
@@ -607,6 +637,7 @@ void QueryService::EvictIfOverCapacity() {
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
       if (it->second.last_used < lru->second.last_used) lru = it;
     }
+    ReleaseEquations(std::move(lru->second.equations));
     cache_.erase(lru);
   }
 }
@@ -621,17 +652,21 @@ void QueryService::OnContentUpdate(frag::FragmentId f) {
   ++update_epoch_;  // racing rounds must not populate the cache
   if (cache_.empty()) return;
   if (!set_->is_live(f)) return;
-  // One children table for every entry's re-solve this update.
+  // One children table (and one live-id list) for every entry's
+  // re-solve this update — per-entry copies are pure allocation churn
+  // at 10k+ fragments.
   const std::vector<std::vector<int32_t>> children =
       set_->ChildrenTable();
+  const std::vector<frag::FragmentId> live = set_->live_ids();
   for (auto it = cache_.begin(); it != cache_.end();) {
     // Exact invalidation: splice f's fresh triplet into the entry's
     // retained system and re-solve; evict only if the answer moved.
-    if (RefreshEntry(&it->second, f, children)) {
+    if (RefreshEntry(&it->second, f, children, live)) {
       ++it;
     } else {
       metrics_->Increment(m_cache_invalidations_);
       TraceInstant("cache.evict");
+      ReleaseEquations(std::move(it->second.equations));
       it = cache_.erase(it);
     }
   }

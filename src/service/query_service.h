@@ -346,9 +346,17 @@ class QueryService {
   /// ("evict") exactly when the answer changed (or the entry cannot
   /// be re-solved).
   bool RefreshEntry(CacheEntry* entry, frag::FragmentId f,
-                    const std::vector<std::vector<int32_t>>& children);
+                    const std::vector<std::vector<int32_t>>& children,
+                    const std::vector<frag::FragmentId>& live);
   void InsertCacheEntry(Unique&& unique, bool answer);
   void EvictIfOverCapacity();
+
+  /// One equation table (vector<FragmentEquations> sized to the
+  /// fragment table) is needed per unique per round; at 10k+ fragments
+  /// that is ~1MB of churn per round, so finished rounds return their
+  /// tables here instead of freeing them.
+  std::vector<bexpr::FragmentEquations> AcquireEquations();
+  void ReleaseEquations(std::vector<bexpr::FragmentEquations>&& eqs);
 
   /// Resolve the registry (shared vs owned) and intern every metric id
   /// under the configured prefix. Constructor-only.
@@ -419,6 +427,9 @@ class QueryService {
                      xpath::QueryFingerprintHash>
       cache_;
   uint64_t cache_tick_ = 0;
+
+  /// Recycled equation tables (see AcquireEquations).
+  std::vector<std::vector<bexpr::FragmentEquations>> equations_pool_;
 
   std::vector<QueryOutcome> outcomes_;
   uint64_t update_epoch_ = 0;  ///< bumped per document update

@@ -24,6 +24,7 @@ class SiteBuilder {
     xml::Node* n = doc_->NewElement(label);
     if (parent != nullptr) doc_->AppendChild(parent, n);
     bytes_ += 2 * label.size() + 5;  // <label></label>
+    ++nodes_;
     return n;
   }
 
@@ -32,6 +33,7 @@ class SiteBuilder {
     xml::Node* n = Element(parent, label);
     doc_->AppendChild(n, doc_->NewText(text));
     bytes_ += text.size();
+    ++nodes_;
     return n;
   }
 
@@ -47,12 +49,14 @@ class SiteBuilder {
   std::string Money() { return "$" + std::to_string(rng_->UniformInt(1, 999)); }
 
   uint64_t bytes() const { return bytes_; }
+  uint64_t nodes() const { return nodes_; }
   Rng* rng() { return rng_; }
 
  private:
   xml::Document* doc_;
   Rng* rng_;
   uint64_t bytes_ = 0;
+  uint64_t nodes_ = 0;  ///< DOM nodes built (elements + text nodes)
 };
 
 void AddItem(SiteBuilder* b, xml::Node* region, int id) {
@@ -150,7 +154,11 @@ xml::Node* GenerateSite(xml::Document* doc, const SiteOptions& options,
   // Interleave content in XMark-like proportions until the byte target
   // is met: ~50% items, ~25% people, ~20% auctions, ~5% categories.
   int items = 0, persons = 0, opens = 0, closeds = 0, cats = 0;
-  while (b.bytes() < options.target_bytes) {
+  auto below_target = [&] {
+    return options.target_nodes > 0 ? b.nodes() < options.target_nodes
+                                    : b.bytes() < options.target_bytes;
+  };
+  while (below_target()) {
     double roll = rng->UniformDouble();
     if (roll < 0.50) {
       AddItem(&b, region_nodes[rng->Uniform(region_nodes.size())], items++);
@@ -182,6 +190,24 @@ xml::Document GenerateStarDocument(int num_sites, uint64_t bytes_per_site,
   for (int i = 0; i < num_sites; ++i) {
     SiteOptions options;
     options.target_bytes = bytes_per_site;
+    options.marker = "m" + std::to_string(i);
+    Rng site_rng = rng.Fork();
+    doc.AppendChild(root, GenerateSite(&doc, options, &site_rng));
+  }
+  return doc;
+}
+
+xml::Document GenerateScaledStarDocument(int num_sites,
+                                         uint64_t nodes_per_site,
+                                         uint64_t seed) {
+  assert(num_sites >= 1);
+  xml::Document doc;
+  xml::Node* root = doc.NewElement("xmark");
+  doc.set_root(root);
+  Rng rng(seed);
+  for (int i = 0; i < num_sites; ++i) {
+    SiteOptions options;
+    options.target_nodes = nodes_per_site;
     options.marker = "m" + std::to_string(i);
     Rng site_rng = rng.Fork();
     doc.AppendChild(root, GenerateSite(&doc, options, &site_rng));

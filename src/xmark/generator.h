@@ -26,6 +26,11 @@ namespace parbox::xmark {
 struct SiteOptions {
   /// Approximate serialized size of one site subtree.
   uint64_t target_bytes = 1 << 20;
+  /// When nonzero, size the site by DOM node count (elements + text
+  /// nodes) instead of serialized bytes — the scale knob for the
+  /// million-node chaos corpus, where "how many nodes" is the claim
+  /// under test and bytes are incidental.
+  uint64_t target_nodes = 0;
   /// Text planted in the site's <marker> child ("" for none).
   std::string marker;
 };
@@ -39,6 +44,15 @@ xml::Node* GenerateSite(xml::Document* doc, const SiteOptions& options,
 /// <site>). Site i carries marker "m<i>".
 xml::Document GenerateStarDocument(int num_sites, uint64_t bytes_per_site,
                                    uint64_t seed);
+
+/// The star corpus sized by DOM nodes instead of bytes: `num_sites`
+/// sibling sites of ~`nodes_per_site` nodes each (site i marked
+/// "m<i>"). num_sites * nodes_per_site is the document's scale —
+/// 10'000 x 100 builds the >=1M-node, 10k-fragment chaos corpus in
+/// CI-compatible time.
+xml::Document GenerateScaledStarDocument(int num_sites,
+                                         uint64_t nodes_per_site,
+                                         uint64_t seed);
 
 /// A document where each site nests the next inside a <history> child —
 /// the version-history chain of Experiment 2 (FT2). Version i carries

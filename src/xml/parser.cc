@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -181,130 +182,167 @@ class Parser {
     return value;
   }
 
-  /// Parse an element whose '<' is the current byte.
+  /// Parse an element whose '<' is the current byte. Iterative with an
+  /// explicit open-element stack: nesting depth is bounded only by
+  /// memory, so deep chain documents (version histories thousands of
+  /// sites long) parse without exhausting the C++ stack.
   Status ParseElement(Document* doc, Node** out) {
-    // The parser is recursive; bound nesting so adversarial inputs fail
-    // with a ParseError instead of exhausting the C++ stack.
-    static constexpr int kMaxDepth = 2000;
-    if (++depth_ > kMaxDepth) {
-      --depth_;
-      return Fail("element nesting exceeds the supported depth");
-    }
-    struct DepthGuard {
-      int* d;
-      ~DepthGuard() { --*d; }
-    } guard{&depth_};
-    Advance();  // '<'
-    PARBOX_ASSIGN_OR_RETURN(std::string name, ParseName());
-
-    // Attributes.
-    struct Attr {
-      std::string name;
-      std::string value;
+    struct Open {
+      Node* element;
+      std::string name;  // for close-tag matching and error messages
+      std::string text;  // pending character data
     };
-    std::vector<Attr> attrs;
-    for (;;) {
-      SkipSpace();
-      if (AtEnd()) return Fail("unterminated start tag");
-      if (Peek() == '>' || Peek() == '/') break;
-      PARBOX_ASSIGN_OR_RETURN(std::string aname, ParseName());
-      SkipSpace();
-      if (AtEnd() || Peek() != '=') return Fail("expected '=' in attribute");
-      Advance();
-      SkipSpace();
-      PARBOX_ASSIGN_OR_RETURN(std::string avalue, ParseAttrValue());
-      attrs.push_back({std::move(aname), std::move(avalue)});
-    }
+    std::vector<Open> stack;
 
-    // The writer's encoding of virtual nodes.
-    if (name == "parbox:virtual") {
-      if (attrs.size() != 1 || attrs[0].name != "ref") {
-        return Fail("parbox:virtual requires exactly a ref attribute");
-      }
-      if (!Consume("/>")) return Fail("parbox:virtual must be self-closing");
-      *out = doc->NewVirtual(
-          static_cast<FragmentId>(std::atoi(attrs[0].value.c_str())));
-      return Status::OK();
-    }
-
-    Node* element = doc->NewElement(name);
-    for (const Attr& a : attrs) {
-      Node* attr_el = doc->NewElement("@" + a.name);
-      if (!a.value.empty()) {
-        doc->AppendChild(attr_el, doc->NewText(a.value));
-      }
-      doc->AppendChild(element, attr_el);
-    }
-
-    if (Consume("/>")) {
-      *out = element;
-      return Status::OK();
-    }
-    if (!Consume(">")) return Fail("expected '>'");
-
-    // Content.
-    std::string text;
-    auto flush_text = [&]() {
-      if (text.empty()) return;
+    auto flush_text = [&](Open& open) {
+      if (open.text.empty()) return;
       bool all_space = true;
-      for (char c : text) {
+      for (char c : open.text) {
         if (!IsSpace(c)) all_space = false;
       }
       if (!(all_space && options_.skip_whitespace_text)) {
-        doc->AppendChild(element, doc->NewText(text));
+        doc->AppendChild(open.element, doc->NewText(open.text));
       }
-      text.clear();
+      open.text.clear();
     };
+
+    // Loop invariant at the top: the current byte is the '<' of a
+    // start tag (the root's on entry, a child's after the content scan
+    // below breaks out on one).
     for (;;) {
-      if (AtEnd()) return Fail("unterminated element <" + name + ">");
-      if (Peek() == '<') {
-        if (PeekAt(1) == '/') {
-          flush_text();
-          Advance();
-          Advance();
-          PARBOX_ASSIGN_OR_RETURN(std::string close, ParseName());
-          if (close != name) {
-            return Fail("mismatched close tag </" + close + "> for <" +
-                        name + ">");
+      Advance();  // '<'
+      PARBOX_ASSIGN_OR_RETURN(std::string name, ParseName());
+
+      // Attributes.
+      struct Attr {
+        std::string name;
+        std::string value;
+      };
+      std::vector<Attr> attrs;
+      for (;;) {
+        SkipSpace();
+        if (AtEnd()) return Fail("unterminated start tag");
+        if (Peek() == '>' || Peek() == '/') break;
+        PARBOX_ASSIGN_OR_RETURN(std::string aname, ParseName());
+        SkipSpace();
+        if (AtEnd() || Peek() != '=') return Fail("expected '=' in attribute");
+        Advance();
+        SkipSpace();
+        PARBOX_ASSIGN_OR_RETURN(std::string avalue, ParseAttrValue());
+        attrs.push_back({std::move(aname), std::move(avalue)});
+      }
+
+      // A completed node (virtual or self-closing); nullptr when the
+      // tag opened an element that now tops the stack.
+      Node* completed = nullptr;
+      if (name == "parbox:virtual") {
+        // The writer's encoding of virtual nodes.
+        if (attrs.size() != 1 || attrs[0].name != "ref") {
+          return Fail("parbox:virtual requires exactly a ref attribute");
+        }
+        if (!Consume("/>")) return Fail("parbox:virtual must be self-closing");
+        PARBOX_ASSIGN_OR_RETURN(FragmentId ref,
+                                ParseFragmentRef(attrs[0].value));
+        completed = doc->NewVirtual(ref);
+      } else {
+        Node* element = doc->NewElement(name);
+        for (const Attr& a : attrs) {
+          Node* attr_el = doc->NewElement("@" + a.name);
+          if (!a.value.empty()) {
+            doc->AppendChild(attr_el, doc->NewText(a.value));
           }
-          SkipSpace();
-          if (!Consume(">")) return Fail("expected '>' in close tag");
-          *out = element;
+          doc->AppendChild(element, attr_el);
+        }
+        if (Consume("/>")) {
+          completed = element;
+        } else if (!Consume(">")) {
+          return Fail("expected '>'");
+        } else {
+          stack.push_back(Open{element, std::move(name), {}});
+        }
+      }
+      if (completed != nullptr) {
+        if (stack.empty()) {
+          *out = completed;
           return Status::OK();
         }
-        if (input_.substr(pos_, 4) == "<!--") {
-          SkipUntil("-->");
-          continue;
-        }
-        if (input_.substr(pos_, 9) == "<![CDATA[") {
-          for (size_t i = 0; i < 9; ++i) Advance();
-          size_t start = pos_;
-          while (!AtEnd() && input_.substr(pos_, 3) != "]]>") Advance();
-          if (AtEnd()) return Fail("unterminated CDATA section");
-          text.append(input_.substr(start, pos_ - start));
-          Consume("]]>");
-          continue;
-        }
-        if (input_.substr(pos_, 2) == "<!") {
-          return Fail("DTD markup is not supported");
-        }
-        if (input_.substr(pos_, 2) == "<?") {
-          SkipUntil("?>");
-          continue;
-        }
-        flush_text();
-        Node* child = nullptr;
-        PARBOX_RETURN_IF_ERROR(ParseElement(doc, &child));
-        doc->AppendChild(element, child);
-        continue;
+        doc->AppendChild(stack.back().element, completed);
       }
-      if (Peek() == '&') {
-        PARBOX_RETURN_IF_ERROR(ParseEntity(&text));
-        continue;
+
+      // Content of the innermost open element, until a child start tag
+      // (break to the outer loop) or its close tag (pop; the root's
+      // close returns).
+      while (!stack.empty()) {
+        Open& open = stack.back();
+        if (AtEnd()) return Fail("unterminated element <" + open.name + ">");
+        if (Peek() == '<') {
+          if (PeekAt(1) == '/') {
+            flush_text(open);
+            Advance();
+            Advance();
+            PARBOX_ASSIGN_OR_RETURN(std::string close, ParseName());
+            if (close != open.name) {
+              return Fail("mismatched close tag </" + close + "> for <" +
+                          open.name + ">");
+            }
+            SkipSpace();
+            if (!Consume(">")) return Fail("expected '>' in close tag");
+            Node* done = open.element;
+            stack.pop_back();
+            if (stack.empty()) {
+              *out = done;
+              return Status::OK();
+            }
+            doc->AppendChild(stack.back().element, done);
+            continue;
+          }
+          if (input_.substr(pos_, 4) == "<!--") {
+            SkipUntil("-->");
+            continue;
+          }
+          if (input_.substr(pos_, 9) == "<![CDATA[") {
+            for (size_t i = 0; i < 9; ++i) Advance();
+            size_t start = pos_;
+            while (!AtEnd() && input_.substr(pos_, 3) != "]]>") Advance();
+            if (AtEnd()) return Fail("unterminated CDATA section");
+            open.text.append(input_.substr(start, pos_ - start));
+            Consume("]]>");
+            continue;
+          }
+          if (input_.substr(pos_, 2) == "<!") {
+            return Fail("DTD markup is not supported");
+          }
+          if (input_.substr(pos_, 2) == "<?") {
+            SkipUntil("?>");
+            continue;
+          }
+          flush_text(open);
+          break;  // child start tag: parse it at the outer loop top
+        }
+        if (Peek() == '&') {
+          PARBOX_RETURN_IF_ERROR(ParseEntity(&open.text));
+          continue;
+        }
+        open.text.push_back(Peek());
+        Advance();
       }
-      text.push_back(Peek());
-      Advance();
     }
+  }
+
+  /// A parbox:virtual ref attribute: a non-negative decimal FragmentId.
+  Result<FragmentId> ParseFragmentRef(const std::string& value) {
+    if (value.empty()) return Fail("empty fragment ref");
+    long long ref = 0;
+    for (char c : value) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Fail("bad fragment ref '" + value + "'");
+      }
+      ref = ref * 10 + (c - '0');
+      if (ref > std::numeric_limits<FragmentId>::max()) {
+        return Fail("fragment ref '" + value + "' out of range");
+      }
+    }
+    return static_cast<FragmentId>(ref);
   }
 
   std::string_view input_;
@@ -312,7 +350,6 @@ class Parser {
   size_t pos_ = 0;
   size_t line_ = 1;
   size_t col_ = 1;
-  int depth_ = 0;
 };
 
 }  // namespace

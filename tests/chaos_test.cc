@@ -1,0 +1,136 @@
+// Scale + chaos suite (tests/chaos_harness.h): million-node documents
+// served through a CatalogService while placement moves, rebalances,
+// content deltas, daemon SIGKILLs, and injected network faults storm
+// the full surface — with every answer held bit-identical to a
+// quiescent sim oracle, and the metering/recovery/cache invariants
+// checked inline by the harness.
+//
+// Replay a failing seed by running the storm test with
+// --gtest_filter=ChaosStormTest.* and reading the seed off the
+// SCOPED_TRACE lines; the schedule is pure data (MakeSchedule(seed)).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chaos_harness.h"
+
+namespace parbox::chaostest {
+namespace {
+
+ChaosConfig SmallConfig(uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  cfg.backend = "sim";
+  cfg.inject = true;  // moves/rebalances run; kills skip on sim
+  cfg.phases = 5;
+  return cfg;
+}
+
+/// The storm must always contain at least one daemon kill; schedules
+/// whose action rolls happened to skip it get one appended onto the
+/// last phase (kill phases carry no deltas — see the harness).
+void EnsureKillPhase(ChaosSchedule* schedule) {
+  for (const ChaosPhase& p : schedule->phases) {
+    if (p.kill_daemon >= 0) return;
+  }
+  ChaosPhase& last = schedule->phases.back();
+  last.kill_daemon = 0;
+  last.moves.clear();
+  last.rebalance_doc = -1;
+  for (auto& seeds : last.delta_seeds) seeds.clear();
+  last.stale_check.assign(last.stale_check.size(), -1);
+}
+
+TEST(ChaosScheduleTest, SameSeedSameSchedule) {
+  const ChaosConfig a = SmallConfig(7);
+  EXPECT_EQ(Describe(MakeSchedule(a)), Describe(MakeSchedule(a)));
+  const ChaosConfig b = SmallConfig(8);
+  EXPECT_NE(Describe(MakeSchedule(a)), Describe(MakeSchedule(b)));
+}
+
+TEST(ChaosScheduleTest, KillPhasesCarryNoDeltas) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    const ChaosSchedule s = MakeSchedule(SmallConfig(seed));
+    for (const ChaosPhase& p : s.phases) {
+      if (p.kill_daemon < 0) continue;
+      for (const auto& seeds : p.delta_seeds) EXPECT_TRUE(seeds.empty());
+      for (int check : p.stale_check) EXPECT_EQ(check, -1);
+    }
+  }
+}
+
+// Satellite: seeded determinism — the same seed must produce the same
+// schedule AND the same answer stream across independent executions.
+TEST(ChaosHarnessTest, SameSeedSameAnswerStream) {
+  const ChaosConfig cfg = SmallConfig(21);
+  const ChaosSchedule schedule = MakeSchedule(cfg);
+  const RunResult first = ExecuteChaosRun(cfg, schedule);
+  const RunResult second = ExecuteChaosRun(cfg, schedule);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  ASSERT_FALSE(first.answers.empty());
+  EXPECT_EQ(first.answers, second.answers);
+}
+
+// Moves and rebalances are answer-invariant: the same schedule with
+// injection on and off yields bit-identical streams (sim substrate,
+// so this also pins the differential machinery itself).
+TEST(ChaosHarnessTest, InjectionIsAnswerInvariantOnSim) {
+  const ChaosConfig chaos = SmallConfig(33);
+  const ChaosSchedule schedule = MakeSchedule(chaos);
+  const RunResult stormy = ExecuteChaosRun(chaos, schedule);
+  ChaosConfig quiet = chaos;
+  quiet.inject = false;
+  const RunResult calm = ExecuteChaosRun(quiet, schedule);
+  ASSERT_TRUE(stormy.ok);
+  ASSERT_TRUE(calm.ok);
+  ASSERT_EQ(stormy.answers.size(), calm.answers.size());
+  EXPECT_EQ(stormy.answers, calm.answers);
+}
+
+// The tentpole: a million-node, 10k-fragment XMark document (plus a
+// control document on the same substrate) served through proc:2 under
+// a full-surface fault storm — concurrent query stream, delta churn,
+// live moves/rebalances, daemon SIGKILL/respawn, injected drops/
+// delays/duplicates — differentially against a quiescent sim run.
+TEST(ChaosStormTest, MillionNodeFaultStormAnswersExact) {
+  for (const uint64_t seed : {uint64_t{1337}, uint64_t{4242},
+                              uint64_t{9001}}) {
+    SCOPED_TRACE("storm seed " + std::to_string(seed));
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.backend = "proc:2";
+    chaos.inject = true;
+    chaos.net_faults = true;
+    chaos.main_sites = 10050;
+    chaos.nodes_per_site = 100;
+    chaos.control_sites = 50;
+    chaos.phases = 6;
+    chaos.queries_per_phase = 3;
+    ChaosSchedule schedule = MakeSchedule(chaos);
+    EnsureKillPhase(&schedule);
+
+    const RunResult stormy = ExecuteChaosRun(chaos, schedule);
+    EXPECT_GE(stormy.main_nodes, 1000000u);
+    EXPECT_GE(stormy.main_fragments, 10000u);
+    EXPECT_GE(stormy.kills, 1);
+    EXPECT_GT(stormy.faults_injected, 0u);
+    ASSERT_TRUE(stormy.ok);
+
+    ChaosConfig oracle = chaos;
+    oracle.backend = "sim";
+    oracle.inject = false;
+    oracle.net_faults = false;
+    const RunResult calm = ExecuteChaosRun(oracle, schedule);
+    ASSERT_TRUE(calm.ok);
+
+    ASSERT_EQ(stormy.answers.size(), calm.answers.size());
+    EXPECT_EQ(stormy.answers, calm.answers)
+        << "answers diverged from the quiescent oracle under seed "
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace parbox::chaostest

@@ -313,5 +313,40 @@ TEST(UpdateEdgeCaseTest, BoundaryCrossingDeltasRejectedAtomically) {
   EXPECT_TRUE(report->answer);
 }
 
+// Regression: a version chain thousands of sites deep runs every DOM
+// walk end-to-end — generate, serialize, reparse, split at each site,
+// partially evaluate. These walks used to recurse per nesting level
+// and blew the call stack around a few thousand levels; they iterate
+// with explicit stacks now, so depth is bounded by memory only.
+TEST(DeepChainTest, FiveThousandLevelChainSurvivesFullPipeline) {
+  constexpr int kDepth = 6000;
+  xml::Document doc =
+      xmark::GenerateChainDocument(kDepth, /*bytes_per_site=*/48, /*seed=*/5);
+
+  const std::string text = xml::WriteXml(doc.root());
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_TRUE(xml::TreeEquals(doc.root(), reparsed->root()));
+
+  auto set = FragmentSet::FromDocument(std::move(doc));
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(frag::SplitAtAllLabeled(&*set, "site").ok());
+  EXPECT_GE(set->live_count(), static_cast<size_t>(kDepth));
+  auto st = SourceTree::Create(*set, frag::AssignRoundRobin(*set, 16));
+  ASSERT_TRUE(st.ok());
+
+  auto whole = set->Reassemble();
+  ASSERT_TRUE(whole.ok());
+  for (const char* query_text :
+       {"[//site[marker = \"v5990\"]]", "[//site[marker = \"nope\"]]"}) {
+    auto q = xpath::CompileQuery(query_text);
+    ASSERT_TRUE(q.ok());
+    auto report = RunParBoX(*set, *st, *q);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->answer, *xpath::EvalBoolean(*whole->root(), *q))
+        << query_text;
+  }
+}
+
 }  // namespace
 }  // namespace parbox::core

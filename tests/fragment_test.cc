@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "fragment/fragment.h"
 #include "fragment/placement.h"
@@ -9,6 +11,7 @@
 #include "xmark/portfolio.h"
 #include "xml/dom.h"
 #include "xml/parser.h"
+#include "xml/writer.h"
 
 namespace parbox::frag {
 namespace {
@@ -443,6 +446,58 @@ TEST(PlacementTest, FeedPublishesEpochsAndDedupsMoves) {
   EXPECT_EQ(feed.MovedSince(3), (std::vector<FragmentId>{1}));
   EXPECT_TRUE(feed.MovedSince(4).empty());
   EXPECT_EQ(feed.snapshot()->site_of(1), 2);
+}
+
+// Satellite of the scale work: an integer-width guard. Splitting a
+// 10'000-site star document yields virtual refs across the whole id
+// range in one serialized fragment; writing and reparsing must round-
+// trip every id exactly — this is the scale where a narrow counter or
+// length field in the writer/parser path would first fold ids onto
+// each other.
+TEST(FragmentScaleTest, TenThousandFragmentDocumentRoundTripsIds) {
+  xml::Document doc = xmark::GenerateScaledStarDocument(
+      /*num_sites=*/10050, /*nodes_per_site=*/4, /*seed=*/11);
+  auto set = FragmentSet::FromDocument(std::move(doc));
+  ASSERT_TRUE(set.ok());
+  ASSERT_TRUE(SplitAtAllLabeled(&*set, "site").ok());
+  ASSERT_GE(set->live_count(), 10000u);
+  ASSERT_TRUE(set->Validate().ok());
+
+  // In-order virtual refs of a subtree, iteratively (10k-wide tree).
+  auto refs_of = [](const xml::Node* root) {
+    std::vector<xml::FragmentId> refs;
+    std::vector<const xml::Node*> stack{root};
+    while (!stack.empty()) {
+      const xml::Node* n = stack.back();
+      stack.pop_back();
+      if (n->is_virtual()) refs.push_back(n->fragment_ref);
+      for (const xml::Node* c = n->last_child; c != nullptr;
+           c = c->prev_sibling) {
+        stack.push_back(c);
+      }
+    }
+    return refs;
+  };
+
+  const xml::Node* root = set->fragment(set->root_fragment()).root;
+  const std::string text = xml::WriteXml(root);
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const std::vector<xml::FragmentId> before = refs_of(root);
+  const std::vector<xml::FragmentId> after = refs_of(reparsed->root());
+  ASSERT_EQ(before.size(), set->live_count() - 1);
+  EXPECT_EQ(before, after);
+
+  // And the top of FragmentId's range survives verbatim.
+  xml::Document tiny;
+  xml::Node* r = tiny.NewElement("r");
+  tiny.set_root(r);
+  tiny.AppendChild(
+      r, tiny.NewVirtual(std::numeric_limits<xml::FragmentId>::max()));
+  auto round = xml::ParseXml(xml::WriteXml(r));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->root()->first_child->fragment_ref,
+            std::numeric_limits<xml::FragmentId>::max());
 }
 
 }  // namespace

@@ -118,6 +118,51 @@ TEST(WireTest, FrameReaderRejectsOversizedAndTruncatedFrames) {
   EXPECT_TRUE(reader2.error());
 }
 
+// A crafted oversize u32 length prefix must not poison silently: the
+// reader latches a diagnostic naming the cap, releases every buffered
+// byte (it must not hold memory toward an impossible frame), and
+// stays latched until the connection owner re-dials with a fresh
+// reader — which is how ProcessBackend surfaces it (frame_errors
+// counter + link reset) instead of hanging or crashing.
+TEST(WireTest, OversizedHeaderSurfacesReasonWithoutBuffering) {
+  std::string bogus;
+  net::PutU32(&bogus, net::kMaxFrameBody + 1);
+  bogus.append(1024, 'x');
+  net::FrameReader reader;
+  reader.Feed(bogus.data(), bogus.size());
+  net::Frame out;
+  EXPECT_FALSE(reader.Next(&out));
+  ASSERT_TRUE(reader.error());
+  EXPECT_NE(reader.error_reason().find("cap"), std::string::npos)
+      << reader.error_reason();
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  // A valid frame fed afterwards does not revive the stream: recovery
+  // is per-connection, not per-frame.
+  const std::string good = net::EncodeFrame(SampleFrame());
+  reader.Feed(good.data(), good.size());
+  EXPECT_FALSE(reader.Next(&out));
+  EXPECT_TRUE(reader.error());
+}
+
+// The encode side refuses to create such a frame in the first place:
+// a body past kMaxFrameBody or a tag past the u16 count would write a
+// length prefix the peer must reject, so Conn::SendFrame drops it
+// (frames_rejected) rather than desynchronizing the stream.
+TEST(WireTest, OversizedFrameIsNeverEncoded) {
+  net::Frame big = SampleFrame();
+  big.payload.assign(net::kMaxFrameBody, 'p');
+  EXPECT_FALSE(net::FrameFitsWire(big));
+  EXPECT_TRUE(net::EncodeFrame(big).empty());
+
+  net::Frame long_tag = SampleFrame();
+  long_tag.tag.assign(0x10000, 't');
+  EXPECT_FALSE(net::FrameFitsWire(long_tag));
+  EXPECT_TRUE(net::EncodeFrame(long_tag).empty());
+
+  EXPECT_TRUE(net::FrameFitsWire(SampleFrame()));
+}
+
 TEST(WireTest, DaemonStatsRoundTripsAndMerges) {
   net::DaemonStats s;
   s.frames_received = 100;

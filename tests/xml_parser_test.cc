@@ -137,14 +137,28 @@ TEST(XmlParserTest, ErrorMessagesCarryPosition) {
       << doc.status().ToString();
 }
 
-TEST(XmlParserTest, DepthLimitEnforced) {
+// The parser walks with an explicit stack, so document depth is
+// bounded by memory, not the call stack: nesting that used to trip a
+// recursion cap (and would overflow a recursive parser's stack well
+// before 100k) parses fine.
+TEST(XmlParserTest, DeepNestingParsesWithoutOverflow) {
+  constexpr int kDepth = 100000;
   std::string open, close;
-  for (int i = 0; i < 3000; ++i) {
+  for (int i = 0; i < kDepth; ++i) {
     open += "<a>";
     close += "</a>";
   }
-  auto doc = Parse(open + close);
-  EXPECT_FALSE(doc.ok());
+  auto doc = Parse(open + "<b>leaf</b>" + close);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  int depth = 0;
+  const Node* n = doc->root();
+  while (n != nullptr && n->is_element() && n->label() == "a") {
+    ++depth;
+    n = n->first_child;
+  }
+  EXPECT_EQ(depth, kDepth);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->label(), "b");
 }
 
 // ---------- Writer ----------
