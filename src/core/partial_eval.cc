@@ -36,6 +36,56 @@ bexpr::FragmentEquations PartialEvalFragment(bexpr::ExprFactory* factory,
   return eq;
 }
 
+xpath::EvalBatch BuildFusedBatch(
+    const std::vector<const xpath::NormQuery*>& queries) {
+  return xpath::MakeEvalBatch(queries);
+}
+
+std::vector<bexpr::FragmentEquations> PartialEvalFragmentBatch(
+    bexpr::ExprFactory* factory, const xpath::EvalBatch& batch,
+    const frag::FragmentSet& set, frag::FragmentId f,
+    xpath::EvalCounters* counters, xpath::BatchEvalStats* stats) {
+  const size_t n = batch.max_width;
+  xpath::ExprDomain dom{factory};
+  auto vectors = xpath::BottomUpEvalBatch(
+      dom, batch, *set.fragment(f).root,
+      [&](const xml::Node& vnode, std::vector<bexpr::ExprId>* v,
+          std::vector<bexpr::ExprId>* dv) {
+        // Lane-local variable identity: entry i of EVERY lane reads
+        // Var{fragment_ref, kind, i}, exactly as each lane's solo walk
+        // would. The systems are solved per lane, so the shared names
+        // never mix across queries — and the sharing is what turns
+        // cross-query CSE into plain hash-consing.
+        v->resize(n);
+        dv->resize(n);
+        for (size_t i = 0; i < n; ++i) {
+          (*v)[i] = factory->Var({vnode.fragment_ref, bexpr::VectorKind::kV,
+                                  static_cast<int32_t>(i)});
+          (*dv)[i] = factory->Var({vnode.fragment_ref,
+                                   bexpr::VectorKind::kDV,
+                                   static_cast<int32_t>(i)});
+        }
+      },
+      counters, stats);
+  std::vector<bexpr::FragmentEquations> out(vectors.size());
+  for (size_t k = 0; k < vectors.size(); ++k) {
+    out[k].fragment = f;
+    out[k].v = std::move(vectors[k].v);
+    out[k].cv = std::move(vectors[k].cv);
+    out[k].dv = std::move(vectors[k].dv);
+  }
+  return out;
+}
+
+std::vector<bexpr::FragmentEquations> PartialEvalFragmentBatch(
+    bexpr::ExprFactory* factory,
+    const std::vector<const xpath::NormQuery*>& queries,
+    const frag::FragmentSet& set, frag::FragmentId f,
+    xpath::EvalCounters* counters, xpath::BatchEvalStats* stats) {
+  return PartialEvalFragmentBatch(factory, BuildFusedBatch(queries), set, f,
+                                  counters, stats);
+}
+
 ResolvedVectors BoolEvalFragment(
     const xpath::NormQuery& q, const frag::FragmentSet& set,
     frag::FragmentId f,

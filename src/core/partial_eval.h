@@ -21,6 +21,7 @@
 #include "boolexpr/solver.h"
 #include "fragment/fragment.h"
 #include "xpath/eval.h"
+#include "xpath/eval_batch.h"
 #include "xpath/qlist.h"
 
 namespace parbox::core {
@@ -32,6 +33,34 @@ bexpr::FragmentEquations PartialEvalFragment(bexpr::ExprFactory* factory,
                                              const frag::FragmentSet& set,
                                              frag::FragmentId f,
                                              xpath::EvalCounters* counters);
+
+/// Lay out `queries` for fused evaluation (donor-prefix scan; see
+/// xpath/eval_batch.h). Build once per batch, reuse across fragments.
+/// The queries must outlive the returned batch.
+xpath::EvalBatch BuildFusedBatch(
+    const std::vector<const xpath::NormQuery*>& queries);
+
+/// Partially evaluate every query of `batch` over fragment `f` in ONE
+/// bottom-up walk, returning one FragmentEquations per lane (in lane
+/// order, each with .fragment = f). Variable naming matches
+/// PartialEvalFragment exactly — entry i of every lane reads the same
+/// Var{fragment_ref, kind, i} — so each lane's triplet is bit-identical
+/// (same ExprIds) to a solo PartialEvalFragment of that query in the
+/// same factory. `counters->ops` charges only non-shared entries;
+/// donor-copied slots accumulate in `stats->shared_entries`.
+std::vector<bexpr::FragmentEquations> PartialEvalFragmentBatch(
+    bexpr::ExprFactory* factory, const xpath::EvalBatch& batch,
+    const frag::FragmentSet& set, frag::FragmentId f,
+    xpath::EvalCounters* counters,
+    xpath::BatchEvalStats* stats = nullptr);
+
+/// Convenience overload: build the batch and evaluate in one call.
+std::vector<bexpr::FragmentEquations> PartialEvalFragmentBatch(
+    bexpr::ExprFactory* factory,
+    const std::vector<const xpath::NormQuery*>& queries,
+    const frag::FragmentSet& set, frag::FragmentId f,
+    xpath::EvalCounters* counters,
+    xpath::BatchEvalStats* stats = nullptr);
 
 /// Truth-value vectors (V, DV) for already-evaluated fragments.
 struct ResolvedVectors {

@@ -22,6 +22,11 @@ bool SameTriplet(const bexpr::FragmentEquations& a,
          a.dv == b.dv;
 }
 
+/// Cap on lanes per fused cache-maintenance walk: bounds the kernel's
+/// O(tree depth × total lane width) frame memory while keeping the
+/// "one walk per touched fragment" property for any realistic cache.
+constexpr size_t kMaxFusedLanes = 256;
+
 }  // namespace
 
 QueryService::QueryService(const frag::FragmentSet* set,
@@ -75,6 +80,9 @@ void QueryService::InitObs() {
   m_cache_invalidations_ = counter("service.cache_invalidations");
   m_cache_refreshes_ = counter("service.cache_refreshes");
   m_ops_ = counter("service.ops");
+  m_fused_walks_ = counter("service.fused_walks");
+  m_cse_shared_ = counter("service.cse_shared_exprs");
+  m_subsumption_hits_ = counter("cache.subsumption_hits");
   // Service-side wire meters: what the service *asked* the substrate
   // to ship, by tag, coordinator-local hops excluded — definitionally
   // equal to the backend's TrafficStats for the same tags (the
@@ -86,6 +94,7 @@ void QueryService::InitObs() {
   m_latency_ = m.Intern(p + "service.latency_seconds", Kind::kHistogram);
   m_admission_wait_ =
       m.Intern(p + "service.admission_wait_seconds", Kind::kHistogram);
+  m_batch_width_ = m.Intern(p + "service.batch_width", Kind::kHistogram);
 }
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -195,6 +204,13 @@ void QueryService::Admit(uint64_t id) {
     return;
   }
 
+  // Last resort before a round: a cached *longer* query whose QList
+  // extends this one can answer it at the coordinator alone.
+  if (options_.enable_cache && options_.enable_subsumption &&
+      TryServeBySubsumption(id)) {
+    return;
+  }
+
   Unique u;
   u.prepared = std::move(sub.prepared);
   u.waiters.push_back(id);
@@ -297,6 +313,19 @@ void QueryService::FlushBatch() {
     // Admit refuses joins); the fresh round must take over the key.
     in_flight_.insert_or_assign(u.prepared.fingerprint(), round);
   }
+  if (options_.enable_fusion) {
+    // Lay the batch out once per round; every site walks each of its
+    // fragments ONCE with this layout. The lanes point into the
+    // uniques' PreparedQuery-shared QLists, which outlive the round.
+    std::vector<const xpath::NormQuery*> queries;
+    queries.reserve(round->uniques.size());
+    for (const Unique& u : round->uniques) {
+      queries.push_back(&u.prepared.query());
+    }
+    round->fused = core::BuildFusedBatch(queries);
+  }
+  metrics_->Observe(m_batch_width_,
+                    static_cast<double>(round->uniques.size()));
   metrics_->Increment(m_rounds_);
   metrics_->Add(m_unique_evals_, round->uniques.size());
   BeginRound(std::move(round));
@@ -340,67 +369,102 @@ void QueryService::BeginRound(std::shared_ptr<Round> round) {
       const std::vector<frag::FragmentId>& fragments =
           round->plan->site_fragments[si].second;
       auto site = std::make_shared<SiteEval>();
-      site->remaining = fragments.size() * round->uniques.size();
       site->batch = std::make_shared<exec::TripletBatch>();
-      for (frag::FragmentId f : fragments) {
-        for (size_t ui = 0; ui < round->uniques.size(); ++ui) {
-          const Unique& u = round->uniques[ui];
-          // Real partial evaluation, charged to the site's serialized
-          // compute queue — exactly the parbox evaluator's
-          // per-fragment step. A fragment merged away since the flush
-          // snapshot yields an empty triplet; the solver then reports
-          // Unresolved and the round fails cleanly rather than reading
-          // freed nodes.
+      // When the site's last compute drains: one reply for the round,
+      // its triplets crossing through the wire codec when the backend
+      // separates site and coordinator factories. Shared by the fused
+      // and per-query paths below.
+      auto finish = [this, round, coord, s, site] {
+        if (--site->remaining > 0) return;
+        exec::ExecBackend& backend = session_.backend();
+        exec::Parcel reply = exec::MakeTripletBatchParcel(
+            backend.site_factory(s), std::move(site->batch));
+        backend.Send(s, coord, std::move(reply), "triplet",
+                     [this, round, s, coord](exec::Parcel delivered) {
+          if (s != coord) {
+            metrics_->Add(m_triplet_bytes_, delivered.wire_bytes());
+            metrics_->Increment(m_triplet_msgs_);
+          }
+          Result<exec::TripletBatch> batch = exec::TakeTripletBatch(
+              std::move(delivered), &session_.factory());
+          if (!batch.ok()) {
+            if (first_error_.ok()) first_error_ = batch.status();
+          } else {
+            for (exec::TripletBatch::Item& item : batch->items) {
+              if (item.key >= round->uniques.size() || item.slot < 0 ||
+                  static_cast<size_t>(item.slot) >=
+                      round->uniques[item.key].equations.size()) {
+                if (first_error_.ok()) {
+                  first_error_ =
+                      Status::Internal("batch item out of range");
+                }
+                continue;
+              }
+              round->uniques[item.key].equations[item.slot] =
+                  std::move(item.eq);
+            }
+          }
+          if (--round->pending_sites == 0) {
+            Compose(round);
+          }
+        });
+      };
+      if (options_.enable_fusion) {
+        // ONE bottom-up walk per fragment emits every unique's
+        // triplet; compute is charged once per walk. Items land in
+        // the same (fragment outer, unique inner) order as the
+        // per-query path, so the reply parcel is byte-identical —
+        // fusion changes eval-op counts and makespan, nothing else.
+        site->remaining = fragments.size();
+        for (frag::FragmentId f : fragments) {
           xpath::EvalCounters counters;
-          exec::TripletBatch::Item item;
-          item.key = ui;
-          item.slot = f;
+          xpath::BatchEvalStats stats;
+          std::vector<bexpr::FragmentEquations> eqs;
           if (set_->is_live(f)) {
-            item.eq = core::PartialEvalFragment(
-                &backend.site_factory(s), u.prepared.query(), *set_, f,
-                &counters);
+            // A fragment merged away since the flush snapshot yields
+            // empty triplets; the solver then reports Unresolved and
+            // the round fails cleanly rather than reading freed nodes.
+            eqs = core::PartialEvalFragmentBatch(&backend.site_factory(s),
+                                                 round->fused, *set_, f,
+                                                 &counters, &stats);
+            metrics_->Increment(m_fused_walks_);
+            metrics_->Add(m_cse_shared_, stats.shared_entries);
+          }
+          for (size_t ui = 0; ui < round->uniques.size(); ++ui) {
+            exec::TripletBatch::Item item;
+            item.key = ui;
+            item.slot = f;
+            if (!eqs.empty()) item.eq = std::move(eqs[ui]);
+            site->batch->items.push_back(std::move(item));
           }
           metrics_->Add(m_ops_, counters.ops);
-          site->batch->items.push_back(std::move(item));
           if (tracer_ != nullptr) tracer_->SetNextComputeName("site.eval");
-          backend.Compute(s, counters.ops, [this, round, coord, s, site] {
-            if (--site->remaining > 0) return;
-            // All fragments x queries done: one reply for the round,
-            // its triplets crossing through the wire codec when the
-            // backend separates site and coordinator factories.
-            exec::ExecBackend& backend = session_.backend();
-            exec::Parcel reply = exec::MakeTripletBatchParcel(
-                backend.site_factory(s), std::move(site->batch));
-            backend.Send(s, coord, std::move(reply), "triplet",
-                         [this, round, s, coord](exec::Parcel delivered) {
-              if (s != coord) {
-                metrics_->Add(m_triplet_bytes_, delivered.wire_bytes());
-                metrics_->Increment(m_triplet_msgs_);
-              }
-              Result<exec::TripletBatch> batch = exec::TakeTripletBatch(
-                  std::move(delivered), &session_.factory());
-              if (!batch.ok()) {
-                if (first_error_.ok()) first_error_ = batch.status();
-              } else {
-                for (exec::TripletBatch::Item& item : batch->items) {
-                  if (item.key >= round->uniques.size() || item.slot < 0 ||
-                      static_cast<size_t>(item.slot) >=
-                          round->uniques[item.key].equations.size()) {
-                    if (first_error_.ok()) {
-                      first_error_ =
-                          Status::Internal("batch item out of range");
-                    }
-                    continue;
-                  }
-                  round->uniques[item.key].equations[item.slot] =
-                      std::move(item.eq);
-                }
-              }
-              if (--round->pending_sites == 0) {
-                Compose(round);
-              }
-            });
-          });
+          backend.Compute(s, counters.ops, finish);
+        }
+      } else {
+        site->remaining = fragments.size() * round->uniques.size();
+        for (frag::FragmentId f : fragments) {
+          for (size_t ui = 0; ui < round->uniques.size(); ++ui) {
+            const Unique& u = round->uniques[ui];
+            // Real partial evaluation, charged to the site's
+            // serialized compute queue — exactly the parbox
+            // evaluator's per-fragment step.
+            xpath::EvalCounters counters;
+            exec::TripletBatch::Item item;
+            item.key = ui;
+            item.slot = f;
+            if (set_->is_live(f)) {
+              item.eq = core::PartialEvalFragment(
+                  &backend.site_factory(s), u.prepared.query(), *set_, f,
+                  &counters);
+            }
+            metrics_->Add(m_ops_, counters.ops);
+            site->batch->items.push_back(std::move(item));
+            if (tracer_ != nullptr) {
+              tracer_->SetNextComputeName("site.eval");
+            }
+            backend.Compute(s, counters.ops, finish);
+          }
         }
       }
     });
@@ -471,7 +535,7 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
 }
 
 void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
-                            bool shared) {
+                            bool shared, bool subsumed) {
   auto it = submissions_.find(id);
   if (it == submissions_.end()) return;
   Submission sub = std::move(it->second);
@@ -482,6 +546,7 @@ void QueryService::Complete(uint64_t id, bool answer, bool cache_hit,
   outcome.fingerprint = sub.fp;
   outcome.answer = answer;
   outcome.cache_hit = cache_hit;
+  outcome.subsumption_hit = subsumed;
   outcome.shared_evaluation = shared && !cache_hit;
   outcome.trace_id = sub.trace.trace_id;
   outcome.submitted_seconds = sub.submitted_seconds;
@@ -587,8 +652,118 @@ void QueryService::InsertCacheEntry(Unique&& unique, bool answer) {
   entry.equations = std::move(unique.equations);
   entry.equations.resize(set_->table_size());
   entry.query = std::move(unique.prepared);
+  // insert_or_assign may replace a stale entry under the same key;
+  // clear its index registrations first so the per-digest key lists
+  // never hold a fingerprint twice.
+  if (auto it = cache_.find(fp); it != cache_.end()) {
+    DeindexEntryPrefixes(fp, it->second);
+  }
+  IndexEntryPrefixes(fp, entry);
   cache_.insert_or_assign(fp, std::move(entry));
   EvictIfOverCapacity();
+}
+
+void QueryService::IndexEntryPrefixes(const xpath::QueryFingerprint& fp,
+                                      const CacheEntry& entry) {
+  if (!options_.enable_subsumption) return;
+  for (const xpath::QueryFingerprint& digest :
+       xpath::AllPrefixDigests(entry.query.query())) {
+    prefix_index_[digest].push_back(fp);
+  }
+}
+
+void QueryService::DeindexEntryPrefixes(const xpath::QueryFingerprint& fp,
+                                        const CacheEntry& entry) {
+  if (!options_.enable_subsumption) return;
+  for (const xpath::QueryFingerprint& digest :
+       xpath::AllPrefixDigests(entry.query.query())) {
+    auto it = prefix_index_.find(digest);
+    if (it == prefix_index_.end()) continue;
+    std::vector<xpath::QueryFingerprint>& keys = it->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), fp), keys.end());
+    if (keys.empty()) prefix_index_.erase(it);
+  }
+}
+
+bool QueryService::TryServeBySubsumption(uint64_t id) {
+  Submission& sub = submissions_.at(id);
+  const xpath::NormQuery& q = sub.prepared.query();
+  // Probe: digest of this query's FULL entry list (no root id) — any
+  // cached query extending these entries registered it.
+  auto pit = prefix_index_.find(xpath::PrefixDigest(q, q.size()));
+  if (pit == prefix_index_.end()) return false;
+  // The key list is read by value: completing and re-caching below
+  // mutates the index.
+  const std::vector<xpath::QueryFingerprint> candidates = pit->second;
+  for (const xpath::QueryFingerprint& donor_fp : candidates) {
+    auto cit = cache_.find(donor_fp);
+    if (cit == cache_.end()) continue;
+    CacheEntry& donor = cit->second;
+    // The digest narrowed the field; this comparison is the proof.
+    if (!xpath::IsQListPrefix(q, donor.query.query())) continue;
+    // Only a whole retained system (every live fragment's triplet
+    // present, current table shape) can be re-solved — the same
+    // wholeness bar RefreshEntry applies.
+    if (donor.equations.size() != set_->table_size()) continue;
+    const std::vector<frag::FragmentId> live = set_->live_ids();
+    bool whole = !live.empty();
+    for (frag::FragmentId g : live) {
+      if (donor.equations[g].fragment != g ||
+          donor.equations[g].v.size() < q.size()) {
+        whole = false;
+        break;
+      }
+    }
+    if (!whole) continue;
+
+    // Truncate the donor's system to |q| entries. Entry i's formulas
+    // reference only variables of index < i (bottomUp evaluates the
+    // QList in order), so the truncated system is closed — and it IS
+    // the system partial evaluation of `q` itself would emit, because
+    // the first |q| entries of the donor's QList ARE `q`'s entries.
+    std::vector<bexpr::FragmentEquations> equations = AcquireEquations();
+    for (frag::FragmentId g : live) {
+      const bexpr::FragmentEquations& src = donor.equations[g];
+      bexpr::FragmentEquations& dst = equations[g];
+      dst.fragment = g;
+      dst.v.assign(src.v.begin(), src.v.begin() + q.size());
+      dst.cv.assign(src.cv.begin(), src.cv.begin() + q.size());
+      dst.dv.assign(src.dv.begin(), src.dv.begin() + q.size());
+    }
+    Result<bool> solved = bexpr::SolveForAnswer(
+        &session_.factory(), equations, set_->ChildrenTable(),
+        set_->root_fragment(), q.root());
+    if (!solved.ok()) {
+      ReleaseEquations(std::move(equations));
+      continue;
+    }
+    const bool answer = *solved;
+    // Coordinator-local solve over the retained formulas: no site is
+    // visited, nothing crosses the network. (Sized before sub.prepared
+    // is moved into the cache below.)
+    const uint64_t solve_ops = 16 + q.size() * live.size();
+    donor.last_used = ++cache_tick_;
+    metrics_->Increment(m_cache_hits_);
+    metrics_->Increment(m_subsumption_hits_);
+    TraceInstant("cache.subsume");
+    // The answer becomes a first-class entry under its own
+    // fingerprint: future submissions of `q` hit exactly, and updates
+    // maintain the truncated system like any other.
+    Unique u;
+    u.prepared = std::move(sub.prepared);
+    u.equations = std::move(equations);
+    sub.prepared = core::PreparedQuery();
+    InsertCacheEntry(std::move(u), answer);
+    if (tracer_ != nullptr) tracer_->SetNextComputeName("cache.subsume");
+    session_.backend().Compute(coordinator(), solve_ops,
+                               [this, id, answer] {
+                                 Complete(id, answer, /*cache_hit=*/true,
+                                          /*shared=*/false,
+                                          /*subsumed=*/true);
+                               });
+    return true;
+  }
+  return false;
 }
 
 bool QueryService::RefreshEntry(
@@ -608,6 +783,14 @@ bool QueryService::RefreshEntry(
       &session_.factory(), entry->query.query(), *set_, f, &counters);
   // Maintenance work is real compute.
   metrics_->Add(m_ops_, counters.ops);
+  return RefreshEntryWith(entry, f, std::move(fresh), children, live);
+}
+
+bool QueryService::RefreshEntryWith(
+    CacheEntry* entry, frag::FragmentId f, bexpr::FragmentEquations fresh,
+    const std::vector<std::vector<int32_t>>& children,
+    const std::vector<frag::FragmentId>& live) {
+  if (entry->equations.size() != set_->table_size()) return false;
   if (SameTriplet(entry->equations[f], fresh)) {
     return true;  // triplet unchanged => the answer provably stands
   }
@@ -637,6 +820,7 @@ void QueryService::EvictIfOverCapacity() {
     for (auto it = cache_.begin(); it != cache_.end(); ++it) {
       if (it->second.last_used < lru->second.last_used) lru = it;
     }
+    DeindexEntryPrefixes(lru->first, lru->second);
     ReleaseEquations(std::move(lru->second.equations));
     cache_.erase(lru);
   }
@@ -646,6 +830,7 @@ void QueryService::InvalidateAll() {
   ++update_epoch_;
   metrics_->Add(m_cache_invalidations_, cache_.size());
   cache_.clear();
+  prefix_index_.clear();
 }
 
 void QueryService::OnContentUpdate(frag::FragmentId f) {
@@ -658,16 +843,64 @@ void QueryService::OnContentUpdate(frag::FragmentId f) {
   const std::vector<std::vector<int32_t>> children =
       set_->ChildrenTable();
   const std::vector<frag::FragmentId> live = set_->live_ids();
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    // Exact invalidation: splice f's fresh triplet into the entry's
-    // retained system and re-solve; evict only if the answer moved.
-    if (RefreshEntry(&it->second, f, children, live)) {
-      ++it;
-    } else {
-      metrics_->Increment(m_cache_invalidations_);
-      TraceInstant("cache.evict");
-      ReleaseEquations(std::move(it->second.equations));
-      it = cache_.erase(it);
+
+  auto evict = [this](decltype(cache_.begin()) it) {
+    metrics_->Increment(m_cache_invalidations_);
+    TraceInstant("cache.evict");
+    DeindexEntryPrefixes(it->first, it->second);
+    ReleaseEquations(std::move(it->second.equations));
+    return cache_.erase(it);
+  };
+
+  if (!options_.enable_fusion) {
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      // Exact invalidation: splice f's fresh triplet into the entry's
+      // retained system and re-solve; evict only if the answer moved.
+      if (RefreshEntry(&it->second, f, children, live)) {
+        ++it;
+      } else {
+        it = evict(it);
+      }
+    }
+    return;
+  }
+
+  // Fused maintenance: ONE walk of the touched fragment per chunk of
+  // up to kMaxFusedLanes cached queries computes every entry's fresh
+  // triplet — eval work scales with touched fragments, not cache
+  // size. The key snapshot keeps iteration stable across evictions.
+  std::vector<xpath::QueryFingerprint> keys;
+  keys.reserve(cache_.size());
+  for (const auto& [fp, entry] : cache_) keys.push_back(fp);
+  for (size_t base = 0; base < keys.size(); base += kMaxFusedLanes) {
+    const size_t end = std::min(base + kMaxFusedLanes, keys.size());
+    std::vector<xpath::QueryFingerprint> lane_keys;
+    std::vector<const xpath::NormQuery*> queries;
+    lane_keys.reserve(end - base);
+    queries.reserve(end - base);
+    for (size_t i = base; i < end; ++i) {
+      auto it = cache_.find(keys[i]);
+      if (it == cache_.end()) continue;
+      lane_keys.push_back(keys[i]);
+      queries.push_back(&it->second.query.query());
+    }
+    if (queries.empty()) continue;
+    xpath::EvalCounters counters;
+    xpath::BatchEvalStats stats;
+    std::vector<bexpr::FragmentEquations> fresh =
+        core::PartialEvalFragmentBatch(&session_.factory(), queries, *set_,
+                                       f, &counters, &stats);
+    // Maintenance work is real compute, charged once per walk.
+    metrics_->Add(m_ops_, counters.ops);
+    metrics_->Increment(m_fused_walks_);
+    metrics_->Add(m_cse_shared_, stats.shared_entries);
+    for (size_t k = 0; k < lane_keys.size(); ++k) {
+      auto it = cache_.find(lane_keys[k]);
+      if (it == cache_.end()) continue;
+      if (!RefreshEntryWith(&it->second, f, std::move(fresh[k]), children,
+                            live)) {
+        evict(it);
+      }
     }
   }
 }
@@ -677,23 +910,58 @@ void QueryService::OnFragmentationUpdate(frag::FragmentId f) {
   // The site partition changed shape: recompute the plan on next
   // flush. Rounds in flight keep their snapshot.
   session_.InvalidatePlan();
-  if (f < 0) return;
+  if (f < 0 || cache_.empty()) return;
   for (auto& [fp, entry] : cache_) {
     (void)fp;
     entry.equations.resize(set_->table_size());
-    if (!set_->is_live(f)) {
-      // Merged away: its variables no longer appear anywhere.
+  }
+  if (!set_->is_live(f)) {
+    // Merged away: its variables no longer appear anywhere.
+    for (auto& [fp, entry] : cache_) {
+      (void)fp;
       entry.equations[f] = bexpr::FragmentEquations{};
-      continue;
     }
-    // Split/merge never changes an answer (Sec. 5), so the entry
-    // stays; only the re-cut fragment's triplet is refreshed so the
-    // retained system keeps matching the current fragmentation. (The
-    // counterpart fragment gets its own notification.)
+    return;
+  }
+  // Split/merge never changes an answer (Sec. 5), so every entry
+  // stays; only the re-cut fragment's triplet is refreshed so the
+  // retained systems keep matching the current fragmentation. (The
+  // counterpart fragment gets its own notification.) Fused: one walk
+  // per chunk emits every cached query's fresh triplet.
+  if (!options_.enable_fusion) {
+    for (auto& [fp, entry] : cache_) {
+      (void)fp;
+      xpath::EvalCounters counters;
+      entry.equations[f] = core::PartialEvalFragment(
+          &session_.factory(), entry.query.query(), *set_, f, &counters);
+      metrics_->Add(m_ops_, counters.ops);
+    }
+    return;
+  }
+  std::vector<CacheEntry*> entries;
+  entries.reserve(cache_.size());
+  for (auto& [fp, entry] : cache_) {
+    (void)fp;
+    entries.push_back(&entry);
+  }
+  for (size_t base = 0; base < entries.size(); base += kMaxFusedLanes) {
+    const size_t end = std::min(base + kMaxFusedLanes, entries.size());
+    std::vector<const xpath::NormQuery*> queries;
+    queries.reserve(end - base);
+    for (size_t i = base; i < end; ++i) {
+      queries.push_back(&entries[i]->query.query());
+    }
     xpath::EvalCounters counters;
-    entry.equations[f] = core::PartialEvalFragment(
-        &session_.factory(), entry.query.query(), *set_, f, &counters);
+    xpath::BatchEvalStats stats;
+    std::vector<bexpr::FragmentEquations> fresh =
+        core::PartialEvalFragmentBatch(&session_.factory(), queries, *set_,
+                                       f, &counters, &stats);
     metrics_->Add(m_ops_, counters.ops);
+    metrics_->Increment(m_fused_walks_);
+    metrics_->Add(m_cse_shared_, stats.shared_entries);
+    for (size_t i = base; i < end; ++i) {
+      entries[i]->equations[f] = std::move(fresh[i - base]);
+    }
   }
 }
 
@@ -737,6 +1005,10 @@ ServiceReport QueryService::BuildReport() const {
   report.cache_invalidations =
       metrics_->CounterValue(m_cache_invalidations_);
   report.cache_refreshes = metrics_->CounterValue(m_cache_refreshes_);
+  report.fused_walks = metrics_->CounterValue(m_fused_walks_);
+  report.cse_shared_exprs = metrics_->CounterValue(m_cse_shared_);
+  report.subsumption_hits = metrics_->CounterValue(m_subsumption_hits_);
+  report.batch_width = metrics_->HistogramValue(m_batch_width_);
   const sim::TrafficStats& traffic = backend.traffic();
   report.network_bytes = traffic.total_bytes();
   report.network_messages = traffic.total_messages();
@@ -843,11 +1115,14 @@ std::string ServiceReport::ToString() const {
   out << "  latency ms: " << latency.Summary("", 1e3) << "\n";
   out << "  admission wait ms: " << admission_wait.Summary("", 1e3)
       << "\n";
-  out << "  cache hits " << cache_hits << ", shared evals "
-      << shared_evaluations << ", unique evals " << unique_evaluations
-      << ", rounds " << rounds << ", invalidations "
-      << cache_invalidations << ", refreshes " << cache_refreshes
-      << "\n";
+  out << "  cache hits " << cache_hits << " (subsumption "
+      << subsumption_hits << "), shared evals " << shared_evaluations
+      << ", unique evals " << unique_evaluations << ", rounds " << rounds
+      << ", invalidations " << cache_invalidations << ", refreshes "
+      << cache_refreshes << "\n";
+  out << "  fusion: " << fused_walks << " fused walks, "
+      << cse_shared_exprs << " cross-query shared exprs, batch width "
+      << batch_width.Summary("", 1.0) << "\n";
   out << "  network " << HumanBytes(network_bytes) << " in "
       << network_messages << " msgs, site visits " << total_visits
       << ", ops " << total_ops << ", interned formula nodes "

@@ -74,6 +74,7 @@
 #include "obs/sink.h"
 #include "obs/trace.h"
 #include "sim/cluster.h"
+#include "xpath/eval_batch.h"
 #include "xpath/fingerprint.h"
 #include "xpath/qlist.h"
 
@@ -99,6 +100,19 @@ struct ServiceOptions {
   bool enable_batching = true;
   /// Serve repeated queries from the fingerprint-keyed result cache.
   bool enable_cache = true;
+  /// Evaluate a round's distinct queries in ONE fused walk per
+  /// fragment (xpath/eval_batch.h) instead of one walk per
+  /// (fragment × query), and batch cache-maintenance re-evaluation
+  /// the same way. Answers, visits, and wire bytes are bit-identical
+  /// either way (the fused kernel is id-exact); only eval-op counts
+  /// and makespan change. Off: per-query walks (ablation baseline).
+  bool enable_fusion = true;
+  /// Answer a query whose QList is an entry-wise *prefix* of a cached
+  /// query's by re-solving the cached entry's retained equation
+  /// system, truncated, under the shorter query's root — zero site
+  /// visits. Requires enable_cache. Off: prefix queries evaluate
+  /// normally (ablation baseline).
+  bool enable_subsumption = true;
 
   /// How long admission holds a batch open for stragglers before the
   /// round starts. Default: two one-way LAN latencies.
@@ -137,6 +151,10 @@ struct QueryOutcome {
   bool answer = false;
   /// Served from the result cache (no site visited).
   bool cache_hit = false;
+  /// Cache hit of the *subsumption* kind: answered by re-solving a
+  /// longer cached query's retained equation system (implies
+  /// cache_hit).
+  bool subsumption_hit = false;
   /// Shared another submission's evaluation of the same fingerprint.
   bool shared_evaluation = false;
   /// The query's trace id (0 when untraced) — the key into the
@@ -169,6 +187,17 @@ struct ServiceReport {
   /// Entries whose triplet changed under an update but whose re-solved
   /// answer stood: refreshed in place instead of evicted.
   uint64_t cache_refreshes = 0;
+  /// Fused bottom-up walks run (one per fragment per round / per
+  /// maintenance chunk when fusion is on — vs one per fragment × query
+  /// without it).
+  uint64_t fused_walks = 0;
+  /// (element × QList entry) evaluations served by cross-query
+  /// prefix sharing inside fused walks instead of being re-derived.
+  uint64_t cse_shared_exprs = 0;
+  /// Queries answered by cache subsumption (zero site visits).
+  uint64_t subsumption_hits = 0;
+  /// Distinct queries per batch round (the fused batch width).
+  obs::Histogram batch_width;
 
   uint64_t network_bytes = 0;
   uint64_t network_messages = 0;
@@ -306,6 +335,10 @@ class QueryService {
     /// update_epoch_ at flush; a mismatch at compose time means an
     /// update raced the round and its results must not enter the cache.
     uint64_t epoch = 0;
+    /// Fused-evaluation layout over this round's uniques (lane k =
+    /// uniques[k]; lanes point into the uniques' PreparedQuery-owned
+    /// QLists). Empty when fusion is off.
+    xpath::EvalBatch fused;
   };
 
   struct Submission {
@@ -337,7 +370,16 @@ class QueryService {
   void FlushBatch();
   void BeginRound(std::shared_ptr<Round> round);
   void Compose(std::shared_ptr<Round> round);
-  void Complete(uint64_t id, bool answer, bool cache_hit, bool shared);
+  void Complete(uint64_t id, bool answer, bool cache_hit, bool shared,
+                bool subsumed = false);
+
+  /// Try to answer submission `id` from a cached query whose QList
+  /// extends this query's (prefix_index_ probe + exact prefix check):
+  /// truncate the donor's retained system to this query's width,
+  /// re-solve at its root — zero site visits — and cache the result
+  /// as a first-class entry. Returns false when no cached donor
+  /// qualifies.
+  bool TryServeBySubsumption(uint64_t id);
 
   /// Sec. 5's maintenance test, per entry: recompute fragment `f`'s
   /// triplet under the entry's query; if it differs from the retained
@@ -348,8 +390,22 @@ class QueryService {
   bool RefreshEntry(CacheEntry* entry, frag::FragmentId f,
                     const std::vector<std::vector<int32_t>>& children,
                     const std::vector<frag::FragmentId>& live);
+  /// RefreshEntry with the fragment's fresh triplet supplied by the
+  /// caller — the fused maintenance path computes one batch of fresh
+  /// triplets per walk and feeds them through here.
+  bool RefreshEntryWith(CacheEntry* entry, frag::FragmentId f,
+                        bexpr::FragmentEquations fresh,
+                        const std::vector<std::vector<int32_t>>& children,
+                        const std::vector<frag::FragmentId>& live);
   void InsertCacheEntry(Unique&& unique, bool answer);
   void EvictIfOverCapacity();
+  /// Register / remove a cached query's QList-prefix digests in
+  /// prefix_index_ (subsumption lookup). No-ops when subsumption is
+  /// disabled.
+  void IndexEntryPrefixes(const xpath::QueryFingerprint& fp,
+                          const CacheEntry& entry);
+  void DeindexEntryPrefixes(const xpath::QueryFingerprint& fp,
+                            const CacheEntry& entry);
 
   /// One equation table (vector<FragmentEquations> sized to the
   /// fragment table) is needed per unique per round; at 10k+ fragments
@@ -387,9 +443,10 @@ class QueryService {
   MetricId m_submitted_ = 0, m_completed_ = 0, m_cache_hits_ = 0;
   MetricId m_shared_evals_ = 0, m_unique_evals_ = 0, m_rounds_ = 0;
   MetricId m_cache_invalidations_ = 0, m_cache_refreshes_ = 0, m_ops_ = 0;
+  MetricId m_fused_walks_ = 0, m_cse_shared_ = 0, m_subsumption_hits_ = 0;
   MetricId m_query_bytes_ = 0, m_query_msgs_ = 0;
   MetricId m_triplet_bytes_ = 0, m_triplet_msgs_ = 0;
-  MetricId m_latency_ = 0, m_admission_wait_ = 0;
+  MetricId m_latency_ = 0, m_admission_wait_ = 0, m_batch_width_ = 0;
   /// Latency samples since the last sink line (coordinator thread
   /// only), and the cursor of counter values the last line reported.
   obs::Histogram interval_latency_;
@@ -427,6 +484,15 @@ class QueryService {
                      xpath::QueryFingerprintHash>
       cache_;
   uint64_t cache_tick_ = 0;
+
+  /// Subsumption lookup: digest of a cached query's QList prefix (any
+  /// length, xpath::PrefixDigest) -> cache keys of the entries
+  /// extending that prefix. Maintained by Insert/Evict/InvalidateAll
+  /// only while enable_cache && enable_subsumption.
+  std::unordered_map<xpath::QueryFingerprint,
+                     std::vector<xpath::QueryFingerprint>,
+                     xpath::QueryFingerprintHash>
+      prefix_index_;
 
   /// Recycled equation tables (see AcquireEquations).
   std::vector<std::vector<bexpr::FragmentEquations>> equations_pool_;

@@ -7,21 +7,46 @@
 
 namespace parbox::service {
 
+namespace {
+
+/// Family portfolios: entry i belongs to family i / variants and is
+/// that family's (i % variants)-th member — member 0 the unqualified
+/// base chain, the rest qualified variants. Each family's chain is
+/// one step longer than the previous family's.
+Result<xpath::NormQuery> MaterializeFamily(const WorkloadSpec& spec,
+                                           size_t index) {
+  const int family = static_cast<int>(index) / spec.family_variants;
+  const int member = static_cast<int>(index) % spec.family_variants;
+  return xmark::MakeFamilyQuery(spec.family_chain_steps + family,
+                                member - 1);
+}
+
+}  // namespace
+
 Result<Workload> Workload::Make(const WorkloadSpec& spec) {
   if (spec.distinct_queries < 1) {
     return Status::InvalidArgument("workload needs at least one query");
   }
-  if (spec.min_qlist_size < 2) {
+  if (spec.family_variants > 0 && spec.family_chain_steps < 1) {
+    return Status::InvalidArgument("family chains need at least one step");
+  }
+  if (spec.family_variants == 0 && spec.min_qlist_size < 2) {
     return Status::InvalidArgument("smallest supported |QList| is 2");
   }
   Workload w;
   w.spec_ = spec;
   for (int i = 0; i < spec.distinct_queries; ++i) {
     // Fail fast if any portfolio entry cannot be built.
-    PARBOX_ASSIGN_OR_RETURN(
-        xpath::NormQuery q,
-        xmark::MakeQueryOfQListSize(spec.min_qlist_size + i));
-    (void)q;
+    if (spec.family_variants > 0) {
+      PARBOX_ASSIGN_OR_RETURN(xpath::NormQuery q,
+                              MaterializeFamily(spec, i));
+      (void)q;
+    } else {
+      PARBOX_ASSIGN_OR_RETURN(
+          xpath::NormQuery q,
+          xmark::MakeQueryOfQListSize(spec.min_qlist_size + i));
+      (void)q;
+    }
     w.weights_.push_back(std::pow(1.0 / (i + 1), spec.zipf_s));
   }
   return w;
@@ -29,6 +54,9 @@ Result<Workload> Workload::Make(const WorkloadSpec& spec) {
 
 Result<xpath::NormQuery> Workload::Materialize(size_t index) const {
   if (index >= size()) return Status::InvalidArgument("no such entry");
+  if (spec_.family_variants > 0) {
+    return MaterializeFamily(spec_, index);
+  }
   return xmark::MakeQueryOfQListSize(spec_.min_qlist_size +
                                      static_cast<int>(index));
 }

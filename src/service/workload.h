@@ -36,6 +36,19 @@ struct WorkloadSpec {
   /// Popularity skew: entry i drawn with weight 1/(i+1)^zipf_s.
   /// 0 = uniform.
   double zipf_s = 1.0;
+  /// > 0 switches the portfolio to query *families*
+  /// (xmark::MakeFamilyQuery): consecutive runs of `family_variants`
+  /// entries share one descendant-chain template — the first member
+  /// is the unqualified base, the rest append divergent label
+  /// qualifiers. Entries within a family are maximally fusable
+  /// (shared QList prefix) and the base is subsumption-answerable
+  /// from any cached variant; successive families use chains one
+  /// step longer. 0 (default) keeps the classic size-swept portfolio.
+  int family_variants = 0;
+  /// Chain length of the first family's template (family f uses
+  /// family_chain_steps + f steps). Only read when family_variants
+  /// > 0.
+  int family_chain_steps = 6;
 };
 
 /// A fixed portfolio of distinct queries with a popularity law.

@@ -72,4 +72,19 @@ Result<xpath::NormQuery> MakeMarkerQuery(const std::string& text) {
   return xpath::CompileQuery(MarkerQueryText(text));
 }
 
+std::string FamilyQueryText(int chain_steps, int variant) {
+  std::string chain = ChainQueryText(chain_steps, false);
+  if (variant < 0) return chain;
+  // Conjoin inside the brackets: "[//a/b and label() = kwV]".
+  chain.pop_back();
+  return chain + " and label() = kw" + std::to_string(variant) + "]";
+}
+
+Result<xpath::NormQuery> MakeFamilyQuery(int chain_steps, int variant) {
+  if (chain_steps < 1) {
+    return Status::InvalidArgument("family chain needs at least one step");
+  }
+  return xpath::CompileQuery(FamilyQueryText(chain_steps, variant));
+}
+
 }  // namespace parbox::xmark

@@ -30,6 +30,23 @@ Result<xpath::NormQuery> MakeMarkerQuery(const std::string& text);
 /// The same as surface text (for display).
 std::string MarkerQueryText(const std::string& text);
 
+/// A member of a query *family*: a shared descendant chain of
+/// `chain_steps` labels, optionally narrowed by a variant-specific
+/// qualifier. `variant < 0` is the unqualified base
+/// "[//l1/.../lk]"; `variant >= 0` is
+/// "[//l1/.../lk and label() = kw<variant>]".
+///
+/// Normalization builds the conjunction's left operand first, so the
+/// base query's FULL QList is entry-for-entry the first |base| entries
+/// of every variant's QList — family members are maximally fusable
+/// (shared-prefix lanes) and the base is subsumption-answerable from
+/// any cached variant. Variant labels are outside the generator
+/// vocabulary, so each variant's answer is deterministically that of
+/// the base chain AND a label that never matches.
+Result<xpath::NormQuery> MakeFamilyQuery(int chain_steps, int variant);
+/// The same as surface text (for display / workload specs).
+std::string FamilyQueryText(int chain_steps, int variant);
+
 }  // namespace parbox::xmark
 
 #endif  // PARBOX_XMARK_QUERIES_H_

@@ -1,0 +1,349 @@
+// Fused multi-query evaluation: ONE bottom-up walk of a tree computes
+// the (V, CV, DV) triplets of EVERY query in a batch.
+//
+// Procedure bottomUp (Fig. 3, xpath/eval.h) is linear in |T|·|q| but
+// the serving layer runs it once per (fragment, query) pair: K
+// concurrent queries re-walk the same fragment K times, re-paying the
+// node traversal, label dispatch and frame management each time. The
+// batch kernel here carries all K queries' vectors through a single
+// post-order walk — the concatenated "lane" layout below — so the
+// per-node costs are paid once for the whole batch.
+//
+// Cross-query CSE rides on two facts:
+//
+//   * Variables are *lane-local*: the resolver mints the same VarId
+//     {fragment, kind, i} for entry i of every lane (each query's
+//     equation system is solved independently, so reusing the ids is
+//     sound — and it is exactly what per-query evaluation in a shared
+//     factory produces today).
+//   * QLists are consed deterministically, so queries derived from a
+//     shared template agree entry-for-entry on a QList *prefix*. A
+//     lane whose prefix equals an earlier lane's (its "donor") copies
+//     the donor's already-computed values for those entries at every
+//     node — each copied value IS the shared interned formula — and
+//     evaluates only its divergent suffix.
+//
+// The fused results are bit-identical (same ExprIds, same wire bytes)
+// to K independent walks in the same factory: suffix entries evaluate
+// exactly as the single-query kernel would, and prefix entries copy
+// values that induction makes equal to what the lane would have
+// computed itself. Verified in tests/fused_eval_test.cc.
+
+#ifndef PARBOX_XPATH_EVAL_BATCH_H_
+#define PARBOX_XPATH_EVAL_BATCH_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "xml/dom.h"
+#include "xpath/eval.h"
+#include "xpath/qlist.h"
+
+namespace parbox::xpath {
+
+/// One query's lane in a fused batch: where its entries live in the
+/// concatenated entry space and how much of its QList prefix it can
+/// copy from an earlier lane instead of evaluating.
+struct BatchLane {
+  const NormQuery* query = nullptr;
+  uint32_t offset = 0;  ///< first concatenated index of this lane
+  uint32_t width = 0;   ///< |QList| of this lane's query
+  int32_t donor = -1;   ///< earlier lane sharing a prefix, or -1
+  uint32_t shared = 0;  ///< leading entries identical to the donor's
+};
+
+/// A batch of queries prepared for fused evaluation. Build once per
+/// batch (the donor scan is O(K² · |q|)), then walk any number of
+/// trees/fragments with BottomUpEvalBatch.
+struct EvalBatch {
+  std::vector<BatchLane> lanes;
+  size_t total_width = 0;  ///< Σ lane widths (concatenated space size)
+  size_t max_width = 0;    ///< widest lane (resolver vector size)
+
+  size_t size() const { return lanes.size(); }
+};
+
+/// Length of the common QList prefix of two queries (entry-wise
+/// structural equality; child references are indices, so equal
+/// prefixes denote identical sub-query DAGs).
+inline size_t CommonQListPrefix(const NormQuery& a, const NormQuery& b) {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t k = 0;
+  while (k < limit && a.at(static_cast<SubQueryId>(k)) ==
+                          b.at(static_cast<SubQueryId>(k))) {
+    ++k;
+  }
+  return k;
+}
+
+/// Lay out `queries` as lanes and pick each lane's donor: the earlier
+/// lane with the longest common prefix (earliest wins ties). Queries
+/// must outlive the batch.
+inline EvalBatch MakeEvalBatch(
+    const std::vector<const NormQuery*>& queries) {
+  EvalBatch batch;
+  batch.lanes.reserve(queries.size());
+  for (const NormQuery* q : queries) {
+    BatchLane lane;
+    lane.query = q;
+    lane.offset = static_cast<uint32_t>(batch.total_width);
+    lane.width = static_cast<uint32_t>(q->size());
+    for (size_t j = 0; j < batch.lanes.size(); ++j) {
+      const size_t common = CommonQListPrefix(*q, *batch.lanes[j].query);
+      if (common > lane.shared) {
+        lane.shared = static_cast<uint32_t>(common);
+        lane.donor = static_cast<int32_t>(j);
+      }
+    }
+    batch.total_width += lane.width;
+    batch.max_width = std::max(batch.max_width, q->size());
+    batch.lanes.push_back(lane);
+  }
+  return batch;
+}
+
+/// Fused-walk accounting beyond EvalCounters: how much cross-query
+/// sharing the donor-copy scheme realized.
+struct BatchEvalStats {
+  /// (element × entry) slots served by copying a donor lane's value —
+  /// each one a per-query evaluation (and its interned subformulas)
+  /// that a per-query walk would have re-derived.
+  uint64_t shared_entries = 0;
+};
+
+/// Evaluate every lane of `batch` over the subtree rooted at `root` in
+/// one walk. `resolve_virtual(node, out_v, out_dv)` fills V/DV vectors
+/// of size batch.max_width for a virtual child; entry i is shared by
+/// every lane (lane-local variable identity — see file comment).
+/// Returns one EvalVectors per lane, in lane order.
+///
+/// `counters->ops` charges only the entries actually evaluated
+/// (Σ_k width_k − shared_k per element); donor-copied slots land in
+/// `stats->shared_entries` instead. `counters->elements` counts each
+/// element once per *walk*, not once per lane.
+template <typename Domain, typename VirtualFn>
+std::vector<EvalVectors<Domain>> BottomUpEvalBatch(
+    Domain dom, const EvalBatch& batch, const xml::Node& root,
+    VirtualFn&& resolve_virtual, EvalCounters* counters = nullptr,
+    BatchEvalStats* stats = nullptr) {
+  assert(root.is_element());
+  using Value = typename Domain::Value;
+  const size_t total = batch.total_width;
+
+  struct Frame {
+    const xml::Node* node;
+    const xml::Node* next_child;
+    std::vector<Value> cv;
+    std::vector<Value> dv;
+    /// Deferred non-constant child contributions, in concatenated
+    /// index space (see eval.h: batch-fold OrN instead of pairwise
+    /// interning chains).
+    std::vector<std::pair<uint32_t, Value>> cv_ops;
+    std::vector<std::pair<uint32_t, Value>> dv_ops;
+  };
+
+  // Frame pooling exactly as in the single-query kernel: the stack
+  // only grows, popped frames keep their capacity.
+  std::vector<Frame> stack;
+  size_t depth = 0;
+  auto push_frame = [&](const xml::Node* node) {
+    if (depth == stack.size()) stack.emplace_back();
+    Frame& f = stack[depth++];
+    f.node = node;
+    f.next_child = node->first_child;
+    f.cv.assign(total, dom.False());
+    f.dv.assign(total, dom.False());
+    f.cv_ops.clear();
+    f.dv_ops.clear();
+  };
+
+  const Value kTrueValue = dom.FromBool(true);
+  auto accumulate = [&](std::vector<Value>& base,
+                        std::vector<std::pair<uint32_t, Value>>& ops,
+                        size_t i, Value value) {
+    if (value == dom.False() || base[i] == kTrueValue) return;
+    if (value == kTrueValue) {
+      base[i] = kTrueValue;
+      return;
+    }
+    ops.emplace_back(static_cast<uint32_t>(i), value);
+  };
+  std::vector<Value> fold_scratch;
+  auto fold_ops = [&](std::vector<std::pair<uint32_t, Value>>& ops,
+                      std::vector<Value>& base) {
+    std::sort(ops.begin(), ops.end());
+    for (size_t a = 0; a < ops.size();) {
+      size_t b = a;
+      while (b < ops.size() && ops[b].first == ops[a].first) ++b;
+      const size_t i = ops[a].first;
+      if (base[i] != kTrueValue) {
+        if (b - a == 1) {
+          base[i] = ops[a].second;
+        } else if constexpr (Domain::kBatchFold) {
+          fold_scratch.clear();
+          for (size_t k = a; k < b; ++k) {
+            fold_scratch.push_back(ops[k].second);
+          }
+          base[i] = dom.OrN(fold_scratch);
+        }
+      }
+      a = b;
+    }
+    ops.clear();
+  };
+
+  std::vector<EvalVectors<Domain>> result(batch.lanes.size());
+  push_frame(&root);
+
+  std::vector<Value> vv(total, dom.False());
+  std::vector<Value> virt_v(batch.max_width, dom.False());
+  std::vector<Value> virt_dv(batch.max_width, dom.False());
+
+  while (depth > 0) {
+    Frame& f = stack[depth - 1];
+
+    // Phase 1: fold children. Only each lane's *suffix* accumulates —
+    // its prefix region is overwritten by the donor copy in Phase 2,
+    // so folding into it would be wasted work.
+    bool descended = false;
+    while (f.next_child != nullptr) {
+      const xml::Node* c = f.next_child;
+      f.next_child = c->next_sibling;
+      if (c->is_text()) continue;
+      if (c->is_virtual()) {
+        resolve_virtual(*c, &virt_v, &virt_dv);
+        assert(virt_v.size() == batch.max_width &&
+               virt_dv.size() == batch.max_width);
+        for (const BatchLane& lane : batch.lanes) {
+          for (size_t i = lane.shared; i < lane.width; ++i) {
+            const size_t at = lane.offset + i;
+            if constexpr (Domain::kBatchFold) {
+              accumulate(f.cv, f.cv_ops, at, virt_v[i]);
+              accumulate(f.dv, f.dv_ops, at, virt_dv[i]);
+            } else {
+              f.cv[at] = dom.Or(f.cv[at], virt_v[i]);
+              f.dv[at] = dom.Or(f.dv[at], virt_dv[i]);
+            }
+          }
+        }
+        continue;
+      }
+      push_frame(c);  // may grow `stack`; `f` is not used past here
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    if constexpr (Domain::kBatchFold) {
+      fold_ops(f.cv_ops, f.cv);
+      fold_ops(f.dv_ops, f.dv);
+    }
+
+    // Phase 2, lane by lane in order (donors precede their
+    // dependents): copy the donor's finished prefix, then evaluate
+    // only the divergent suffix. After this loop every lane's full
+    // region of vv / f.cv / f.dv is exactly what a solo walk of that
+    // lane's query would hold at this node.
+    const xml::Node& node = *f.node;
+    uint64_t evaluated = 0;
+    uint64_t copied = 0;
+    for (const BatchLane& lane : batch.lanes) {
+      const NormQuery& q = *lane.query;
+      const size_t off = lane.offset;
+      if (lane.donor >= 0 && lane.shared > 0) {
+        const size_t doff = batch.lanes[lane.donor].offset;
+        // The donor's prefix is post-Phase-2 here: vv final, dv with
+        // the line-17 "v ∨ dv" update applied, cv as folded. Suffix
+        // entries below may reference prefix entries through any of
+        // the three vectors, so all three segments copy.
+        std::copy_n(vv.begin() + doff, lane.shared, vv.begin() + off);
+        std::copy_n(f.cv.begin() + doff, lane.shared, f.cv.begin() + off);
+        std::copy_n(f.dv.begin() + doff, lane.shared, f.dv.begin() + off);
+        copied += lane.shared;
+      }
+      for (size_t i = lane.shared; i < lane.width; ++i) {
+        const NormQuery::SubQuery& sq = q.at(static_cast<SubQueryId>(i));
+        Value value;
+        switch (sq.kind) {
+          case NormKind::kEps:
+          case NormKind::kMark:
+            value = dom.FromBool(true);
+            break;
+          case NormKind::kLabelIs:
+            value = dom.FromBool(node.label() == sq.str);
+            break;
+          case NormKind::kTextIs:
+            value = dom.FromBool(xml::DirectTextEquals(node, sq.str));
+            break;
+          case NormKind::kChild:
+            value = f.cv[off + sq.a];
+            break;
+          case NormKind::kSeq:
+            value = dom.And(vv[off + sq.a], vv[off + sq.b]);
+            break;
+          case NormKind::kDesc:
+            value = f.dv[off + sq.a];
+            break;
+          case NormKind::kAnd:
+            value = dom.And(vv[off + sq.a], vv[off + sq.b]);
+            break;
+          case NormKind::kOr:
+            value = dom.Or(vv[off + sq.a], vv[off + sq.b]);
+            break;
+          case NormKind::kNot:
+            value = dom.Not(vv[off + sq.a]);
+            break;
+          default:
+            value = dom.False();
+            break;
+        }
+        vv[off + i] = value;
+        f.dv[off + i] = dom.Or(value, f.dv[off + i]);  // line 17
+      }
+      evaluated += lane.width - lane.shared;
+    }
+    if (counters != nullptr) {
+      counters->ops += evaluated;
+      counters->elements += 1;
+    }
+    if (stats != nullptr) stats->shared_entries += copied;
+
+    // Phase 3: fold this node's (V, DV) into the parent — again only
+    // each lane's suffix; the parent's prefix regions come from its
+    // donor copy.
+    if (depth == 1) {
+      for (size_t k = 0; k < batch.lanes.size(); ++k) {
+        const BatchLane& lane = batch.lanes[k];
+        result[k].v.assign(vv.begin() + lane.offset,
+                           vv.begin() + lane.offset + lane.width);
+        result[k].cv.assign(f.cv.begin() + lane.offset,
+                            f.cv.begin() + lane.offset + lane.width);
+        result[k].dv.assign(f.dv.begin() + lane.offset,
+                            f.dv.begin() + lane.offset + lane.width);
+      }
+      --depth;
+    } else {
+      Frame& parent = stack[depth - 2];
+      for (const BatchLane& lane : batch.lanes) {
+        for (size_t i = lane.shared; i < lane.width; ++i) {
+          const size_t at = lane.offset + i;
+          if constexpr (Domain::kBatchFold) {
+            accumulate(parent.cv, parent.cv_ops, at, vv[at]);
+            accumulate(parent.dv, parent.dv_ops, at, f.dv[at]);
+          } else {
+            parent.cv[at] = dom.Or(parent.cv[at], vv[at]);
+            parent.dv[at] = dom.Or(parent.dv[at], f.dv[at]);
+          }
+        }
+      }
+      --depth;
+    }
+  }
+  return result;
+}
+
+}  // namespace parbox::xpath
+
+#endif  // PARBOX_XPATH_EVAL_BATCH_H_

@@ -21,6 +21,21 @@ uint64_t Mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+void AppendEntryBytes(std::string* out, const NormQuery::SubQuery& n) {
+  out->push_back(static_cast<char>(n.kind));
+  PutI32(out, n.a);
+  PutI32(out, n.b);
+  PutI32(out, static_cast<int32_t>(n.str.size()));
+  *out += n.str;
+}
+
+QueryFingerprint SealPrefixDigest(uint64_t lo, uint64_t hi, size_t len) {
+  QueryFingerprint fp;
+  fp.lo = lo;
+  fp.hi = Mix(hi ^ static_cast<uint64_t>(len));
+  return fp;
+}
+
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view bytes, uint64_t basis) {
@@ -36,15 +51,50 @@ std::string CanonicalQueryBytes(const NormQuery& q) {
   std::string out;
   out.reserve(16 * q.size());
   for (size_t i = 0; i < q.size(); ++i) {
-    const NormQuery::SubQuery& n = q.at(static_cast<SubQueryId>(i));
-    out.push_back(static_cast<char>(n.kind));
-    PutI32(&out, n.a);
-    PutI32(&out, n.b);
-    PutI32(&out, static_cast<int32_t>(n.str.size()));
-    out += n.str;
+    AppendEntryBytes(&out, q.at(static_cast<SubQueryId>(i)));
   }
   PutI32(&out, q.root());
   return out;
+}
+
+QueryFingerprint PrefixDigest(const NormQuery& q, size_t len) {
+  uint64_t lo = kFnv1a64Basis;
+  uint64_t hi = Mix(kFnv1a64Basis);
+  std::string entry;
+  for (size_t i = 0; i < len; ++i) {
+    entry.clear();
+    AppendEntryBytes(&entry, q.at(static_cast<SubQueryId>(i)));
+    lo = Fnv1a64(entry, lo);
+    hi = Fnv1a64(entry, hi);
+  }
+  return SealPrefixDigest(lo, hi, len);
+}
+
+std::vector<QueryFingerprint> AllPrefixDigests(const NormQuery& q) {
+  std::vector<QueryFingerprint> out;
+  out.reserve(q.size());
+  uint64_t lo = kFnv1a64Basis;
+  uint64_t hi = Mix(kFnv1a64Basis);
+  std::string entry;
+  for (size_t i = 0; i < q.size(); ++i) {
+    entry.clear();
+    AppendEntryBytes(&entry, q.at(static_cast<SubQueryId>(i)));
+    lo = Fnv1a64(entry, lo);
+    hi = Fnv1a64(entry, hi);
+    out.push_back(SealPrefixDigest(lo, hi, i + 1));
+  }
+  return out;
+}
+
+bool IsQListPrefix(const NormQuery& a, const NormQuery& b) {
+  if (a.size() > b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a.at(static_cast<SubQueryId>(i)) ==
+          b.at(static_cast<SubQueryId>(i)))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 QueryFingerprint FingerprintQuery(const NormQuery& q) {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "xpath/qlist.h"
 
@@ -60,6 +61,31 @@ std::string CanonicalQueryBytes(const NormQuery& q);
 
 /// Digest of CanonicalQueryBytes(q).
 QueryFingerprint FingerprintQuery(const NormQuery& q);
+
+// ---- QList-prefix digests (cache subsumption) ----
+//
+// A query A is *subsumed* by a cached query B when A's QList is an
+// entry-wise prefix of B's: the kernel evaluates entry i from entries
+// < i and node content only, so B's retained equation system truncated
+// to |A| entries IS A's system, and A can be answered by re-solving it
+// at A.root() — no site visit. These digests key that lookup: a cached
+// entry indexes the digest of each of its QList prefixes; a submitted
+// query probes with the digest of its full entry list. Unlike
+// FingerprintQuery the encoding excludes the root id (any root within
+// the prefix is solvable) and folds in the length (so a prefix digest
+// never collides with a longer one by construction).
+
+/// Digest of the first `len` QList entries of `q` (1 ≤ len ≤ q.size()).
+QueryFingerprint PrefixDigest(const NormQuery& q, size_t len);
+
+/// Digests of every prefix of `q`: result[i] == PrefixDigest(q, i+1).
+/// Computed in one rolling pass (O(bytes), not O(n·bytes)).
+std::vector<QueryFingerprint> AllPrefixDigests(const NormQuery& q);
+
+/// True iff a.size() ≤ b.size() and the first a.size() entries compare
+/// equal — the exact (collision-free) subsumption check behind the
+/// digest probe.
+bool IsQListPrefix(const NormQuery& a, const NormQuery& b);
 
 }  // namespace parbox::xpath
 

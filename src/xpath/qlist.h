@@ -60,6 +60,14 @@ class NormQuery {
     SubQueryId a = -1;  ///< first child (kChild/kSeq/kDesc/kAnd/kOr/kNot)
     SubQueryId b = -1;  ///< second child (kSeq/kAnd/kOr)
     std::string str;    ///< label (kLabelIs) or text value (kTextIs)
+
+    /// Entry-wise structural equality. Because child references are
+    /// QList indices, two queries whose first k entries compare equal
+    /// share an identical sub-query *prefix* — the basis of fused
+    /// evaluation's cross-query sharing and of cache subsumption.
+    friend bool operator==(const SubQuery& x, const SubQuery& y) {
+      return x.kind == y.kind && x.a == y.a && x.b == y.b && x.str == y.str;
+    }
   };
 
   NormQuery() = default;

@@ -210,6 +210,88 @@ TEST(BackendDifferentialTest, ServiceAnswerStreamsAgreeAcrossBackends) {
   }
 }
 
+// Fused rounds: multi-query fusion and cache subsumption are pure
+// evaluation-cost optimizations, so with fusion toggled the service
+// must produce bit-identical answers, per-site visits, and wire bytes
+// on every backend — only kernel ops (and hence makespans) may move.
+// And with fusion ON, all backends must still agree with the sim on
+// the whole comparable slice, ops included.
+TEST(BackendDifferentialTest, FusedRoundsBitIdenticalAcrossBackends) {
+  auto workload = service::Workload::Make({.distinct_queries = 12,
+                                           .family_variants = 4,
+                                           .family_chain_steps = 3});
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  struct ServedSlice {
+    std::vector<std::pair<uint64_t, bool>> answers;
+    std::vector<uint64_t> visits;
+    uint64_t bytes = 0;
+    uint64_t messages = 0;
+    uint64_t ops = 0;
+    uint64_t fused_walks = 0;
+    uint64_t subsumption_hits = 0;
+  };
+  auto serve = [&](const std::string& backend, bool fusion) {
+    testutil::RandomScenario scenario =
+        testutil::MakeRandomScenario(4321, 120, 6);
+    service::ServiceOptions options;
+    options.backend = backend;
+    options.enable_fusion = fusion;
+    service::QueryService svc(
+        static_cast<const FragmentSet*>(&scenario.set), &scenario.st,
+        options);
+    // One burst: every family round is a fused multi-lane batch, and
+    // zipf re-draws of a family's base exercise subsumption.
+    auto report = service::RunOpenLoop(
+        &svc, *workload, {.num_queries = 48, .seed = 7});
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    ServedSlice s;
+    for (const service::QueryOutcome& outcome : svc.outcomes()) {
+      s.answers.emplace_back(outcome.query_id, outcome.answer);
+    }
+    std::sort(s.answers.begin(), s.answers.end());
+    s.visits = svc.backend().visits();
+    s.bytes = svc.backend().traffic().total_bytes();
+    s.messages = svc.backend().traffic().total_messages();
+    s.ops = report->total_ops;
+    s.fused_walks = report->fused_walks;
+    s.subsumption_hits = report->subsumption_hits;
+    return s;
+  };
+
+  const ServedSlice oracle = serve("sim", /*fusion=*/true);
+  ASSERT_EQ(oracle.answers.size(), 48u);
+  EXPECT_GT(oracle.fused_walks, 0u);
+
+  // Ablation on the oracle backend: fusion changes ops only.
+  const ServedSlice unfused = serve("sim", /*fusion=*/false);
+  EXPECT_EQ(oracle.answers, unfused.answers);
+  EXPECT_EQ(oracle.visits, unfused.visits);
+  EXPECT_EQ(oracle.bytes, unfused.bytes);
+  EXPECT_EQ(oracle.messages, unfused.messages);
+  EXPECT_EQ(unfused.fused_walks, 0u);
+  EXPECT_EQ(oracle.subsumption_hits, unfused.subsumption_hits);
+  EXPECT_LT(oracle.ops, unfused.ops);
+
+  for (const std::string& backend : RealBackends()) {
+    // Real backends, fusion on: full comparable slice matches the sim.
+    const ServedSlice fused = serve(backend, /*fusion=*/true);
+    EXPECT_EQ(oracle.answers, fused.answers) << backend;
+    EXPECT_EQ(oracle.visits, fused.visits) << backend;
+    EXPECT_EQ(oracle.bytes, fused.bytes) << backend;
+    EXPECT_EQ(oracle.messages, fused.messages) << backend;
+    EXPECT_EQ(oracle.ops, fused.ops) << backend;
+    EXPECT_EQ(oracle.fused_walks, fused.fused_walks) << backend;
+    EXPECT_EQ(oracle.subsumption_hits, fused.subsumption_hits) << backend;
+
+    // And the on/off ablation holds off-sim too.
+    const ServedSlice off = serve(backend, /*fusion=*/false);
+    EXPECT_EQ(fused.answers, off.answers) << backend;
+    EXPECT_EQ(fused.visits, off.visits) << backend;
+    EXPECT_EQ(fused.bytes, off.bytes) << backend;
+  }
+}
+
 TEST(BackendDifferentialTest, UnknownBackendErrorsListRegistered) {
   testutil::RandomScenario scenario = testutil::MakeRandomScenario(7, 40, 2);
   auto session = Session::Create(

@@ -12,6 +12,7 @@
 #include "service/workload.h"
 #include "testutil.h"
 #include "xmark/portfolio.h"
+#include "xmark/queries.h"
 #include "xpath/fingerprint.h"
 #include "xpath/normalize.h"
 
@@ -450,6 +451,275 @@ TEST(WorkloadTest, ClosedLoopServesEverythingAndMatchesParBoX) {
     EXPECT_LT(report->makespan_seconds, sequential_seconds);
   }
   EXPECT_GT(report->cache_hits + report->shared_evaluations, 0u);
+}
+
+// ---- Multi-query fusion and cache subsumption --------------------------
+
+/// A fusable/subsumable family over the random-document alphabet:
+/// `variant` conjoins a label qualifier onto `base`'s chain, so
+/// normalization makes base's FULL QList the first entries of
+/// variant's (the conjunction's left operand is consed first) —
+/// variant's cached equation system answers base by truncation.
+struct ChainFamily {
+  std::string base;
+  std::string deeper;   ///< base + one qualifier
+  std::string deepest;  ///< base + two qualifiers
+};
+
+ChainFamily RandomChainFamily(Rng* rng) {
+  std::string chain;
+  const int steps = 2 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < steps; ++i) {
+    chain += (i == 0 ? "//" : "/") + testutil::RandomLabel(rng);
+  }
+  const std::string q1 = " and label() = " + testutil::RandomLabel(rng);
+  const std::string q2 = " and label() = " + testutil::RandomLabel(rng);
+  return ChainFamily{"[" + chain + "]", "[" + chain + q1 + "]",
+                     "[" + chain + q1 + q2 + "]"};
+}
+
+TEST(QueryServiceTest, SubsumptionAnswersWithoutSiteVisits) {
+  testutil::RandomScenario scenario =
+      testutil::MakeRandomScenario(41, 120, 5);
+  Rng rng(41);
+  ChainFamily family = RandomChainFamily(&rng);
+  auto expected = core::RunParBoX(scenario.set, scenario.st,
+                                  Compile(family.base.c_str()));
+  ASSERT_TRUE(expected.ok());
+
+  QueryService svc(&scenario.set, &scenario.st);
+  // Cache the longer query the normal way (one round).
+  ASSERT_TRUE(svc.Submit(Compile(family.deeper.c_str()), 0.0).ok());
+  svc.Run();
+  ASSERT_EQ(svc.outcomes().size(), 1u);
+
+  const uint64_t bytes_before = svc.backend().traffic().total_bytes();
+  const std::vector<uint64_t> visits_before = svc.backend().visits();
+  ASSERT_TRUE(svc.Submit(Compile(family.base.c_str()), svc.now()).ok());
+  svc.Run();
+  ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+  ASSERT_EQ(svc.outcomes().size(), 2u);
+  const service::QueryOutcome& hit = svc.outcomes()[1];
+  // Answered by re-solving the cached entry's truncated system: a
+  // cache hit of the subsumption kind, zero site visits, nothing on
+  // the network — and the exact standalone answer.
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.subsumption_hit);
+  EXPECT_EQ(hit.answer, expected->answer);
+  EXPECT_EQ(svc.backend().visits(), visits_before);
+  EXPECT_EQ(svc.backend().traffic().total_bytes(), bytes_before);
+  ServiceReport report = svc.BuildReport();
+  EXPECT_EQ(report.subsumption_hits, 1u);
+  EXPECT_EQ(report.cache_hits, 1u);
+  // The subsumption answer is a first-class entry now: resubmitting
+  // the base exact-hits it.
+  ASSERT_TRUE(svc.Submit(Compile(family.base.c_str()), svc.now()).ok());
+  svc.Run();
+  EXPECT_TRUE(svc.outcomes()[2].cache_hit);
+  EXPECT_FALSE(svc.outcomes()[2].subsumption_hit);
+}
+
+TEST(QueryServiceTest, SubsumptionDisabledEvaluatesNormally) {
+  testutil::RandomScenario scenario =
+      testutil::MakeRandomScenario(41, 120, 5);
+  Rng rng(41);
+  ChainFamily family = RandomChainFamily(&rng);
+
+  ServiceOptions options;
+  options.enable_subsumption = false;
+  QueryService svc(&scenario.set, &scenario.st, options);
+  ASSERT_TRUE(svc.Submit(Compile(family.deeper.c_str()), 0.0).ok());
+  svc.Run();
+  const std::vector<uint64_t> visits_before = svc.backend().visits();
+  ASSERT_TRUE(svc.Submit(Compile(family.base.c_str()), svc.now()).ok());
+  svc.Run();
+  ASSERT_TRUE(svc.status().ok());
+  // Ablation: the prefix query runs a real round.
+  EXPECT_FALSE(svc.outcomes()[1].cache_hit);
+  EXPECT_FALSE(svc.outcomes()[1].subsumption_hit);
+  EXPECT_NE(svc.backend().visits(), visits_before);
+  EXPECT_EQ(svc.BuildReport().subsumption_hits, 0u);
+
+  auto expected = core::RunParBoX(scenario.set, scenario.st,
+                                  Compile(family.base.c_str()));
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(svc.outcomes()[1].answer, expected->answer);
+}
+
+// Property: subsumption-served answers equal a fresh standalone
+// RunParBoX — across random scenarios, chained subsumption (deepest
+// cached, then each prefix level served by truncation), and document
+// deltas maintaining the truncation-derived entries.
+TEST(QueryServiceTest, SubsumptionPropertyMatchesFreshParBoX) {
+  const int trials = 8 * testutil::TrialMultiplier();
+  for (int trial = 0; trial < trials; ++trial) {
+    const uint64_t seed = 5000 + trial * 13;
+    testutil::RandomScenario scenario =
+        testutil::MakeRandomScenario(seed, 120, 5);
+    Rng rng(seed * 31 + 7);
+    ChainFamily family = RandomChainFamily(&rng);
+
+    QueryService svc(&scenario.set, &scenario.st);
+    ASSERT_TRUE(svc.Submit(Compile(family.deepest.c_str()), 0.0).ok());
+    svc.Run();
+
+    // Both shorter levels must be served by subsumption, correctly.
+    for (const std::string& text : {family.deeper, family.base}) {
+      auto expected =
+          core::RunParBoX(scenario.set, scenario.st, Compile(text.c_str()));
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(svc.Submit(Compile(text.c_str()), svc.now()).ok());
+      svc.Run();
+      ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+      const service::QueryOutcome& out = svc.outcomes().back();
+      EXPECT_TRUE(out.subsumption_hit) << "seed " << seed << " " << text;
+      EXPECT_EQ(out.answer, expected->answer)
+          << "seed " << seed << " " << text;
+    }
+
+    // Mutate the document: Sec. 5 maintenance must keep (or evict)
+    // the truncation-derived entries so answers stay fresh.
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_TRUE(
+          svc.ApplyDelta(testutil::RandomDelta(&scenario.set, &rng)).ok());
+    }
+    for (const std::string& text :
+         {family.base, family.deeper, family.deepest}) {
+      auto expected =
+          core::RunParBoX(scenario.set, scenario.st, Compile(text.c_str()));
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(svc.Submit(Compile(text.c_str()), svc.now()).ok());
+      svc.Run();
+      ASSERT_TRUE(svc.status().ok()) << svc.status().ToString();
+      EXPECT_EQ(svc.outcomes().back().answer, expected->answer)
+          << "seed " << seed << " post-delta " << text;
+    }
+  }
+}
+
+// Fused cache maintenance: a delta's re-evaluation cost scales with
+// touched fragments (one fused walk each), not with cache size.
+TEST(QueryServiceTest, MaintenanceOpsScaleWithFragmentsNotCacheSize) {
+  auto populate = [](QueryService* svc, int entries) {
+    for (int v = 0; v < entries; ++v) {
+      // One family: shared 8-step chain, divergent qualifiers.
+      auto q = xmark::MakeFamilyQuery(8, v);
+      ASSERT_TRUE(q.ok());
+      ASSERT_TRUE(svc->Submit(std::move(*q), svc->now()).ok());
+    }
+    svc->Run();
+  };
+
+  // Two identical documents; only the cache population differs.
+  testutil::RandomScenario big = testutil::MakeRandomScenario(77, 150, 5);
+  testutil::RandomScenario small = testutil::MakeRandomScenario(77, 150, 5);
+  QueryService svc_big(&big.set, &big.st);
+  QueryService svc_small(&small.set, &small.st);
+  populate(&svc_big, 12);
+  populate(&svc_small, 2);
+  ASSERT_EQ(svc_big.cache_size(), 12u);
+  ASSERT_EQ(svc_small.cache_size(), 2u);
+
+  // Identical deltas (same rng seed over identical sets).
+  Rng rng_big(99), rng_small(99);
+  const uint64_t ops_big0 = svc_big.BuildReport().total_ops;
+  const uint64_t ops_small0 = svc_small.BuildReport().total_ops;
+  const uint64_t walks_big0 = svc_big.BuildReport().fused_walks;
+  ASSERT_TRUE(
+      svc_big.ApplyDelta(testutil::RandomDelta(&big.set, &rng_big)).ok());
+  ASSERT_TRUE(
+      svc_small.ApplyDelta(testutil::RandomDelta(&small.set, &rng_small))
+          .ok());
+  const uint64_t ops_big = svc_big.BuildReport().total_ops - ops_big0;
+  const uint64_t ops_small =
+      svc_small.BuildReport().total_ops - ops_small0;
+  // One fused walk refreshed the whole cache for the one touched
+  // fragment...
+  EXPECT_EQ(svc_big.BuildReport().fused_walks - walks_big0, 1u);
+  // ...so a 6x bigger cache costs well under 3x the eval ops (the
+  // shared chain prefix is walked once; only qualifiers multiply).
+  // Without fusion the ratio would be ~6x.
+  ASSERT_GT(ops_small, 0u);
+  EXPECT_LT(static_cast<double>(ops_big) / static_cast<double>(ops_small),
+            3.0);
+}
+
+// Ablation: fusion off must change eval-op counts only — answers,
+// visits, and wire traffic are bit-identical (the fused kernel is
+// id-exact, and items enter the reply parcel in the same order).
+TEST(QueryServiceTest, FusionAblationIdenticalAnswersVisitsAndBytes) {
+  for (uint64_t seed : {3u, 9u}) {
+    testutil::RandomScenario a = testutil::MakeRandomScenario(seed, 120, 5);
+    testutil::RandomScenario b = testutil::MakeRandomScenario(seed, 120, 5);
+    ServiceOptions fused_on;
+    ServiceOptions fused_off;
+    fused_off.enable_fusion = false;
+    QueryService svc_on(&a.set, &a.st, fused_on);
+    QueryService svc_off(&b.set, &b.st, fused_off);
+
+    Rng rng(seed * 5 + 1);
+    ChainFamily family = RandomChainFamily(&rng);
+    for (QueryService* svc : {&svc_on, &svc_off}) {
+      // One burst round of fusable queries plus an unrelated one.
+      ASSERT_TRUE(svc->Submit(Compile(family.base.c_str()), 0.0).ok());
+      ASSERT_TRUE(svc->Submit(Compile(family.deeper.c_str()), 0.0).ok());
+      ASSERT_TRUE(svc->Submit(Compile(family.deepest.c_str()), 0.0).ok());
+      ASSERT_TRUE(svc->Submit(Compile("[not(//a[b])]"), 0.0).ok());
+      svc->Run();
+      ASSERT_TRUE(svc->status().ok()) << svc->status().ToString();
+    }
+
+    ASSERT_EQ(svc_on.outcomes().size(), svc_off.outcomes().size());
+    for (size_t i = 0; i < svc_on.outcomes().size(); ++i) {
+      EXPECT_EQ(svc_on.outcomes()[i].answer, svc_off.outcomes()[i].answer)
+          << "seed " << seed << " query " << i;
+    }
+    EXPECT_EQ(svc_on.backend().visits(), svc_off.backend().visits());
+    EXPECT_EQ(svc_on.backend().traffic().total_bytes(),
+              svc_off.backend().traffic().total_bytes());
+    ServiceReport on = svc_on.BuildReport();
+    ServiceReport off = svc_off.BuildReport();
+    EXPECT_GT(on.fused_walks, 0u);
+    EXPECT_EQ(off.fused_walks, 0u);
+    EXPECT_GT(on.cse_shared_exprs, 0u);
+    EXPECT_LT(on.total_ops, off.total_ops) << "seed " << seed;
+  }
+}
+
+TEST(WorkloadTest, FamilyPortfolioFusesAndMatchesParBoX) {
+  testutil::RandomScenario scenario =
+      testutil::MakeRandomScenario(19, 150, 6);
+  auto workload = Workload::Make(WorkloadSpec{
+      .distinct_queries = 8, .family_variants = 4, .family_chain_steps = 3});
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+
+  std::vector<bool> expected;
+  for (size_t i = 0; i < workload->size(); ++i) {
+    auto q = workload->Materialize(i);
+    ASSERT_TRUE(q.ok());
+    auto report = core::RunParBoX(scenario.set, scenario.st, *q);
+    ASSERT_TRUE(report.ok());
+    expected.push_back(report->answer);
+  }
+
+  QueryService svc(&scenario.set, &scenario.st);
+  ClosedLoopOptions options;
+  options.num_queries = 32;
+  options.concurrency = 16;
+  options.seed = 5;
+  std::vector<size_t> indices;
+  auto report = RunClosedLoop(&svc, *workload, options, &indices);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->completed, 32u);
+  for (const auto& outcome : svc.outcomes()) {
+    EXPECT_EQ(outcome.answer, expected[indices[outcome.query_id]])
+        << "submission " << outcome.query_id;
+  }
+  // Family batches actually fuse: walks ran and prefix entries were
+  // shared across lanes.
+  EXPECT_GT(report->fused_walks, 0u);
+  EXPECT_GT(report->cse_shared_exprs, 0u);
+  EXPECT_GT(report->batch_width.count(), 0u);
 }
 
 TEST(WorkloadTest, OpenLoopPoissonArrivalsComplete) {
