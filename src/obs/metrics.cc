@@ -10,21 +10,78 @@ namespace parbox::obs {
 // ---- Histogram ---------------------------------------------------------
 
 double Histogram::sum() const {
+  // Exact regime: recompute from the retained samples, exactly as
+  // Distribution does (same values, same iteration order, same FP
+  // rounding — the byte-parity tests depend on it). Reservoir regime:
+  // the running accumulator covers the dropped samples.
+  if (!exact()) return sum_;
   double total = 0.0;
   for (double v : values_) total += v;
   return total;
 }
 
 double Histogram::min() const {
+  if (!exact()) return min_;
   return values_.empty()
              ? 0.0
              : *std::min_element(values_.begin(), values_.end());
 }
 
 double Histogram::max() const {
+  if (!exact()) return max_;
   return values_.empty()
              ? 0.0
              : *std::max_element(values_.begin(), values_.end());
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (exact() && other.exact() &&
+      count_ + other.count_ <= kExactSamples) {
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    sorted_ = false;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = count_ == other.count_ ? other.min_
+                                  : std::min(min_, other.min_);
+    max_ = count_ == other.count_ ? other.max_
+                                  : std::max(max_, other.max_);
+    return;
+  }
+  // At least one side already dropped samples (or the union would):
+  // merge the exact moments, then run the donor's retained samples
+  // through the reservoir. Each donor sample stands for
+  // other.count/other.retained observations, so draw its slot over
+  // that many positions — both sides keep proportional representation.
+  const uint64_t merged_count = count_ + other.count_;
+  const double merged_sum = sum() + other.sum();
+  const double merged_min =
+      count_ == 0 ? other.min() : std::min(min(), other.min());
+  const double merged_max =
+      count_ == 0 ? other.max() : std::max(max(), other.max());
+  const uint64_t represents =
+      other.values_.empty()
+          ? 1
+          : std::max<uint64_t>(other.count_ / other.values_.size(), 1);
+  uint64_t seen = count_;
+  for (double v : other.values_) {
+    seen += represents;
+    if (values_.size() < kExactSamples) {
+      values_.push_back(v);
+      sorted_ = false;
+      continue;
+    }
+    const uint64_t j = NextRandom() % seen;
+    if (j < kExactSamples) {
+      values_[j] = v;
+      sorted_ = false;
+    }
+  }
+  count_ = merged_count;
+  sum_ = merged_sum;
+  min_ = merged_min;
+  max_ = merged_max;
 }
 
 void Histogram::EnsureSorted() const {

@@ -45,42 +45,101 @@
 namespace parbox::obs {
 
 /// A sample of real-valued observations — Distribution's exact-sample
-/// semantics (nearest-rank percentiles on a lazily sorted copy) plus
-/// summary-stats export for snapshots.
+/// semantics (nearest-rank percentiles on a lazily sorted copy) up to
+/// kExactSamples observations, then a bounded reservoir.
+///
+/// Long serving and chaos runs observe millions of latencies; keeping
+/// every sample grows without limit. Below the threshold the sample
+/// is exact and byte-compatible with Distribution (the parity test in
+/// tests/obs_test.cc holds Summary strings equal); beyond it, new
+/// observations replace uniformly drawn reservoir slots (Vitter's
+/// Algorithm R on a deterministic xorshift stream, so runs replay
+/// identically) — percentiles become estimates over a fixed
+/// kExactSamples-size sample while count/sum/mean/min/max stay exact
+/// via scalar accumulators.
 class Histogram {
  public:
+  /// Exact samples retained before reservoir sampling kicks in.
+  static constexpr size_t kExactSamples = 4096;
+
   void Add(double value) {
-    values_.push_back(value);
-    sorted_ = false;
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+      min_ = max_ = value;
+    } else {
+      if (value < min_) min_ = value;
+      if (value > max_) max_ = value;
+    }
+    if (values_.size() < kExactSamples) {
+      values_.push_back(value);
+      sorted_ = false;
+      return;
+    }
+    // Algorithm R: slot j uniform over every observation so far; the
+    // new value enters only if j lands inside the reservoir, keeping
+    // each observation retained with probability kExactSamples/count.
+    const uint64_t j = NextRandom() % count_;
+    if (j < kExactSamples) {
+      values_[j] = value;
+      sorted_ = false;
+    }
   }
 
-  size_t count() const { return values_.size(); }
+  size_t count() const { return count_; }
   double sum() const;
-  double mean() const { return values_.empty() ? 0.0 : sum() / count(); }
+  double mean() const { return count_ == 0 ? 0.0 : sum() / count(); }
   double min() const;
   double max() const;
 
+  /// Samples currently retained (== count() in the exact regime,
+  /// kExactSamples once the reservoir engaged).
+  size_t retained() const { return values_.size(); }
+  /// True while every observation is still retained (percentiles are
+  /// exact, not reservoir estimates).
+  bool exact() const { return count_ == values_.size(); }
+
   /// Nearest-rank percentile, `pct` in [0, 100]. 0 on an empty sample.
+  /// Exact below kExactSamples observations, a reservoir estimate
+  /// beyond.
   double Percentile(double pct) const;
 
-  /// Pool `other`'s observations into this sample.
-  void Merge(const Histogram& other) {
-    values_.insert(values_.end(), other.values_.begin(),
-                   other.values_.end());
-    sorted_ = false;
-  }
+  /// Pool `other`'s observations into this sample. Exact (plain
+  /// concatenation) while the union fits the exact regime; beyond
+  /// that, the donor's retained samples feed the reservoir and the
+  /// scalar moments merge exactly.
+  void Merge(const Histogram& other);
 
   /// "n=.. mean=.. p50=.. p95=.. p99=.. max=.." with `unit` appended
   /// and values multiplied by `scale` (1e3 prints seconds as ms) —
-  /// byte-compatible with Distribution::Summary.
+  /// byte-compatible with Distribution::Summary in the exact regime.
   std::string Summary(const std::string& unit = "",
                       double scale = 1.0) const;
 
  private:
   void EnsureSorted() const;
+  /// xorshift64 from a fixed seed: deterministic replacement slots —
+  /// identical runs keep identical reservoirs (the differential
+  /// suites depend on reports being reproducible).
+  uint64_t NextRandom() {
+    uint64_t x = rng_state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rng_state_ = x;
+    return x;
+  }
 
   mutable std::vector<double> values_;
   mutable bool sorted_ = true;
+  /// Exact moments over EVERY observation (not just retained ones).
+  /// Reads recompute from values_ while exact() for bit-parity with
+  /// Distribution; these take over once the reservoir engages.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 /// One histogram's summary statistics inside a snapshot.

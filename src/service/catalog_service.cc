@@ -22,6 +22,10 @@ Result<std::unique_ptr<CatalogService>> CatalogService::Create(
     catalog::Catalog* catalog, const ServiceOptions& options) {
   auto service = std::unique_ptr<CatalogService>(
       new CatalogService(catalog, options));
+  if (options.enable_fair_share) {
+    service->scheduler_ =
+        std::make_unique<FairScheduler>(options.fair_share);
+  }
   for (const std::string& name : catalog->names()) {
     PARBOX_RETURN_IF_ERROR(service->ServeDocument(name));
   }
@@ -48,6 +52,11 @@ Status CatalogService::ServeDocument(std::string_view name) {
   options.metrics_prefix =
       "d" + std::to_string(catalog_->host()->num_namespaces()) + ".";
   options.name = std::string(name);
+  // Fair-share admission: every document is a tenant on the ONE
+  // catalog-wide DWRR scheduler — the cross-document round planner
+  // that makes a shared Run() interleave documents proportionally to
+  // weight instead of draining them in submission order.
+  options.scheduler = scheduler_.get();
   PARBOX_ASSIGN_OR_RETURN(
       std::unique_ptr<QueryService> qs,
       QueryService::Create(doc->mutable_set(), doc->source_tree().get(),
@@ -116,6 +125,27 @@ Result<frag::AppliedDelta> CatalogService::ApplyDelta(
     std::string_view doc, const frag::Delta& delta) {
   PARBOX_ASSIGN_OR_RETURN(Served * s, Find(doc));
   return s->service->ApplyDelta(delta);
+}
+
+Status CatalogService::SubmitDelta(std::string_view doc,
+                                   frag::Delta delta,
+                                   double arrival_seconds,
+                                   QueryService::UpdateCompletionFn done) {
+  PARBOX_ASSIGN_OR_RETURN(Served * s, Find(doc));
+  s->service->SubmitDelta(std::move(delta), arrival_seconds,
+                          std::move(done));
+  return Status::OK();
+}
+
+Status CatalogService::ConfigureTenant(std::string_view doc,
+                                       const TenantConfig& config) {
+  if (scheduler_ == nullptr) {
+    return Status::FailedPrecondition(
+        "fair share is off for this catalog service "
+        "(ServiceOptions::enable_fair_share)");
+  }
+  PARBOX_ASSIGN_OR_RETURN(Served * s, Find(doc));
+  return s->service->ConfigureTenant(config);
 }
 
 Result<frag::SiteId> CatalogService::Move(std::string_view doc,
@@ -224,6 +254,24 @@ ServiceReport CatalogService::BuildAggregateReport() const {
   total.makespan_seconds = catalog_->host()->backend().now();
   for (const auto& [name, s] : served_) {
     const ServiceReport r = s.service->BuildReport();
+    // Per-document row: the document's share of the aggregate (qps
+    // over the SHARED makespan, so rows sum to the aggregate rate;
+    // percentiles from the document's own latency histogram).
+    ServiceReport::DocumentRow row;
+    row.name = name;
+    row.completed = r.completed;
+    row.qps = total.makespan_seconds > 0.0
+                  ? static_cast<double>(r.completed) /
+                        total.makespan_seconds
+                  : 0.0;
+    if (r.latency.count() > 0) {
+      row.p50_seconds = r.latency.Percentile(50);
+      row.p99_seconds = r.latency.Percentile(99);
+    }
+    row.sched_deferred = r.sched_deferred;
+    total.per_document.push_back(std::move(row));
+    total.sched_deferred += r.sched_deferred;
+    total.sched_dispatch_delay.Merge(r.sched_dispatch_delay);
     total.completed += r.completed;
     total.cache_hits += r.cache_hits;
     total.shared_evaluations += r.shared_evaluations;

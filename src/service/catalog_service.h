@@ -89,6 +89,22 @@ class CatalogService {
   Result<frag::AppliedDelta> ApplyDelta(std::string_view doc,
                                         const frag::Delta& delta);
 
+  /// Scheduled delta against `doc`: arrives on the shared clock and
+  /// applies through the fair-share scheduler's update priority lane
+  /// (ahead of queued reads; see QueryService::SubmitDelta).
+  Status SubmitDelta(std::string_view doc, frag::Delta delta,
+                     double arrival_seconds,
+                     QueryService::UpdateCompletionFn done = nullptr);
+
+  /// Re-weight / re-cap document `doc` on the catalog-wide fair-share
+  /// scheduler. Fails when fair share is off (enable_fair_share) or
+  /// the config is invalid (zero/negative weight).
+  Status ConfigureTenant(std::string_view doc, const TenantConfig& config);
+
+  /// The catalog-wide fair-share scheduler; null when
+  /// enable_fair_share was off at Create.
+  FairScheduler* scheduler() { return scheduler_.get(); }
+
   /// Live migration of `f` to `site` within `doc` (see file comment).
   /// Returns the site `f` moved from.
   Result<frag::SiteId> Move(std::string_view doc, frag::FragmentId f,
@@ -153,6 +169,10 @@ class CatalogService {
   /// caller passed none). Declared before served_ so it outlives the
   /// services reporting into it.
   obs::MetricsRegistry metrics_;
+  /// The catalog-wide fair-share scheduler (enable_fair_share); every
+  /// served document is a tenant on it. Declared before served_ so it
+  /// outlives the services enqueuing into it.
+  std::unique_ptr<FairScheduler> scheduler_;
   std::map<std::string, Served, std::less<>> served_;
 };
 

@@ -42,6 +42,7 @@ QueryService::QueryService(const frag::FragmentSet* set,
   // non-validating path).
   first_error_ = session_.backend_status();
   InitObs();
+  InitScheduler();
 }
 
 QueryService::QueryService(frag::FragmentSet* set,
@@ -54,6 +55,21 @@ QueryService::QueryService(frag::FragmentSet* set,
                                     options.host, options.tracer}) {
   first_error_ = session_.backend_status();
   InitObs();
+  InitScheduler();
+}
+
+void QueryService::InitScheduler() {
+  scheduler_ = options_.scheduler;
+  if (scheduler_ == nullptr) return;
+  Result<FairScheduler::TenantId> tid =
+      scheduler_->AddTenant(std::string(label()), options_.tenant);
+  if (tid.ok()) {
+    tenant_id_ = *tid;
+  } else if (first_error_.ok()) {
+    // Invalid tenant config (zero/negative weight): visible through
+    // status() from birth; the Create factories refuse outright.
+    first_error_ = tid.status();
+  }
 }
 
 void QueryService::InitObs() {
@@ -91,10 +107,13 @@ void QueryService::InitObs() {
   m_query_msgs_ = counter("net.query.messages");
   m_triplet_bytes_ = counter("net.triplet.bytes");
   m_triplet_msgs_ = counter("net.triplet.messages");
+  m_sched_deferred_ = counter("sched.deferred");
   m_latency_ = m.Intern(p + "service.latency_seconds", Kind::kHistogram);
   m_admission_wait_ =
       m.Intern(p + "service.admission_wait_seconds", Kind::kHistogram);
   m_batch_width_ = m.Intern(p + "service.batch_width", Kind::kHistogram);
+  m_sched_dispatch_delay_ =
+      m.Intern(p + "sched.dispatch_delay_seconds", Kind::kHistogram);
 }
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -102,7 +121,8 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     const ServiceOptions& options) {
   auto service =
       std::unique_ptr<QueryService>(new QueryService(set, st, options));
-  PARBOX_RETURN_IF_ERROR(service->session_.backend_status());
+  // Covers the backend spec AND the tenant registration.
+  PARBOX_RETURN_IF_ERROR(service->first_error_);
   return service;
 }
 
@@ -111,7 +131,7 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     const ServiceOptions& options) {
   auto service =
       std::unique_ptr<QueryService>(new QueryService(set, st, options));
-  PARBOX_RETURN_IF_ERROR(service->session_.backend_status());
+  PARBOX_RETURN_IF_ERROR(service->first_error_);
   return service;
 }
 
@@ -328,7 +348,32 @@ void QueryService::FlushBatch() {
                     static_cast<double>(round->uniques.size()));
   metrics_->Increment(m_rounds_);
   metrics_->Add(m_unique_evals_, round->uniques.size());
-  BeginRound(std::move(round));
+  DispatchRound(std::move(round));
+}
+
+void QueryService::DispatchRound(std::shared_ptr<Round> round) {
+  if (scheduler_ == nullptr || tenant_id_ < 0) {
+    BeginRound(std::move(round));
+    return;
+  }
+  const double enqueued_at = now();
+  const uint64_t cost = round->uniques.size();
+  const bool immediate = scheduler_->Enqueue(
+      tenant_id_, FairScheduler::Lane::kRead, cost,
+      [this, round, enqueued_at] {
+        // The scheduler may dispatch from another tenant's completion
+        // context (their Compose freed the slot); bounce into this
+        // service's coordinator context before touching any service
+        // state. Every namespace context of a shared host drains on
+        // the ONE draining thread, so the cross-namespace ScheduleAt
+        // is in-contract on all backends.
+        exec::ExecBackend& backend = session_.backend();
+        backend.ScheduleAt(backend.now(), [this, round, enqueued_at] {
+          metrics_->Observe(m_sched_dispatch_delay_, now() - enqueued_at);
+          BeginRound(round);
+        });
+      });
+  if (!immediate) metrics_->Increment(m_sched_deferred_);
 }
 
 void QueryService::BeginRound(std::shared_ptr<Round> round) {
@@ -531,6 +576,13 @@ void QueryService::Compose(std::shared_ptr<Round> round) {
           "sites", std::to_string(round->plan->site_fragments.size()));
       tracer_->Record(std::move(e));
     }
+    // The round's read slot frees here; the scheduler may dispatch
+    // another tenant's queued round inside this call (its callback
+    // bounces through ScheduleAt, so nothing of that tenant runs in
+    // this context).
+    if (scheduler_ != nullptr && tenant_id_ >= 0) {
+      scheduler_->OnUnitFinished(tenant_id_);
+    }
   });
 }
 
@@ -614,6 +666,38 @@ Result<frag::AppliedDelta> QueryService::ApplyDelta(
     tracer_->Record(std::move(e));
   }
   return applied;
+}
+
+void QueryService::SubmitDelta(frag::Delta delta, double arrival_seconds,
+                               UpdateCompletionFn done) {
+  const double arrival = std::max(arrival_seconds, now());
+  auto shared_delta = std::make_shared<frag::Delta>(std::move(delta));
+  session_.backend().ScheduleAt(arrival, [this, shared_delta, done] {
+    auto apply = [this, shared_delta, done] {
+      Result<frag::AppliedDelta> applied = ApplyDelta(*shared_delta);
+      if (!applied.ok() && first_error_.ok()) {
+        first_error_ = applied.status();
+      }
+      if (done) done(applied);
+    };
+    if (scheduler_ == nullptr || tenant_id_ < 0) {
+      apply();
+      return;
+    }
+    // The update priority lane dispatches synchronously — no caps, no
+    // queue — so the apply runs now, in this coordinator context,
+    // ahead of every read round still waiting for a dispatch slot.
+    scheduler_->Enqueue(tenant_id_, FairScheduler::Lane::kUpdate, 1,
+                        std::move(apply));
+  });
+}
+
+Status QueryService::ConfigureTenant(const TenantConfig& config) {
+  if (scheduler_ == nullptr || tenant_id_ < 0) {
+    return Status::FailedPrecondition(
+        "service has no fair-share scheduler attached");
+  }
+  return scheduler_->Reconfigure(tenant_id_, config);
 }
 
 std::vector<bexpr::FragmentEquations> QueryService::AcquireEquations() {
@@ -1015,6 +1099,9 @@ ServiceReport QueryService::BuildReport() const {
   for (uint64_t v : backend.visits()) report.total_visits += v;
   report.total_ops = metrics_->CounterValue(m_ops_);
   report.interned_formula_nodes = session_.factory().total_nodes();
+  report.sched_deferred = metrics_->CounterValue(m_sched_deferred_);
+  report.sched_dispatch_delay =
+      metrics_->HistogramValue(m_sched_dispatch_delay_);
   for (const auto& [tag, bytes] : traffic.bytes_by_tag()) {
     report.stats.Add("net." + tag + ".bytes", bytes);
   }
@@ -1055,6 +1142,16 @@ obs::MetricsSnapshot QueryService::SnapshotMetrics() const {
   }
   metrics_->SetGauge(p + "service.cache_size",
                      static_cast<double>(cache_.size()));
+  if (scheduler_ != nullptr && tenant_id_ >= 0) {
+    const FairScheduler::TenantStats s = scheduler_->Stats(tenant_id_);
+    metrics_->SetGauge(p + "sched.queue_depth",
+                       static_cast<double>(s.queue_depth));
+    metrics_->SetGauge(p + "sched.peak_queue_depth",
+                       static_cast<double>(s.peak_queue_depth));
+    metrics_->SetGauge(p + "sched.in_flight",
+                       static_cast<double>(s.in_flight));
+    metrics_->SetGauge(p + "sched.weight", s.config.weight);
+  }
   return metrics_->Snapshot();
 }
 
@@ -1078,6 +1175,10 @@ void QueryService::EmitStatsLine(double now_seconds) {
   const double hit_pct =
       dc > 0 ? 100.0 * static_cast<double>(dh) / static_cast<double>(dc)
              : 0.0;
+  const double p50_ms =
+      interval_latency_.count() > 0
+          ? interval_latency_.Percentile(50) * 1e3
+          : 0.0;
   const double p99_ms =
       interval_latency_.count() > 0
           ? interval_latency_.Percentile(99) * 1e3
@@ -1085,11 +1186,17 @@ void QueryService::EmitStatsLine(double now_seconds) {
   std::ostringstream line;
   line << "[" << label() << "] t=" << std::fixed << std::setprecision(2)
        << now_seconds << "s qps=" << std::setprecision(1) << qps
-       << " p99=" << std::setprecision(3) << p99_ms
+       << " p50=" << std::setprecision(3) << p50_ms
+       << "ms p99=" << std::setprecision(3) << p99_ms
        << "ms cache_hit=" << std::setprecision(1) << hit_pct
        << "% bytes{query=" << HumanBytes(qbytes - sink_cursor_.query_bytes)
        << ",triplet=" << HumanBytes(tbytes - sink_cursor_.triplet_bytes)
        << "}";
+  if (scheduler_ != nullptr && tenant_id_ >= 0) {
+    // Scheduler pressure at line time: rounds queued behind the
+    // dispatch caps right now.
+    line << " q=" << scheduler_->Stats(tenant_id_).queue_depth;
+  }
   sink_->Line(line.str());
   sink_cursor_ = {now_seconds, completed, hits, qbytes, tbytes};
   interval_latency_ = obs::Histogram();
@@ -1127,6 +1234,25 @@ std::string ServiceReport::ToString() const {
       << network_messages << " msgs, site visits " << total_visits
       << ", ops " << total_ops << ", interned formula nodes "
       << interned_formula_nodes;
+  if (sched_dispatch_delay.count() > 0) {
+    out << "\n  fair-share: dispatch delay ms "
+        << sched_dispatch_delay.Summary("", 1e3) << ", deferred rounds "
+        << sched_deferred;
+  }
+  if (!per_document.empty()) {
+    out << "\n  per-document:";
+    for (const DocumentRow& row : per_document) {
+      std::ostringstream doc;
+      doc << "\n    " << row.name << ": " << row.completed
+          << " completed, " << row.qps << " q/s, p50 "
+          << row.p50_seconds * 1e3 << "ms, p99 " << row.p99_seconds * 1e3
+          << "ms";
+      if (row.sched_deferred > 0) {
+        doc << ", deferred " << row.sched_deferred;
+      }
+      out << doc.str();
+    }
+  }
   return out.str();
 }
 

@@ -73,6 +73,7 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "service/scheduler.h"
 #include "sim/cluster.h"
 #include "xpath/eval_batch.h"
 #include "xpath/fingerprint.h"
@@ -94,6 +95,28 @@ struct ServiceOptions {
   /// N documents on one worker pool. The host must outlive the
   /// service.
   exec::BackendHost* host = nullptr;
+
+  // ---- Fair-share admission (service/scheduler.h) ----
+
+  /// When set, batch rounds dispatch through this shared fair-share
+  /// scheduler instead of starting immediately at flush (a
+  /// CatalogService passes its catalog-wide scheduler so documents
+  /// interleave by weight). Null = FIFO admission, exactly the
+  /// pre-scheduler service (ablation baseline). Must outlive the
+  /// service. Answer-exact either way: the scheduler changes when a
+  /// round starts, never what it computes.
+  FairScheduler* scheduler = nullptr;
+  /// This service's tenant registration (weight, per-tenant in-flight
+  /// cap). Only read when `scheduler` is set; invalid configs fail
+  /// construction (surface through Create / status()).
+  TenantConfig tenant;
+  /// CatalogService only: stand up a catalog-owned FairScheduler with
+  /// `fair_share` below and pass it to every served document (each
+  /// registered with `tenant` as its starting config; re-weight per
+  /// document via CatalogService::ConfigureTenant). Ignored by a bare
+  /// QueryService — pass `scheduler` directly there.
+  bool enable_fair_share = false;
+  FairSchedulerOptions fair_share;
 
   /// Merge concurrently admitted queries into per-site batch rounds.
   /// Off: every admission is its own round (ablation baseline).
@@ -205,6 +228,26 @@ struct ServiceReport {
   uint64_t total_ops = 0;
   uint64_t interned_formula_nodes = 0;
 
+  /// Rounds the fair-share scheduler queued instead of dispatching at
+  /// flush (0 without a scheduler — FIFO never defers).
+  uint64_t sched_deferred = 0;
+  /// Flush-to-dispatch wait per round under the scheduler (every
+  /// round observes one sample; 0 for immediate dispatch).
+  obs::Histogram sched_dispatch_delay;
+
+  /// Per-document breakdown, filled by
+  /// CatalogService::BuildAggregateReport (empty on a
+  /// single-document report).
+  struct DocumentRow {
+    std::string name;
+    size_t completed = 0;
+    double qps = 0.0;
+    double p50_seconds = 0.0;
+    double p99_seconds = 0.0;
+    uint64_t sched_deferred = 0;
+  };
+  std::vector<DocumentRow> per_document;
+
   /// Traffic by tag ("net.query.bytes", ...), RunReport-style.
   StatsRegistry stats;
 
@@ -287,6 +330,24 @@ class QueryService {
   /// store.
   Result<frag::AppliedDelta> ApplyDelta(const frag::Delta& delta);
 
+  /// Completion callback for SubmitDelta.
+  using UpdateCompletionFn =
+      std::function<void(const Result<frag::AppliedDelta>&)>;
+  /// Schedule `delta` to arrive at virtual time `arrival_seconds`
+  /// (clamped to now()) and apply it through the scheduler's *update
+  /// priority lane*: with a fair-share scheduler attached, the apply
+  /// dispatches immediately at arrival — ahead of any backlog of
+  /// queued read rounds — so write visibility never waits behind
+  /// reads. Without a scheduler this is ApplyDelta on a timer.
+  /// Application failures land in status() (and `done`, when given).
+  void SubmitDelta(frag::Delta delta, double arrival_seconds,
+                   UpdateCompletionFn done = nullptr);
+
+  /// Re-weight / re-cap this service's tenant on the attached
+  /// fair-share scheduler. Fails without one, or on invalid config
+  /// (zero/negative weight).
+  Status ConfigureTenant(const TenantConfig& config);
+
   size_t cache_size() const { return cache_.size(); }
   void InvalidateAll();
   /// Fragment `f`'s content changed out of band (MaterializedView
@@ -368,6 +429,11 @@ class QueryService {
   void Admit(uint64_t id);
   void ArmBatchTimer();
   void FlushBatch();
+  /// Hand a flushed round to the fair-share scheduler (or straight to
+  /// BeginRound without one). Deferred rounds dispatch when
+  /// OnUnitFinished frees capacity, bounced through ScheduleAt into
+  /// this service's coordinator context.
+  void DispatchRound(std::shared_ptr<Round> round);
   void BeginRound(std::shared_ptr<Round> round);
   void Compose(std::shared_ptr<Round> round);
   void Complete(uint64_t id, bool answer, bool cache_hit, bool shared,
@@ -417,6 +483,10 @@ class QueryService {
   /// Resolve the registry (shared vs owned) and intern every metric id
   /// under the configured prefix. Constructor-only.
   void InitObs();
+  /// Register this service as a tenant on the configured fair-share
+  /// scheduler (no-op without one). Constructor-only; invalid tenant
+  /// configs land in first_error_.
+  void InitScheduler();
   /// Emit an instant event under the ambient trace context (no-op when
   /// untraced or the context is inactive).
   void TraceInstant(const char* name);
@@ -447,6 +517,7 @@ class QueryService {
   MetricId m_query_bytes_ = 0, m_query_msgs_ = 0;
   MetricId m_triplet_bytes_ = 0, m_triplet_msgs_ = 0;
   MetricId m_latency_ = 0, m_admission_wait_ = 0, m_batch_width_ = 0;
+  MetricId m_sched_deferred_ = 0, m_sched_dispatch_delay_ = 0;
   /// Latency samples since the last sink line (coordinator thread
   /// only), and the cursor of counter values the last line reported.
   obs::Histogram interval_latency_;
@@ -464,6 +535,11 @@ class QueryService {
   /// and query), and the per-site partition plan. Also tracks the
   /// current source tree (rebound when a view re-cuts fragments).
   core::Session session_;
+
+  /// Fair-share admission (null = FIFO). Borrowed from options; the
+  /// tenant id is this service's registration on it.
+  FairScheduler* scheduler_ = nullptr;
+  FairScheduler::TenantId tenant_id_ = -1;
 
   uint64_t next_query_id_ = 0;
   std::unordered_map<uint64_t, Submission> submissions_;

@@ -33,6 +33,14 @@ Result<Workload> Workload::Make(const WorkloadSpec& spec) {
   if (spec.family_variants == 0 && spec.min_qlist_size < 2) {
     return Status::InvalidArgument("smallest supported |QList| is 2");
   }
+  if (!(spec.hot_multiplier > 0.0) ||
+      !std::isfinite(spec.hot_multiplier)) {
+    return Status::InvalidArgument(
+        "hot_multiplier must be positive and finite");
+  }
+  if (!std::isfinite(spec.doc_zipf_s)) {
+    return Status::InvalidArgument("doc_zipf_s must be finite");
+  }
   Workload w;
   w.spec_ = spec;
   for (int i = 0; i < spec.distinct_queries; ++i) {
@@ -136,6 +144,62 @@ Result<ServiceReport> RunClosedLoopWith(QueryService* service,
   PARBOX_RETURN_IF_ERROR(state->error);
   PARBOX_RETURN_IF_ERROR(service->status());
   return service->BuildReport();
+}
+
+CrossDocPlan MakeCrossDocPlan(const Workload& workload, size_t num_docs,
+                              const CrossDocOptions& options) {
+  CrossDocPlan plan;
+  if (num_docs == 0) return plan;
+  const WorkloadSpec& spec = workload.spec();
+  std::vector<double> doc_weights;
+  doc_weights.reserve(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    double weight =
+        std::pow(1.0 / static_cast<double>(i + 1), spec.doc_zipf_s);
+    if (i == 0) weight *= spec.hot_multiplier;
+    doc_weights.push_back(weight);
+  }
+  Rng rng(options.seed);
+  plan.items.reserve(options.num_queries);
+  double arrival = 0.0;
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    if (options.arrival_rate_qps > 0.0) {
+      // One aggregate Poisson process; each arrival lands on a
+      // document by the skew law, so the hot document sees
+      // proportionally more of the SAME stream (not an independent,
+      // faster clock — exactly how skewed tenant traffic shares a
+      // front door).
+      arrival += -std::log(1.0 - rng.UniformDouble()) /
+                 options.arrival_rate_qps;
+    }
+    CrossDocPlan::Item item;
+    item.doc = rng.Weighted(doc_weights);
+    item.query = workload.DrawIndices(1, &rng)[0];
+    item.arrival = arrival;
+    plan.items.push_back(item);
+  }
+  return plan;
+}
+
+Result<ServiceReport> RunCrossDocOpenLoop(
+    CatalogService* service, const Workload& workload,
+    const std::vector<std::string>& docs, const CrossDocPlan& plan) {
+  for (const CrossDocPlan::Item& item : plan.items) {
+    if (item.doc >= docs.size()) {
+      return Status::InvalidArgument(
+          "plan names document index " + std::to_string(item.doc) +
+          " but only " + std::to_string(docs.size()) + " were given");
+    }
+    PARBOX_ASSIGN_OR_RETURN(xpath::NormQuery q,
+                            workload.Materialize(item.query));
+    PARBOX_ASSIGN_OR_RETURN(
+        uint64_t id,
+        service->Submit(docs[item.doc], std::move(q), item.arrival));
+    (void)id;
+  }
+  service->Run();
+  PARBOX_RETURN_IF_ERROR(service->status());
+  return service->BuildAggregateReport();
 }
 
 Result<ServiceReport> RunClosedLoop(QueryService* service,

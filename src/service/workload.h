@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "service/catalog_service.h"
 #include "service/query_service.h"
 #include "xpath/qlist.h"
 
@@ -49,6 +50,16 @@ struct WorkloadSpec {
   /// family_chain_steps + f steps). Only read when family_variants
   /// > 0.
   int family_chain_steps = 6;
+
+  // ---- Cross-document skew (MakeCrossDocPlan) ----
+
+  /// Document-popularity skew across a catalog: document i is drawn
+  /// with weight 1/(i+1)^doc_zipf_s. 0 = uniform.
+  double doc_zipf_s = 0.0;
+  /// Extra load multiplier on document 0 — "one hot doc at 10x load,
+  /// many cold" is doc_zipf_s = 0, hot_multiplier = 10 x (num_docs-1)
+  /// relative share. Must be > 0.
+  double hot_multiplier = 1.0;
 };
 
 /// A fixed portfolio of distinct queries with a popularity law.
@@ -112,6 +123,42 @@ Result<ServiceReport> RunClosedLoopWith(QueryService* service,
                                         const QueryFactory& make_query,
                                         size_t num_queries, int concurrency,
                                         double think_seconds);
+
+// ---- Cross-document (multi-tenant) driving ----
+
+struct CrossDocOptions {
+  size_t num_queries = 256;
+  /// Aggregate Poisson arrival rate across ALL documents; 0 = burst
+  /// at t = 0.
+  double arrival_rate_qps = 0.0;
+  uint64_t seed = 42;
+};
+
+/// One pre-drawn cross-document arrival sequence: (document, portfolio
+/// entry, arrival time) triples. Drawn ONCE and replayed, so scheduler
+/// on/off (or FIFO vs fair-share) runs see the byte-identical
+/// submission stream — the differential suite's precondition.
+struct CrossDocPlan {
+  struct Item {
+    size_t doc = 0;    ///< index into the caller's document list
+    size_t query = 0;  ///< Workload portfolio entry
+    double arrival = 0.0;
+  };
+  std::vector<Item> items;
+};
+
+/// Draw a plan: documents by the spec's doc_zipf_s/hot_multiplier
+/// law, queries by the portfolio's zipf law, Poisson aggregate
+/// interarrivals (or a t=0 burst).
+CrossDocPlan MakeCrossDocPlan(const Workload& workload, size_t num_docs,
+                              const CrossDocOptions& options);
+
+/// Submit `plan` against `service` (plan doc i -> docs[i]), run the
+/// shared substrate to completion, and return the aggregate report
+/// (per-document rows included).
+Result<ServiceReport> RunCrossDocOpenLoop(
+    CatalogService* service, const Workload& workload,
+    const std::vector<std::string>& docs, const CrossDocPlan& plan);
 
 }  // namespace parbox::service
 

@@ -132,6 +132,93 @@ TEST(MetricsRegistryTest, HistogramMatchesDistribution) {
   EXPECT_EQ(h.Summary("ms", 1e3), d.Summary("ms", 1e3));
 }
 
+// Beyond kExactSamples observations the histogram switches to a
+// fixed-size reservoir: memory stays bounded, scalar moments stay
+// exact, and percentiles become estimates over the retained sample.
+TEST(MetricsRegistryTest, HistogramReservoirBoundsMemory) {
+  obs::Histogram h;
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    // 1..100000 in a shuffled-ish deterministic order.
+    h.Add(static_cast<double>((i * 48271) % n + 1));
+  }
+  EXPECT_EQ(h.count(), n);
+  EXPECT_EQ(h.retained(), obs::Histogram::kExactSamples);
+  EXPECT_FALSE(h.exact());
+  // Scalar moments never degrade to estimates.
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(h.mean(), (static_cast<double>(n) + 1.0) / 2.0);
+  // Percentiles are estimates over 4096 uniform draws; for a uniform
+  // population the relative error stays small.
+  EXPECT_NEAR(h.Percentile(50), static_cast<double>(n) / 2.0,
+              static_cast<double>(n) * 0.05);
+  EXPECT_NEAR(h.Percentile(99), static_cast<double>(n) * 0.99,
+              static_cast<double>(n) * 0.05);
+}
+
+TEST(MetricsRegistryTest, HistogramReservoirIsDeterministic) {
+  // Fixed-seed replacement stream: identical runs keep identical
+  // reservoirs (differential suites compare report strings).
+  obs::Histogram a, b;
+  for (size_t i = 0; i < 20000; ++i) {
+    const double v = static_cast<double>((i * 92717) % 1000);
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_EQ(a.Summary("ms", 1e3), b.Summary("ms", 1e3));
+}
+
+TEST(MetricsRegistryTest, HistogramMergeStaysExactWhenSmall) {
+  obs::Histogram a, b;
+  Distribution d;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(rng.Next64() % 1000);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  // The union fits the exact regime, so merged stats must match the
+  // single-stream Distribution exactly.
+  obs::Histogram merged;
+  merged.Merge(a);
+  merged.Merge(b);
+  Rng rng2(11);
+  for (int i = 0; i < 100; ++i) {
+    d.Add(static_cast<double>(rng2.Next64() % 1000));
+  }
+  EXPECT_TRUE(merged.exact());
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_DOUBLE_EQ(merged.mean(), d.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), d.min());
+  EXPECT_DOUBLE_EQ(merged.max(), d.max());
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), d.Percentile(50));
+}
+
+TEST(MetricsRegistryTest, HistogramMergeIntoReservoirKeepsMoments) {
+  obs::Histogram big, small;
+  const size_t n = 50000;
+  for (size_t i = 0; i < n; ++i) {
+    big.Add(static_cast<double>(i % 1000));
+  }
+  for (int i = 0; i < 10; ++i) small.Add(5000.0 + i);
+  const double big_sum = big.sum();
+  big.Merge(small);
+  EXPECT_EQ(big.count(), n + 10);
+  EXPECT_EQ(big.retained(), obs::Histogram::kExactSamples);
+  EXPECT_DOUBLE_EQ(big.max(), 5009.0);
+  EXPECT_DOUBLE_EQ(big.min(), 0.0);
+  EXPECT_DOUBLE_EQ(big.sum(), big_sum + small.sum());
+
+  // The other direction: exact receiver, reservoir donor.
+  obs::Histogram fresh;
+  fresh.Add(-7.0);
+  fresh.Merge(big);
+  EXPECT_EQ(fresh.count(), n + 11);
+  EXPECT_DOUBLE_EQ(fresh.min(), -7.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 5009.0);
+  EXPECT_EQ(fresh.retained(), obs::Histogram::kExactSamples);
+}
+
 // ---- Tracer ------------------------------------------------------------
 
 TEST(TracerTest, RecordCollectBreakdown) {

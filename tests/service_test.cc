@@ -444,10 +444,13 @@ TEST(WorkloadTest, ClosedLoopServesEverythingAndMatchesParBoX) {
     EXPECT_EQ(answer_by_id[i], expected[indices[i]]) << "submission " << i;
     sequential_seconds += makespans[indices[i]];
   }
-  // Serving concurrently must beat one-at-a-time ParBoX runs — off
-  // the in-process backends only: the proc backend pays a real socket
-  // round trip per parcel, which dwarfs these micro-workloads.
-  if (!testutil::DefaultBackendIsProc()) {
+  // Serving concurrently must beat one-at-a-time ParBoX runs — on the
+  // sim only, where makespans are virtual and deterministic. On proc
+  // the socket round trips dwarf these micro-workloads; on threads
+  // both sides are real wall clock on millisecond-scale runs, which
+  // flakes under parallel ctest load (same reason LazyTest's makespan
+  // comparison is sim-scoped).
+  if (testutil::DefaultBackendIsSim()) {
     EXPECT_LT(report->makespan_seconds, sequential_seconds);
   }
   EXPECT_GT(report->cache_hits + report->shared_evaluations, 0u);

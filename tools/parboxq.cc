@@ -73,7 +73,48 @@ struct CliOptions {
   std::string trace_path;  ///< --trace=FILE: Chrome trace JSON out
   bool statz = false;      ///< dump the metrics registry after the run
   double stats_interval = 1.0;  ///< --serve periodic line cadence
+  /// --fair-share: catalog-wide DWRR admission across documents.
+  bool fair_share = false;
+  /// --fair-slots=N: global concurrent-round cap under fair share.
+  size_t fair_slots = 4;
+  /// --tenant=NAME:weight=W[,cap=C], repeatable (implies --fair-share).
+  std::vector<std::pair<std::string, service::TenantConfig>> tenants;
 };
+
+/// Parse one --tenant=NAME:weight=W[,cap=C] spec. NAME is an input
+/// path or the positional alias d<index> (d0 = first FILE).
+Result<std::pair<std::string, service::TenantConfig>> ParseTenantSpec(
+    const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument(
+        "--tenant wants NAME:weight=W[,cap=C], got \"" + spec + "\"");
+  }
+  std::pair<std::string, service::TenantConfig> out;
+  out.first = spec.substr(0, colon);
+  std::stringstream rest(spec.substr(colon + 1));
+  std::string kv;
+  while (std::getline(rest, kv, ',')) {
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          "--tenant option \"" + kv + "\" wants key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "weight") {
+      out.second.weight = std::atof(val.c_str());
+    } else if (key == "cap") {
+      out.second.max_in_flight =
+          static_cast<size_t>(std::strtoull(val.c_str(), nullptr, 10));
+    } else {
+      return Status::InvalidArgument(
+          "unknown --tenant key \"" + key + "\" (weight, cap)");
+    }
+  }
+  PARBOX_RETURN_IF_ERROR(service::ValidateTenantConfig(out.second));
+  return out;
+}
 
 int Usage(const char* argv0) {
   const std::string algos =
@@ -123,7 +164,16 @@ int Usage(const char* argv0) {
       "                      gauges, histograms) after the run\n"
       "  --stats-interval=S  cadence of --serve's periodic one-line\n"
       "                      stats summaries (default: 1s of the\n"
-      "                      backend clock)\n",
+      "                      backend clock)\n"
+      "  --fair-share        catalog mode: admit rounds through the\n"
+      "                      weighted fair-share scheduler (DWRR\n"
+      "                      across documents) instead of FIFO\n"
+      "  --fair-slots=N      global concurrent-round cap under\n"
+      "                      --fair-share (default: 4)\n"
+      "  --tenant=SPEC       per-document weight/cap, repeatable;\n"
+      "                      SPEC = NAME:weight=W[,cap=C] where NAME\n"
+      "                      is a FILE path or d<index> (d0 = first\n"
+      "                      FILE). Implies --fair-share.\n",
       argv0, argv0, algos.c_str(), backends.c_str());
   std::fprintf(stderr, "\nregistered evaluators:\n");
   for (const std::string& name :
@@ -266,9 +316,34 @@ int ServeCatalog(const CliOptions& options) {
   service::ServiceOptions svc_options;
   if (!options.trace_path.empty()) svc_options.tracer = &tracer;
   svc_options.sink = &sink;
+  if (options.fair_share) {
+    svc_options.enable_fair_share = true;
+    svc_options.fair_share.max_in_flight = options.fair_slots;
+  }
   auto svc = service::CatalogService::Create(cat->get(), svc_options);
   if (!svc.ok()) return Fail(svc.status());
   service::CatalogService* service = svc->get();
+  for (const auto& [name, config] : options.tenants) {
+    // --tenant NAME: an input path verbatim, or the d<index> alias.
+    std::string doc = name;
+    if (std::find(options.input_paths.begin(), options.input_paths.end(),
+                  doc) == options.input_paths.end()) {
+      char* end = nullptr;
+      const long idx =
+          name.size() > 1 && name[0] == 'd'
+              ? std::strtol(name.c_str() + 1, &end, 10)
+              : -1;
+      if (end == nullptr || *end != '\0' || idx < 0 ||
+          static_cast<size_t>(idx) >= options.input_paths.size()) {
+        return Fail(Status::InvalidArgument(
+            "--tenant names unknown document \"" + name +
+            "\" (give a FILE path or d<index>)"));
+      }
+      doc = options.input_paths[static_cast<size_t>(idx)];
+    }
+    Status configured = service->ConfigureTenant(doc, config);
+    if (!configured.ok()) return Fail(configured);
+  }
 
   // Closed loop per document: `serve_clients` concurrent streams, a
   // client re-asking (after think time) only when its previous query
@@ -364,6 +439,17 @@ int main(int argc, char** argv) {
       options.trace_path = value;
     } else if (ParseFlag(argv[i], "--stats-interval", &value)) {
       options.stats_interval = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--fair-slots", &value)) {
+      options.fair_slots =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+      options.fair_share = true;
+    } else if (ParseFlag(argv[i], "--tenant", &value)) {
+      auto spec = ParseTenantSpec(value);
+      if (!spec.ok()) return Fail(spec.status());
+      options.tenants.push_back(std::move(*spec));
+      options.fair_share = true;
+    } else if (std::strcmp(argv[i], "--fair-share") == 0) {
+      options.fair_share = true;
     } else if (std::strcmp(argv[i], "--statz") == 0) {
       options.statz = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
@@ -391,6 +477,16 @@ int main(int argc, char** argv) {
     if (!options.serve) {
       return Fail(Status::InvalidArgument(
           "several input files need --serve (catalog mode)"));
+    }
+    return ServeCatalog(options);
+  }
+  if (options.fair_share) {
+    // Fair-share admission lives in the catalog layer; a one-document
+    // catalog keeps --tenant/--fair-slots meaningful instead of
+    // silently ignored.
+    if (!options.serve) {
+      return Fail(Status::InvalidArgument(
+          "--fair-share/--tenant need --serve"));
     }
     return ServeCatalog(options);
   }
